@@ -1,0 +1,33 @@
+"""Shared helper for the experiment benchmarks.
+
+Each ``test_eXX_*`` benchmark runs one registered experiment in quick
+mode exactly once (``pedantic``: these are minutes-scale simulations,
+not microbenchmarks), prints the regenerated table, and asserts every
+claim-check passes — so ``pytest benchmarks/ --benchmark-only`` both
+times and *validates* the full reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture
+def run_quick(benchmark):
+    """Benchmark one experiment in quick mode and validate its checks."""
+
+    def _run(eid: str, seed: int = 0):
+        report = benchmark.pedantic(
+            lambda: run_experiment(eid, seed=seed, quick=True),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(report.render())
+        failed = [name for name, ok in report.checks.items() if not ok]
+        assert not failed, f"{eid} checks failed: {failed}"
+        return report
+
+    return _run

@@ -1,0 +1,9 @@
+"""Ablation benchmark A1: slow vs aggressive rate growth (Lemma 5 ablation).
+
+Regenerates the ablation's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/a01_growth_ablation.py for details.
+"""
+
+
+def test_a01(run_quick):
+    run_quick("A1")

@@ -1,0 +1,9 @@
+"""Ablation benchmark A3: uninformed-noise on/off vs a dissemination suppressor (Section 3.1 ablation).
+
+Regenerates the ablation's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/a03_noise_ablation.py for details.
+"""
+
+
+def test_a03(run_quick):
+    run_quick("A3")

@@ -1,0 +1,9 @@
+"""Ablation benchmark A4: nack phase on/off (Section 2 feedback ablation).
+
+Regenerates the ablation's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/a04_nack_ablation.py for details.
+"""
+
+
+def test_a04(run_quick):
+    run_quick("A4")

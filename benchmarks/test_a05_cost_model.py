@@ -1,0 +1,11 @@
+"""Ablation benchmark A5: robustness to the unit-cost radio abstraction.
+
+Re-prices recorded send/listen slot counts under TX-heavy and RX-heavy
+radio models and checks the theorem shapes survive; also records each
+protocol's send/listen spend composition; see
+src/repro/experiments/a05_cost_model.py.
+"""
+
+
+def test_a05(run_quick):
+    run_quick("A5")

@@ -1,0 +1,10 @@
+"""Ablation benchmark A6: preset-sensitivity scan.
+
+Perturbs each Figure 2 tuning constant by 2x and checks delivery,
+termination-epoch, and cost conclusions degrade gracefully; see
+src/repro/experiments/a06_sensitivity.py.
+"""
+
+
+def test_a06(run_quick):
+    run_quick("A6")

@@ -1,0 +1,10 @@
+"""Benchmark E1: 1-to-1 cost scales like sqrt(T) (Theorem 1, cost bullet).
+
+Regenerates the experiment's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/e01_one_to_one_scaling.py for the full
+workload description and EXPERIMENTS.md for recorded full-mode output.
+"""
+
+
+def test_e01(run_quick):
+    run_quick("E1")

@@ -1,0 +1,10 @@
+"""Benchmark E2: 1-to-1 success probability at least 1 - eps (Theorem 1, correctness bullet).
+
+Regenerates the experiment's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/e02_one_to_one_success.py for the full
+workload description and EXPERIMENTS.md for recorded full-mode output.
+"""
+
+
+def test_e02(run_quick):
+    run_quick("E2")

@@ -1,0 +1,10 @@
+"""Benchmark E3: Figure 1 vs the KSY baseline vs deterministic sending (Section 1.4 comparison).
+
+Regenerates the experiment's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/e03_ksy_comparison.py for the full
+workload description and EXPERIMENTS.md for recorded full-mode output.
+"""
+
+
+def test_e03(run_quick):
+    run_quick("E3")

@@ -1,0 +1,10 @@
+"""Benchmark E4: 1-to-1 latency is O(T) (Theorem 1, latency bullet).
+
+Regenerates the experiment's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/e04_latency.py for the full
+workload description and EXPERIMENTS.md for recorded full-mode output.
+"""
+
+
+def test_e04(run_quick):
+    run_quick("E4")

@@ -1,0 +1,10 @@
+"""Benchmark E5: the Theorem 2 product game forces E(A)E(B) ~ T.
+
+Regenerates the experiment's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/e05_product_lower_bound.py for the full
+workload description and EXPERIMENTS.md for recorded full-mode output.
+"""
+
+
+def test_e05(run_quick):
+    run_quick("E5")

@@ -1,0 +1,10 @@
+"""Benchmark E6: per-node broadcast cost falls as n grows (Theorem 3, cost vs n).
+
+Regenerates the experiment's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/e06_broadcast_cost_vs_n.py for the full
+workload description and EXPERIMENTS.md for recorded full-mode output.
+"""
+
+
+def test_e06(run_quick):
+    run_quick("E6")

@@ -1,0 +1,10 @@
+"""Benchmark E7: per-node broadcast cost ~ sqrt(T/n) (Theorem 3, cost vs T).
+
+Regenerates the experiment's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/e07_broadcast_cost_vs_T.py for the full
+workload description and EXPERIMENTS.md for recorded full-mode output.
+"""
+
+
+def test_e07(run_quick):
+    run_quick("E7")

@@ -1,0 +1,10 @@
+"""Benchmark E8: unjammed broadcast costs polylog(n) and finishes in ~n slots (Theorem 3, T=0).
+
+Regenerates the experiment's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/e08_broadcast_unjammed.py for the full
+workload description and EXPERIMENTS.md for recorded full-mode output.
+"""
+
+
+def test_e08(run_quick):
+    run_quick("E8")

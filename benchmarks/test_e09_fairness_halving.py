@@ -1,0 +1,10 @@
+"""Benchmark E9: helper halting beats naive halting under the Section 3.1 halving attack.
+
+Regenerates the experiment's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/e09_fairness_halving.py for the full
+workload description and EXPERIMENTS.md for recorded full-mode output.
+"""
+
+
+def test_e09(run_quick):
+    run_quick("E9")

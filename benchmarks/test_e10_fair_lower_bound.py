@@ -1,0 +1,10 @@
+"""Benchmark E10: Theorem 4 reduction arithmetic holds on measured Figure 2 runs.
+
+Regenerates the experiment's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/e10_fair_lower_bound.py for the full
+workload description and EXPERIMENTS.md for recorded full-mode output.
+"""
+
+
+def test_e10(run_quick):
+    run_quick("E10")

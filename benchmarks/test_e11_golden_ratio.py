@@ -1,0 +1,10 @@
+"""Benchmark E11: the golden-ratio exponent under spoofing (Theorem 5).
+
+Regenerates the experiment's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/e11_golden_ratio.py for the full
+workload description and EXPERIMENTS.md for recorded full-mode output.
+"""
+
+
+def test_e11(run_quick):
+    run_quick("E11")

@@ -1,0 +1,10 @@
+"""Benchmark E12: the resource advantage over the adversary grows with n (Section 1.3).
+
+Regenerates the experiment's table (quick mode) and asserts its
+claim-checks; see src/repro/experiments/e12_resource_advantage.py for the full
+workload description and EXPERIMENTS.md for recorded full-mode output.
+"""
+
+
+def test_e12(run_quick):
+    run_quick("E12")

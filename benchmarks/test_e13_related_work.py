@@ -1,0 +1,11 @@
+"""Benchmark E13: what the prior 1-to-n designs give up (Section 1.4).
+
+Regenerates the three-way comparison of Figure 2 against the KSY-style
+and Gilbert-Young-style stand-ins (cost direction vs n, and coverage
+under the dissemination suppressor); see
+src/repro/experiments/e13_related_work.py.
+"""
+
+
+def test_e13(run_quick):
+    run_quick("E13")

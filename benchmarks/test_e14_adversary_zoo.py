@@ -1,0 +1,10 @@
+"""Benchmark E14: the adversary strategy zoo's exchange-rate frontier.
+
+Regenerates the sqrt-normalized exchange index across blocking, random,
+bursty (Gilbert-Elliott), windowed (Richa-style), and learning jammers;
+see src/repro/experiments/e14_adversary_zoo.py.
+"""
+
+
+def test_e14(run_quick):
+    run_quick("E14")

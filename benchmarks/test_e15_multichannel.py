@@ -1,0 +1,11 @@
+"""Benchmark E15: what channel-hopping spectrum is worth (extension).
+
+Regenerates the multichannel findings: uncorrected hopping erodes the
+delivery guarantee; hop-corrected rates make the energy game neutral in
+C; band-limited jammers below the 1/8 dilution threshold achieve
+nothing; see src/repro/experiments/e15_multichannel.py.
+"""
+
+
+def test_e15(run_quick):
+    run_quick("E15")

@@ -1,0 +1,11 @@
+"""Benchmark E16: the min-combination of Figure 1 and KSY.
+
+Regenerates the remark after Theorem 1: interleaving both protocols
+tracks the pointwise cheaper one within a small constant and escapes
+Figure 1's ln(1/eps) idle term; see
+src/repro/experiments/e16_combined.py.
+"""
+
+
+def test_e16(run_quick):
+    run_quick("E16")

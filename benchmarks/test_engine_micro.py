@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the simulation engine's hot paths.
+
+These are genuine pytest-benchmark timings (many rounds) of the
+primitives every experiment sits on: slot-set sampling, phase
+resolution, and complete protocol executions.  Useful when optimising —
+the guides' rule is *measure first*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries import EpochTargetJammer, SilentAdversary, SuffixJammer
+from repro.channel.events import JamPlan, ListenEvents, SendEvents, TxKind
+from repro.channel.model import resolve_phase
+from repro.engine.sampling import bernoulli_positions, sample_action_events
+from repro.engine.simulator import run
+from repro.protocols import (
+    KSYOneToOne,
+    OneToNBroadcast,
+    OneToOneBroadcast,
+    OneToOneParams,
+)
+
+
+@pytest.mark.parametrize("p", [0.001, 0.05, 0.5])
+def test_bernoulli_positions(benchmark, p):
+    rng = np.random.default_rng(0)
+    benchmark(bernoulli_positions, rng, 1 << 16, p)
+
+
+def test_sample_action_events_64_nodes(benchmark):
+    rng = np.random.default_rng(0)
+    n, L = 64, 1 << 12
+    send_probs = np.full(n, 16.0 / L)
+    listen_probs = np.full(n, 0.05)
+    kinds = np.full(n, TxKind.DATA, dtype=np.int8)
+    benchmark(sample_action_events, rng, L, send_probs, kinds, listen_probs)
+
+
+def test_resolve_phase_dense_traffic(benchmark):
+    rng = np.random.default_rng(0)
+    n, L, events = 64, 1 << 12, 20_000
+    sends = SendEvents(
+        rng.integers(0, n, events),
+        rng.integers(0, L, events),
+        np.full(events, TxKind.DATA, dtype=np.int8),
+    )
+    listens = ListenEvents(
+        rng.integers(0, n, events), rng.integers(0, L, events)
+    )
+    plan = JamPlan.suffix(L, L // 4)
+    benchmark(resolve_phase, L, n, sends, listens, plan)
+
+
+def test_full_run_one_to_one_unjammed(benchmark):
+    benchmark(
+        lambda: run(
+            OneToOneBroadcast(OneToOneParams.sim()), SilentAdversary(), seed=1
+        )
+    )
+
+
+def test_full_run_one_to_one_jammed(benchmark):
+    params = OneToOneParams.sim()
+    benchmark(
+        lambda: run(
+            OneToOneBroadcast(params),
+            EpochTargetJammer(params.first_epoch + 5, q=1.0, target_listener=True),
+            seed=1,
+        )
+    )
+
+
+def test_full_run_ksy_unjammed(benchmark):
+    benchmark(lambda: run(KSYOneToOne(), SilentAdversary(), seed=1))
+
+
+def test_full_run_broadcast_n16(benchmark):
+    benchmark.pedantic(
+        lambda: run(OneToNBroadcast(16), SilentAdversary(), seed=1),
+        rounds=3, iterations=1,
+    )
+
+
+def test_full_run_broadcast_n16_jammed(benchmark):
+    benchmark.pedantic(
+        lambda: run(OneToNBroadcast(16), SuffixJammer(0.6, max_total=200_000), seed=1),
+        rounds=2, iterations=1,
+    )

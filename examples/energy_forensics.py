@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Energy forensics: where does the energy go, epoch by epoch?
+
+Runs Figure 2 with full phase-history recording against a blocking
+campaign and breaks the spending down per epoch — the defenders' outlay
+versus the adversary's — then draws the cumulative energy race as an
+ASCII chart.  This is the empirical picture behind the Theorem 3 proof
+structure: during blocked epochs the nodes idle cheaply at pinned rates
+while the adversary burns a constant fraction of every repetition; the
+moment she stops, one epoch of rate-climbing finishes the job.
+
+Run:
+    python examples/energy_forensics.py
+"""
+
+from __future__ import annotations
+
+from repro import OneToNBroadcast, OneToNParams
+from repro.adversaries import EpochTargetJammer
+from repro.analysis.asciiplot import loglog_chart, sparkline
+from repro.analysis.history import by_epoch, cumulative_costs
+from repro.engine import Simulator
+
+
+def main() -> None:
+    n, target, q = 32, 12, 0.6
+    sim = Simulator(
+        OneToNBroadcast(n, OneToNParams.sim()),
+        EpochTargetJammer(target, q=q),
+        keep_history=True,
+    )
+    result = sim.run(seed=42)
+
+    print(f"Figure 2, n={n}, adversary blocks {q:.0%} of every repetition "
+          f"up to epoch {target}")
+    print(f"delivered={result.success}  T={result.adversary_cost}  "
+          f"worst node={result.max_node_cost}  slots={result.slots}")
+    print()
+
+    rows = by_epoch(result.phase_history)
+    print(f"{'epoch':>5}  {'phases':>6}  {'slots':>9}  {'nodes spent':>11}  "
+          f"{'adversary':>9}  {'jam %':>6}")
+    for r in rows:
+        print(f"{r.epoch:>5}  {r.n_phases:>6}  {r.slots:>9}  "
+              f"{r.node_total:>11}  {r.adversary:>9}  {r.jam_fraction:>6.1%}")
+
+    print()
+    print("node spend per epoch:      " + sparkline([r.node_total for r in rows]))
+    print("adversary spend per epoch: " + sparkline([r.adversary for r in rows]))
+    print()
+
+    slots, nodes, adv = cumulative_costs(result.phase_history)
+    # Per-device spend vs the whole adversary; drop zeros for log axes.
+    pts = [
+        (s, x / n, a) for s, x, a in zip(slots, nodes, adv) if x > 0 and a > 0
+    ]
+    if pts:
+        s, x, a = zip(*pts)
+        print("cumulative energy race (log-log: slots vs energy):")
+        print(loglog_chart({"per-device": (s, x), "adversary": (s, a)}))
+    print()
+    print("Reading: the adversary's line climbs an order of magnitude above")
+    print("a device's through the blocked epochs; when she quits (the flat")
+    print("tail of A), one epoch of rate-climbing finishes the broadcast.")
+
+
+if __name__ == "__main__":
+    main()

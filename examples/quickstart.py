@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: deliver one message through a jamming attack.
+
+Alice must get an authenticated message to Bob while an adversary burns
+an 8192-slot energy budget jamming Bob's side of the channel.  Figure
+1's protocol (Theorem 1) rides out the attack at a cost near
+``sqrt(T ln(1/eps))`` — the adversary outspends the nodes many times
+over.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import OneToOneBroadcast, OneToOneParams, run
+from repro.adversaries import BudgetCap, SuffixJammer
+from repro.analysis.theory import thm1_cost
+
+
+def main() -> None:
+    epsilon = 0.1
+    budget = 8192
+
+    protocol = OneToOneBroadcast(OneToOneParams.sim(epsilon=epsilon))
+    adversary = BudgetCap(SuffixJammer(fraction=1.0), budget=budget)
+
+    result = run(protocol, adversary, seed=2014)
+
+    alice_cost, bob_cost = result.node_costs
+    print("1-to-1 BROADCAST (Figure 1) vs a budget-8192 jammer")
+    print("-" * 55)
+    print(f"message delivered        : {result.success}")
+    print(f"Alice's energy           : {alice_cost}")
+    print(f"Bob's energy             : {bob_cost}")
+    print(f"adversary's energy (T)   : {result.adversary_cost}")
+    print(f"latency (slots)          : {result.slots}")
+    print(f"theory ~ sqrt(T ln 1/e)  : {thm1_cost(result.adversary_cost, epsilon):.0f}")
+    print()
+    advantage = result.adversary_cost / result.max_node_cost
+    print(f"The adversary spent {advantage:.1f}x more energy than the "
+          f"worst-off node — jamming does not pay.")
+
+
+if __name__ == "__main__":
+    main()

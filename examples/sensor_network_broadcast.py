@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Sensor-network broadcast: one base station, many motes, one jammer.
+
+The paper's motivating scenario (Section 1): a field of battery-powered
+sensor nodes must all receive an authenticated firmware message while a
+jammer tries to starve their batteries.  Figure 2's protocol spreads
+the defence across the network — the *per-mote* cost falls as the
+network grows, because informed motes become "helpers" and share the
+relay work.
+
+This example sweeps the network size under a fixed jamming campaign
+(60% of every repetition blocked up to epoch 12) and prints the
+Theorem 3 headline: bigger networks beat the same adversary with less
+energy per device.
+
+Run:
+    python examples/sensor_network_broadcast.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OneToNBroadcast, OneToNParams, run
+from repro.adversaries import EpochTargetJammer
+
+
+def main() -> None:
+    params = OneToNParams.sim()
+    target_epoch, q = 12, 0.6
+
+    print("1-to-n BROADCAST (Figure 2): per-mote cost vs network size")
+    print(f"jamming campaign: block {q:.0%} of every repetition up to "
+          f"epoch {target_epoch}")
+    print("-" * 72)
+    header = (f"{'motes':>6}  {'delivered':>9}  {'T (jammer)':>10}  "
+              f"{'mean/mote':>10}  {'worst mote':>10}  {'advantage':>9}")
+    print(header)
+
+    for n in (4, 8, 16, 32, 64):
+        result = run(
+            OneToNBroadcast(n, params),
+            EpochTargetJammer(target_epoch, q=q),
+            seed=100 + n,
+        )
+        mean_cost = result.node_costs.mean()
+        advantage = result.adversary_cost / result.max_node_cost
+        print(f"{n:>6}  {str(result.success):>9}  {result.adversary_cost:>10}  "
+              f"{mean_cost:>10.0f}  {result.max_node_cost:>10}  "
+              f"{advantage:>8.1f}x")
+
+    print()
+    print("Each row fights the *same* adversary budget; the per-mote cost")
+    print("shrinks roughly like 1/sqrt(n) (Theorem 3) while the jammer's")
+    print("relative spend — the 'advantage' column — keeps climbing.")
+
+    # Show the fairness property: costs are near-uniform across motes.
+    result = run(OneToNBroadcast(32, params),
+                 EpochTargetJammer(target_epoch, q=q), seed=7)
+    costs = result.node_costs
+    print()
+    print(f"fairness at n=32: min={costs.min()}, median={np.median(costs):.0f}, "
+          f"max={costs.max()} (max/min = {costs.max() / costs.min():.2f})")
+
+
+if __name__ == "__main__":
+    main()

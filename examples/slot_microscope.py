@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Slot microscope: watch Figure 1 fight a jammer, slot by slot.
+
+Records a complete 1-to-1 run at full slot resolution, replays it to
+audit the engine (the replay must reproduce every observation), and
+prints per-slot timelines of the interesting phases — the send phase
+where the jam wall blocks delivery, and the one where the message
+finally slips through.
+
+Glyphs: S = delivered transmission, x = transmission lost to jamming or
+collision, M = heard the message, n = heard noise, . = heard a clear
+slot, space = asleep, # = jammed slot.
+
+Run:
+    python examples/slot_microscope.py
+"""
+
+from __future__ import annotations
+
+from repro import OneToOneBroadcast, OneToOneParams
+from repro.adversaries import BudgetCap, SuffixJammer
+from repro.engine import Simulator
+from repro.trace import TraceRecorder, timeline, verify_trace
+
+
+def main() -> None:
+    params = OneToOneParams.sim(epsilon=0.1)
+    recorder = TraceRecorder()
+    sim = Simulator(
+        OneToOneBroadcast(params),
+        BudgetCap(SuffixJammer(0.75), budget=600),
+        trace=recorder,
+    )
+    result = sim.run(seed=7)
+
+    verified = verify_trace(recorder)
+    print(f"run: success={result.success}, phases={result.phases}, "
+          f"T={result.adversary_cost}, costs={list(result.node_costs)}")
+    print(f"audit: replayed {verified} phases — engine observations "
+          f"reproduce exactly.")
+    print()
+    print("node 0 is Alice (sender), node 1 is Bob (listener).")
+    print()
+
+    # Show the first phase (jam suffix visible) and the delivering phase.
+    shown = 0
+    for t in recorder.phases:
+        is_delivery = (t.heard[1, 2] > 0) if t.tags["kind"] == "send" else False
+        if t.phase_index == 0 or is_delivery:
+            print(timeline(t, max_width=100))
+            print()
+            shown += 1
+        if shown >= 2 and t.phase_index > 0:
+            break
+
+    print("Reading the first panel: Alice's transmissions late in the")
+    print("phase die in the jam wall (x under #); Bob hears noise (n)")
+    print("there — which is exactly why he keeps running.  In the")
+    print("delivery panel an S meets Bob's M on a clear slot.")
+
+
+if __name__ == "__main__":
+    main()

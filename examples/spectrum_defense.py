@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Spectrum defense: what channel hopping is actually worth.
+
+Three short demonstrations of the multichannel extension
+(`repro.multichannel`, experiment E15):
+
+1. running Figure 1 *unchanged* on more channels silently erodes its
+   delivery guarantee (independent hops meet with probability 1/C);
+2. with hop-corrected rates the energy duel is a wash — the adversary's
+   C-fold blanket-jamming bill is cancelled by the defenders' sqrt(C)
+   meeting-rate surcharge;
+3. against a *band-limited* jammer (can only afford k of C channels),
+   hop dilution below the protocol's ~1/8 noise threshold makes the
+   attack literally worthless.
+
+Run:
+    python examples/spectrum_defense.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OneToOneBroadcast, OneToOneParams
+from repro.multichannel import (
+    ChannelBandJammer,
+    MCEpochTargetJammer,
+    MCSimulator,
+    hopping_rate_params,
+)
+
+
+def main() -> None:
+    base = OneToOneParams.sim(epsilon=0.1)
+
+    print("1) Unchanged Figure 1 on C channels (no jamming, 50 trials):")
+    for C in (1, 4, 8):
+        wins = sum(
+            MCSimulator(
+                OneToOneBroadcast(base), MCEpochTargetJammer(0), C
+            ).run(s).success
+            for s in range(50)
+        )
+        print(f"   C={C}: delivery rate {wins / 50:.2f}  (target >= 0.90)")
+    print("   -> independent hops meet w.p. 1/C; the guarantee erodes.")
+    print()
+
+    print("2) Hop-corrected rates, equal adversary budget:")
+    budget_exp = base.first_epoch + 9
+    for C in (1, 4, 8):
+        params = hopping_rate_params(base, C)
+        target = max(params.first_epoch, budget_exp - 2 - int(np.log2(C)))
+        Ts, costs = [], []
+        for s in range(4):
+            res = MCSimulator(
+                OneToOneBroadcast(params), MCEpochTargetJammer(target, q=1.0), C
+            ).run(s)
+            assert res.success
+            Ts.append(res.adversary_cost)
+            costs.append(res.max_node_cost)
+        print(f"   C={C}: adversary spent ~{np.mean(Ts):8.0f}, "
+              f"defender paid ~{np.mean(costs):6.0f}")
+    print("   -> equal budgets, equal pain: spectrum is energy-neutral")
+    print("      for 1-to-1 once correctness is restored.")
+    print()
+
+    print("3) Band-limited jammer against corrected rates (C=16):")
+    C = 16
+    params = hopping_rate_params(base, C)
+    for k in (1, 8):
+        res = MCSimulator(
+            OneToOneBroadcast(params),
+            ChannelBandJammer(n_channels_jammed=k, q=1.0, max_total=150_000),
+            C,
+        ).run(7)
+        print(f"   k={k:2d} of {C} channels: jammer spent {res.adversary_cost:6d}, "
+              f"defender paid {res.max_node_cost:5d}, delivered={res.success}")
+    print("   -> below the ~1/8 dilution threshold the jammer's budget")
+    print("      burns for nothing; spectrum wins exactly when the")
+    print("      adversary is power-limited per slot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — resource-competitive broadcast with jamming (SPAA 2014).
+
+A full reproduction of Gilbert, King, Pettie, Porat, Saia, and Young,
+"(Near) Optimal Resource-Competitive Broadcast with Jamming", SPAA 2014:
+
+* the slotted single-hop channel model with jamming, collisions, and
+  clear-channel assessment (:mod:`repro.channel`);
+* a vectorised phase-level simulation engine (:mod:`repro.engine`);
+* the paper's 1-to-1 (Figure 1) and 1-to-n (Figure 2) algorithms, the
+  King–Saia–Young baseline, and naive strawmen
+  (:mod:`repro.protocols`);
+* an adaptive-adversary strategy zoo (:mod:`repro.adversaries`);
+* the Theorem 2/4/5 lower-bound games (:mod:`repro.lowerbounds`);
+* statistics, scaling-law fits, closed-form predictions, and sequential
+  tests (:mod:`repro.analysis`);
+* the experiment registry regenerating every theorem's claim
+  (:mod:`repro.experiments`);
+* slot-level tracing with replay audits (:mod:`repro.trace`), report
+  persistence and regression diffs (:mod:`repro.store`), and the
+  multichannel frequency-hopping extension (:mod:`repro.multichannel`).
+
+Quickstart
+----------
+>>> from repro import OneToOneBroadcast, OneToOneParams, run
+>>> from repro.adversaries import SuffixJammer, BudgetCap
+>>> adversary = BudgetCap(SuffixJammer(0.5), budget=4096)
+>>> result = run(OneToOneBroadcast(OneToOneParams.sim()), adversary, seed=42)
+>>> result.success
+True
+>>> result.max_node_cost < result.adversary_cost  # resource competitive
+True
+"""
+
+from repro._version import __version__
+from repro.constants import PHI, PHI_MINUS_1
+from repro.engine import RunResult, Simulator, run
+from repro.protocols import (
+    CombinedOneToOne,
+    KSYOneToOne,
+    KSYParams,
+    NaiveHaltingBroadcast,
+    OneToNBroadcast,
+    OneToNParams,
+    OneToOneBroadcast,
+    OneToOneParams,
+)
+
+__all__ = [
+    "PHI",
+    "PHI_MINUS_1",
+    "CombinedOneToOne",
+    "KSYOneToOne",
+    "KSYParams",
+    "NaiveHaltingBroadcast",
+    "OneToNBroadcast",
+    "OneToNParams",
+    "OneToOneBroadcast",
+    "OneToOneParams",
+    "RunResult",
+    "Simulator",
+    "run",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""Adversary strategy zoo.
+
+The paper's adversary is *adaptive*: she knows the protocol, observes
+all actions in previous slots, and chooses jamming to maximise node
+cost or failure probability, paying 1 unit per jammed (group, slot) and
+per spoofed transmission.  Lemma 1 shows that against phase-oblivious
+protocols she may WLOG jam a suffix of each phase, choosing the start
+point after observing the nodes' sampled actions — our
+:class:`~repro.adversaries.base.Adversary` API exposes exactly that
+power.
+
+Strategies provided:
+
+==========================  ==================================================
+:class:`SilentAdversary`     never jams (the ``T = 0`` efficiency regime)
+:class:`RandomJammer`        jams each slot i.i.d. (Pelc–Peleg-style noise)
+:class:`PeriodicJammer`      jams every ``k``-th slot
+:class:`SuffixJammer`        jams a fixed fraction at the end of each phase
+                             (Lemma 1's canonical form)
+:class:`QBlockingJammer`     q-blocks phases (Definition 1) selected by a
+                             predicate on the phase tags
+:class:`EpochTargetJammer`   blocks (a fraction of) every phase up to a
+                             target epoch, then stops — the cost-maximising
+                             shape from the Theorem 1/3 analyses
+:class:`ReactiveProductJammer`  the Theorem 2 lower-bound adversary: jams
+                             while the sender/listener probability product
+                             exceeds ``1/T``, until a budget of ``T`` is spent
+:class:`HalvingAttacker`     Section 3.1's attack on naive halting: jams at a
+                             rate calibrated to split the informed set
+:class:`SpoofingAdversary`   Theorem 5's model: jams Bob's group and/or
+                             injects spoofed NACK/ACK transmissions
+:class:`BroadcastSuppressor` reactively jams exactly the decodable
+                             message slots (cheapest dissemination stall)
+:class:`MarkovJammer`        Gilbert–Elliott bursty interference (the
+                             non-malicious noise abstraction of §1.2)
+:class:`WindowedJammer`      at most a ``rho`` fraction of every window
+                             (Awerbuch/Richa et al. [6, 34–36])
+:class:`GreedyAdaptiveJammer` learns listening density and blocks the
+                             phases the protocol pays attention to
+:class:`BudgetCap`           wrapper clamping any strategy to a total budget
+==========================  ==================================================
+"""
+
+from repro.adversaries.base import Adversary, AdversaryContext
+from repro.adversaries.basic import (
+    PeriodicJammer,
+    RandomJammer,
+    SilentAdversary,
+    SuffixJammer,
+)
+from repro.adversaries.blocking import EpochTargetJammer, QBlockingJammer
+from repro.adversaries.budget import BudgetCap
+from repro.adversaries.halving import HalvingAttacker
+from repro.adversaries.reactive import ReactiveProductJammer
+from repro.adversaries.spoofing import SpoofingAdversary
+from repro.adversaries.stochastic import (
+    GreedyAdaptiveJammer,
+    MarkovJammer,
+    WindowedJammer,
+)
+from repro.adversaries.suppressor import BroadcastSuppressor
+
+__all__ = [
+    "Adversary",
+    "AdversaryContext",
+    "BroadcastSuppressor",
+    "BudgetCap",
+    "EpochTargetJammer",
+    "GreedyAdaptiveJammer",
+    "HalvingAttacker",
+    "MarkovJammer",
+    "PeriodicJammer",
+    "QBlockingJammer",
+    "RandomJammer",
+    "ReactiveProductJammer",
+    "SilentAdversary",
+    "SpoofingAdversary",
+    "SuffixJammer",
+    "WindowedJammer",
+]

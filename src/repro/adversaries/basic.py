@@ -1,0 +1,108 @@
+"""Baseline jamming strategies: silent, random, periodic, suffix."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.base import Adversary, AdversaryContext
+from repro.channel.events import JamPlan
+from repro.engine.sampling import bernoulli_positions
+from repro.errors import ConfigurationError
+
+__all__ = ["SilentAdversary", "RandomJammer", "PeriodicJammer", "SuffixJammer"]
+
+
+class SilentAdversary(Adversary):
+    """Never jams — the ``T = 0`` regime that the efficiency function
+    ``tau`` is about."""
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        return JamPlan.silent(ctx.length)
+
+
+class RandomJammer(Adversary):
+    """Jams each slot independently with probability ``p``.
+
+    This is the random-fault adversary of Pelc–Peleg [30] rather than a
+    worst-case strategy; it is the natural model for non-malicious
+    interference (collisions with foreign networks, fading).
+
+    Parameters
+    ----------
+    p:
+        Per-slot jam probability.
+    group:
+        Target group for a targeted jam; ``None`` jams channel-wide.
+    """
+
+    def __init__(self, p: float, group: int | None = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"jam probability must be in [0, 1], got {p!r}")
+        self.p = p
+        self.group = group
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        slots = bernoulli_positions(self.rng, ctx.length, self.p)
+        if self.group is None:
+            return JamPlan(length=ctx.length, global_slots=slots)
+        return JamPlan(length=ctx.length, targeted={self.group: slots})
+
+
+class PeriodicJammer(Adversary):
+    """Jams every ``period``-th slot starting at ``offset``.
+
+    A deterministic duty-cycle jammer — cheap for the adversary, and a
+    useful sanity case: the protocols must shrug it off because it never
+    concentrates enough energy in one phase to q-block it.
+    """
+
+    def __init__(self, period: int, offset: int = 0, group: int | None = None) -> None:
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        if not 0 <= offset < period:
+            raise ConfigurationError(f"offset must be in [0, period), got {offset}")
+        self.period = period
+        self.offset = offset
+        self.group = group
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        slots = np.arange(self.offset, ctx.length, self.period, dtype=np.int64)
+        if self.group is None:
+            return JamPlan(length=ctx.length, global_slots=slots)
+        return JamPlan(length=ctx.length, targeted={self.group: slots})
+
+
+class SuffixJammer(Adversary):
+    """Jams the last ``fraction`` of every phase — Lemma 1's canonical
+    adversary shape, applied unconditionally.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of each phase to jam (``0.5`` = half-block every phase).
+    group:
+        Target group; ``None`` jams channel-wide.
+    max_total:
+        Optional budget; once cumulative cost reaches it the adversary
+        goes quiet, modelling battery exhaustion.
+    """
+
+    def __init__(
+        self,
+        fraction: float,
+        group: int | None = None,
+        max_total: int | None = None,
+    ) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in [0, 1], got {fraction!r}")
+        if max_total is not None and max_total < 0:
+            raise ConfigurationError(f"max_total must be >= 0, got {max_total}")
+        self.fraction = fraction
+        self.group = group
+        self.max_total = max_total
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        want = int(round(self.fraction * ctx.length))
+        if self.max_total is not None:
+            want = min(want, max(0, self.max_total - ctx.spent))
+        return JamPlan.suffix(ctx.length, want, group=self.group)

@@ -1,0 +1,132 @@
+"""q-blocking strategies (Definition 1) and the epoch-targeted attack.
+
+Definition 1: the adversary *q-blocks* a phase if it jams at least a
+``q`` fraction of its slots.  Both theorem analyses show that to hurt
+the protocols the adversary must q-block phases for a constant ``q``
+(1/16 in Theorem 1, 1/10 in Theorem 3) — anything less is absorbed.
+The cost-maximising strategy is therefore: pick a target epoch ``l``,
+q-block everything up to it, then stop, forcing the nodes to climb to
+epoch ``l+1`` while the adversary pays ``T = Theta(q * total slots)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.adversaries.base import Adversary, AdversaryContext
+from repro.channel.events import JamPlan
+from repro.errors import ConfigurationError
+
+__all__ = ["QBlockingJammer", "EpochTargetJammer"]
+
+
+def _suffix_plan(ctx: AdversaryContext, q: float, group: int | None) -> JamPlan:
+    want = int(round(q * ctx.length))
+    return JamPlan.suffix(ctx.length, want, group=group)
+
+
+class QBlockingJammer(Adversary):
+    """q-blocks every phase selected by a predicate on the phase tags.
+
+    Parameters
+    ----------
+    q:
+        Blocking fraction (jams the last ``q * L`` slots, per Lemma 1).
+    predicate:
+        ``tags -> bool``; phases where it returns False are left alone.
+        Default blocks everything.
+    group:
+        Jam only this group (``None`` = channel-wide).
+    target_listener:
+        When true, jam the group named by the phase tag
+        ``"listener_group"`` if present — the 2-uniform adversary's
+        cost-efficient move of jamming only the party trying to receive.
+    """
+
+    def __init__(
+        self,
+        q: float,
+        predicate: Callable[[dict], bool] | None = None,
+        group: int | None = None,
+        target_listener: bool = False,
+    ) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"q must be in [0, 1], got {q!r}")
+        self.q = q
+        self.predicate = predicate
+        self.group = group
+        self.target_listener = target_listener
+
+    def _group_for(self, ctx: AdversaryContext) -> int | None:
+        if self.target_listener and "listener_group" in ctx.tags:
+            return int(ctx.tags["listener_group"])
+        return self.group
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        if self.predicate is not None and not self.predicate(ctx.tags):
+            return JamPlan.silent(ctx.length)
+        return _suffix_plan(ctx, self.q, self._group_for(ctx))
+
+
+class EpochTargetJammer(Adversary):
+    """Blocks a ``q`` fraction of every phase up to a target epoch.
+
+    This realises the worst-case shape from the Theorem 1/Theorem 3 cost
+    analyses: let ``l`` be the last epoch in which the adversary blocks
+    a constant fraction of the phases; her cost is ``T = Theta(2**l)``
+    (1-to-1) or ``Theta(l**2 * 2**l)`` (1-to-n), and the nodes' cost is
+    driven by the ``S``/``p`` values they reach in epoch ``l + 1``.
+    Sweeping ``target_epoch`` sweeps ``T`` — that is how the E1/E6/E7
+    experiments trace cost-versus-T curves.
+
+    Parameters
+    ----------
+    target_epoch:
+        Last epoch (as reported by the phase tag ``"epoch"``) to attack.
+    q:
+        Blocking fraction within attacked phases.
+    target_listener:
+        Jam only the listening party's group when the protocol exposes
+        it (cheaper for a 2-uniform adversary).
+    phase_fraction:
+        Fraction of the repetitions in each attacked epoch to block
+        (Theorem 3's "constant fraction of the repetitions"); blocks the
+        first ``phase_fraction`` of each epoch's phases.
+    """
+
+    def __init__(
+        self,
+        target_epoch: int,
+        q: float = 1.0,
+        target_listener: bool = False,
+        phase_fraction: float = 1.0,
+    ) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"q must be in [0, 1], got {q!r}")
+        if not 0.0 < phase_fraction <= 1.0:
+            raise ConfigurationError(
+                f"phase_fraction must be in (0, 1], got {phase_fraction!r}"
+            )
+        self.target_epoch = target_epoch
+        self.q = q
+        self.target_listener = target_listener
+        self.phase_fraction = phase_fraction
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        epoch = ctx.tags.get("epoch")
+        if epoch is None or epoch > self.target_epoch:
+            return JamPlan.silent(ctx.length)
+        rep = ctx.tags.get("repetition")
+        n_reps = ctx.tags.get("n_repetitions")
+        if (
+            rep is not None
+            and n_reps is not None
+            and rep >= self.phase_fraction * n_reps
+        ):
+            return JamPlan.silent(ctx.length)
+        group = (
+            int(ctx.tags["listener_group"])
+            if self.target_listener and "listener_group" in ctx.tags
+            else None
+        )
+        return _suffix_plan(ctx, self.q, group)

@@ -1,0 +1,84 @@
+"""Budget-capping wrapper.
+
+The lower bounds reason about an adversary with a fixed budget ``T``;
+:class:`BudgetCap` turns any strategy into a budgeted one by trimming
+its plans (earliest slots kept — the adversary acts until the battery
+dies) once the cumulative cost would exceed the cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.base import Adversary, AdversaryContext
+from repro.channel.events import JamPlan, PhaseOutcome
+from repro.errors import ConfigurationError
+
+__all__ = ["BudgetCap"]
+
+
+class BudgetCap(Adversary):
+    """Wraps ``inner`` and enforces a total energy budget.
+
+    Trimming keeps the earliest-slot actions: a battery-limited jammer
+    executes its plan until the energy runs out mid-phase.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped strategy.
+    budget:
+        Maximum total energy across the whole run.
+    """
+
+    def __init__(self, inner: Adversary, budget: int) -> None:
+        if budget < 0:
+            raise ConfigurationError(f"budget must be >= 0, got {budget}")
+        self.inner = inner
+        self.budget = budget
+
+    def begin_run(self, n_nodes, n_groups, rng) -> None:
+        super().begin_run(n_nodes, n_groups, rng)
+        self.inner.begin_run(n_nodes, n_groups, rng)
+
+    def observe_outcome(self, ctx: AdversaryContext, outcome: PhaseOutcome) -> None:
+        self.inner.observe_outcome(ctx, outcome)
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        plan = self.inner.plan_phase(ctx)
+        remaining = self.budget - ctx.spent
+        if plan.cost <= remaining:
+            return plan
+        if remaining <= 0:
+            return JamPlan.silent(ctx.length)
+
+        # Flatten all actions into (slot, category) records, keep the
+        # earliest `remaining`, and rebuild the plan.
+        records: list[tuple[int, str, int]] = []
+        records += [(int(s), "global", 0) for s in plan.global_slots]
+        for g, slots in plan.targeted.items():
+            records += [(int(s), "targeted", g) for s in slots]
+        records += [
+            (int(s), "spoof", int(k))
+            for s, k in zip(plan.spoof_slots, plan.spoof_kinds)
+        ]
+        records.sort(key=lambda r: r[0])
+        kept = records[:remaining]
+
+        global_slots = [s for s, cat, _ in kept if cat == "global"]
+        targeted: dict[int, list[int]] = {}
+        spoof_slots: list[int] = []
+        spoof_kinds: list[int] = []
+        for s, cat, x in kept:
+            if cat == "targeted":
+                targeted.setdefault(x, []).append(s)
+            elif cat == "spoof":
+                spoof_slots.append(s)
+                spoof_kinds.append(x)
+        return JamPlan(
+            length=ctx.length,
+            global_slots=np.asarray(global_slots, dtype=np.int64),
+            targeted={g: np.asarray(v, dtype=np.int64) for g, v in targeted.items()},
+            spoof_slots=np.asarray(spoof_slots, dtype=np.int64),
+            spoof_kinds=np.asarray(spoof_kinds, dtype=np.int8),
+        )

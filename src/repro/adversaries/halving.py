@@ -1,0 +1,96 @@
+"""Section 3.1's attack on naive halting.
+
+The paper motivates the helper mechanism with this attack: against a
+broadcast protocol whose nodes halt after hearing the message a fixed
+number of times, the adversary "can jam at a rate that will cause
+roughly half the nodes to hear messages beyond the halting threshold,
+leaving the other half to continue running the protocol" — repeating
+until the last survivors pay ``~sqrt(T)`` instead of ``~sqrt(T/n)``.
+
+:class:`HalvingAttacker` implements the knife-edge rate: it inspects
+the sampled transmissions of the current phase (Lemma 1 power), finds
+the slots in which the message would be decodable, and jams the suffix
+starting right after the first ``k`` of them, choosing ``k`` so that
+the *expected* number of message receptions per listener sits at the
+halting threshold.  Listeners then straddle the threshold and roughly
+half cross it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.base import Adversary, AdversaryContext
+from repro.channel.events import JamPlan, SlotStatus, TxKind
+from repro.errors import ConfigurationError
+
+__all__ = ["HalvingAttacker"]
+
+
+class HalvingAttacker(Adversary):
+    """Keeps per-listener expected message receptions at a threshold.
+
+    Parameters
+    ----------
+    hear_threshold:
+        The halting threshold of the protocol under attack, i.e. the
+        number of receptions after which a node halts.  For the naive
+        strawman (:class:`repro.protocols.naive.NaiveHaltingBroadcast`)
+        this is its ``halt_after`` parameter; phase tags may override it
+        via ``tags["hear_threshold"]``.
+    slack:
+        Multiplier on the target (default 1.0 = knife edge).  Values
+        below 1 starve everyone; above 1 the attack leaks receptions.
+    max_total:
+        Optional total budget cap.
+    """
+
+    def __init__(
+        self,
+        hear_threshold: float,
+        slack: float = 1.0,
+        max_total: int | None = None,
+    ) -> None:
+        if hear_threshold <= 0:
+            raise ConfigurationError(
+                f"hear_threshold must be positive, got {hear_threshold!r}"
+            )
+        if slack <= 0:
+            raise ConfigurationError(f"slack must be positive, got {slack!r}")
+        self.hear_threshold = hear_threshold
+        self.slack = slack
+        self.max_total = max_total
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        threshold = float(ctx.tags.get("hear_threshold", self.hear_threshold))
+
+        # Slots in which m would be decodable: exactly one transmission
+        # and it carries DATA.
+        counts = np.bincount(ctx.sends.slots, minlength=ctx.length)
+        is_data = ctx.sends.kinds == TxKind.DATA
+        data_slots = ctx.sends.slots[is_data]
+        single = counts[data_slots] == 1
+        message_slots = np.unique(data_slots[single])
+        if len(message_slots) == 0:
+            return JamPlan.silent(ctx.length)
+
+        # Allow enough message slots through that a listener with the
+        # mean listening probability expects ~threshold receptions.
+        listening = ctx.listen_probs[ctx.listen_probs > 0]
+        if len(listening) == 0:
+            return JamPlan.silent(ctx.length)
+        p_listen = float(listening.mean())
+        target = int(np.ceil(self.slack * threshold / max(p_listen, 1e-12)))
+        if target >= len(message_slots):
+            return JamPlan.silent(ctx.length)
+
+        jam_from = int(message_slots[target])
+        want = ctx.length - jam_from
+        if self.max_total is not None:
+            want = min(want, max(0, self.max_total - ctx.spent))
+        return JamPlan.suffix(ctx.length, want)
+
+
+# SlotStatus is imported for documentation symmetry with the channel
+# module; keep linters quiet about it.
+_ = SlotStatus

@@ -1,0 +1,59 @@
+"""Theorem 2's lower-bound adversary.
+
+"The adversary jams if and only if it has not already jammed T slots
+and ``a_i * b_i > 1/T``" — where ``a_i`` and ``b_i`` are the per-slot
+send/listen probabilities the two parties committed to.  Against this
+strategy any 1-to-1 protocol succeeding with probability ``1 - eps``
+satisfies ``E(A) * E(B) > (1 - O(eps)) T``.
+
+Our protocols use phase-constant probabilities, so the slot-by-slot
+rule collapses to: jam the phase's slots from the front while the
+product exceeds the threshold and budget remains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.base import Adversary, AdversaryContext
+from repro.channel.events import JamPlan
+from repro.errors import ConfigurationError
+
+__all__ = ["ReactiveProductJammer"]
+
+
+class ReactiveProductJammer(Adversary):
+    """Jams while ``max(a) * max(b) > 1/T`` and budget remains.
+
+    Parameters
+    ----------
+    budget:
+        The adversary's total budget ``T`` (announced in the lower-bound
+        game, unknown to the nodes in our runs).
+    group:
+        Jam only this group; by default jams the listening party via the
+        ``"listener_group"`` tag when available, else channel-wide.
+    """
+
+    def __init__(self, budget: int, group: int | None = None) -> None:
+        if budget < 1:
+            raise ConfigurationError(f"budget must be >= 1, got {budget}")
+        self.budget = budget
+        self.group = group
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        remaining = self.budget - ctx.spent
+        if remaining <= 0:
+            return JamPlan.silent(ctx.length)
+        a = float(np.max(ctx.send_probs)) if len(ctx.send_probs) else 0.0
+        b = float(np.max(ctx.listen_probs)) if len(ctx.listen_probs) else 0.0
+        if a * b <= 1.0 / self.budget:
+            return JamPlan.silent(ctx.length)
+        n_jam = min(ctx.length, remaining)
+        slots = np.arange(n_jam, dtype=np.int64)
+        group = self.group
+        if group is None and "listener_group" in ctx.tags:
+            group = int(ctx.tags["listener_group"])
+        if group is None:
+            return JamPlan(length=ctx.length, global_slots=slots)
+        return JamPlan(length=ctx.length, targeted={group: slots})

@@ -1,0 +1,96 @@
+"""Theorem 5's spoofing adversary.
+
+In the spoofing model the adversary can transmit messages that are
+indistinguishable from Bob's (only ``m`` itself — Alice's payload — is
+authenticated).  The Theorem 5 proof plays two scenarios the sender
+cannot tell apart:
+
+* **scenario (i)** — "jam": announce a budget ``T~`` and jam Bob's group
+  whenever ``a_i * b_i > 1/T~`` (cost at most ``T~``);
+* **scenario (ii)** — "simulate": take Bob's place entirely; no jamming,
+  just spoofed feedback at the rate the real Bob would produce it (cost
+  = simulated-Bob's cost).
+
+Balancing the two scenarios forces ``max(E A, E B) = Omega(T**(phi-1))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.base import Adversary, AdversaryContext
+from repro.channel.events import JamPlan, TxKind
+from repro.engine.sampling import bernoulli_positions
+from repro.errors import ConfigurationError
+
+__all__ = ["SpoofingAdversary"]
+
+
+class SpoofingAdversary(Adversary):
+    """Plays Theorem 5's scenario (i) or (ii) against a 1-to-1 protocol.
+
+    Parameters
+    ----------
+    scenario:
+        ``"jam"`` (scenario i) or ``"simulate"`` (scenario ii).
+    budget:
+        The announced budget ``T~`` used by the jam rule.
+    spoof_kind:
+        Payload kind spoofed in feedback phases when simulating Bob
+        (``NACK`` keeps Alice running; ``ACK`` makes her stop early).
+    """
+
+    def __init__(
+        self,
+        scenario: str = "simulate",
+        budget: int = 1 << 16,
+        spoof_kind: TxKind = TxKind.ACK,
+    ) -> None:
+        if scenario not in ("jam", "simulate"):
+            raise ConfigurationError(
+                f"scenario must be 'jam' or 'simulate', got {scenario!r}"
+            )
+        if budget < 1:
+            raise ConfigurationError(f"budget must be >= 1, got {budget}")
+        self.scenario = scenario
+        self.budget = budget
+        self.spoof_kind = TxKind(spoof_kind)
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        if self.scenario == "jam":
+            return self._plan_jam(ctx)
+        return self._plan_simulate(ctx)
+
+    def _plan_jam(self, ctx: AdversaryContext) -> JamPlan:
+        remaining = self.budget - ctx.spent
+        if remaining <= 0:
+            return JamPlan.silent(ctx.length)
+        a = float(np.max(ctx.send_probs)) if len(ctx.send_probs) else 0.0
+        b = float(np.max(ctx.listen_probs)) if len(ctx.listen_probs) else 0.0
+        if a * b <= 1.0 / self.budget:
+            return JamPlan.silent(ctx.length)
+        n_jam = min(ctx.length, remaining)
+        group = int(ctx.tags.get("listener_group", 1))
+        return JamPlan(
+            length=ctx.length,
+            targeted={group: np.arange(n_jam, dtype=np.int64)},
+        )
+
+    def _plan_simulate(self, ctx: AdversaryContext) -> JamPlan:
+        # Only feedback phases are spoofed: the adversary stands in for
+        # Bob, transmitting at the rate the protocol's Bob would use.
+        if ctx.tags.get("kind") not in ("nack", "ack", "feedback"):
+            return JamPlan.silent(ctx.length)
+        rate = float(ctx.tags.get("p", 0.0))
+        if rate <= 0.0:
+            # Fall back to the listening party's committed rate, which in
+            # both Figure 1 and KSY equals the feedback sending rate.
+            rate = float(np.max(ctx.send_probs)) if len(ctx.send_probs) else 0.0
+        if rate <= 0.0:
+            return JamPlan.silent(ctx.length)
+        slots = bernoulli_positions(self.rng, ctx.length, min(1.0, rate))
+        return JamPlan(
+            length=ctx.length,
+            spoof_slots=slots,
+            spoof_kinds=np.full(len(slots), int(self.spoof_kind), dtype=np.int8),
+        )

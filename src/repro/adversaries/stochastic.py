@@ -1,0 +1,215 @@
+"""Stochastic and windowed jamming models from the related work.
+
+The paper's Section 1.4 situates its worst-case adversary among several
+weaker-but-realistic models studied elsewhere; implementing them lets
+experiment E14 measure how much *cheaper* the paper's protocols get
+when the interference is not adversarially scheduled:
+
+* :class:`MarkovJammer` — the classic Gilbert–Elliott bursty channel:
+  a two-state Markov chain (quiet / jamming burst).  Models real-world
+  interference (microwave ovens, co-channel traffic) better than
+  i.i.d. noise; the paper's adversary "may also represent an
+  abstraction for noise due to collisions, fading effects, or other
+  non-malicious interference" (§1.2).
+* :class:`WindowedJammer` — the Awerbuch–Richa–Scheideler [6, 34–36]
+  adversary: in every window of ``w`` consecutive slots it jams at most
+  a ``rho`` fraction (here: exactly that fraction, front-loaded in each
+  window — its strongest admissible schedule under Lemma 1).
+* :class:`GreedyAdaptiveJammer` — a budgeted strategy that *learns*:
+  it observes how many listening commitments each phase carries and
+  spends its per-phase allowance only when the current phase's
+  listening density beats the running average — a crude but genuinely
+  adaptive heuristic that stress-tests the claim that no spending
+  pattern beats the q-blocking shape by more than a constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.base import Adversary, AdversaryContext
+from repro.channel.events import JamPlan, PhaseOutcome
+from repro.errors import ConfigurationError
+
+__all__ = ["MarkovJammer", "WindowedJammer", "GreedyAdaptiveJammer"]
+
+
+class MarkovJammer(Adversary):
+    """Gilbert–Elliott bursty jamming.
+
+    Two states: ``quiet`` and ``burst``.  Each slot, the chain
+    transitions (``p_enter``: quiet→burst, ``p_exit``: burst→quiet) and
+    jams iff in ``burst``.  The stationary jam rate is
+    ``p_enter / (p_enter + p_exit)`` and the mean burst length is
+    ``1 / p_exit``.
+
+    Parameters
+    ----------
+    p_enter / p_exit:
+        Transition probabilities in ``(0, 1]``.
+    group:
+        Targeted group (``None`` = channel-wide).
+    max_total:
+        Optional energy budget.
+    """
+
+    def __init__(
+        self,
+        p_enter: float = 0.01,
+        p_exit: float = 0.1,
+        group: int | None = None,
+        max_total: int | None = None,
+    ) -> None:
+        for name, p in (("p_enter", p_enter), ("p_exit", p_exit)):
+            if not 0.0 < p <= 1.0:
+                raise ConfigurationError(f"{name} must be in (0, 1], got {p!r}")
+        if max_total is not None and max_total < 0:
+            raise ConfigurationError("max_total must be >= 0")
+        self.p_enter = p_enter
+        self.p_exit = p_exit
+        self.group = group
+        self.max_total = max_total
+        self._in_burst = False
+
+    @property
+    def stationary_rate(self) -> float:
+        """Long-run fraction of slots jammed."""
+        return self.p_enter / (self.p_enter + self.p_exit)
+
+    def begin_run(self, n_nodes, n_groups, rng) -> None:
+        super().begin_run(n_nodes, n_groups, rng)
+        self._in_burst = bool(rng.random() < self.stationary_rate)
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        # Simulate the chain across the phase vectorised: draw per-slot
+        # uniforms once, then walk the (cheap, branch-free) recurrence.
+        u = self.rng.random(ctx.length)
+        state = self._in_burst
+        jammed = np.empty(ctx.length, dtype=bool)
+        # The chain is inherently sequential but its per-slot work is a
+        # comparison; a python loop over ctx.length slots would dominate
+        # the engine, so regenerate runs of states from the geometric
+        # sojourn times instead.
+        t = 0
+        while t < ctx.length:
+            p_leave = self.p_exit if state else self.p_enter
+            # Length of stay in the current state: first index where the
+            # uniform falls below p_leave (geometric).
+            leave = np.flatnonzero(u[t:] < p_leave)
+            stay = int(leave[0]) + 1 if len(leave) else ctx.length - t
+            jammed[t : t + stay] = state
+            t += stay
+            state = not state
+        self._in_burst = state if t == ctx.length else self._in_burst
+
+        slots = np.flatnonzero(jammed).astype(np.int64)
+        if self.max_total is not None:
+            keep = max(0, self.max_total - ctx.spent)
+            slots = slots[:keep]
+        if self.group is None:
+            return JamPlan(length=ctx.length, global_slots=slots)
+        return JamPlan(length=ctx.length, targeted={self.group: slots})
+
+
+class WindowedJammer(Adversary):
+    """Jams at most a ``rho`` fraction of every ``w``-slot window.
+
+    The bounded adversary of Awerbuch et al. [6] and Richa et al.
+    [34–36]: unconstrained *where* it jams, constrained in density.
+    Within each window the jam is front-loaded (a suffix inside the
+    window would be equivalent by Lemma 1; front-loading makes the
+    budget accounting exact across phase boundaries).
+
+    Parameters
+    ----------
+    rho:
+        Maximum jam density per window, in ``[0, 1]``.
+    window:
+        Window length ``w`` in slots.
+    max_total:
+        Optional energy budget.
+    """
+
+    def __init__(
+        self, rho: float, window: int = 64, max_total: int | None = None
+    ) -> None:
+        if not 0.0 <= rho <= 1.0:
+            raise ConfigurationError(f"rho must be in [0, 1], got {rho!r}")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if max_total is not None and max_total < 0:
+            raise ConfigurationError("max_total must be >= 0")
+        self.rho = rho
+        self.window = window
+        self.max_total = max_total
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        per_window = int(self.rho * self.window)
+        if per_window == 0:
+            return JamPlan.silent(ctx.length)
+        starts = np.arange(0, ctx.length, self.window, dtype=np.int64)
+        offsets = np.arange(per_window, dtype=np.int64)
+        slots = (starts[:, None] + offsets[None, :]).ravel()
+        slots = slots[slots < ctx.length]
+        if self.max_total is not None:
+            keep = max(0, self.max_total - ctx.spent)
+            slots = slots[:keep]
+        return JamPlan(length=ctx.length, global_slots=slots)
+
+
+class GreedyAdaptiveJammer(Adversary):
+    """Spends a budget preferentially on listening-dense phases.
+
+    Tracks the exponential moving average of per-phase listening
+    commitments (which the adaptive adversary can observe — they are
+    past actions by the time the phase resolves, and Lemma 1 grants the
+    within-phase peek).  When the current phase's listening density is
+    above average it blocks the phase's suffix at ``q_hot``, otherwise
+    it idles — concentrating energy where the protocol is paying
+    attention.
+
+    Parameters
+    ----------
+    budget:
+        Total energy.
+    q_hot:
+        Blocking fraction applied to above-average phases.
+    smoothing:
+        EMA coefficient in ``(0, 1]`` for the density average.
+    """
+
+    def __init__(
+        self, budget: int, q_hot: float = 0.8, smoothing: float = 0.25
+    ) -> None:
+        if budget < 0:
+            raise ConfigurationError(f"budget must be >= 0, got {budget}")
+        if not 0.0 < q_hot <= 1.0:
+            raise ConfigurationError(f"q_hot must be in (0, 1], got {q_hot!r}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError("smoothing must be in (0, 1]")
+        self.budget = budget
+        self.q_hot = q_hot
+        self.smoothing = smoothing
+        self._avg_density: float | None = None
+
+    def begin_run(self, n_nodes, n_groups, rng) -> None:
+        super().begin_run(n_nodes, n_groups, rng)
+        self._avg_density = None
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        density = len(ctx.listens) / ctx.length
+        if self._avg_density is None:
+            self._avg_density = density
+        hot = density >= self._avg_density
+        self._avg_density = (
+            (1 - self.smoothing) * self._avg_density + self.smoothing * density
+        )
+        if not hot:
+            return JamPlan.silent(ctx.length)
+        want = int(round(self.q_hot * ctx.length))
+        want = min(want, max(0, self.budget - ctx.spent))
+        return JamPlan.suffix(ctx.length, want)
+
+    def observe_outcome(self, ctx: AdversaryContext, outcome: PhaseOutcome) -> None:
+        # Nothing extra: the density signal comes from plan_phase's peek.
+        del ctx, outcome

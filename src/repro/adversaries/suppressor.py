@@ -1,0 +1,67 @@
+"""A dissemination-suppressing reactive jammer.
+
+Jams exactly the slots in which the message ``m`` would be decodable
+(one lone ``DATA`` transmission) — the cheapest possible way to stall a
+broadcast, since every other slot is left alone.  Lemma 1 grants the
+adversary this power: node behaviour within a phase is committed
+independently of the channel, so an adaptive adversary effectively
+knows which slots carry a lone message.
+
+This strategy is the probe used by ablation A3: Figure 2's
+uninformed-noise rule is what keeps sending rates pinned while the
+suppressor starves dissemination; without the noise, the channel
+sounds clear, rates race upward, and the Case-1 safety valve
+terminates still-uninformed nodes — a broadcast failure bought at a
+tiny jamming cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.base import Adversary, AdversaryContext
+from repro.channel.events import JamPlan, TxKind
+from repro.errors import ConfigurationError
+
+__all__ = ["BroadcastSuppressor"]
+
+
+class BroadcastSuppressor(Adversary):
+    """Jams every decodable-message slot in phases up to ``target_epoch``.
+
+    Parameters
+    ----------
+    target_epoch:
+        Last epoch (phase tag ``"epoch"``) to suppress; later phases are
+        left un-jammed.  ``None`` suppresses forever (only sensible with
+        a budget).
+    max_total:
+        Optional total budget cap.
+    """
+
+    def __init__(
+        self, target_epoch: int | None = None, max_total: int | None = None
+    ) -> None:
+        if max_total is not None and max_total < 0:
+            raise ConfigurationError(f"max_total must be >= 0, got {max_total}")
+        self.target_epoch = target_epoch
+        self.max_total = max_total
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        epoch = ctx.tags.get("epoch")
+        if (
+            self.target_epoch is not None
+            and epoch is not None
+            and epoch > self.target_epoch
+        ):
+            return JamPlan.silent(ctx.length)
+
+        counts = np.bincount(ctx.sends.slots, minlength=ctx.length)
+        is_data = ctx.sends.kinds == TxKind.DATA
+        data_slots = ctx.sends.slots[is_data]
+        lone = counts[data_slots] == 1
+        slots = np.unique(data_slots[lone])
+        if self.max_total is not None:
+            keep = max(0, self.max_total - ctx.spent)
+            slots = slots[:keep]
+        return JamPlan(length=ctx.length, global_slots=slots)

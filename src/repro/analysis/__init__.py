@@ -1,0 +1,65 @@
+"""Probability bounds, scaling fits, and run statistics.
+
+* :mod:`repro.analysis.chernoff` — the paper's Theorem 6 / Corollary 1
+  Chernoff machinery, usable both for protocol threshold derivations and
+  for testing empirical tails against theory.
+* :mod:`repro.analysis.scaling` — log-log power-law fits with bootstrap
+  confidence intervals (the tool every experiment uses to compare a
+  measured cost curve against a theorem's exponent).
+* :mod:`repro.analysis.stats` — replication summaries and binomial
+  confidence intervals for success probabilities.
+* :mod:`repro.analysis.theory` — the paper's predicted cost curves.
+* :mod:`repro.analysis.predictions` — closed-form per-epoch cost
+  expectations derived from protocol parameters, used to cross-validate
+  the simulator against the analyses.
+* :mod:`repro.analysis.sequential` — Wald SPRT for success-rate claims
+  with early stopping.
+* :mod:`repro.analysis.history` / :mod:`repro.analysis.asciiplot` —
+  phase-history forensics and terminal charts.
+"""
+
+from repro.analysis.asciiplot import bar_chart, loglog_chart, sparkline
+from repro.analysis.chernoff import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    deviation_bound,
+    deviation_probability,
+)
+from repro.analysis.history import EpochBreakdown, by_epoch, by_tag, cumulative_costs
+from repro.analysis.scaling import PowerLawFit, fit_power_law
+from repro.analysis.sequential import SPRT, SPRTResult, verify_success_probability
+from repro.analysis.stats import RunStats, summarize_costs, wilson_interval
+from repro.analysis.theory import (
+    ksy_cost,
+    spoof_exponent,
+    thm1_cost,
+    thm3_cost,
+    thm5_exponent_curve,
+)
+
+__all__ = [
+    "EpochBreakdown",
+    "PowerLawFit",
+    "RunStats",
+    "SPRT",
+    "SPRTResult",
+    "bar_chart",
+    "by_epoch",
+    "by_tag",
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "cumulative_costs",
+    "deviation_bound",
+    "deviation_probability",
+    "fit_power_law",
+    "ksy_cost",
+    "loglog_chart",
+    "sparkline",
+    "spoof_exponent",
+    "summarize_costs",
+    "thm1_cost",
+    "thm3_cost",
+    "thm5_exponent_curve",
+    "verify_success_probability",
+    "wilson_interval",
+]

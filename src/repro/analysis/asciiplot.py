@@ -1,0 +1,114 @@
+"""Minimal dependency-free ASCII charts for terminal reports.
+
+The CLI and examples are plain-terminal tools; these helpers render
+log-log scatter/line charts and bar charts with pure text so cost
+curves can be *seen* without matplotlib (which this environment does
+not ship).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = ["loglog_chart", "bar_chart", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series (min..max scaled)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise AnalysisError("sparkline needs at least one value")
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _BLOCKS[0] * len(vals)
+    idx = [int((v - lo) / (hi - lo) * (len(_BLOCKS) - 1)) for v in vals]
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 40
+) -> str:
+    """Horizontal bar chart; bars scale to the maximum value."""
+    if len(labels) != len(values) or not labels:
+        raise AnalysisError("labels and values must be non-empty, equal length")
+    if any(v < 0 for v in values):
+        raise AnalysisError("bar_chart needs non-negative values")
+    peak = max(values) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, v in zip(labels, values):
+        n = int(round(v / peak * width))
+        lines.append(f"{str(label):>{label_w}} │{'█' * n}{' ' * (width - n)} {v:g}")
+    return "\n".join(lines)
+
+
+def loglog_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Multi-series scatter chart on log-log axes.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series name to ``(x, y)`` positive sequences; each
+        series gets its own marker character (the first letter of its
+        name, or a digit).
+    width / height:
+        Plot area in character cells.
+    """
+    if not series:
+        raise AnalysisError("loglog_chart needs at least one series")
+    pts: list[tuple[float, float, str]] = []
+    markers: dict[str, str] = {}
+    used: set[str] = set()
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        if len(xs) != len(ys) or not len(xs):
+            raise AnalysisError(f"series {name!r}: x and y must be equal, non-empty")
+        mark = next(
+            (c for c in (name[:1].upper() or "*", str(idx)) if c not in used), "*"
+        )
+        used.add(mark)
+        markers[name] = mark
+        for x, y in zip(xs, ys):
+            if x <= 0 or y <= 0:
+                raise AnalysisError("log-log chart needs positive data")
+            pts.append((math.log10(float(x)), math.log10(float(y)), mark))
+
+    x_lo = min(p[0] for p in pts)
+    x_hi = max(p[0] for p in pts)
+    y_lo = min(p[1] for p in pts)
+    y_hi = max(p[1] for p in pts)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for lx, ly, mark in pts:
+        col = int((lx - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((ly - y_lo) / y_span * (height - 1))
+        grid[row][col] = mark
+
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{10 ** y_hi:.3g} "
+        elif r == height - 1:
+            label = f"{10 ** y_lo:.3g} "
+        else:
+            label = ""
+        lines.append(f"{label:>10}│" + "".join(row))
+    lines.append(" " * 10 + "└" + "─" * width)
+    lines.append(
+        " " * 11 + f"{10 ** x_lo:.3g}" + " " * (width - 12) + f"{10 ** x_hi:.3g}"
+    )
+    lines.append(
+        "   legend: "
+        + ", ".join(f"{m} = {name}" for name, m in markers.items())
+    )
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Chernoff bounds — the paper's Theorem 6 and Corollary 1.
+
+For a sum ``X`` of independent Bernoulli trials with mean ``mu``:
+
+* Theorem 6 (exact multiplicative form)::
+
+      Pr[X > (1+delta) mu] <= (e**delta / (1+delta)**(1+delta))**mu
+      Pr[X < (1-delta) mu] <= (e**-delta / (1-delta)**(1-delta))**mu
+
+* Corollary 1 (simplified, ``0 < delta < 1``)::
+
+      Pr[X > (1+delta) mu] <= exp(-delta**2 mu / 3)
+      Pr[X < (1-delta) mu] <= exp(-delta**2 mu / 2)
+      Pr[|X - mu| > sqrt(3 mu ln(1/eps))] < 2 eps
+
+These exact expressions are used by the protocol modules to justify
+their thresholds and by the test suite to check empirical tails.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "deviation_bound",
+    "deviation_probability",
+    "required_mean_for_tail",
+]
+
+
+def _check(mean: float, delta: float) -> None:
+    if mean < 0:
+        raise AnalysisError(f"mean must be non-negative, got {mean!r}")
+    if delta < 0:
+        raise AnalysisError(f"delta must be non-negative, got {delta!r}")
+
+
+def chernoff_upper_tail(mean: float, delta: float, simple: bool = False) -> float:
+    """Bound on ``Pr[X > (1 + delta) * mean]``.
+
+    ``simple=True`` uses Corollary 1's ``exp(-delta**2 mean / 3)`` form
+    (valid for ``delta < 1``); the default uses Theorem 6's exact form,
+    valid for all ``delta > 0``.
+    """
+    _check(mean, delta)
+    if mean == 0.0 or delta == 0.0:
+        return 1.0
+    if simple:
+        if delta >= 1.0:
+            raise AnalysisError("simple upper bound requires delta < 1")
+        return math.exp(-delta * delta * mean / 3.0)
+    # log form for numerical stability: mu * (delta - (1+delta) ln(1+delta))
+    log_bound = mean * (delta - (1.0 + delta) * math.log1p(delta))
+    return math.exp(log_bound)
+
+
+def chernoff_lower_tail(mean: float, delta: float, simple: bool = False) -> float:
+    """Bound on ``Pr[X < (1 - delta) * mean]`` for ``0 <= delta <= 1``."""
+    _check(mean, delta)
+    if delta > 1.0:
+        raise AnalysisError(f"lower tail requires delta <= 1, got {delta!r}")
+    if mean == 0.0 or delta == 0.0:
+        return 1.0
+    if simple:
+        return math.exp(-delta * delta * mean / 2.0)
+    if delta == 1.0:
+        return math.exp(-mean)
+    log_bound = mean * (-delta - (1.0 - delta) * math.log1p(-delta))
+    return math.exp(log_bound)
+
+
+def deviation_bound(mean: float, eps: float) -> float:
+    """The radius ``sqrt(3 * mean * ln(1/eps))`` of Corollary 1's last
+    bound: ``Pr[|X - mean| > radius] < 2 * eps``."""
+    if not 0.0 < eps < 1.0:
+        raise AnalysisError(f"eps must be in (0, 1), got {eps!r}")
+    if mean < 0:
+        raise AnalysisError(f"mean must be non-negative, got {mean!r}")
+    return math.sqrt(3.0 * mean * math.log(1.0 / eps))
+
+
+def deviation_probability(mean: float, radius: float) -> float:
+    """Bound on ``Pr[|X - mean| > radius]`` via Corollary 1.
+
+    Inverts :func:`deviation_bound`: for ``radius = sqrt(3 mu ln(1/eps))``
+    returns ``2 * eps``; for ``radius >= mean`` falls back to the exact
+    Theorem 6 upper tail (the lower tail being impossible or trivial).
+    """
+    if mean <= 0.0:
+        return 1.0 if radius <= 0 else 0.0
+    if radius <= 0.0:
+        return 1.0
+    delta = radius / mean
+    if delta < 1.0:
+        eps = math.exp(-(radius * radius) / (3.0 * mean))
+        return min(1.0, 2.0 * eps)
+    return min(1.0, chernoff_upper_tail(mean, delta))
+
+
+def required_mean_for_tail(delta: float, tail: float) -> float:
+    """Smallest mean ``mu`` with ``Pr[X > (1+delta) mu] <= tail``
+    (Theorem 6 form).
+
+    Used when picking simulation constants: how many expected events a
+    threshold needs before a Chernoff argument at deviation ``delta``
+    pushes the failure probability below ``tail``.
+    """
+    if not 0.0 < tail < 1.0:
+        raise AnalysisError(f"tail must be in (0, 1), got {tail!r}")
+    if delta <= 0.0:
+        raise AnalysisError(f"delta must be positive, got {delta!r}")
+    per_unit = (1.0 + delta) * math.log1p(delta) - delta  # > 0 for delta > 0
+    return math.log(1.0 / tail) / per_unit

@@ -1,0 +1,88 @@
+"""Aggregation of per-phase cost history.
+
+``Simulator(..., keep_history=True)`` records a
+:class:`~repro.channel.accounting.PhaseCost` per phase, tagged with the
+protocol's metadata (epoch, phase kind, repetition).  These helpers
+roll that stream up into per-epoch / per-kind breakdowns — the raw
+material for "where did the energy go?" questions like the Theorem 1
+proof's per-epoch cost sums.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.channel.accounting import PhaseCost
+from repro.errors import AnalysisError
+
+__all__ = ["EpochBreakdown", "by_epoch", "by_tag", "cumulative_costs"]
+
+
+@dataclass(frozen=True)
+class EpochBreakdown:
+    """Aggregated costs of all phases sharing one epoch index."""
+
+    epoch: int
+    n_phases: int
+    slots: int
+    node_total: int
+    adversary: int
+
+    @property
+    def jam_fraction(self) -> float:
+        """Adversary slots spent per channel slot in this epoch."""
+        return self.adversary / self.slots if self.slots else 0.0
+
+
+def by_epoch(history: Sequence[PhaseCost]) -> list[EpochBreakdown]:
+    """Group a phase-cost stream by its ``"epoch"`` tag (sorted).
+
+    Phases without an epoch tag are grouped under epoch ``-1``.
+    """
+    if history is None:
+        raise AnalysisError("history is None — run with keep_history=True")
+    groups: dict[int, list[PhaseCost]] = {}
+    for p in history:
+        groups.setdefault(int(p.tags.get("epoch", -1)), []).append(p)
+    return [
+        EpochBreakdown(
+            epoch=epoch,
+            n_phases=len(ps),
+            slots=sum(p.length for p in ps),
+            node_total=sum(p.node_total for p in ps),
+            adversary=sum(p.adversary for p in ps),
+        )
+        for epoch, ps in sorted(groups.items())
+    ]
+
+
+def by_tag(history: Sequence[PhaseCost], tag: str) -> dict:
+    """Sum node and adversary costs per value of an arbitrary tag."""
+    if history is None:
+        raise AnalysisError("history is None — run with keep_history=True")
+    out: dict = {}
+    for p in history:
+        key = p.tags.get(tag)
+        node, adv = out.get(key, (0, 0))
+        out[key] = (node + p.node_total, adv + p.adversary)
+    return out
+
+
+def cumulative_costs(
+    history: Sequence[PhaseCost],
+) -> tuple[list[int], list[int], list[int]]:
+    """Slot-indexed cumulative (slots, node_total, adversary) series.
+
+    Useful for plotting the energy race between the parties over time.
+    """
+    slots, nodes, adv = [], [], []
+    s = n = a = 0
+    for p in history:
+        s += p.length
+        n += p.node_total
+        a += p.adversary
+        slots.append(s)
+        nodes.append(n)
+        adv.append(a)
+    return slots, nodes, adv

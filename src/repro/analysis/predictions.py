@@ -1,0 +1,150 @@
+"""Closed-form cost predictions derived from the protocol parameters.
+
+The theorem statements are asymptotic; the *analyses* behind them are
+concrete enough to predict per-epoch expectations exactly.  This module
+writes those expectations down so tests can cross-validate the
+simulator against the math (and vice versa): a simulator bug that
+inflates or loses energy shows up as a divergence from these formulas.
+
+All formulas are expectations under the stated adversary behaviour;
+simulation should match within sampling noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.protocols.one_to_n import OneToNParams
+from repro.protocols.one_to_one import OneToOneParams
+
+__all__ = [
+    "fig1_epoch_cost",
+    "fig1_cost_through_epoch",
+    "fig1_blocking_adversary_cost",
+    "fig2_repetition_cost",
+    "fig2_epoch_cost_pinned",
+    "fig2_equilibrium_rate",
+    "fig2_predicted_termination_epoch",
+]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1
+# ---------------------------------------------------------------------------
+
+def fig1_epoch_cost(params: OneToOneParams, epoch: int) -> float:
+    """Expected per-party cost of one full epoch of Figure 1.
+
+    Each party acts at rate ``p_i`` in both the send and the nack phase
+    (sending in one, listening in the other), so the expectation is
+    ``2 * p_i * 2**i`` — the quantity the Theorem 1 proof sums.
+    """
+    p = params.send_probability(epoch)
+    return 2.0 * p * params.phase_length(epoch)
+
+
+def fig1_cost_through_epoch(params: OneToOneParams, last_epoch: int) -> float:
+    """Expected per-party cost of running epochs ``first..last`` fully.
+
+    This is the cost under an adversary that blocks everything through
+    ``last_epoch`` (nobody halts early); the geometric sum is dominated
+    by its final term — the proof's ``O(sqrt(2**i ln(1/eps)))``.
+    """
+    if last_epoch < params.first_epoch:
+        raise AnalysisError(
+            f"last_epoch {last_epoch} below first epoch {params.first_epoch}"
+        )
+    return sum(
+        fig1_epoch_cost(params, i)
+        for i in range(params.first_epoch, last_epoch + 1)
+    )
+
+
+def fig1_blocking_adversary_cost(params: OneToOneParams, last_epoch: int) -> int:
+    """Energy a listener-targeted full blocker pays through ``last_epoch``.
+
+    One group per phase, every slot: ``sum_i 2 * 2**i``.
+    """
+    if last_epoch < params.first_epoch:
+        raise AnalysisError(
+            f"last_epoch {last_epoch} below first epoch {params.first_epoch}"
+        )
+    return sum(
+        2 * params.phase_length(i)
+        for i in range(params.first_epoch, last_epoch + 1)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2
+# ---------------------------------------------------------------------------
+
+def fig2_repetition_cost(params: OneToNParams, epoch: int, s: float) -> float:
+    """Expected per-node cost of one repetition at rate ``S = s``.
+
+    Sends: ``min(1, S/L) * L``; listens: ``min(1, S d i^e / L) * L``.
+    """
+    if s <= 0:
+        raise AnalysisError(f"rate must be positive, got {s!r}")
+    L = params.phase_length(epoch)
+    send = min(1.0, s / L) * L
+    budget = float(params.listen_budget(epoch, np.asarray([s]))[0])
+    listen = min(1.0, budget / L) * L
+    return send + listen
+
+
+def fig2_epoch_cost_pinned(params: OneToNParams, epoch: int) -> float:
+    """Expected per-node epoch cost when rates stay pinned at ``s_init``.
+
+    This is the regime of Lemma 3 (noise floor) and of heavily blocked
+    epochs: ``n_reps * (sends + listens)`` at ``S = s_init``.
+    """
+    return params.n_repetitions(epoch) * fig2_repetition_cost(
+        params, epoch, params.s_init
+    )
+
+
+def fig2_equilibrium_rate(params: OneToNParams, epoch: int, n: int) -> float:
+    """The self-limiting rate ``S_V ~ ln 2`` maps to per node.
+
+    Rates grow only while the clear fraction exceeds
+    ``clear_baseline_frac``; with all ``n`` nodes at rate ``S`` the
+    clear probability is ``~exp(-n S / L)``, so growth stalls at
+    ``S* = L * ln(1/frac) / n``.
+    """
+    if n < 1:
+        raise AnalysisError(f"n must be >= 1, got {n}")
+    L = params.phase_length(epoch)
+    return L * math.log(1.0 / params.clear_baseline_frac) / n
+
+
+def fig2_predicted_termination_epoch(params: OneToNParams, n: int) -> int:
+    """Predicted unjammed termination epoch of Figure 2.
+
+    Helpers terminate once the within-epoch climb reaches the Case 4
+    threshold ``c_h * sqrt(L / n_u)``, which becomes reachable when the
+    equilibrium rate exceeds it: the smallest epoch ``i`` with::
+
+        ln(1/frac) * 2**i / n  >=  c_h * sqrt(2**i / (n * kappa))
+
+    ``kappa`` is the ``n_u / n`` ratio at helper promotion.  The sim
+    calibration (``OneToNParams`` docstring) predicts promotion at
+    ``S ~ sqrt(helper_frac * L / n) / sqrt(occupancy)``; empirically
+    (test_one_to_n: ``n_u`` medians) ``kappa ~ 0.45`` across ``n``, and
+    we use that measured value.  Accurate to +-2 epochs — tests treat
+    it as a band, not a point.
+    """
+    if n < 1:
+        raise AnalysisError(f"n must be >= 1, got {n}")
+    ln_frac = math.log(1.0 / params.clear_baseline_frac)
+    kappa = 0.45
+    for i in range(params.first_epoch, params.max_epoch + 1):
+        L = float(params.phase_length(i))
+        equilibrium = ln_frac * L / n
+        threshold = params.c_term_helper * math.sqrt(L / (n * kappa))
+        if equilibrium >= threshold:
+            return i
+    return params.max_epoch

@@ -1,0 +1,155 @@
+"""Sequential probability ratio testing for success-rate claims.
+
+Statements like Theorem 1's "Bob receives ``m`` with probability at
+least ``1 - eps``" are verified by replication — but a fixed sample
+size wastes runs when the truth is far from the boundary.  Wald's SPRT
+decides ``H0: p >= p0`` against ``H1: p <= p1`` with prescribed error
+rates and stops as early as the evidence allows; simulation is the
+textbook use case (each observation costs a full protocol run).
+
+The experiments use fixed-size batches for reproducible tables; the
+SPRT is offered for interactive/CI use where run budget matters, and
+is itself validated empirically in ``tests/analysis/test_sequential.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+__all__ = ["SPRT", "SPRTResult", "verify_success_probability"]
+
+
+@dataclass(frozen=True)
+class SPRTResult:
+    """Outcome of a sequential test."""
+
+    decision: str  # "accept_h0" | "accept_h1" | "undecided"
+    n_samples: int
+    successes: int
+
+    @property
+    def rate(self) -> float:
+        return self.successes / self.n_samples if self.n_samples else float("nan")
+
+
+class SPRT:
+    """Wald's sequential test of ``H0: p >= p0`` vs ``H1: p <= p1``.
+
+    Parameters
+    ----------
+    p0:
+        The claimed (higher) success probability — e.g. ``1 - eps``.
+    p1:
+        The alternative (lower) probability defining "meaningfully
+        broken"; the indifference zone is ``(p1, p0)``.
+    alpha:
+        Probability of rejecting a true H0 (false alarm).
+    beta:
+        Probability of accepting H0 when ``p <= p1`` (missed defect).
+    """
+
+    def __init__(
+        self, p0: float, p1: float, alpha: float = 0.05, beta: float = 0.05
+    ) -> None:
+        if not 0.0 < p1 < p0 < 1.0:
+            raise AnalysisError(
+                f"need 0 < p1 < p0 < 1, got p0={p0!r}, p1={p1!r}"
+            )
+        if not 0.0 < alpha < 1.0 or not 0.0 < beta < 1.0:
+            raise AnalysisError("alpha and beta must be in (0, 1)")
+        self.p0, self.p1 = p0, p1
+        self.alpha, self.beta = alpha, beta
+        # Log-likelihood-ratio increments for success / failure under
+        # H1 relative to H0.
+        self._llr_success = math.log(p1 / p0)
+        self._llr_failure = math.log((1.0 - p1) / (1.0 - p0))
+        # Wald's boundaries (H1 accepted above `_upper`, H0 below `_lower`).
+        self._upper = math.log((1.0 - beta) / alpha)
+        self._lower = math.log(beta / (1.0 - alpha))
+        self.reset()
+
+    def reset(self) -> None:
+        self._llr = 0.0
+        self._n = 0
+        self._successes = 0
+
+    @property
+    def n_samples(self) -> int:
+        return self._n
+
+    def update(self, success: bool) -> str | None:
+        """Feed one observation; return a decision or ``None``.
+
+        Once a decision is reached further updates raise — reset first.
+        """
+        if self._llr >= self._upper or self._llr <= self._lower:
+            raise AnalysisError("test already decided; call reset()")
+        self._n += 1
+        if success:
+            self._successes += 1
+            self._llr += self._llr_success
+        else:
+            self._llr += self._llr_failure
+        if self._llr >= self._upper:
+            return "accept_h1"
+        if self._llr <= self._lower:
+            return "accept_h0"
+        return None
+
+    def run(
+        self, sampler: Callable[[int], bool], max_samples: int = 10_000
+    ) -> SPRTResult:
+        """Draw from ``sampler(i)`` until decision or ``max_samples``."""
+        if max_samples < 1:
+            raise AnalysisError("max_samples must be >= 1")
+        self.reset()
+        for i in range(max_samples):
+            decision = self.update(bool(sampler(i)))
+            if decision is not None:
+                return SPRTResult(decision, self._n, self._successes)
+        return SPRTResult("undecided", self._n, self._successes)
+
+
+def verify_success_probability(
+    make_success: Callable[[int], bool],
+    claimed: float,
+    slack: float = 0.5,
+    alpha: float = 0.02,
+    beta: float = 0.02,
+    max_samples: int = 5_000,
+) -> SPRTResult:
+    """Sequentially test a protocol's success-rate claim.
+
+    Tests ``H0: p >= claimed`` against
+    ``H1: p <= 1 - (1 - claimed)/slack`` — i.e. "the failure rate is at
+    least ``1/slack`` times the allowance".  Example: for Theorem 1
+    with ``eps = 0.1``, ``claimed = 0.9`` and the default slack flags
+    implementations whose failure rate reaches 20%.
+
+    Parameters
+    ----------
+    make_success:
+        ``replication index -> bool`` (run the protocol, return
+        ``result.success``).
+    claimed:
+        The theorem's success probability (``1 - eps``).
+    slack:
+        Ratio defining the indifference zone (smaller = wider zone =
+        earlier decisions).
+    """
+    if not 0.0 < claimed < 1.0:
+        raise AnalysisError(f"claimed must be in (0, 1), got {claimed!r}")
+    if not 0.0 < slack < 1.0:
+        raise AnalysisError(f"slack must be in (0, 1), got {slack!r}")
+    p1 = 1.0 - (1.0 - claimed) / slack
+    if p1 <= 0.0:
+        raise AnalysisError(
+            f"claimed={claimed!r} with slack={slack!r} gives a degenerate "
+            "alternative; use a larger slack"
+        )
+    test = SPRT(p0=claimed, p1=p1, alpha=alpha, beta=beta)
+    return test.run(make_success, max_samples=max_samples)

@@ -1,0 +1,68 @@
+"""Replication statistics and success-probability intervals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["RunStats", "summarize_costs", "wilson_interval"]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Summary of one measured quantity across replications."""
+
+    mean: float
+    std: float
+    median: float
+    q10: float
+    q90: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @staticmethod
+    def from_samples(samples: np.ndarray) -> "RunStats":
+        samples = np.asarray(samples, dtype=float)
+        if samples.size == 0:
+            raise AnalysisError("cannot summarize an empty sample")
+        return RunStats(
+            mean=float(samples.mean()),
+            std=float(samples.std(ddof=1)) if samples.size > 1 else 0.0,
+            median=float(np.median(samples)),
+            q10=float(np.quantile(samples, 0.10)),
+            q90=float(np.quantile(samples, 0.90)),
+            minimum=float(samples.min()),
+            maximum=float(samples.max()),
+            n=int(samples.size),
+        )
+
+
+def summarize_costs(costs: list[float] | np.ndarray) -> RunStats:
+    """Convenience wrapper: summarize a list of per-run costs."""
+    return RunStats.from_samples(np.asarray(costs, dtype=float))
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    The experiments use it to assert, e.g., "success probability is at
+    least ``1 - eps``" with statistical honesty: the claim passes when
+    ``1 - eps`` lies below the interval's upper bound.
+    """
+    if trials <= 0:
+        raise AnalysisError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise AnalysisError(f"successes {successes} out of range [0, {trials}]")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * np.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials))
+        / denom
+    )
+    return (max(0.0, centre - half), min(1.0, centre + half))

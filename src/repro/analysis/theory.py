@@ -1,0 +1,97 @@
+"""The paper's predicted cost curves, as plain functions.
+
+Experiments plot these next to measured curves; tests check that the
+measured/predicted ratio stays bounded over a sweep (we reproduce
+*shapes*, not the authors' constants).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import PHI_MINUS_1
+from repro.errors import AnalysisError
+
+__all__ = [
+    "thm1_cost",
+    "thm3_cost",
+    "thm3_latency",
+    "ksy_cost",
+    "thm2_product",
+    "thm4_cost",
+    "spoof_exponent",
+    "thm5_exponent_curve",
+]
+
+
+def thm1_cost(T: np.ndarray | float, epsilon: float = 0.1) -> np.ndarray | float:
+    """Theorem 1: ``sqrt(T ln(1/eps)) + ln(1/eps)`` (up to constants)."""
+    if not 0.0 < epsilon < 1.0:
+        raise AnalysisError(f"epsilon must be in (0, 1), got {epsilon!r}")
+    T = np.asarray(T, dtype=float)
+    le = math.log(1.0 / epsilon)
+    return np.sqrt(T * le) + le
+
+
+def thm3_cost(T: np.ndarray | float, n: int) -> np.ndarray | float:
+    """Theorem 3: ``sqrt(T/n) log^4 T + log^6 n`` (up to constants)."""
+    if n < 1:
+        raise AnalysisError(f"n must be >= 1, got {n}")
+    T = np.asarray(T, dtype=float)
+    logT = np.log2(np.maximum(T, 2.0))
+    logn = math.log2(max(n, 2))
+    return np.sqrt(T / n) * logT**4 + logn**6
+
+
+def thm3_latency(T: np.ndarray | float, n: int) -> np.ndarray | float:
+    """Theorem 3's latency: ``T + n log^2 n`` (up to constants)."""
+    if n < 1:
+        raise AnalysisError(f"n must be >= 1, got {n}")
+    T = np.asarray(T, dtype=float)
+    logn = math.log2(max(n, 2))
+    return T + n * logn**2
+
+
+def ksy_cost(T: np.ndarray | float) -> np.ndarray | float:
+    """KSY / Theorem 5: ``T**(phi - 1) + 1`` (up to constants)."""
+    T = np.asarray(T, dtype=float)
+    return T**PHI_MINUS_1 + 1.0
+
+
+def thm2_product(T: np.ndarray | float, epsilon: float = 0.0) -> np.ndarray | float:
+    """Theorem 2: the forced product ``E(A) E(B) > (1 - O(eps)) T``."""
+    T = np.asarray(T, dtype=float)
+    return (1.0 - epsilon) * T
+
+
+def thm4_cost(T: np.ndarray | float, n: int) -> np.ndarray | float:
+    """Theorem 4: per-node lower bound ``sqrt(T / n)``."""
+    if n < 1:
+        raise AnalysisError(f"n must be >= 1, got {n}")
+    T = np.asarray(T, dtype=float)
+    return np.sqrt(T / n)
+
+
+def spoof_exponent(delta: np.ndarray | float) -> np.ndarray | float:
+    """Theorem 5's two-scenario exponent ``max{(1 - delta)/delta, delta}``.
+
+    ``delta`` parameterises how the product bound ``E(A) E(B) = T~``
+    splits between the parties (``E(B) ~ T~**delta``).  Scenario (ii)
+    charges Alice ``T**((1-delta)/delta)``; scenario (i) charges Bob
+    ``T**delta``.  The adversary gets the max; the protocol designer
+    picks ``delta`` to minimise it — at ``delta = phi - 1``.
+    """
+    delta = np.asarray(delta, dtype=float)
+    if (delta <= 0).any() or (delta >= 1).any():
+        raise AnalysisError("delta must lie strictly inside (0, 1)")
+    return np.maximum((1.0 - delta) / delta, delta)
+
+
+def thm5_exponent_curve(n_points: int = 201) -> tuple[np.ndarray, np.ndarray]:
+    """Sampled ``(delta, exponent)`` curve for the E11 experiment."""
+    if n_points < 3:
+        raise AnalysisError(f"n_points must be >= 3, got {n_points}")
+    delta = np.linspace(0.05, 0.95, n_points)
+    return delta, spoof_exponent(delta)

@@ -1,0 +1,278 @@
+"""Event and outcome datatypes for the slotted channel.
+
+Everything here is a thin, validated wrapper over NumPy arrays; the hot
+path (:func:`repro.channel.model.resolve_phase`) operates on the raw
+arrays directly, per the vectorise-don't-loop discipline of the
+hpc-parallel guides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+from repro.errors import AdversaryError, SimulationError
+
+__all__ = [
+    "TxKind",
+    "SlotStatus",
+    "SendEvents",
+    "ListenEvents",
+    "JamPlan",
+    "PhaseOutcome",
+    "N_STATUS",
+]
+
+
+class SlotStatus(IntEnum):
+    """What a listener hears in a slot (clear-channel assessment).
+
+    ``CLEAR``
+        No transmission, no jamming.
+    ``NOISE``
+        Jamming, a collision, or a deliberate noise transmission — a
+        listener cannot tell these apart (Section 1.2).
+    ``DATA`` / ``NACK`` / ``ACK``
+        A single un-jammed transmission of the corresponding kind was
+        decoded.
+    """
+
+    CLEAR = 0
+    NOISE = 1
+    DATA = 2
+    NACK = 3
+    ACK = 4
+
+
+class TxKind(IntEnum):
+    """What a sender puts on the air.
+
+    Values are aligned with :class:`SlotStatus` so that a lone un-jammed
+    transmission of kind ``k`` is heard as status ``k``.  ``NOISE`` is a
+    deliberate jam-like transmission — Figure 2's uninformed nodes send
+    noise so everyone can gauge ``n`` relative to ``2**i``.
+    """
+
+    NOISE = 1
+    DATA = 2
+    NACK = 3
+    ACK = 4
+
+
+#: Number of distinct :class:`SlotStatus` values (size of count matrices).
+N_STATUS: int = len(SlotStatus)
+
+
+def _as_index_array(values: np.ndarray | list[int], name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise SimulationError(f"{name} must be a 1-D array, got shape {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class SendEvents:
+    """Sparse set of transmissions in one phase.
+
+    Attributes
+    ----------
+    nodes:
+        Node index of each transmission.
+    slots:
+        Slot index (within the phase) of each transmission.
+    kinds:
+        :class:`TxKind` value of each transmission.
+    """
+
+    nodes: np.ndarray
+    slots: np.ndarray
+    kinds: np.ndarray
+
+    def __post_init__(self) -> None:
+        nodes = _as_index_array(self.nodes, "nodes")
+        slots = _as_index_array(self.slots, "slots")
+        kinds = np.asarray(self.kinds, dtype=np.int8)
+        if not (len(nodes) == len(slots) == len(kinds)):
+            raise SimulationError(
+                "SendEvents arrays must have equal length: "
+                f"{len(nodes)}, {len(slots)}, {len(kinds)}"
+            )
+        object.__setattr__(self, "nodes", nodes)
+        object.__setattr__(self, "slots", slots)
+        object.__setattr__(self, "kinds", kinds)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @staticmethod
+    def empty() -> "SendEvents":
+        """A phase with no transmissions."""
+        return SendEvents(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.int8)
+        )
+
+
+@dataclass(frozen=True)
+class ListenEvents:
+    """Sparse set of listening actions in one phase."""
+
+    nodes: np.ndarray
+    slots: np.ndarray
+
+    def __post_init__(self) -> None:
+        nodes = _as_index_array(self.nodes, "nodes")
+        slots = _as_index_array(self.slots, "slots")
+        if len(nodes) != len(slots):
+            raise SimulationError(
+                f"ListenEvents arrays must have equal length: {len(nodes)}, {len(slots)}"
+            )
+        object.__setattr__(self, "nodes", nodes)
+        object.__setattr__(self, "slots", slots)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @staticmethod
+    def empty() -> "ListenEvents":
+        """A phase with no listeners."""
+        return ListenEvents(np.empty(0, np.int64), np.empty(0, np.int64))
+
+
+def _normalize_slots(slots: np.ndarray | list[int], length: int, what: str) -> np.ndarray:
+    arr = np.unique(np.asarray(slots, dtype=np.int64))
+    if len(arr) and (arr[0] < 0 or arr[-1] >= length):
+        raise AdversaryError(
+            f"{what} contains slot indices outside [0, {length}): "
+            f"range [{arr[0]}, {arr[-1]}]"
+        )
+    return arr
+
+
+@dataclass
+class JamPlan:
+    """The adversary's actions for one phase.
+
+    Three kinds of action, each costing 1 energy unit per slot:
+
+    ``global_slots``
+        Channel-wide jamming — every group hears noise (the 1-uniform
+        adversary of Theorems 3/4 and the usual strategy in Theorem 1
+        analyses where both parties are jammed together).
+    ``targeted``
+        Per-group jamming — only the named group hears noise in those
+        slots (the 2-uniform adversary of Theorem 1, e.g. jamming Bob's
+        vicinity while Alice hears a clean channel).
+    ``spoof_slots`` / ``spoof_kinds``
+        Adversarial *transmissions*.  A spoof is a real signal: alone in
+        a slot it is decoded as a message of the given kind by every
+        listener (Theorem 5's Bob-spoofing adversary); colliding with
+        another transmission it produces noise.
+
+    Plans are normalised on construction: slot lists are deduplicated and
+    sorted, and targeted slots that are already jammed globally are
+    dropped (jamming a slot twice cannot cost twice).
+    """
+
+    length: int
+    global_slots: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    targeted: dict[int, np.ndarray] = field(default_factory=dict)
+    spoof_slots: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    spoof_kinds: np.ndarray = field(default_factory=lambda: np.empty(0, np.int8))
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise AdversaryError(f"JamPlan length must be positive, got {self.length}")
+        self.global_slots = _normalize_slots(self.global_slots, self.length, "global jam")
+        cleaned: dict[int, np.ndarray] = {}
+        for group, slots in self.targeted.items():
+            arr = _normalize_slots(slots, self.length, f"targeted jam for group {group}")
+            arr = np.setdiff1d(arr, self.global_slots, assume_unique=True)
+            if len(arr):
+                cleaned[int(group)] = arr
+        self.targeted = cleaned
+        spoof_slots = np.asarray(self.spoof_slots, dtype=np.int64)
+        spoof_kinds = np.asarray(self.spoof_kinds, dtype=np.int8)
+        if len(spoof_slots) != len(spoof_kinds):
+            raise AdversaryError(
+                "spoof_slots and spoof_kinds must have equal length: "
+                f"{len(spoof_slots)}, {len(spoof_kinds)}"
+            )
+        if len(spoof_slots) and (
+            spoof_slots.min() < 0 or spoof_slots.max() >= self.length
+        ):
+            raise AdversaryError("spoof slots outside phase")
+        self.spoof_slots = spoof_slots
+        self.spoof_kinds = spoof_kinds
+
+    @property
+    def cost(self) -> int:
+        """Energy the adversary spends executing this plan."""
+        return (
+            len(self.global_slots)
+            + sum(len(v) for v in self.targeted.values())
+            + len(self.spoof_slots)
+        )
+
+    @staticmethod
+    def silent(length: int) -> "JamPlan":
+        """No jamming, no spoofing."""
+        return JamPlan(length=length)
+
+    @staticmethod
+    def suffix(length: int, n_jammed: int, group: int | None = None) -> "JamPlan":
+        """Jam the last ``n_jammed`` slots (Lemma 1's canonical form).
+
+        With ``group=None`` the jam is channel-wide, otherwise targeted.
+        """
+        n_jammed = int(max(0, min(length, n_jammed)))
+        slots = np.arange(length - n_jammed, length, dtype=np.int64)
+        if group is None:
+            return JamPlan(length=length, global_slots=slots)
+        return JamPlan(length=length, targeted={int(group): slots})
+
+    def jam_mask(self, group: int) -> np.ndarray:
+        """Boolean array of length ``length``: slots jammed for ``group``."""
+        mask = np.zeros(self.length, dtype=bool)
+        mask[self.global_slots] = True
+        if group in self.targeted:
+            mask[self.targeted[group]] = True
+        return mask
+
+
+@dataclass(frozen=True)
+class PhaseOutcome:
+    """Ground-truth result of resolving one phase.
+
+    ``heard`` is the only part a *protocol* may legally see (it is what
+    the nodes' radios reported); the remaining fields are bookkeeping
+    for the engine, adversaries (which are omniscient about the past),
+    and analysis code.
+
+    Attributes
+    ----------
+    heard:
+        ``(n_nodes, N_STATUS)`` int array; ``heard[u, s]`` is how many of
+        node ``u``'s listening slots had status ``s`` for ``u``'s group.
+    send_cost / listen_cost:
+        Per-node energy spent this phase.  A node that scheduled both a
+        send and a listen in the same slot performs (and pays for) only
+        the send.
+    adversary_cost:
+        Energy the adversary spent this phase.
+    n_clear / n_noise:
+        Channel-wide slot counts as a 1-uniform observer would see them
+        (group 0's view), for traces and tests.
+    data_slots:
+        Number of slots in which the message ``m`` was decodable for at
+        least one group.
+    """
+
+    heard: np.ndarray
+    send_cost: np.ndarray
+    listen_cost: np.ndarray
+    adversary_cost: int
+    n_clear: int
+    n_noise: int
+    data_slots: int

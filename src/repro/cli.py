@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+::
+
+    repro-bcast list                 # what experiments exist
+    repro-bcast run E1               # quick mode
+    repro-bcast run E1 --full        # full sweep (what EXPERIMENTS.md records)
+    repro-bcast run all --seed 7
+    python -m repro.cli run E5       # equivalent module form
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro._version import __version__
+from repro.experiments import list_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bcast",
+        description=(
+            "Reproduction harness for '(Near) Optimal Resource-Competitive "
+            "Broadcast with Jamming' (SPAA 2014)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id (E1..E16, A1, A3-A6, or 'all')")
+    run_p.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    run_p.add_argument(
+        "--full", action="store_true",
+        help="full sweep instead of the quick CI-sized one",
+    )
+    run_p.add_argument(
+        "--save", metavar="DIR",
+        help="save each report as DIR/<eid>.json for later comparison",
+    )
+
+    cmp_p = sub.add_parser(
+        "compare",
+        help="diff two saved reports of the same experiment "
+             "(regression detection)",
+    )
+    cmp_p.add_argument("old", help="baseline report JSON")
+    cmp_p.add_argument("new", help="candidate report JSON")
+
+    duel_p = sub.add_parser(
+        "duel",
+        help="sweep adversary budgets and chart cost-vs-T for the 1-to-1 "
+             "protocols (ASCII, log-log)",
+    )
+    duel_p.add_argument("--seed", type=int, default=0)
+    duel_p.add_argument(
+        "--points", type=int, default=5, help="sweep points (default 5)"
+    )
+    duel_p.add_argument(
+        "--reps", type=int, default=3, help="replications per point (default 3)"
+    )
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one small 1-to-1 exchange at slot resolution, audit the "
+             "engine by replay, and print per-slot timelines",
+    )
+    trace_p.add_argument("--seed", type=int, default=7)
+    trace_p.add_argument(
+        "--jam", type=float, default=0.75,
+        help="suffix jam fraction (default 0.75)",
+    )
+    trace_p.add_argument(
+        "--budget", type=int, default=600, help="adversary budget (default 600)"
+    )
+    trace_p.add_argument(
+        "--phases", type=int, default=3, help="timelines to print (default 3)"
+    )
+    return parser
+
+
+def _trace(seed: int, jam: float, budget: int, n_phases: int) -> int:
+    """The `trace` subcommand: slot-microscope in the terminal."""
+    from repro.adversaries import BudgetCap, SuffixJammer
+    from repro.engine.simulator import Simulator
+    from repro.protocols import OneToOneBroadcast, OneToOneParams
+    from repro.trace import TraceRecorder, timeline, verify_trace
+
+    recorder = TraceRecorder()
+    sim = Simulator(
+        OneToOneBroadcast(OneToOneParams.sim()),
+        BudgetCap(SuffixJammer(jam), budget=budget),
+        trace=recorder,
+    )
+    result = sim.run(seed)
+    verified = verify_trace(recorder)
+    print(
+        f"success={result.success}  T={result.adversary_cost}  "
+        f"costs={list(result.node_costs)}  phases={result.phases}  "
+        f"(replay audit: {verified} phases exact)"
+    )
+    print("glyphs: S sent/delivered, x sent/lost, M heard m, n heard noise,")
+    print("        . heard clear, space asleep, # jammed")
+    print()
+    for t in recorder.phases[:n_phases]:
+        print(timeline(t, max_width=100))
+        print()
+    return 0
+
+
+def _duel(seed: int, points: int, reps: int) -> int:
+    """The `duel` subcommand: Figure 1 vs KSY vs deterministic."""
+    import numpy as np
+
+    from repro.adversaries import BudgetCap, EpochTargetJammer, SuffixJammer
+    from repro.analysis.asciiplot import loglog_chart
+    from repro.analysis.scaling import fit_power_law
+    from repro.protocols import (
+        AlwaysOnSender,
+        KSYOneToOne,
+        KSYParams,
+        OneToOneBroadcast,
+        OneToOneParams,
+    )
+    from repro.experiments.runner import replicate
+
+    fig1 = OneToOneParams.sim()
+    ksy = KSYParams.sim()
+    lo = max(fig1.first_epoch, ksy.first_epoch) + 2
+    targets = range(lo, lo + 2 * points, 2)
+
+    series: dict[str, tuple[list, list]] = {}
+    for name, make, attack in (
+        ("fig1", lambda: OneToOneBroadcast(fig1),
+         lambda t: EpochTargetJammer(t, q=1.0, target_listener=True)),
+        ("ksy", lambda: KSYOneToOne(ksy),
+         lambda t: EpochTargetJammer(t, q=1.0, target_listener=True)),
+        ("deterministic", lambda: AlwaysOnSender(),
+         lambda t: BudgetCap(SuffixJammer(1.0), budget=1 << (t + 1))),
+    ):
+        Ts, costs = [], []
+        for t in targets:
+            runs = replicate(make, lambda t=t: attack(t), reps, seed=seed + t)
+            Ts.append(float(np.mean([r.adversary_cost for r in runs])))
+            costs.append(float(np.mean([r.max_node_cost for r in runs])))
+        series[name] = (Ts, costs)
+
+    print("max per-party cost vs adversary budget T (log-log):")
+    print(loglog_chart(series))
+    print()
+    for name, (Ts, costs) in series.items():
+        fit = fit_power_law(np.array(Ts), np.array(costs), n_bootstrap=0)
+        print(f"  {name:<13} cost ~ T^{fit.exponent:.3f}")
+    print("  theory: 0.5 (fig1), 0.618 (ksy), 1.0 (deterministic)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for exp in list_experiments():
+            print(f"{exp.eid:4s} {exp.title}  [{exp.anchor}]")
+        return 0
+
+    if args.command == "duel":
+        return _duel(args.seed, args.points, args.reps)
+
+    if args.command == "compare":
+        from repro.store import compare_reports, load_report
+
+        diff = compare_reports(load_report(args.old), load_report(args.new))
+        print(diff.render())
+        return 1 if diff.is_regression else 0
+
+    if args.command == "trace":
+        return _trace(args.seed, args.jam, args.budget, args.phases)
+
+    ids = (
+        [e.eid for e in list_experiments()]
+        if args.experiment.lower() == "all"
+        else [args.experiment]
+    )
+    failures = 0
+    for eid in ids:
+        t0 = time.perf_counter()
+        report = run_experiment(eid, seed=args.seed, quick=not args.full)
+        elapsed = time.perf_counter() - t0
+        print(report.render())
+        print(f"({elapsed:.1f}s)")
+        print()
+        if args.save:
+            from pathlib import Path
+
+            from repro.store import save_report
+
+            out = save_report(report, Path(args.save) / f"{report.eid}.json")
+            print(f"saved {out}")
+        failures += sum(not ok for ok in report.checks.values())
+    if failures:
+        print(f"{failures} check(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

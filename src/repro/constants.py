@@ -1,0 +1,106 @@
+"""Mathematical constants and paper-wide definitions.
+
+Centralises every number the paper uses symbolically (the golden ratio,
+the Figure 1/Figure 2 constants) so that protocol code and tests share a
+single source of truth.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Golden ratio, ``(1 + sqrt(5)) / 2``.  Theorem 5 proves a lower bound of
+#: ``Omega(T**(PHI - 1))`` for 1-to-1 communication under a spoofing
+#: adversary; the KSY (PODC 2011) algorithm matches it.
+PHI: float = (1.0 + math.sqrt(5.0)) / 2.0
+
+#: ``PHI - 1 = 1/PHI`` — the exponent in Theorem 5 and in the KSY
+#: baseline's cost, approximately ``0.618``.
+PHI_MINUS_1: float = PHI - 1.0
+
+#: ``(PHI - 1)**2 = 2 - PHI`` — the sender-side exponent of the KSY
+#: baseline.  Satisfies ``x**2 = 1 - x`` with ``x = PHI - 1``, which is
+#: the identity that makes the sender/listener budgets multiply out to a
+#: full window (see ``repro.protocols.ksy``).
+PHI_MINUS_1_SQ: float = PHI_MINUS_1**2
+
+#: Figure 1's first epoch index is ``11 + lg ln(8/eps)``.  This is the
+#: additive constant.
+FIG1_FIRST_EPOCH_OFFSET: int = 11
+
+#: Figure 1's error-budget denominator: the analysis splits the failure
+#: probability ``eps`` into pieces of size ``eps/8``.
+FIG1_EPS_DENOM: int = 8
+
+#: Figure 1's halting threshold divisor: a party halts only after hearing
+#: fewer than ``sqrt(2**(i-1) * ln(8/eps)) / 4`` jammed slots.
+FIG1_JAM_THRESHOLD_DIV: int = 4
+
+#: Figure 2's initial sending-rate value (``S_u <- 16``).
+FIG2_S_INIT: float = 16.0
+
+#: Figure 2's global termination constant (Case 1: ``S_u > 360 * 2**(i/2)``).
+FIG2_TERM_GLOBAL: float = 360.0
+
+#: Figure 2's helper termination constant (Case 4:
+#: ``S_u >= 360 * sqrt(2**i / n_u)``).
+FIG2_TERM_HELPER: float = 360.0
+
+#: Figure 2's helper-promotion divisor (Case 3: heard ``m`` more than
+#: ``d * i**3 / 200`` times).
+FIG2_HELPER_DIV: float = 200.0
+
+#: Figure 2's clear-slot baseline: ``C'_u = max(0, C_u - S_u*d*i**3 / 2)``.
+FIG2_CLEAR_BASELINE_FRAC: float = 0.5
+
+#: Lower bounds on Figure 2's tuning constants proved sufficient in the
+#: paper's analysis (Lemma 9 needs ``d > 79.2``; the termination argument
+#: needs ``b >= 10``).
+FIG2_MIN_B: float = 10.0
+FIG2_MIN_D: float = 79.2
+
+
+def lg(x: float) -> float:
+    """Base-2 logarithm, the paper's ``lg``."""
+    if x <= 0:
+        raise ValueError(f"lg requires a positive argument, got {x!r}")
+    return math.log2(x)
+
+
+def fig1_first_epoch(epsilon: float) -> int:
+    """First epoch index of Figure 1: ``ceil(11 + lg ln(8/eps))``.
+
+    Parameters
+    ----------
+    epsilon:
+        The tunable failure probability ``eps`` in ``(0, 1)``.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon!r}")
+    return FIG1_FIRST_EPOCH_OFFSET + math.ceil(lg(math.log(FIG1_EPS_DENOM / epsilon)))
+
+
+def fig1_send_probability(epoch: int, epsilon: float) -> float:
+    """Per-slot send/listen probability of Figure 1's epoch ``i``.
+
+    The Theorem 1 proof sets ``p_i = sqrt(ln(8/eps) / 2**(i-1))``,
+    clamped here to 1 for tiny epochs so scaled-down presets stay valid.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon!r}")
+    p = math.sqrt(math.log(FIG1_EPS_DENOM / epsilon) / 2.0 ** (epoch - 1))
+    return min(1.0, p)
+
+
+def fig1_jam_threshold(epoch: int, epsilon: float) -> float:
+    """Figure 1's heard-jam halting threshold for epoch ``i``.
+
+    A party that heard at least ``sqrt(2**(i-1) * ln(8/eps)) / 4`` jammed
+    slots in a phase concludes the adversary is active and keeps running.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon!r}")
+    return (
+        math.sqrt(2.0 ** (epoch - 1) * math.log(FIG1_EPS_DENOM / epsilon))
+        / FIG1_JAM_THRESHOLD_DIV
+    )

@@ -1,0 +1,31 @@
+"""Vectorized phase-oriented simulation engine.
+
+Both of the paper's protocols are *oblivious within a phase*: a node's
+per-slot behaviour during one phase (an epoch phase in Figure 1, a
+repetition in Figure 2) is i.i.d. and independent of same-phase channel
+feedback — this is exactly the observation behind the paper's Lemma 1.
+The engine exploits it to simulate an entire phase in one shot:
+
+1. the protocol emits a :class:`~repro.engine.phase.PhaseSpec`
+   (per-node send/listen probabilities over ``L`` slots);
+2. the engine samples each node's send/listen slot sets exactly (the
+   per-slot Bernoulli process, via geometric-gap skip sampling);
+3. the adversary maps the phase context (and, per Lemma 1, the sampled
+   actions) to a :class:`~repro.channel.events.JamPlan`;
+4. :func:`repro.channel.model.resolve_phase` resolves all slots at once;
+5. the protocol observes only what its nodes legally heard.
+"""
+
+from repro.engine.phase import PhaseObservation, PhaseSpec
+from repro.engine.sampling import bernoulli_positions, sample_action_events
+from repro.engine.simulator import RunResult, Simulator, run
+
+__all__ = [
+    "PhaseObservation",
+    "PhaseSpec",
+    "RunResult",
+    "Simulator",
+    "bernoulli_positions",
+    "run",
+    "sample_action_events",
+]

@@ -1,0 +1,147 @@
+"""Phase contract between protocols and the engine.
+
+A *phase* is a block of consecutive slots during which every node's
+behaviour is i.i.d. per slot (Figure 1's send/nack phases, Figure 2's
+repetitions).  Protocols describe phases declaratively with
+:class:`PhaseSpec`; the engine runs them and hands back a
+:class:`PhaseObservation` containing only what the nodes legally heard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.events import N_STATUS, SlotStatus, TxKind
+from repro.errors import ProtocolError
+
+__all__ = ["PhaseSpec", "PhaseObservation"]
+
+
+@dataclass
+class PhaseSpec:
+    """Declarative description of one phase.
+
+    Attributes
+    ----------
+    length:
+        Number of slots.
+    send_probs:
+        ``(n_nodes,)`` per-slot transmission probability.  Halted or
+        silent nodes simply have probability 0.
+    send_kinds:
+        ``(n_nodes,)`` :class:`TxKind` each node transmits when it sends
+        (``DATA`` for the message ``m``, ``NOISE`` for Figure 2's
+        uninformed nodes, ``NACK``/``ACK`` for feedback phases).
+    listen_probs:
+        ``(n_nodes,)`` per-slot listening probability.
+    groups:
+        ``(n_nodes,)`` jam-group assignment for an ``l``-uniform
+        adversary; ``None`` puts everyone in group 0.
+    tags:
+        Free-form metadata exposed to the adversary and traces (epoch
+        index, phase kind, repetition number, ...).  Adversaries key
+        their strategies off these.
+    """
+
+    length: int
+    send_probs: np.ndarray
+    send_kinds: np.ndarray
+    listen_probs: np.ndarray
+    groups: np.ndarray | None = None
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ProtocolError(f"phase length must be positive, got {self.length}")
+        self.send_probs = np.asarray(self.send_probs, dtype=np.float64)
+        self.listen_probs = np.asarray(self.listen_probs, dtype=np.float64)
+        self.send_kinds = np.asarray(self.send_kinds, dtype=np.int8)
+        n = len(self.send_probs)
+        if self.listen_probs.shape != (n,) or self.send_kinds.shape != (n,):
+            raise ProtocolError("PhaseSpec array length mismatch")
+        for name, arr in (("send", self.send_probs), ("listen", self.listen_probs)):
+            if ((arr < 0.0) | (arr > 1.0)).any():
+                raise ProtocolError(f"{name} probabilities must lie in [0, 1]")
+        valid_kinds = {int(k) for k in TxKind}
+        if len(self.send_kinds) and not set(np.unique(self.send_kinds)) <= valid_kinds:
+            raise ProtocolError(f"send_kinds must be TxKind values, got "
+                                f"{sorted(set(np.unique(self.send_kinds)))}")
+        if self.groups is not None:
+            self.groups = np.asarray(self.groups, dtype=np.int64)
+            if self.groups.shape != (n,):
+                raise ProtocolError("groups length mismatch")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.send_probs)
+
+
+@dataclass(frozen=True)
+class PhaseObservation:
+    """What the protocol's nodes learned from one phase.
+
+    This object deliberately contains *only* information the model grants
+    the nodes: their own action costs and the per-status counts of what
+    they heard.  Ground truth (true jam fraction, other nodes' actions)
+    stays inside the engine.
+
+    Attributes
+    ----------
+    length:
+        The phase length, echoed back.
+    heard:
+        ``(n_nodes, N_STATUS)`` counts of listening slots by status.
+    send_cost / listen_cost:
+        ``(n_nodes,)`` energy actually spent (half-duplex collisions
+        already deducted from listens).
+    tags:
+        The spec's tags, echoed back.
+    """
+
+    length: int
+    heard: np.ndarray
+    send_cost: np.ndarray
+    listen_cost: np.ndarray
+    tags: dict
+
+    def heard_kind(self, kind: SlotStatus) -> np.ndarray:
+        """Per-node count of slots heard with the given status."""
+        return self.heard[:, int(kind)]
+
+    @property
+    def heard_clear(self) -> np.ndarray:
+        return self.heard_kind(SlotStatus.CLEAR)
+
+    @property
+    def heard_noise(self) -> np.ndarray:
+        return self.heard_kind(SlotStatus.NOISE)
+
+    @property
+    def heard_data(self) -> np.ndarray:
+        return self.heard_kind(SlotStatus.DATA)
+
+    @property
+    def heard_nack(self) -> np.ndarray:
+        return self.heard_kind(SlotStatus.NACK)
+
+    @property
+    def heard_ack(self) -> np.ndarray:
+        return self.heard_kind(SlotStatus.ACK)
+
+    @property
+    def cost(self) -> np.ndarray:
+        """Total per-node energy spent this phase."""
+        return self.send_cost + self.listen_cost
+
+    @staticmethod
+    def empty(length: int, n_nodes: int, tags: dict | None = None) -> "PhaseObservation":
+        """An observation where nobody acted (used by tests)."""
+        return PhaseObservation(
+            length=length,
+            heard=np.zeros((n_nodes, N_STATUS), dtype=np.int64),
+            send_cost=np.zeros(n_nodes, dtype=np.int64),
+            listen_cost=np.zeros(n_nodes, dtype=np.int64),
+            tags=dict(tags or {}),
+        )

@@ -1,0 +1,240 @@
+"""Exact, vectorized sampling of per-slot Bernoulli action processes.
+
+Every protocol in the paper has each node act independently per slot
+with some probability ``p`` ("send with probability S_u / 2**i", "listen
+with probability p_i", ...).  Materialising an ``(n_nodes, L)`` Bernoulli
+matrix is wasteful when ``p`` is small (and ``L`` reaches ``2**20`` in
+the sweeps), so we sample the *positions* of the successes directly.
+
+The geometric-gap ("skip") method is exact: in a Bernoulli(p) process
+the gaps between consecutive successes are i.i.d. Geometric(p), so we
+draw gaps via inverse-CDF, prefix-sum them, and truncate at ``L``.  Cost
+is ``O(pL)`` instead of ``O(L)``.  For large ``p`` a dense draw is
+cheaper and we switch automatically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.channel.events import ListenEvents, SendEvents
+from repro.errors import SimulationError
+
+__all__ = ["bernoulli_positions", "sample_action_events", "DENSE_P_THRESHOLD"]
+
+#: Above this probability a dense length-``L`` draw beats skip sampling.
+DENSE_P_THRESHOLD: float = 0.2
+
+
+def _geometric_gaps(
+    rng: np.random.Generator, p: float, count: int, cap: int
+) -> np.ndarray:
+    """Draw ``count`` i.i.d. Geometric(p) gaps (support ``{1, 2, ...}``).
+
+    Uses the inverse CDF ``ceil(log(1-U) / log(1-p))``, exact for
+    float64 ``U`` up to representability.  Gaps are clipped to ``cap``
+    (any value beyond the phase length is equivalent) so that extreme
+    draws at tiny ``p`` cannot overflow the integer cast.
+    """
+    u = rng.random(count)
+    # log1p(-u) is log(1-u) computed stably; log1p(-p) likewise.  The
+    # division can overflow to inf for astronomically small p; those
+    # draws are beyond any phase and the clip handles them.
+    with np.errstate(over="ignore"):
+        raw = np.ceil(np.log1p(-u) / math.log1p(-p))
+    gaps = np.clip(raw, 1.0, float(cap)).astype(np.int64)
+    return gaps
+
+
+def bernoulli_positions(
+    rng: np.random.Generator, length: int, p: float
+) -> np.ndarray:
+    """Positions of successes of a length-``length`` Bernoulli(p) process.
+
+    Returns a sorted int64 array of distinct slot indices in
+    ``[0, length)``.  The distribution is *exactly* that of flipping an
+    independent p-coin per slot: the count is Binomial(length, p) and,
+    conditioned on the count, the positions are a uniform random subset.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness.
+    length:
+        Number of slots.
+    p:
+        Per-slot success probability; values outside ``[0, 1]`` raise.
+    """
+    if length < 0:
+        raise SimulationError(f"length must be non-negative, got {length}")
+    if not 0.0 <= p <= 1.0:
+        raise SimulationError(f"probability must be in [0, 1], got {p!r}")
+    if length == 0 or p == 0.0:
+        return np.empty(0, dtype=np.int64)
+    if p == 1.0:
+        return np.arange(length, dtype=np.int64)
+
+    if p >= DENSE_P_THRESHOLD:
+        return np.flatnonzero(rng.random(length) < p).astype(np.int64)
+
+    # Skip sampling: draw a batch of gaps sized for the expected count
+    # plus slack; extend in the (rare) case the prefix sum falls short.
+    mean = length * p
+    batch = int(mean + 6.0 * math.sqrt(mean * (1.0 - p)) + 16.0)
+    cap = length + 1
+    positions = np.cumsum(_geometric_gaps(rng, p, batch, cap)) - 1
+    while positions[-1] < length - 1:
+        extra = np.cumsum(_geometric_gaps(rng, p, batch, cap)) + positions[-1]
+        positions = np.concatenate([positions, extra])
+    return positions[positions < length]
+
+
+def _distinct_positions_batch(
+    rng: np.random.Generator, length: int, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """For each node ``u``, a uniform random ``counts[u]``-subset of
+    ``[0, length)`` — all nodes at once.
+
+    Exactness: conditioned on its Binomial count, a Bernoulli process's
+    success positions are a uniform subset, and sequential rejection of
+    duplicates samples uniform subsets exactly.  Nodes wanting more
+    than half the slots are handled by sampling the *complement* (a
+    uniform (L-k)-subset's complement is a uniform k-subset), which
+    keeps the rejection loop away from the coupon-collector regime.
+
+    Returns ``(node_ids, slots)`` arrays (unordered within a node).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    n = len(counts)
+    heavy = counts > length // 2
+
+    node_parts: list[np.ndarray] = []
+    slot_parts: list[np.ndarray] = []
+
+    # Light nodes: rejection sampling on (node, slot) keys.  Each round
+    # overdraws slightly so one unique() pass usually collects enough
+    # distinct slots per node; surpluses are trimmed afterwards by a
+    # per-node uniformly random subset (value-symmetric, hence exact).
+    light_idx = np.flatnonzero(~heavy & (counts > 0))
+    if len(light_idx):
+        want = counts[light_idx]
+        keys = np.empty(0, dtype=np.int64)
+        need = want.copy()
+        while True:
+            total = int(need.sum())
+            if total == 0:
+                break
+            overdraw = need + need // 16 + 4
+            draw_nodes = np.repeat(light_idx, overdraw)
+            draw_slots = rng.integers(0, length, int(overdraw.sum()))
+            keys = np.unique(
+                np.concatenate([keys, draw_nodes * length + draw_slots])
+            )
+            have = np.bincount(keys // length, minlength=n)[light_idx]
+            need = np.maximum(0, want - have)
+
+        nodes_all = keys // length
+        have = np.bincount(nodes_all, minlength=n)[light_idx]
+        if (have > want).any():
+            # keys is sorted, hence node-major: trim each node's segment
+            # to a random `want`-subset by ranking on random tie-breaks.
+            order = np.lexsort((rng.random(len(keys)), nodes_all))
+            starts = np.zeros(len(light_idx), dtype=np.int64)
+            np.cumsum(have[:-1], out=starts[1:])
+            seg_of = np.repeat(np.arange(len(light_idx)), have)
+            rank = np.arange(len(keys)) - starts[seg_of]
+            keep_sorted = rank < want[seg_of]
+            keys = keys[order[keep_sorted]]
+            nodes_all = keys // length
+        node_parts.append(nodes_all)
+        slot_parts.append(keys % length)
+
+    # Heavy nodes: sample the complement, then invert with a mask.
+    heavy_idx = np.flatnonzero(heavy)
+    if len(heavy_idx):
+        comp_counts = np.zeros(n, dtype=np.int64)
+        comp_counts[heavy_idx] = length - counts[heavy_idx]
+        comp_nodes, comp_slots = _distinct_positions_batch(
+            rng, length, comp_counts
+        )
+        mask = np.ones((len(heavy_idx), length), dtype=bool)
+        remap = np.full(n, -1, dtype=np.int64)
+        remap[heavy_idx] = np.arange(len(heavy_idx))
+        mask[remap[comp_nodes], comp_slots] = False
+        rows, cols = np.nonzero(mask)
+        node_parts.append(heavy_idx[rows])
+        slot_parts.append(cols)
+
+    if not node_parts:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return (
+        np.concatenate(node_parts),
+        np.concatenate(slot_parts).astype(np.int64),
+    )
+
+
+def sample_action_events(
+    rng: np.random.Generator,
+    length: int,
+    send_probs: np.ndarray,
+    send_kinds: np.ndarray,
+    listen_probs: np.ndarray,
+) -> tuple[SendEvents, ListenEvents]:
+    """Sample every node's send and listen slots for one phase.
+
+    The per-node, per-slot Bernoulli processes are sampled exactly but
+    fully batched: one vectorised Binomial draw for the counts, then a
+    batched uniform-subset draw for the positions (see
+    :func:`_distinct_positions_batch`).  No Python-level loop over
+    nodes — this is the engine's hottest path.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness (one stream for the whole phase; node
+        streams need not be separated because the draws are independent
+        by construction).
+    length:
+        Phase length in slots.
+    send_probs / listen_probs:
+        ``(n_nodes,)`` per-slot action probabilities.
+    send_kinds:
+        ``(n_nodes,)`` :class:`~repro.channel.events.TxKind` value each
+        node transmits when it sends.
+
+    Returns
+    -------
+    (SendEvents, ListenEvents)
+        Sparse event sets, node-grouped.
+    """
+    send_probs = np.asarray(send_probs, dtype=np.float64)
+    listen_probs = np.asarray(listen_probs, dtype=np.float64)
+    send_kinds = np.asarray(send_kinds, dtype=np.int8)
+    n = len(send_probs)
+    if listen_probs.shape != (n,) or send_kinds.shape != (n,):
+        raise SimulationError("send_probs, send_kinds, listen_probs length mismatch")
+    if ((send_probs < 0) | (send_probs > 1)).any() or (
+        (listen_probs < 0) | (listen_probs > 1)
+    ).any():
+        raise SimulationError("action probabilities must lie in [0, 1]")
+
+    send_counts = rng.binomial(length, send_probs)
+    send_nodes, send_slots = _distinct_positions_batch(rng, length, send_counts)
+    sends = (
+        SendEvents(send_nodes, send_slots, send_kinds[send_nodes])
+        if len(send_nodes)
+        else SendEvents.empty()
+    )
+
+    listen_counts = rng.binomial(length, listen_probs)
+    listen_nodes, listen_slots = _distinct_positions_batch(
+        rng, length, listen_counts
+    )
+    listens = (
+        ListenEvents(listen_nodes, listen_slots)
+        if len(listen_nodes)
+        else ListenEvents.empty()
+    )
+    return sends, listens

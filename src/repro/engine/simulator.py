@@ -1,0 +1,246 @@
+"""The run loop: protocol × adversary → costs, latency, outcome.
+
+One :func:`run` call plays a complete execution of a protocol against an
+adversary on the slotted channel, with full energy accounting.  The loop
+is phase-granular; all slot-level work happens vectorised inside
+:func:`repro.channel.model.resolve_phase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adversaries.base import Adversary, AdversaryContext
+from repro.channel.accounting import EnergyLedger
+from repro.channel.model import resolve_phase
+from repro.engine.phase import PhaseObservation
+from repro.engine.sampling import sample_action_events
+from repro.errors import BudgetExceededError, ProtocolError
+from repro.protocols.base import Protocol
+from repro.rng import RngFactory
+
+__all__ = ["Simulator", "RunResult", "run"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one complete execution.
+
+    Attributes
+    ----------
+    node_costs:
+        ``(n_nodes,)`` total energy per good node.
+    adversary_cost:
+        The adversary's total spend — the paper's ``T``.
+    slots:
+        Total latency in slots (sum of phase lengths until the last node
+        halted).
+    phases:
+        Number of phases executed.
+    truncated:
+        True when the run hit the safety cap instead of halting; such
+        runs should be treated as censored observations.
+    stats:
+        The protocol's :meth:`~repro.protocols.base.Protocol.summary`.
+    phase_history:
+        Per-phase cost records (empty when history is disabled).
+    """
+
+    node_costs: np.ndarray
+    adversary_cost: int
+    slots: int
+    phases: int
+    truncated: bool
+    stats: dict
+    phase_history: list = field(default_factory=list)
+    node_send_costs: np.ndarray | None = None
+    node_listen_costs: np.ndarray | None = None
+
+    @property
+    def max_node_cost(self) -> int:
+        """``max_u C(u)`` — the resource-competitive cost measure."""
+        return int(self.node_costs.max())
+
+    def weighted_node_costs(self, model) -> np.ndarray:
+        """Per-node energy under a weighted radio
+        :class:`~repro.channel.accounting.CostModel`."""
+        if self.node_send_costs is None or self.node_listen_costs is None:
+            raise ValueError("run was recorded without a send/listen split")
+        return model.weight(self.node_send_costs, self.node_listen_costs)
+
+    @property
+    def success(self) -> bool:
+        return bool(self.stats.get("success", False))
+
+    @property
+    def T(self) -> int:
+        """Alias for :attr:`adversary_cost`, matching the paper's ``T``."""
+        return self.adversary_cost
+
+
+class Simulator:
+    """Reusable runner binding a protocol, an adversary, and limits.
+
+    Parameters
+    ----------
+    protocol / adversary:
+        The parties.  Both are reset at the start of every :meth:`run`.
+    max_slots / max_phases:
+        Safety caps.  By default a run that exceeds them is truncated
+        and flagged; with ``strict=True`` it raises
+        :class:`~repro.errors.BudgetExceededError` instead.
+    keep_history:
+        Keep per-phase cost records on the result (off for big sweeps).
+    trace:
+        Optional :class:`repro.trace.TraceRecorder` capturing raw
+        slot-level material of every phase (small runs only).
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        adversary: Adversary,
+        *,
+        max_slots: int = 50_000_000,
+        max_phases: int = 200_000,
+        strict: bool = False,
+        keep_history: bool = False,
+        trace=None,
+    ) -> None:
+        self.protocol = protocol
+        self.adversary = adversary
+        self.max_slots = max_slots
+        self.max_phases = max_phases
+        self.strict = strict
+        self.keep_history = keep_history
+        self.trace = trace
+
+    def run(self, seed: int | np.random.Generator | None = None) -> RunResult:
+        """Play one execution and return its :class:`RunResult`."""
+        factory = RngFactory(seed)
+        protocol_rng = factory.get("protocol")
+        adversary_rng = factory.get("adversary")
+
+        protocol = self.protocol
+        adversary = self.adversary
+        protocol.reset(protocol_rng)
+
+        ledger = EnergyLedger(protocol.n_nodes, keep_history=self.keep_history)
+        slots = 0
+        phases = 0
+        truncated = False
+        n_groups_seen = 1
+
+        spec = protocol.next_phase()
+        if spec is not None:
+            n_groups_seen = (
+                int(spec.groups.max()) + 1 if spec.groups is not None else 1
+            )
+        adversary.begin_run(protocol.n_nodes, n_groups_seen, adversary_rng)
+
+        while spec is not None:
+            if spec.n_nodes != protocol.n_nodes:
+                raise ProtocolError(
+                    f"phase for {spec.n_nodes} nodes from a protocol with "
+                    f"{protocol.n_nodes}"
+                )
+            if slots + spec.length > self.max_slots or phases >= self.max_phases:
+                if self.strict:
+                    raise BudgetExceededError(
+                        f"run exceeded caps (slots={slots}, phases={phases})"
+                    )
+                truncated = True
+                break
+
+            sends, listens = sample_action_events(
+                protocol_rng,
+                spec.length,
+                spec.send_probs,
+                spec.send_kinds,
+                spec.listen_probs,
+            )
+            ctx = AdversaryContext(
+                phase_index=phases,
+                length=spec.length,
+                n_nodes=protocol.n_nodes,
+                n_groups=n_groups_seen,
+                tags=dict(spec.tags),
+                sends=sends,
+                listens=listens,
+                send_probs=spec.send_probs,
+                listen_probs=spec.listen_probs,
+                spent=ledger.adversary_cost,
+            )
+            plan = adversary.plan_phase(ctx)
+            outcome = resolve_phase(
+                spec.length,
+                protocol.n_nodes,
+                sends,
+                listens,
+                plan,
+                groups=spec.groups,
+            )
+            ledger.charge_phase(
+                spec.length,
+                outcome.send_cost + outcome.listen_cost,
+                outcome.adversary_cost,
+                tags=spec.tags,
+                send_costs=outcome.send_cost,
+                listen_costs=outcome.listen_cost,
+            )
+            if self.trace is not None:
+                self.trace.record(
+                    phases, spec.length, protocol.n_nodes, spec.tags,
+                    sends, listens, plan, spec.groups, outcome,
+                )
+            slots += spec.length
+            phases += 1
+
+            protocol.observe(
+                PhaseObservation(
+                    length=spec.length,
+                    heard=outcome.heard,
+                    send_cost=outcome.send_cost,
+                    listen_cost=outcome.listen_cost,
+                    tags=dict(spec.tags),
+                )
+            )
+            adversary.observe_outcome(ctx, outcome)
+            spec = protocol.next_phase()
+
+        if spec is None and not protocol.done:
+            raise ProtocolError("protocol returned no phase but reports not done")
+
+        ledger.check_conservation()
+        return RunResult(
+            node_costs=ledger.node_costs,
+            adversary_cost=ledger.adversary_cost,
+            slots=slots,
+            phases=phases,
+            truncated=truncated,
+            stats=protocol.summary(),
+            phase_history=ledger.history,
+            node_send_costs=ledger.send_costs,
+            node_listen_costs=ledger.listen_costs,
+        )
+
+
+def run(
+    protocol: Protocol,
+    adversary: Adversary,
+    seed: int | np.random.Generator | None = None,
+    **kwargs,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`Simulator`.
+
+    Examples
+    --------
+    >>> from repro.protocols import OneToOneBroadcast, OneToOneParams
+    >>> from repro.adversaries import SilentAdversary
+    >>> result = run(OneToOneBroadcast(OneToOneParams.sim()), SilentAdversary(), seed=7)
+    >>> result.success
+    True
+    """
+    return Simulator(protocol, adversary, **kwargs).run(seed)

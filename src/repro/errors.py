@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything raised by this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter object or protocol/adversary configuration is invalid.
+
+    Raised eagerly at construction time (never mid-simulation) so that a
+    long sweep cannot die hours in because of a bad constant.
+    """
+
+
+class SimulationError(ReproError):
+    """An internal invariant of the simulation engine was violated."""
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation violated the engine's phase contract.
+
+    Examples: emitting a phase after reporting completion, returning
+    send/listen probabilities outside ``[0, 1]``, or emitting a phase of
+    non-positive length.
+    """
+
+
+class AdversaryError(ReproError):
+    """An adversary produced an invalid jam/spoof plan.
+
+    Examples: jam slots outside the phase, a plan for a group that does
+    not exist, or negative budget use.
+    """
+
+
+class BudgetExceededError(SimulationError):
+    """A run exceeded the configured slot or phase safety cap.
+
+    Raised only when the caller asked for strict enforcement; by default
+    runs are truncated and flagged instead, because several experiments
+    deliberately probe the runaway regime.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received data it cannot work with.
+
+    Example: a power-law fit over fewer than two distinct x values.
+    """

@@ -1,0 +1,34 @@
+"""Experiment registry: one module per theorem-level claim.
+
+The paper is a theory paper — its "evaluation" is five theorems, so
+each experiment regenerates one claim's *shape* (exponents, monotonic
+directions, crossovers) rather than a testbed number.  See DESIGN.md §4
+for the experiment-to-theorem index and EXPERIMENTS.md for recorded
+paper-versus-measured outcomes.
+
+Usage::
+
+    from repro.experiments import run_experiment, list_experiments
+    report = run_experiment("E1", quick=True, seed=0)
+    print(report.render())
+"""
+
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentReport,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.runner import Table, replicate, sweep_epoch_targets
+
+__all__ = [
+    "Experiment",
+    "ExperimentReport",
+    "Table",
+    "get_experiment",
+    "list_experiments",
+    "replicate",
+    "run_experiment",
+    "sweep_epoch_targets",
+]

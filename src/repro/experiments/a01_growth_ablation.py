@@ -1,0 +1,75 @@
+"""A1 — ablation: slow versus aggressive rate growth (Lemma 5).
+
+Figure 2 grows ``S_u`` by ``2**(C'_u / (budget * i))`` — deliberately
+slow.  Section 3.1 gives two reasons: (a) ``S_u`` must linger near the
+ideal ``sqrt(2**i / n)`` long enough to disseminate the message, and
+(b) all nodes' rates must stay within a constant of each other
+(Lemma 5: ``S_u / S_v <= 2``) for the costs to be fair and for ``n_u``
+estimates to be meaningful.
+
+The ablation removes the extra ``1/i`` damping.  Measured effects: the
+max ``S_u/S_v`` divergence grows, and the ``n_u`` estimates scatter
+(their spread across nodes increases), confirming the design choice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.adversaries.basic import SilentAdversary
+from repro.experiments.registry import ExperimentReport
+from repro.experiments.runner import Table, replicate
+from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+    n = 16 if quick else 32
+    n_reps = 3 if quick else 8
+    base = OneToNParams.sim()
+
+    table = Table(
+        f"A1: growth-rate ablation, n={n} ({n_reps} reps)",
+        ["update rule", "max S_u/S_v", "n_u spread (q90/q10)", "mean_cost",
+         "final_epoch", "success"],
+    )
+    rows = {}
+    for name, aggressive in (("paper: 2^(C'/(budget*i))", False),
+                             ("ablated: 2^(C'/budget)", True)):
+        params = dataclasses.replace(base, aggressive_growth=aggressive)
+        results = replicate(
+            lambda p=params: OneToNBroadcast(n, p),
+            lambda: SilentAdversary(),
+            n_reps, seed=seed,
+        )
+        ratio = float(np.mean([r.stats["max_s_ratio"] for r in results]))
+        spreads = []
+        for r in results:
+            est = r.stats["n_estimates"]
+            est = est[~np.isnan(est)]
+            if len(est) >= 2:
+                q10, q90 = np.quantile(est, [0.1, 0.9])
+                spreads.append(q90 / max(q10, 1e-9))
+        spread = float(np.mean(spreads)) if spreads else float("nan")
+        cost = float(np.mean([r.node_costs.mean() for r in results]))
+        epoch = float(np.mean([r.stats["final_epoch"] for r in results]))
+        success = float(np.mean([r.success for r in results]))
+        table.add_row(name, ratio, spread, cost, epoch, success)
+        rows[name] = dict(ratio=ratio, spread=spread, success=success)
+
+    report = ExperimentReport(eid="A1", title="", anchor="")
+    report.tables.append(table)
+    slow = rows["paper: 2^(C'/(budget*i))"]
+    fast = rows["ablated: 2^(C'/budget)"]
+    report.checks["aggressive growth diverges more (max S ratio larger)"] = (
+        fast["ratio"] > slow["ratio"]
+    )
+    report.checks["paper rule keeps divergence modest (< 8)"] = slow["ratio"] < 8.0
+    report.notes.append(
+        "Lemma 5 proves S_u/S_v <= 2 for the paper's damped update "
+        "(with paper-sized d); the sim preset's smaller budgets make the "
+        "sampling noise larger, so the slow rule's divergence sits above "
+        "2 but remains far below the ablated rule's."
+    )
+    return report

@@ -1,0 +1,92 @@
+"""A3 — ablation: uninformed noise on/off (the implicit ``n`` estimate).
+
+Figure 2's oddest-looking rule: *uninformed nodes transmit noise*.
+The noise is how the network measures itself — channel occupancy tells
+every node how large ``n`` is relative to ``2**i``, because rates only
+grow when the channel sounds quiet.
+
+In benign runs the rule looks redundant (dissemination is fast, and
+informed senders provide the same occupancy).  Its value shows against
+a *dissemination suppressor* — an adaptive jammer that kills exactly
+the decodable message slots during the early epochs
+(:class:`~repro.adversaries.suppressor.BroadcastSuppressor`):
+
+* **noise on** — uninformed nodes' noise keeps the channel loud, rates
+  stay pinned at ``s_init``, everyone survives the suppression window,
+  and the broadcast completes once the adversary stops.  Suppression is
+  cheap for her (few message slots exist) but buys nothing.
+* **noise off** — the channel sounds clear, every node's rate races
+  upward, the Case-1 safety valve fires while nodes are still
+  uninformed, and the broadcast *fails* (at large ``n``) or completes
+  only at several times the cost (moderate ``n``).
+
+Claims checked: with noise the broadcast always succeeds; without it,
+at ``n = 128`` it fails outright or costs at least twice as much.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.adversaries.suppressor import BroadcastSuppressor
+from repro.experiments.registry import ExperimentReport
+from repro.experiments.runner import Table, replicate
+from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+    base = OneToNParams.sim()
+    ns = (64, 128) if quick else (32, 64, 128, 256)
+    n_reps = 2 if quick else 4
+
+    table = Table(
+        f"A3: uninformed-noise ablation vs dissemination suppressor "
+        f"({n_reps} reps/cell)",
+        ["n", "variant", "success", "informed", "T", "mean_cost"],
+    )
+    rows: dict[tuple[int, bool], dict] = {}
+    for n in ns:
+        target = int(math.log2(n)) + 3
+        for noisy in (True, False):
+            params = dataclasses.replace(base, uninformed_noise=noisy)
+            results = replicate(
+                lambda p=params, n=n: OneToNBroadcast(n, p),
+                lambda t=target: BroadcastSuppressor(target_epoch=t),
+                n_reps, seed=seed + n,
+            )
+            row = dict(
+                success=float(np.mean([r.success for r in results])),
+                informed=float(np.mean([r.stats["n_informed"] for r in results])),
+                T=float(np.mean([r.adversary_cost for r in results])),
+                cost=float(np.mean([r.node_costs.mean() for r in results])),
+            )
+            rows[(n, noisy)] = row
+            table.add_row(
+                n, "noise on (Fig 2)" if noisy else "noise off",
+                row["success"], row["informed"], row["T"], row["cost"],
+            )
+
+    report = ExperimentReport(eid="A3", title="", anchor="")
+    report.tables.append(table)
+    report.checks["with noise: broadcast survives suppression at every n"] = bool(
+        all(rows[(n, True)]["success"] == 1.0 for n in ns)
+    )
+    big = max(ns)
+    off, on = rows[(big, False)], rows[(big, True)]
+    report.checks[
+        f"without noise at n={big}: failure or >= 2x cost"
+    ] = bool(off["success"] < 1.0 or off["cost"] >= 2.0 * on["cost"])
+    report.checks["suppression is cheap against the real protocol"] = bool(
+        on["T"] < on["cost"]
+    )
+    report.notes.append(
+        "The suppressor jams only lone-DATA slots, so against the noisy "
+        "protocol it spends almost nothing — and achieves almost nothing. "
+        "Against the silenced variant the racing rates force Case-1 "
+        "terminations of uninformed nodes: the paper's implicit-n "
+        "measurement is what makes suppression unprofitable."
+    )
+    return report

@@ -1,0 +1,102 @@
+"""A6 — ablation: sensitivity of the conclusions to the sim preset.
+
+DESIGN.md §3 claims the scaled-down constants preserve the paper's
+*shapes* because every threshold scales with the same budgets.  That
+claim should be measured, not asserted: this scan perturbs each tuning
+constant of Figure 2 by 2x in both directions (one at a time) and
+re-measures the three load-bearing outcomes —
+
+* delivery (all nodes informed),
+* the termination epoch (polylog behaviour: stays within ~2 epochs),
+* per-node cost (moves by bounded constants, not regime changes).
+
+A preset whose conclusions flipped under 2x perturbations would be a
+tuned artefact; one that degrades gracefully is evidence the dynamics,
+not the constants, carry the results.  (`helper_frac` is perturbed only
+upward: halving it deliberately violates the documented
+``helper_frac > s_init/e`` calibration, which is ablation A3's
+territory.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.adversaries.basic import SilentAdversary
+from repro.experiments.registry import ExperimentReport
+from repro.experiments.runner import Table, replicate
+from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
+
+PERTURBATIONS = [
+    ("baseline", {}),
+    ("b x2", {"b": 4.0}),
+    ("b /2", {"b": 1.0}),
+    ("d x2", {"d": 2.0}),
+    ("d x4", {"d": 4.0}),
+    ("helper_frac x2", {"helper_frac": 3.0}),
+    ("c_term_helper x2", {"c_term_helper": 5.0}),
+    ("c_term_helper /2", {"c_term_helper": 1.25}),
+    ("s_init x2", {"s_init": 4.0, "helper_frac": 3.0}),  # keep calibration
+]
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+    n = 16 if quick else 32
+    n_reps = 2 if quick else 5
+    base = OneToNParams.sim()
+
+    table = Table(
+        f"A6: 2x parameter perturbations of the Figure 2 sim preset "
+        f"(n={n}, unjammed, {n_reps} reps/row)",
+        ["variant", "success", "final_epoch", "mean_cost", "cost vs baseline"],
+    )
+    report = ExperimentReport(eid="A6", title="", anchor="")
+
+    rows = {}
+    for name, overrides in PERTURBATIONS:
+        params = dataclasses.replace(base, **overrides)
+        results = replicate(
+            lambda p=params: OneToNBroadcast(n, p),
+            SilentAdversary, n_reps, seed=seed,
+            max_slots=80_000_000,
+        )
+        rows[name] = dict(
+            success=float(np.mean([r.success for r in results])),
+            epoch=float(np.mean([r.stats["final_epoch"] for r in results])),
+            cost=float(np.mean([r.node_costs.mean() for r in results])),
+            truncated=any(r.truncated for r in results),
+        )
+
+    baseline = rows["baseline"]
+    for name, _ in PERTURBATIONS:
+        r = rows[name]
+        table.add_row(
+            name, r["success"], r["epoch"], r["cost"],
+            r["cost"] / baseline["cost"],
+        )
+    report.tables.append(table)
+
+    report.checks["delivery survives every perturbation"] = bool(
+        all(r["success"] == 1.0 for r in rows.values())
+    )
+    report.checks["no perturbation hits the slot cap"] = bool(
+        not any(r["truncated"] for r in rows.values())
+    )
+    report.checks["termination epoch moves <= 3 epochs"] = bool(
+        all(abs(r["epoch"] - baseline["epoch"]) <= 3 for r in rows.values())
+    )
+    report.checks["cost moves by bounded constants (< 12x)"] = bool(
+        all(
+            1 / 12 < r["cost"] / baseline["cost"] < 12
+            for r in rows.values()
+        )
+    )
+    report.notes.append(
+        "The widest swings come from d (the listening budget multiplies "
+        "cost directly) and c_term_helper (each doubling costs two extra "
+        "epochs' climb, ~sqrt(4) in rate) — both linear-in-constants, "
+        "neither a regime change."
+    )
+    return report

@@ -1,0 +1,65 @@
+"""E2 — Theorem 1 (correctness): Bob receives ``m`` w.p. ``>= 1 - eps``.
+
+Workload: sweep the tunable failure parameter ``eps`` and, for each,
+run many replications against three adversary regimes — silent
+(``T = 0``), persistent partial blocking (below Figure 1's 1/16-ish
+knife edge the analysis reasons about), and random interference.
+
+Claim checked: the empirical success rate is at least ``1 - eps`` for
+every ``eps`` and regime (with Wilson-interval honesty for the small
+sample sizes of quick mode).
+"""
+
+from __future__ import annotations
+
+from repro.adversaries.basic import RandomJammer, SilentAdversary
+from repro.adversaries.blocking import QBlockingJammer
+from repro.adversaries.budget import BudgetCap
+from repro.analysis.stats import wilson_interval
+from repro.experiments.registry import ExperimentReport
+from repro.experiments.runner import Table, replicate, stable_hash
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+
+# Persistent jammers are budget-capped: any jam rate above Figure 1's
+# ~1/8 threshold keeps the parties (correctly!) running for as long as
+# the jamming lasts — that is the protocol forcing the adversary to
+# spend — so an un-capped strategy would run every replication into the
+# slot cap.
+REGIMES = {
+    "silent": lambda: SilentAdversary(),
+    "qblock(0.3, 64k)": lambda: BudgetCap(
+        QBlockingJammer(q=0.3, target_listener=True), budget=1 << 16
+    ),
+    "random(0.2, 64k)": lambda: BudgetCap(RandomJammer(p=0.2), budget=1 << 16),
+}
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+    epsilons = (0.3, 0.1) if quick else (0.3, 0.1, 0.03, 0.01)
+    n_reps = 40 if quick else 300
+
+    table = Table(
+        f"E2: Figure 1 success rate by eps and adversary ({n_reps} reps/cell)",
+        ["eps", "adversary", "successes", "reps", "rate", "wilson_low", "target"],
+    )
+    report = ExperimentReport(eid="E2", title="", anchor="")
+
+    for eps in epsilons:
+        params = OneToOneParams.sim(epsilon=eps)
+        for name, make_adv in REGIMES.items():
+            results = replicate(
+                lambda: OneToOneBroadcast(params), make_adv, n_reps,
+                seed=seed + stable_hash(eps, name),
+            )
+            wins = sum(r.success for r in results)
+            low, _ = wilson_interval(wins, n_reps)
+            rate = wins / n_reps
+            table.add_row(eps, name, wins, n_reps, rate, low, 1.0 - eps)
+            report.checks[f"eps={eps} {name}: rate >= 1 - eps"] = rate >= 1.0 - eps
+
+    report.tables.append(table)
+    report.notes.append(
+        "Theorem 1's bound is loose in practice: the epoch-level failure "
+        "budget eps/8 per source makes the realized failure rate far below eps."
+    )
+    return report

@@ -1,0 +1,62 @@
+"""E4 — Theorem 1 (latency): termination within ``O(T)`` slots.
+
+Theorem 1's third bullet: Alice and Bob terminate within an expected
+``O(T)`` slots, asymptotically optimal (the adversary can always force
+``T`` latency by jamming everything until the budget runs out).
+
+Workload: the E1 sweep, recording elapsed slots instead of energy.
+Claims checked: latency-versus-T fit has exponent ~1, and the
+latency/T ratio stays bounded across the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.blocking import EpochTargetJammer
+from repro.analysis.scaling import fit_power_law
+from repro.experiments.registry import ExperimentReport
+from repro.experiments.runner import Table, sweep_epoch_targets
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+    params = OneToOneParams.sim(epsilon=0.1)
+    targets = (
+        range(params.first_epoch + 2, params.first_epoch + 9, 2)
+        if quick
+        else range(params.first_epoch + 2, params.first_epoch + 13)
+    )
+    n_reps = 5 if quick else 20
+
+    points = sweep_epoch_targets(
+        lambda: OneToOneBroadcast(params),
+        lambda t: EpochTargetJammer(t, q=1.0, target_listener=True),
+        targets, n_reps=n_reps, seed=seed,
+    )
+
+    table = Table(
+        f"E4: Figure 1 latency (slots to halt) vs T ({n_reps} reps/point)",
+        ["target_epoch", "T", "slots", "slots/T", "success"],
+    )
+    for p in points:
+        table.add_row(
+            int(p.setting), p.mean_T, p.mean_slots, p.mean_slots / p.mean_T,
+            p.success_rate,
+        )
+
+    fit = fit_power_law(table.column("T"), table.column("slots"))
+    ratios = table.column("slots/T")
+    report = ExperimentReport(eid="E4", title="", anchor="")
+    report.tables.append(table)
+    report.notes.append(f"latency fit: {fit}")
+    report.checks["latency exponent in [0.85, 1.15] (Thm 1 says 1)"] = (
+        0.85 <= fit.exponent <= 1.15
+    )
+    report.checks["latency/T ratio bounded (max/min < 4)"] = bool(
+        ratios.max() / ratios.min() < 4.0
+    )
+    report.checks["latency at least T (adversary forces it)"] = bool(
+        np.all(ratios >= 1.0)
+    )
+    return report

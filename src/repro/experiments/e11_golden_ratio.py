@@ -1,0 +1,101 @@
+"""E11 — Theorem 5: the golden-ratio exponent under spoofing.
+
+Two parts:
+
+1. *Closed-form game*: sweep the cost split ``delta`` and evaluate the
+   adversary's two scenarios; the protocol designer's optimum
+   ``argmin_d max{(1-d)/d, d}`` must land on ``phi - 1 ~ 0.618``
+   (checked against a scipy minimiser and against the sweep's argmin).
+
+2. *Executed scenario (ii)*: run Figure 1 and the KSY reconstruction
+   against an adversary that simulates Bob with spoofed nacks, at
+   growing horizon caps, and fit Alice's realized cost against the
+   adversary's realized cost.  Figure 1 — correct only when Bob is
+   authenticated — exchanges energy ~1:1 with the spoofer (exponent
+   ~1, i.e. *not* resource-competitive in this model), while KSY's
+   golden-ratio rate split keeps Alice's exponent near
+   ``(phi-1)**2/(phi-1) = phi - 1 ~ 0.618``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.theory import spoof_exponent
+from repro.channel.events import TxKind
+from repro.constants import PHI_MINUS_1
+from repro.experiments.registry import ExperimentReport
+from repro.experiments.runner import Table
+from repro.lowerbounds.spoof_game import optimal_delta, simulate_spoofing_run
+from repro.protocols.ksy import KSYOneToOne, KSYParams
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+from repro.rng import derive
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+    report = ExperimentReport(eid="E11", title="", anchor="")
+
+    # Part 1: the closed-form curve.
+    deltas = np.linspace(0.35, 0.85, 11 if quick else 51)
+    exponents = spoof_exponent(deltas)
+    t1 = Table("E11a: exponent max{(1-d)/d, d} over the split d",
+               ["delta", "exponent"])
+    for d, e in zip(deltas, exponents):
+        t1.add_row(float(d), float(e))
+    report.tables.append(t1)
+
+    argmin_sweep = float(deltas[np.argmin(exponents)])
+    d_star, v_star = optimal_delta()
+    report.notes.append(
+        f"optimal delta = {d_star:.6f} with exponent {v_star:.6f}; "
+        f"phi - 1 = {PHI_MINUS_1:.6f}"
+    )
+    report.checks["minimiser equals phi - 1 (1e-5)"] = abs(d_star - PHI_MINUS_1) < 1e-5
+    report.checks["minimum exponent equals phi - 1 (1e-5)"] = (
+        abs(v_star - PHI_MINUS_1) < 1e-5
+    )
+    report.checks["sweep argmin within grid step of phi - 1"] = (
+        abs(argmin_sweep - PHI_MINUS_1) <= float(deltas[1] - deltas[0]) + 1e-9
+    )
+
+    # Part 2: executed scenario (ii).
+    caps = (1 << 13, 1 << 15, 1 << 17) if quick else (1 << 13, 1 << 15, 1 << 17, 1 << 19)
+    t2 = Table(
+        "E11b: Alice's cost vs spoofing adversary's cost (scenario ii)",
+        ["protocol", "horizon", "alice_cost", "adversary_cost"],
+    )
+    fits = {}
+    for name, make in (
+        ("fig1", lambda: OneToOneBroadcast(OneToOneParams.sim())),
+        ("ksy", lambda: KSYOneToOne(KSYParams.sim())),
+    ):
+        pts = []
+        for j, cap in enumerate(caps):
+            a_costs, adv_costs = [], []
+            for r in range(2 if quick else 5):
+                a, _b, adv = simulate_spoofing_run(
+                    make(), seed=int(derive(seed, j, r).integers(0, 2**31)),
+                    spoof_kind=TxKind.NACK, max_slots=cap,
+                )
+                a_costs.append(a)
+                adv_costs.append(adv)
+            pt = (float(np.mean(adv_costs)), float(np.mean(a_costs)))
+            pts.append(pt)
+            t2.add_row(name, cap, pt[1], pt[0])
+        arr = np.array(pts)
+        fits[name] = fit_power_law(arr[:, 0], arr[:, 1], n_bootstrap=0)
+    report.tables.append(t2)
+
+    report.notes.append(f"fig1 Alice-vs-adversary fit: {fits['fig1']}")
+    report.notes.append(f"ksy  Alice-vs-adversary fit: {fits['ksy']}")
+    report.checks["fig1 is ~linear under spoofing (exponent > 0.85)"] = (
+        fits["fig1"].exponent > 0.85
+    )
+    report.checks["ksy stays sublinear (exponent < 0.85)"] = (
+        fits["ksy"].exponent < 0.85
+    )
+    report.checks["ksy exponent within [0.45, 0.8] of golden ratio"] = (
+        0.45 <= fits["ksy"].exponent <= 0.8
+    )
+    return report

@@ -1,0 +1,58 @@
+"""E12 — Section 1.3 headline: the advantage over the adversary grows
+with ``n``.
+
+Resource-competitiveness is about the ratio between what the adversary
+spends and what a device spends.  For 1-to-1 the ratio is
+``~sqrt(T)``; for 1-to-n it is ``~sqrt(n T) / polylog`` — so the same
+attack is *relatively* more expensive against a bigger network.
+
+Workload: fix the jamming campaign, sweep ``n``, and report
+``T / max_node_cost`` (how many units the adversary pays per unit the
+worst-off device pays).
+
+Claim checked: the advantage ratio increases monotonically with ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.blocking import EpochTargetJammer
+from repro.experiments.registry import ExperimentReport
+from repro.experiments.runner import Table, replicate
+from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+    params = OneToNParams.sim()
+    target = 12 if quick else 14
+    ns = (4, 16, 64) if quick else (4, 8, 16, 32, 64, 128)
+    n_reps = 2 if quick else 4
+
+    table = Table(
+        f"E12: adversary-spend per unit of worst-node spend (target epoch "
+        f"{target}, {n_reps} reps/point)",
+        ["n", "T", "max_node_cost", "advantage T/max_cost"],
+    )
+    advantages = []
+    for n in ns:
+        results = replicate(
+            lambda n=n: OneToNBroadcast(n, params),
+            lambda: EpochTargetJammer(target, q=0.6),
+            n_reps, seed=seed + 7 * n,
+        )
+        T = float(np.mean([r.adversary_cost for r in results]))
+        max_cost = float(np.mean([r.max_node_cost for r in results]))
+        adv = T / max_cost
+        advantages.append(adv)
+        table.add_row(n, T, max_cost, adv)
+
+    report = ExperimentReport(eid="E12", title="", anchor="")
+    report.tables.append(table)
+    report.checks["advantage grows with n (monotone)"] = bool(
+        all(advantages[i] < advantages[i + 1] for i in range(len(advantages) - 1))
+    )
+    report.checks["adversary always outspends the nodes (advantage > 1)"] = bool(
+        min(advantages) > 1.0
+    )
+    return report

@@ -1,0 +1,132 @@
+"""E13 — Section 1.4: what the prior 1-to-n designs give up.
+
+Three-way comparison of Figure 2 against documented stand-ins for the
+related work (see :mod:`repro.protocols.related`):
+
+* **KSY-style broadcast** (knows ``log n``, no cooperation): per-node
+  cost under a full blocking campaign *grows* with ``n`` (the ``ln n``
+  listening inflation) — "the performance of this algorithm worsens as
+  n increases."
+* **Gilbert–Young-style broadcast** (knows ``n``, Monte Carlo): very
+  cheap when un-jammed — knowing ``n`` skips Figure 2's whole rate
+  search — but a dissemination suppressor that keeps the channel
+  *sounding* quiet tricks its fixed halting budget into stopping while
+  almost everyone is still uninformed: partial coverage, the weakness
+  Section 1.4 cites.
+* **Figure 2** pays the polylog overhead and in exchange: no knowledge
+  of ``n``, full coverage w.h.p., and per-node cost that *falls* with
+  ``n``.
+
+Claims checked: the two cost-direction contrasts and the
+coverage contrast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.blocking import EpochTargetJammer
+from repro.adversaries.basic import SilentAdversary
+from repro.adversaries.suppressor import BroadcastSuppressor
+from repro.experiments.registry import ExperimentReport
+from repro.experiments.runner import Table, replicate
+from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
+from repro.protocols.related import (
+    GilbertYoungStyleBroadcast,
+    KSYStyleBroadcast,
+    RelatedParams,
+)
+
+
+def _mean(results, fn):
+    return float(np.mean([fn(r) for r in results]))
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+    fig2_params = OneToNParams.sim()
+    rel_params = RelatedParams()
+    ns = (8, 32, 128) if quick else (8, 16, 32, 64, 128)
+    n_reps = 2 if quick else 4
+    block_target = 11 if quick else 13
+
+    report = ExperimentReport(eid="E13", title="", anchor="")
+
+    makers = {
+        "fig2": lambda n: OneToNBroadcast(n, fig2_params),
+        "ksy-style": lambda n: KSYStyleBroadcast(n, rel_params),
+        "gy-style": lambda n: GilbertYoungStyleBroadcast(n, rel_params),
+    }
+
+    # Part A: full blocking to a fixed epoch — cost direction vs n.
+    tA = Table(
+        f"E13a: per-node cost vs n under full blocking to epoch "
+        f"{block_target} ({n_reps} reps/cell)",
+        ["n", "fig2", "ksy-style", "gy-style", "all_informed"],
+    )
+    costs: dict[str, list[float]] = {k: [] for k in makers}
+    all_informed = True
+    for n in ns:
+        row = []
+        for name, make in makers.items():
+            results = replicate(
+                lambda m=make, n=n: m(n),
+                lambda: EpochTargetJammer(block_target, q=1.0),
+                n_reps, seed=seed + n, max_slots=60_000_000,
+            )
+            cost = _mean(results, lambda r: r.node_costs.mean())
+            costs[name].append(cost)
+            row.append(cost)
+            all_informed &= all(r.success for r in results)
+        tA.add_row(n, *row, all_informed)
+    report.tables.append(tA)
+
+    # Part B: the suppressor attack — coverage contrast.  The attack is
+    # epoch-bounded (as in ablation A3): suppressing past the epochs
+    # where rates are still pinned buys the adversary nothing against
+    # Figure 2 but keeps GY's Monte Carlo clock ticking on a channel
+    # that *sounds* idle.
+    n_attack = 64
+    suppress_to = 9  # lg(n_attack) + 3
+    tB = Table(
+        f"E13b: dissemination suppressor through epoch {suppress_to} — "
+        f"informed fraction ({n_reps} reps/cell)",
+        ["protocol", "n", "informed_fraction", "T", "mean_cost"],
+    )
+    fractions = {}
+    for name in ("fig2", "gy-style"):
+        results = replicate(
+            lambda m=makers[name]: m(n_attack),
+            lambda: BroadcastSuppressor(target_epoch=suppress_to),
+            n_reps, seed=seed + 5, max_slots=60_000_000,
+        )
+        frac = _mean(results, lambda r: r.stats["n_informed"] / n_attack)
+        fractions[name] = frac
+        tB.add_row(
+            name, n_attack, frac,
+            _mean(results, lambda r: r.adversary_cost),
+            _mean(results, lambda r: r.node_costs.mean()),
+        )
+    report.tables.append(tB)
+
+    fig2_c, ksy_c = costs["fig2"], costs["ksy-style"]
+    report.checks["fig2 per-node cost falls with n"] = bool(
+        fig2_c[0] > fig2_c[-1]
+    )
+    report.checks["ksy-style per-node cost rises with n (Section 1.4)"] = bool(
+        ksy_c[-1] > ksy_c[0]
+    )
+    report.checks["every protocol informed everyone under pure blocking"] = bool(
+        all_informed
+    )
+    report.checks["suppressor strands gy-style (fraction < 0.9)"] = bool(
+        fractions["gy-style"] < 0.9
+    )
+    report.checks["fig2 survives the suppressor (fraction = 1)"] = bool(
+        fractions["fig2"] == 1.0
+    )
+    report.notes.append(
+        "gy-style is far cheaper when idle — knowing n obviates the rate "
+        "search — but its fixed Monte Carlo budget is gameable; fig2 "
+        "trades polylog overhead for full coverage with zero knowledge."
+    )
+    return report

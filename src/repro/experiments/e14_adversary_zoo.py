@@ -1,0 +1,122 @@
+"""E14 — adversary strategy zoo: no schedule escapes the sqrt-T law.
+
+Theorem 2 says the best any adversary can force is
+``max cost = Theta(sqrt(T))``; Theorem 1 says Figure 1 concedes no
+more.  Together they predict a *scale-free exchange index*: for every
+spending schedule, ``(defender cost - baseline) / sqrt(T)`` is bounded
+by constants on both sides.  We measure that index across the whole
+zoo — blocking shapes, random noise, Gilbert-Elliott bursts, the
+Richa-style windowed jammer, and a learning jammer — with equal
+budgets.
+
+Claims checked: all indices land in one constant band (factor < 6),
+no strategy's marginal exchange reaches 1:1, and delivery survives all
+of them.  A finding worth recording: *random jamming just above the
+protocol's 1/8 continue-threshold matches blocking* — the analyses'
+q-blocking shape is sufficient for the lower bound, not uniquely
+optimal; constants, not exponents, separate the schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.basic import RandomJammer, SuffixJammer
+from repro.adversaries.blocking import EpochTargetJammer, QBlockingJammer
+from repro.adversaries.budget import BudgetCap
+from repro.adversaries.stochastic import (
+    GreedyAdaptiveJammer,
+    MarkovJammer,
+    WindowedJammer,
+)
+from repro.experiments.registry import ExperimentReport
+from repro.experiments.runner import Table, replicate, stable_hash
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+    params = OneToOneParams.sim()
+    budget = 1 << 14 if quick else 1 << 17
+    n_reps = 6 if quick else 20
+    # Match the blocking adversary's horizon to the budget: it blocks
+    # the listener fully, paying ~2^(l+1) to reach epoch l.
+    target = budget.bit_length() - 2
+
+    strategies = {
+        "block-to-epoch (paper)": lambda: BudgetCap(
+            EpochTargetJammer(target, q=1.0, target_listener=True), budget
+        ),
+        "qblock 1/2 forever": lambda: BudgetCap(
+            QBlockingJammer(0.5, target_listener=True), budget
+        ),
+        "suffix 0.8": lambda: BudgetCap(SuffixJammer(0.8), budget),
+        "random 0.3": lambda: BudgetCap(RandomJammer(0.3), budget),
+        "markov bursty (rate ~0.3)": lambda: BudgetCap(
+            MarkovJammer(p_enter=0.03, p_exit=0.07), budget
+        ),
+        "windowed rho=0.3": lambda: BudgetCap(
+            WindowedJammer(rho=0.3, window=64), budget
+        ),
+        "greedy learner": lambda: GreedyAdaptiveJammer(budget, q_hot=0.8),
+    }
+
+    # The efficiency function (cost at T = 0) must be subtracted, or a
+    # strategy that barely spends looks artificially efficient: the
+    # meaningful rate is *marginal* defender cost per adversary unit.
+    from repro.adversaries.basic import SilentAdversary
+
+    baseline_runs = replicate(
+        lambda: OneToOneBroadcast(params), SilentAdversary, n_reps, seed=seed
+    )
+    baseline = float(np.mean([r.max_node_cost for r in baseline_runs]))
+
+    table = Table(
+        f"E14: sqrt-normalized exchange index, equal budgets "
+        f"({budget}, {n_reps} reps/strategy, baseline {baseline:.0f})",
+        ["strategy", "T spent", "max_cost", "marginal cost/T",
+         "index (cost-b)/sqrt(T)", "success"],
+    )
+    report = ExperimentReport(eid="E14", title="", anchor="")
+
+    index = {}
+    marginal = {}
+    for name, make in strategies.items():
+        results = replicate(
+            lambda: OneToOneBroadcast(params), make, n_reps,
+            seed=seed + stable_hash(name), max_slots=20_000_000,
+        )
+        T = float(np.mean([r.adversary_cost for r in results]))
+        cost = float(np.mean([r.max_node_cost for r in results]))
+        success = float(np.mean([r.success for r in results]))
+        marg = max(0.0, cost - baseline) / max(T, 1.0)
+        idx = max(0.0, cost - baseline) / np.sqrt(max(T, 1.0))
+        index[name] = idx
+        marginal[name] = marg
+        table.add_row(name, T, cost, marg, idx, success)
+
+    report.tables.append(table)
+    # The index estimates the sqrt-law constant, which needs an actual
+    # spend to be estimable: strategies that used < 10% of the budget
+    # (the timid learner) are reported but not banded.
+    spenders = [
+        name for name, row in zip(strategies, table.rows)
+        if row[1] >= 0.1 * budget
+    ]
+    indices = [index[name] for name in spenders if index[name] > 0]
+    report.checks["all spending strategies' indices in one band (< 6x)"] = bool(
+        max(indices) / min(indices) < 6.0
+    )
+    report.checks["no strategy reaches a 1:1 marginal exchange"] = bool(
+        max(marginal.values()) < 1.0
+    )
+    report.checks["delivery survives every strategy"] = bool(
+        all(row[5] >= 0.8 for row in table.rows)
+    )
+    report.notes.append(
+        "Scale-free index: with cost ~ c sqrt(T), the index estimates c "
+        "per strategy.  All schedules land within a small constant band "
+        "— Theorem 2's sqrt(T) is a law, not a property of one schedule. "
+        "Notably, random jamming just above the 1/8 continue-threshold "
+        "matches the blocking shape the proofs use."
+    )
+    return report

@@ -1,0 +1,152 @@
+"""E15 — extension: what spectrum is (and is not) worth.
+
+Composes Figure 1 with uniform channel hopping over ``C`` channels
+(see :mod:`repro.multichannel`) and measures the energy game.  Three
+findings, each checked:
+
+* **A — correctness dilution.**  Run *unchanged*, Figure 1's per-phase
+  meeting probability drops by ``1/C`` (independent hops, no shared
+  secrets), so its ``1 - eps`` guarantee silently erodes as ``C``
+  grows, even though the adversary pays ``C`` times more to block the
+  same horizon.
+* **B — net energy neutrality.**  With the hop-corrected rates
+  (``sqrt(C)`` boost, restoring the guarantee) the defenders' cost at
+  a fixed blocking horizon grows like ``sqrt(C)`` while the adversary's
+  grows like ``C`` — and at *equal budgets* the corrected cost is flat
+  in ``C``: per-slot energy accounting alone makes spectrum a wash for
+  1-to-1.
+* **C — band-limited adversaries lose outright.**  A jammer confined to
+  ``k`` channels with ``k/C`` below the protocol's ~1/8 noise threshold
+  is hop-diluted into irrelevance: the corrected protocol finishes at
+  its unjammed cost while the jammer's budget burns for nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.registry import ExperimentReport
+from repro.experiments.runner import Table
+from repro.multichannel import (
+    ChannelBandJammer,
+    MCEpochTargetJammer,
+    MCSimulator,
+    hopping_rate_params,
+)
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+from repro.rng import derive
+
+
+def _measure(params, adversary_factory, C, n_reps, seed):
+    Ts, costs, succ = [], [], []
+    for r in range(n_reps):
+        res = MCSimulator(
+            OneToOneBroadcast(params), adversary_factory(), C
+        ).run(derive(seed, C, r))
+        Ts.append(res.adversary_cost)
+        costs.append(res.max_node_cost)
+        succ.append(res.success)
+    return float(np.mean(Ts)), float(np.mean(costs)), float(np.mean(succ))
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+    base = OneToOneParams.sim()
+    channel_counts = (1, 2, 4, 8) if quick else (1, 2, 4, 8, 16)
+    n_reps = 4 if quick else 15
+    report = ExperimentReport(eid="E15", title="", anchor="")
+
+    # Part A: uncorrected protocol — correctness dilution, silent runs.
+    # (Unjammed phases isolate the meeting-rate effect.)
+    n_trials = 60 if quick else 300
+    tA = Table(
+        f"E15a: unchanged Figure 1 on C channels, no jamming "
+        f"({n_trials} trials/point)",
+        ["C", "success rate", "target 1-eps"],
+    )
+    rates = []
+    for C in channel_counts:
+        wins = 0
+        for r in range(n_trials):
+            res = MCSimulator(
+                OneToOneBroadcast(base),
+                MCEpochTargetJammer(target_epoch=0),  # silent
+                C,
+            ).run(derive(seed, 1, C, r))
+            wins += res.success
+        rates.append(wins / n_trials)
+        tA.add_row(C, rates[-1], 1 - base.epsilon)
+    report.tables.append(tA)
+    report.checks["uncorrected hopping erodes the guarantee at large C"] = bool(
+        rates[0] >= 1 - base.epsilon and rates[-1] < 1 - base.epsilon
+    )
+
+    # Part B: corrected rates — who pays for the spectrum?  The common
+    # budget must be big enough that even the largest C's blocking
+    # horizon clears the hop-corrected first epoch.
+    fixed_target_T = 1 << (base.first_epoch + (9 if quick else 12))
+    tB = Table(
+        f"E15b: hop-corrected Figure 1, equal adversary budget ~{fixed_target_T} "
+        f"({n_reps} reps/point)",
+        ["C", "target_epoch", "T", "max_cost", "success"],
+    )
+    costs_at_equal_T = []
+    for C in channel_counts:
+        params = hopping_rate_params(base, C)
+        # Equal budget: blocking to epoch l costs ~ 2C * 2^(l+1), so
+        # l(C) = log2(T / (4C)).
+        target = max(params.first_epoch, int(np.log2(fixed_target_T / (4 * C))))
+        T, cost, succ = _measure(
+            params,
+            lambda t=target: MCEpochTargetJammer(t, q=1.0),
+            C, n_reps, seed + 2,
+        )
+        costs_at_equal_T.append(cost)
+        tB.add_row(C, target, T, cost, succ)
+    report.tables.append(tB)
+
+    t_col = tB.column("T")
+    cost_col = tB.column("max_cost")
+    report.checks["budgets matched across C (spread < 1.35x)"] = bool(
+        t_col.max() / t_col.min() < 1.35
+    )
+    report.checks["corrected cost flat in C at equal T (spread < 1.8x)"] = bool(
+        cost_col.max() / cost_col.min() < 1.8
+    )
+    report.checks["corrected protocol succeeds at every C"] = bool(
+        (tB.column("success") >= 1 - 2 * base.epsilon).all()
+    )
+
+    # Part C: band-limited jammer below the 1/8 dilution threshold.
+    C = 16
+    params = hopping_rate_params(base, C)
+    tC = Table(
+        f"E15c: band-limited jamming (k channels of C={C}, corrected rates, "
+        f"{n_reps} reps/point)",
+        ["k/C", "T spent", "max_cost", "success"],
+    )
+    cost_by_band = {}
+    for k in (0, 1, 8):
+        T, cost, succ = _measure(
+            params,
+            lambda k=k: ChannelBandJammer(
+                n_channels_jammed=k, q=1.0, max_total=200_000
+            ),
+            C, n_reps, seed + 3,
+        )
+        cost_by_band[k] = cost
+        tC.add_row(k / C, T, cost, succ)
+    report.tables.append(tC)
+    report.checks["sub-threshold band (k/C = 1/16) costs the defenders nothing"] = bool(
+        cost_by_band[1] < 1.5 * cost_by_band[0]
+    )
+    report.checks["above-threshold band (k/C = 1/2) costs them real energy"] = bool(
+        cost_by_band[8] > 2.0 * cost_by_band[0]
+    )
+    report.notes.append(
+        "Per-slot energy accounting makes hopping a wash for 1-to-1: the "
+        "adversary's C-fold blocking bill is cancelled by the defenders' "
+        "sqrt(C) meeting-rate correction.  Spectrum pays off exactly when "
+        "the adversary is band-limited below the continue-threshold — the "
+        "regime the multichannel literature assumes."
+    )
+    return report

@@ -1,0 +1,139 @@
+"""Experiment registry and report type."""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import Table
+
+__all__ = [
+    "Experiment",
+    "ExperimentReport",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one experiment produced.
+
+    ``checks`` maps named claims ("exponent within band", "success rate
+    above 1-eps") to booleans; the benchmark suite asserts them and
+    EXPERIMENTS.md records them.
+    """
+
+    eid: str
+    title: str
+    anchor: str
+    tables: list[Table] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    checks: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        lines = [f"=== {self.eid}: {self.title}", f"paper anchor: {self.anchor}", ""]
+        for t in self.tables:
+            lines.append(t.render())
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for name, ok in self.checks.items():
+            lines.append(f"check [{'PASS' if ok else 'FAIL'}] {name}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Registry entry: metadata plus a lazily imported runner."""
+
+    eid: str
+    title: str
+    anchor: str
+    module: str  # dotted module exposing run(seed=..., quick=...)
+
+
+_REGISTRY: dict[str, Experiment] = {
+    e.eid: e
+    for e in [
+        Experiment("E1", "1-to-1 cost scales like sqrt(T)", "Theorem 1 (cost)",
+                   "repro.experiments.e01_one_to_one_scaling"),
+        Experiment("E2", "1-to-1 success probability >= 1 - eps", "Theorem 1 (correctness)",
+                   "repro.experiments.e02_one_to_one_success"),
+        Experiment("E3", "Figure 1 vs KSY vs deterministic baselines", "Theorem 1 vs [23]",
+                   "repro.experiments.e03_ksy_comparison"),
+        Experiment("E4", "1-to-1 latency is O(T)", "Theorem 1 (latency)",
+                   "repro.experiments.e04_latency"),
+        Experiment("E5", "product game forces E(A)E(B) ~ T", "Theorem 2",
+                   "repro.experiments.e05_product_lower_bound"),
+        Experiment("E6", "per-node broadcast cost falls with n", "Theorem 3 (cost vs n)",
+                   "repro.experiments.e06_broadcast_cost_vs_n"),
+        Experiment("E7", "per-node broadcast cost ~ sqrt(T/n)", "Theorem 3 (cost vs T)",
+                   "repro.experiments.e07_broadcast_cost_vs_T"),
+        Experiment("E8", "unjammed broadcast is polylog(n)", "Theorem 3 (efficiency, latency)",
+                   "repro.experiments.e08_broadcast_unjammed"),
+        Experiment("E9", "helpers beat naive halting under the halving attack", "Section 3.1 / Theorem 3 fairness",
+                   "repro.experiments.e09_fairness_halving"),
+        Experiment("E10", "Theorem 4 reduction arithmetic on measured runs", "Theorem 4",
+                   "repro.experiments.e10_fair_lower_bound"),
+        Experiment("E11", "golden-ratio exponent under spoofing", "Theorem 5",
+                   "repro.experiments.e11_golden_ratio"),
+        Experiment("E12", "resource advantage grows with n", "Section 1.3 headline",
+                   "repro.experiments.e12_resource_advantage"),
+        Experiment("E13", "what the prior 1-to-n designs give up", "Section 1.4 related work",
+                   "repro.experiments.e13_related_work"),
+        Experiment("E14", "adversary strategy efficiency frontier", "Theorems 1/3 analyses (q-blocking optimality)",
+                   "repro.experiments.e14_adversary_zoo"),
+        Experiment("E15", "extension: what channel-hopping spectrum is worth", "related-work multichannel models [14-16, 18]",
+                   "repro.experiments.e15_multichannel"),
+        Experiment("E16", "the min-combination of Figure 1 and KSY", "remark after Theorem 1",
+                   "repro.experiments.e16_combined"),
+        Experiment("A1", "slow vs aggressive rate growth", "Lemma 5 / Section 3.1 ablation",
+                   "repro.experiments.a01_growth_ablation"),
+        Experiment("A3", "uninformed noise on/off", "Section 3.1 ablation (n gauging)",
+                   "repro.experiments.a03_noise_ablation"),
+        Experiment("A4", "nack phase on/off", "Section 2 ablation (feedback)",
+                   "repro.experiments.a04_nack_ablation"),
+        Experiment("A5", "robustness to the unit-cost radio abstraction", "Section 1.2 model assumption",
+                   "repro.experiments.a05_cost_model"),
+        Experiment("A6", "sensitivity of conclusions to the sim preset", "DESIGN.md section 3 substitution claim",
+                   "repro.experiments.a06_sensitivity"),
+    ]
+}
+
+
+def list_experiments() -> list[Experiment]:
+    """All registered experiments, in registry order."""
+    return list(_REGISTRY.values())
+
+
+def get_experiment(eid: str) -> Experiment:
+    try:
+        return _REGISTRY[eid.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown experiment {eid!r}; known: {known}") from None
+
+
+def run_experiment(eid: str, seed: int = 0, quick: bool = True) -> ExperimentReport:
+    """Run one experiment by id.
+
+    ``quick=True`` uses reduced sweeps/replications sized for CI and the
+    benchmark suite; ``quick=False`` runs the full sweep recorded in
+    EXPERIMENTS.md.
+    """
+    exp = get_experiment(eid)
+    mod = importlib.import_module(exp.module)
+    runner: Callable[..., ExperimentReport] = mod.run
+    report = runner(seed=seed, quick=quick)
+    report.eid = exp.eid
+    report.title = exp.title
+    report.anchor = exp.anchor
+    return report

@@ -1,0 +1,149 @@
+"""Shared experiment machinery: tables, replication, jam sweeps."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adversaries.base import Adversary
+from repro.engine.simulator import RunResult, Simulator
+from repro.errors import ConfigurationError
+from repro.protocols.base import Protocol
+from repro.rng import derive
+
+__all__ = ["Table", "replicate", "stable_hash", "sweep_epoch_targets", "SweepPoint"]
+
+
+def stable_hash(*parts) -> int:
+    """Process-independent hash for deriving per-cell seeds.
+
+    Python's built-in ``hash`` is salted per interpreter process, which
+    would make experiment replications irreproducible across runs.
+    """
+    import zlib
+
+    return zlib.crc32(repr(parts).encode("utf-8")) % 10_000
+
+
+@dataclass
+class Table:
+    """A plain-text results table (what the paper would print as a
+    figure's data series)."""
+
+    title: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> np.ndarray:
+        """Extract one column as a float array (for fits)."""
+        idx = self.columns.index(name)
+        return np.asarray([row[idx] for row in self.rows], dtype=float)
+
+    def render(self) -> str:
+        def fmt(v) -> str:
+            if isinstance(v, float):
+                if v == 0:
+                    return "0"
+                if abs(v) >= 1000 or abs(v) < 0.01:
+                    return f"{v:.3g}"
+                return f"{v:.3f}"
+            return str(v)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(c), *(len(r[j]) for r in cells)) if cells else len(c)
+            for j, c in enumerate(self.columns)
+        ]
+        lines = [self.title]
+        lines.append("  ".join(c.rjust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def replicate(
+    make_protocol: Callable[[], Protocol],
+    make_adversary: Callable[[], Adversary],
+    n_reps: int,
+    seed: int = 0,
+    **sim_kwargs,
+) -> list[RunResult]:
+    """Run ``n_reps`` independent executions with derived seeds.
+
+    Fresh protocol/adversary instances are built per replication so
+    that stateful strategies cannot leak across runs; replication ``r``
+    uses the generator ``derive(seed, r)``.
+    """
+    if n_reps < 1:
+        raise ConfigurationError(f"n_reps must be >= 1, got {n_reps}")
+    results = []
+    for r in range(n_reps):
+        sim = Simulator(make_protocol(), make_adversary(), **sim_kwargs)
+        results.append(sim.run(derive(seed, r)))
+    return results
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated replications at one sweep setting."""
+
+    setting: float
+    mean_T: float
+    mean_max_cost: float
+    mean_mean_cost: float
+    mean_slots: float
+    success_rate: float
+    n_reps: int
+    truncated_rate: float = 0.0
+
+
+def sweep_epoch_targets(
+    make_protocol: Callable[[], Protocol],
+    make_adversary: Callable[[int], Adversary],
+    targets: Sequence[int],
+    n_reps: int,
+    seed: int = 0,
+    **sim_kwargs,
+) -> list[SweepPoint]:
+    """The workhorse sweep behind E1/E3/E4/E6/E7: attack up to epoch
+    ``target`` (larger target = larger adversary budget ``T``), measure
+    costs.
+
+    ``make_adversary`` receives the target epoch and returns a fresh
+    strategy (usually an
+    :class:`~repro.adversaries.blocking.EpochTargetJammer`).
+    """
+    points = []
+    for target in targets:
+        results = replicate(
+            make_protocol,
+            lambda t=target: make_adversary(t),
+            n_reps,
+            seed=seed + 1000 * target,
+            **sim_kwargs,
+        )
+        points.append(
+            SweepPoint(
+                setting=float(target),
+                mean_T=float(np.mean([r.adversary_cost for r in results])),
+                mean_max_cost=float(np.mean([r.max_node_cost for r in results])),
+                mean_mean_cost=float(
+                    np.mean([r.node_costs.mean() for r in results])
+                ),
+                mean_slots=float(np.mean([r.slots for r in results])),
+                success_rate=float(np.mean([r.success for r in results])),
+                n_reps=n_reps,
+                truncated_rate=float(np.mean([r.truncated for r in results])),
+            )
+        )
+    return points

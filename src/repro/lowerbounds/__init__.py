@@ -1,0 +1,38 @@
+"""Lower-bound games from Section 4.
+
+* :mod:`repro.lowerbounds.product_game` — Theorem 2's fractional-cost
+  game: against the reactive threshold adversary, any (WLOG oblivious)
+  strategy pair satisfies ``E(A) * E(B) > (1 - O(eps)) T``.
+* :mod:`repro.lowerbounds.spoof_game` — Theorem 5's two-scenario
+  argument forcing ``Omega(T**(phi-1))`` under Bob-spoofing.
+* :mod:`repro.lowerbounds.reduction` — Theorem 4's simulation reduction
+  from fair 1-to-n broadcast to the two-party game, implying the
+  ``Omega(sqrt(T/n))`` per-node bound.
+"""
+
+from repro.lowerbounds.product_game import (
+    GameOutcome,
+    ProductGame,
+    balanced_strategy,
+    imbalance_sweep,
+)
+from repro.lowerbounds.reduction import implied_per_node_bound, reduction_check
+from repro.lowerbounds.spoof_game import (
+    ScenarioCosts,
+    optimal_delta,
+    scenario_costs,
+    simulate_spoofing_run,
+)
+
+__all__ = [
+    "GameOutcome",
+    "ProductGame",
+    "ScenarioCosts",
+    "balanced_strategy",
+    "imbalance_sweep",
+    "implied_per_node_bound",
+    "optimal_delta",
+    "reduction_check",
+    "scenario_costs",
+    "simulate_spoofing_run",
+]

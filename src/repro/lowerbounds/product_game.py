@@ -1,0 +1,161 @@
+"""Theorem 2's fractional-cost product game.
+
+The proof's reductions, made executable:
+
+(I)   *Fractional costs* — in slot ``i`` Alice is charged her commitment
+      ``a_i`` (not a Bernoulli outcome); by linearity this preserves
+      expected costs exactly.
+(II)  *Obliviousness* — adaptive strategies collapse to fixed vectors
+      ``(a_i)``, ``(b_i)`` chosen in advance.
+(III) *Structure of the optimum* — WLOG every slot has
+      ``a_i * b_i = 1/T`` (the adversary's jam threshold), and by the
+      AM-GM step constant vectors are optimal.
+
+The adversary jams slot ``i`` iff ``a_i * b_i > 1/T`` and fewer than
+``T`` slots have been jammed so far.  The message is delivered in the
+first *un-jammed* slot where Alice sends and Bob listens; both halt.
+
+:class:`ProductGame` evaluates arbitrary strategy vectors exactly (no
+Monte Carlo needed — all quantities are closed-form sums), so the E5
+experiment can sweep strategies and exhibit ``E(A) * E(B) >= ~T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GameOutcome", "ProductGame", "balanced_strategy", "imbalance_sweep"]
+
+
+@dataclass(frozen=True)
+class GameOutcome:
+    """Exact expected outcomes of one strategy pair.
+
+    Attributes
+    ----------
+    expected_cost_alice / expected_cost_bob:
+        ``E(A) = sum_i a_i p_i`` and ``E(B) = sum_i b_i p_i`` where
+        ``p_i`` is the probability the game is still running at slot i.
+    product:
+        ``E(A) * E(B)`` — the quantity Theorem 2 bounds below.
+    success_probability:
+        Probability the message is delivered within the horizon.
+    adversary_cost:
+        Number of slots the threshold adversary jams.
+    horizon:
+        Length of the strategy vectors.
+    """
+
+    expected_cost_alice: float
+    expected_cost_bob: float
+    success_probability: float
+    adversary_cost: int
+    horizon: int
+
+    @property
+    def product(self) -> float:
+        return self.expected_cost_alice * self.expected_cost_bob
+
+
+class ProductGame:
+    """The two-party game against the threshold adversary of Theorem 2.
+
+    Parameters
+    ----------
+    T:
+        The adversary's budget (and jam threshold ``1/T``).
+    """
+
+    def __init__(self, T: int) -> None:
+        if T < 1:
+            raise ConfigurationError(f"T must be >= 1, got {T}")
+        self.T = T
+
+    def evaluate(self, a: np.ndarray, b: np.ndarray) -> GameOutcome:
+        """Exactly evaluate oblivious strategy vectors ``a`` and ``b``.
+
+        Fractional cost model: Alice pays ``a_i`` in every slot the game
+        is still running (and symmetrically Bob), the game ends at the
+        first un-jammed slot where both ``send`` and ``listen`` succeed
+        (probability ``a_i * b_i``).
+        """
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        if a.shape != b.shape or a.ndim != 1:
+            raise ConfigurationError(
+                f"strategy vectors must be equal-length 1-D, got {a.shape}, {b.shape}"
+            )
+        if ((a < 0) | (a > 1)).any() or ((b < 0) | (b > 1)).any():
+            raise ConfigurationError("probabilities must lie in [0, 1]")
+
+        prod = a * b
+        over = prod > 1.0 / self.T + 1e-15
+        # Budget: only the first T over-threshold slots are jammed.
+        jammed = over & (np.cumsum(over) <= self.T)
+        delivery = np.where(jammed, 0.0, prod)
+
+        # p_i = probability still running at slot i.
+        survival = np.concatenate([[1.0], np.cumprod(1.0 - delivery)[:-1]])
+        e_a = float(np.sum(a * survival))
+        e_b = float(np.sum(b * survival))
+        success = 1.0 - float(np.prod(1.0 - delivery))
+        return GameOutcome(
+            expected_cost_alice=e_a,
+            expected_cost_bob=e_b,
+            success_probability=success,
+            adversary_cost=int(jammed.sum()),
+            horizon=len(a),
+        )
+
+    def evaluate_constant(
+        self, a: float, b: float, horizon: int | None = None
+    ) -> GameOutcome:
+        """Evaluate the constant strategy ``(a, a, ...), (b, b, ...)``.
+
+        The horizon defaults to the proof's ``t = Theta(T)`` choice
+        scaled for small failure probability (``8T`` gives failure
+        ``< e**-8`` when ``ab = 1/T``).
+        """
+        if horizon is None:
+            horizon = 8 * self.T
+        return self.evaluate(np.full(horizon, a), np.full(horizon, b))
+
+
+def balanced_strategy(T: int, horizon_factor: int = 8) -> tuple[np.ndarray, np.ndarray]:
+    """The optimal *fair* strategy: ``a_i = b_i = 1/sqrt(T)``.
+
+    Sits exactly at the jam threshold (``ab = 1/T``, not above), runs
+    for ``horizon_factor * T`` slots, and achieves
+    ``E(A) ~ E(B) ~ sqrt(T)`` — matching Theorem 2's
+    ``max{E(A), E(B)} = Omega(sqrt(T))`` to within the truncation term.
+    """
+    if T < 1:
+        raise ConfigurationError(f"T must be >= 1, got {T}")
+    p = 1.0 / np.sqrt(float(T))
+    horizon = horizon_factor * T
+    return np.full(horizon, p), np.full(horizon, p)
+
+
+def imbalance_sweep(
+    T: int, deltas: np.ndarray, horizon_factor: int = 8
+) -> list[GameOutcome]:
+    """Sweep unfair splits ``a = T**-(1-delta)``, ``b = T**-delta``.
+
+    Every split keeps ``a * b = 1/T`` (un-jammed), so Theorem 2 predicts
+    the *product* ``E(A) * E(B)`` is invariant (~T) while the individual
+    costs trade off as ``T**(1-delta)`` versus ``T**delta`` — the curve
+    experiment E5 reports.
+    """
+    game = ProductGame(T)
+    out = []
+    for delta in np.asarray(deltas, dtype=float):
+        if not 0.0 < delta < 1.0:
+            raise ConfigurationError(f"delta must be in (0, 1), got {delta!r}")
+        a = min(1.0, float(T) ** -(1.0 - delta))
+        b = min(1.0, float(T) ** -delta)
+        out.append(game.evaluate_constant(a, b, horizon_factor * T))
+    return out

@@ -1,0 +1,95 @@
+"""Theorem 4: the fair-broadcast lower bound via reduction.
+
+The proof turns any *fair* 1-to-n algorithm ``A`` with per-node expected
+cost ``g(T)`` into a two-party algorithm ``A'``: Alice simulates the
+sender (duplicating each action over a pair of slots) and Bob simulates
+all ``n`` receivers (sending in the first slot of a pair and listening
+in the second whenever the receivers did both).  Then::
+
+    E(A) <= 2 g(T),   E(B) <= n g(T)
+
+and Theorem 2 gives ``E(A) * E(B) = Omega(T)``, hence
+``g(T) = Omega(sqrt(T / n))``.
+
+This module makes the reduction's *arithmetic* executable: given
+measured per-node costs of concrete 1-to-n runs it computes the implied
+two-party costs and checks the product bound — a consistency check
+between our Theorem 3 implementation and the Theorem 2 game (a
+simulator bug that made broadcast too cheap would show up as a
+violated product bound here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["implied_per_node_bound", "reduction_check", "ReductionReport"]
+
+
+def implied_per_node_bound(T: float, n: int, product_constant: float = 1.0) -> float:
+    """The per-node cost floor ``sqrt(c T / (2 n))`` implied by Theorem 4.
+
+    From ``E(A) * E(B) >= c T`` and ``E(A) <= 2 g``, ``E(B) <= n g``:
+    ``2 n g**2 >= c T``.
+    """
+    if T < 0:
+        raise AnalysisError(f"T must be non-negative, got {T!r}")
+    if n < 1:
+        raise AnalysisError(f"n must be >= 1, got {n}")
+    if product_constant <= 0:
+        raise AnalysisError("product_constant must be positive")
+    return float(np.sqrt(product_constant * T / (2.0 * n)))
+
+
+@dataclass(frozen=True)
+class ReductionReport:
+    """Outcome of checking measured broadcast costs against Theorem 4."""
+
+    T: float
+    n: int
+    mean_node_cost: float
+    implied_alice: float  # 2 g(T)
+    implied_bob: float  # n g(T)
+    product: float
+    lower_bound: float  # what g(T) must at least be
+    satisfied: bool
+
+
+def reduction_check(
+    node_costs: np.ndarray,
+    T: float,
+    product_constant: float = 1.0,
+) -> ReductionReport:
+    """Check one (or the average of several) 1-to-n run(s) against the
+    Theorem 4 reduction arithmetic.
+
+    Parameters
+    ----------
+    node_costs:
+        Per-node costs of a fair broadcast execution.
+    T:
+        The adversary's spend in that execution.
+    product_constant:
+        The constant in ``E(A) E(B) >= c T`` (1 for the asymptotic
+        statement; tests use a small c to absorb constants).
+    """
+    node_costs = np.asarray(node_costs, dtype=float)
+    if node_costs.ndim != 1 or node_costs.size == 0:
+        raise AnalysisError("node_costs must be a non-empty 1-D array")
+    n = node_costs.size
+    g = float(node_costs.mean())
+    bound = implied_per_node_bound(T, n, product_constant)
+    return ReductionReport(
+        T=float(T),
+        n=n,
+        mean_node_cost=g,
+        implied_alice=2.0 * g,
+        implied_bob=n * g,
+        product=2.0 * n * g * g,
+        lower_bound=bound,
+        satisfied=bool(g >= bound),
+    )

@@ -1,0 +1,147 @@
+"""Multichannel jamming strategies.
+
+Energy accounting follows the multichannel literature: jamming one
+(channel, slot) cell costs 1, so blanket-jamming a slot across all
+``C`` channels costs ``C`` — the whole point of spectrum as defence.
+Plans are ordinary :class:`~repro.channel.events.JamPlan` objects over
+the ``C * L`` virtual slots (channel ``c``, slot ``t`` → virtual slot
+``c * L + t``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.events import JamPlan, ListenEvents, SendEvents
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MCAdversary",
+    "MCContext",
+    "ChannelBandJammer",
+    "MCEpochTargetJammer",
+]
+
+
+@dataclass(frozen=True)
+class MCContext:
+    """What a multichannel strategy may condition on (cf. Lemma 1)."""
+
+    phase_index: int
+    length: int  # real slots
+    n_channels: int
+    n_nodes: int
+    tags: dict
+    sends: SendEvents  # virtual-slot events
+    listens: ListenEvents
+    spent: int
+
+
+class MCAdversary(ABC):
+    """Base class for multichannel strategies."""
+
+    def begin_run(
+        self, n_nodes: int, n_channels: int, rng: np.random.Generator
+    ) -> None:
+        self._rng = rng
+        self._n_nodes = n_nodes
+        self._n_channels = n_channels
+
+    @abstractmethod
+    def plan_phase(self, ctx: MCContext) -> JamPlan:
+        """Produce a jam plan over the ``C * length`` virtual slots."""
+
+
+def _band_suffix_plan(
+    ctx: MCContext, n_channels_jammed: int, q: float
+) -> JamPlan:
+    """Jam the last ``q`` fraction of the phase on ``k`` channels.
+
+    The channels are the low-indexed ones; since hops are uniform and
+    unpredictable, which specific channels are jammed is irrelevant —
+    only how many.
+    """
+    k = max(0, min(ctx.n_channels, n_channels_jammed))
+    n_jam = int(round(q * ctx.length))
+    if k == 0 or n_jam == 0:
+        return JamPlan.silent(ctx.n_channels * ctx.length)
+    tail = np.arange(ctx.length - n_jam, ctx.length, dtype=np.int64)
+    channels = np.arange(k, dtype=np.int64)
+    slots = (channels[:, None] * ctx.length + tail[None, :]).ravel()
+    return JamPlan(length=ctx.n_channels * ctx.length, global_slots=slots)
+
+
+class ChannelBandJammer(MCAdversary):
+    """Always jams a fixed band of ``k`` channels at fraction ``q``.
+
+    The classic "the adversary cannot jam everything" setting: with
+    ``k < C`` a hop lands on a clean channel w.p. ``1 - k/C`` even in
+    jammed slots.
+
+    Parameters
+    ----------
+    n_channels_jammed:
+        Band width ``k``.
+    q:
+        Fraction of each phase jammed (suffix).
+    max_total:
+        Optional energy budget.
+    """
+
+    def __init__(
+        self,
+        n_channels_jammed: int,
+        q: float = 1.0,
+        max_total: int | None = None,
+    ) -> None:
+        if n_channels_jammed < 0:
+            raise ConfigurationError("n_channels_jammed must be >= 0")
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"q must be in [0, 1], got {q!r}")
+        if max_total is not None and max_total < 0:
+            raise ConfigurationError("max_total must be >= 0")
+        self.k = n_channels_jammed
+        self.q = q
+        self.max_total = max_total
+
+    def plan_phase(self, ctx: MCContext) -> JamPlan:
+        plan = _band_suffix_plan(ctx, self.k, self.q)
+        if self.max_total is not None and plan.cost > self.max_total - ctx.spent:
+            keep = max(0, self.max_total - ctx.spent)
+            plan = JamPlan(
+                length=plan.length, global_slots=np.sort(plan.global_slots)[:keep]
+            )
+        return plan
+
+
+class MCEpochTargetJammer(MCAdversary):
+    """Blanket-blocks all channels up to a target epoch, then stops.
+
+    The multichannel analogue of
+    :class:`~repro.adversaries.blocking.EpochTargetJammer`: to block a
+    slot against an unpredictable hop the adversary must jam the whole
+    band, paying ``C`` per slot — which is the E15 experiment's lever:
+    the same blocking horizon costs ``C`` times more energy.
+
+    Parameters
+    ----------
+    target_epoch:
+        Last epoch (phase tag ``"epoch"``) to attack.
+    q:
+        Fraction of each attacked phase blocked (suffix).
+    """
+
+    def __init__(self, target_epoch: int, q: float = 1.0) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"q must be in [0, 1], got {q!r}")
+        self.target_epoch = target_epoch
+        self.q = q
+
+    def plan_phase(self, ctx: MCContext) -> JamPlan:
+        epoch = ctx.tags.get("epoch")
+        if epoch is None or epoch > self.target_epoch:
+            return JamPlan.silent(ctx.n_channels * ctx.length)
+        return _band_suffix_plan(ctx, ctx.n_channels, self.q)

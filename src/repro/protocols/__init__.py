@@ -1,0 +1,43 @@
+"""Protocol implementations.
+
+* :mod:`repro.protocols.one_to_one` — Figure 1's 1-to-1 BROADCAST
+  (Theorem 1, cost ``O(sqrt(T ln(1/eps)) + ln(1/eps))``).
+* :mod:`repro.protocols.one_to_n` — Figure 2's 1-to-n BROADCAST
+  (Theorem 3, per-node cost ``O(sqrt(T/n) log^4 T + log^6 n)``).
+* :mod:`repro.protocols.ksy` — reconstruction of the King–Saia–Young
+  (PODC 2011) 1-to-1 algorithm, the paper's ``O(T**(phi-1))`` comparator.
+* :mod:`repro.protocols.combined` — the ``min`` combination mentioned
+  after Theorem 1.
+* :mod:`repro.protocols.naive` — non-resource-competitive baselines and
+  the naive-halting 1-to-n strawman that Section 3.1 argues against.
+"""
+
+from repro.protocols.base import NodeStatus, Protocol
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+from repro.protocols.ksy import KSYOneToOne, KSYParams
+from repro.protocols.combined import CombinedOneToOne
+from repro.protocols.naive import AlwaysOnSender, FixedProbabilityProtocol, NaiveHaltingBroadcast
+from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
+from repro.protocols.related import (
+    GilbertYoungStyleBroadcast,
+    KSYStyleBroadcast,
+    RelatedParams,
+)
+
+__all__ = [
+    "AlwaysOnSender",
+    "CombinedOneToOne",
+    "FixedProbabilityProtocol",
+    "GilbertYoungStyleBroadcast",
+    "KSYOneToOne",
+    "KSYParams",
+    "KSYStyleBroadcast",
+    "NaiveHaltingBroadcast",
+    "NodeStatus",
+    "OneToNBroadcast",
+    "OneToNParams",
+    "OneToOneBroadcast",
+    "OneToOneParams",
+    "Protocol",
+    "RelatedParams",
+]

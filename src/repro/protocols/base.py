@@ -1,0 +1,80 @@
+"""Protocol interface.
+
+A protocol is a distributed algorithm driven by the engine one phase at
+a time.  The engine enforces the information model: a protocol's only
+input after emitting a phase is the :class:`PhaseObservation` — the
+per-status counts its own nodes heard and the energy they spent.  No
+implementation can see the adversary's schedule or other ground truth.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import IntEnum
+
+import numpy as np
+
+from repro.engine.phase import PhaseObservation, PhaseSpec
+
+__all__ = ["Protocol", "NodeStatus"]
+
+
+class NodeStatus(IntEnum):
+    """Node status in Figure 2's 1-to-n BROADCAST (also reused by the
+    naive baselines).  Transitions are one-way:
+    ``UNINFORMED → INFORMED → HELPER → TERMINATED``, except that a node
+    may terminate from any status via Figure 2's Case 1 safety valve.
+    """
+
+    UNINFORMED = 0
+    INFORMED = 1
+    HELPER = 2
+    TERMINATED = 3
+
+
+class Protocol(ABC):
+    """Base class for phase-driven protocols.
+
+    Lifecycle::
+
+        proto = SomeProtocol(params)
+        proto.reset(rng)
+        while (spec := proto.next_phase()) is not None:
+            obs = engine_runs_phase(spec)
+            proto.observe(obs)
+        stats = proto.summary()
+    """
+
+    #: Number of good nodes the protocol controls.
+    n_nodes: int
+
+    @abstractmethod
+    def reset(self, rng: np.random.Generator) -> None:
+        """Re-initialise all state for a fresh run.
+
+        ``rng`` is the protocol's private random stream (independent of
+        the adversary's).  Implementations must be reusable: calling
+        ``reset`` again must produce a statistically fresh run.
+        """
+
+    @abstractmethod
+    def next_phase(self) -> PhaseSpec | None:
+        """Describe the next phase, or ``None`` when every node halted."""
+
+    @abstractmethod
+    def observe(self, obs: PhaseObservation) -> None:
+        """Consume the result of the phase most recently emitted."""
+
+    @property
+    @abstractmethod
+    def done(self) -> bool:
+        """True when every node has halted."""
+
+    @abstractmethod
+    def summary(self) -> dict:
+        """Protocol-specific outcome statistics.
+
+        Every implementation includes at least ``{"success": bool}``:
+        for 1-to-1, whether Bob received ``m``; for 1-to-n, whether every
+        node was informed when it halted.
+        """

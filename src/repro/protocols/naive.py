@@ -1,0 +1,228 @@
+"""Non-resource-competitive baselines.
+
+These exist to make the paper's motivation measurable:
+
+* :class:`AlwaysOnSender` — the deterministic strawman from Section 1.2:
+  "without any randomness, an adversary can easily force a cost of
+  ``T + 1`` since sending and listening will be deterministic".
+* :class:`FixedProbabilityProtocol` — randomised but with a fixed rate;
+  cost still grows linearly in ``T``.
+* :class:`NaiveHaltingBroadcast` — the Section 3.1 strawman for 1-to-n:
+  halt after hearing ``m`` a threshold number of times.  Against the
+  halving attack the *last* nodes standing pay ``~sqrt(T)``, not
+  ``~sqrt(T/n)`` — the measurement behind experiment E9/A2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.events import TxKind
+from repro.engine.phase import PhaseObservation, PhaseSpec
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocols.base import NodeStatus, Protocol
+from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
+
+__all__ = ["AlwaysOnSender", "FixedProbabilityProtocol", "NaiveHaltingBroadcast"]
+
+ALICE, BOB = 0, 1
+
+
+class _ChunkedOneToOne(Protocol):
+    """Shared skeleton: fixed-rate chunks of send phase + ack phase.
+
+    Bob acks (at the same rate) for ``linger`` chunks after receiving
+    ``m``, then halts; Alice halts on the first ack heard.  Neither
+    party adapts its rate — which is exactly why these baselines are
+    not resource competitive.
+    """
+
+    n_nodes = 2
+
+    def __init__(self, rate: float, chunk: int = 256, linger: int = 4,
+                 max_chunks: int = 100_000) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ConfigurationError(f"rate must be in (0, 1], got {rate!r}")
+        if chunk < 1:
+            raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+        if linger < 1:
+            raise ConfigurationError(f"linger must be >= 1, got {linger}")
+        self.rate = rate
+        self.chunk = chunk
+        self.linger = linger
+        self.max_chunks = max_chunks
+        self.reset(np.random.default_rng(0))
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self.phase_kind = "send"
+        self.chunk_index = 0
+        self.alice_alive = True
+        self.bob_alive = True
+        self.bob_informed = False
+        self.acks_remaining = self.linger
+        self.aborted = False
+        self._awaiting: str | None = None
+
+    @property
+    def done(self) -> bool:
+        return not (self.alice_alive or self.bob_alive)
+
+    def next_phase(self) -> PhaseSpec | None:
+        if self._awaiting is not None:
+            raise ProtocolError("next_phase called before observe")
+        if self.done:
+            return None
+        if self.chunk_index >= self.max_chunks:
+            self.aborted = True
+            self.alice_alive = False
+            self.bob_alive = False
+            return None
+
+        send_probs = np.zeros(2)
+        listen_probs = np.zeros(2)
+        send_kinds = np.array([TxKind.DATA, TxKind.ACK], dtype=np.int8)
+        if self.phase_kind == "send":
+            if self.alice_alive:
+                send_probs[ALICE] = self.rate
+            if self.bob_alive and not self.bob_informed:
+                listen_probs[BOB] = self.rate
+            listener_group = BOB
+        else:
+            if self.bob_alive and self.bob_informed:
+                send_probs[BOB] = self.rate
+            if self.alice_alive:
+                listen_probs[ALICE] = self.rate
+            listener_group = ALICE
+
+        self._awaiting = self.phase_kind
+        return PhaseSpec(
+            length=self.chunk,
+            send_probs=send_probs,
+            send_kinds=send_kinds,
+            listen_probs=listen_probs,
+            groups=np.array([0, 1], dtype=np.int64),
+            tags={
+                "protocol": "naive-1to1",
+                "kind": self.phase_kind if self.phase_kind == "send" else "ack",
+                "chunk": self.chunk_index,
+                "p": self.rate,
+                "listener_group": listener_group,
+            },
+        )
+
+    def observe(self, obs: PhaseObservation) -> None:
+        if self._awaiting is None:
+            raise ProtocolError("observe called with no phase outstanding")
+        kind, self._awaiting = self._awaiting, None
+        if kind == "send":
+            if self.bob_alive and not self.bob_informed and obs.heard_data[BOB] > 0:
+                self.bob_informed = True
+            self.phase_kind = "ack"
+        else:
+            if self.alice_alive and obs.heard_ack[ALICE] > 0:
+                self.alice_alive = False
+            if self.bob_alive and self.bob_informed:
+                self.acks_remaining -= 1
+                if self.acks_remaining <= 0:
+                    self.bob_alive = False
+            self.phase_kind = "send"
+            self.chunk_index += 1
+
+    def summary(self) -> dict:
+        return {
+            "success": self.bob_informed,
+            "aborted": self.aborted,
+            "chunks": self.chunk_index,
+            "alice_halted": not self.alice_alive,
+            "bob_halted": not self.bob_alive,
+        }
+
+
+class AlwaysOnSender(_ChunkedOneToOne):
+    """Deterministic 1-to-1: send/listen every slot.
+
+    Any adversary with budget ``T`` forces a cost of at least ``T`` on
+    each party simply by jamming the first ``T`` slots — there is no
+    randomness to hedge with.
+    """
+
+    def __init__(self, chunk: int = 256, linger: int = 4,
+                 max_chunks: int = 100_000) -> None:
+        super().__init__(rate=1.0, chunk=chunk, linger=linger,
+                         max_chunks=max_chunks)
+
+
+class FixedProbabilityProtocol(_ChunkedOneToOne):
+    """Randomised 1-to-1 with a fixed per-slot rate ``p``.
+
+    Randomness alone is not enough: with a non-adaptive rate the
+    adversary jams everything and the expected cost is ``Theta(p * T)``
+    — linear in ``T``, merely with a smaller constant.
+    """
+
+
+class NaiveHaltingBroadcast(OneToNBroadcast):
+    """Figure 2 minus the helper mechanism (the Section 3.1 strawman).
+
+    Nodes keep the same rate dynamics but halt as soon as they have
+    heard ``m`` at least ``halt_after`` times *within one repetition* —
+    the "natural halting criterion" the paper shows is exploitable: the
+    adversary can jam at a knife-edge rate so that about half the
+    listeners cross the threshold each round, and the survivors' costs
+    stack up to ``~sqrt(T)`` instead of ``~sqrt(T/n)``.
+
+    Parameters
+    ----------
+    halt_after:
+        Reception threshold; defaults to the same Case 3 threshold as
+        the helper mechanism so the two halting rules are comparable.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        params: OneToNParams | None = None,
+        sender: int = 0,
+        halt_after: float | None = None,
+    ) -> None:
+        self.halt_after = halt_after
+        super().__init__(n_nodes, params=params, sender=sender)
+
+    def _threshold(self) -> float:
+        if self.halt_after is not None:
+            return self.halt_after
+        return self.params.helper_threshold(self.epoch)
+
+    def _apply_cases(self, case1, case2, case3, case4, L) -> None:
+        # Reinterpret Case 3 as "halt" and drop the helper stage.  The
+        # parent computed case3 against the helper threshold; recompute
+        # against our own threshold so halt_after is honoured, then
+        # terminate those nodes outright.
+        del case3, case4
+        halt = (
+            ~case1
+            & (self.status == NodeStatus.INFORMED)
+            & (self._last_heard_m > self._threshold())
+        )
+        self.status[case1] = NodeStatus.TERMINATED
+        self.terminated_epoch[case1] = self.epoch
+
+        self.status[case2] = NodeStatus.INFORMED
+        self.ever_informed |= case2
+
+        self.status[halt] = NodeStatus.TERMINATED
+        self.terminated_epoch[halt] = self.epoch
+
+    def observe(self, obs: PhaseObservation) -> None:
+        # Stash the reception counts so next_phase's tags can expose the
+        # threshold actually in force (used by HalvingAttacker).
+        self._last_heard_m = obs.heard_data.copy()
+        super().observe(obs)
+
+    def next_phase(self):
+        spec = super().next_phase()
+        if spec is not None:
+            spec.tags["protocol"] = "naive-1ton"
+            spec.tags["hear_threshold"] = self._threshold()
+        return spec

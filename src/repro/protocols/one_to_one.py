@@ -1,0 +1,284 @@
+"""Figure 1: 1-to-1 BROADCAST (Theorem 1).
+
+Alice (node 0) must deliver an authenticated message ``m`` to Bob
+(node 1) over the jammed channel.  The algorithm proceeds in epochs
+``i >= 11 + lg ln(8/eps)``; each epoch has a *send phase* and a *nack
+phase* of ``2**i`` slots each, with per-slot send/listen probability
+``p_i = sqrt(ln(8/eps) / 2**(i-1))``:
+
+* **send phase** — Alice transmits ``m`` in each slot w.p. ``p_i``;
+  Bob listens in each slot w.p. ``p_i``.  A birthday-paradox argument
+  gives delivery probability ``1 - eps/8`` if at most half the phase is
+  jammed.
+* **nack phase** — if Bob has not received ``m`` he transmits a nack
+  w.p. ``p_i`` per slot; Alice listens w.p. ``p_i``.
+
+Halting (reconstructed from the Theorem 1 proof; the figure itself is
+an image in our source):
+
+* Bob halts successfully at the end of a send phase in which he heard
+  ``m``;
+* Bob halts (giving up) at the end of a send phase in which he heard no
+  ``m`` *and* fewer than ``sqrt(2**(i-1) ln(8/eps)) / 4`` jammed slots —
+  with so little jamming Alice would have gotten through, so she must
+  have halted already;
+* Alice halts at the end of a nack phase in which she heard no nack and
+  fewer than the same threshold of jammed slots — with so little
+  jamming a running Bob's nack would have gotten through.
+
+The 2-uniform adversary may jam Alice's and Bob's groups separately;
+phase tags expose ``listener_group`` so strategies can jam only the
+receiving side, which is her cost-optimal move.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.events import TxKind
+from repro.constants import (
+    FIG1_EPS_DENOM,
+    FIG1_JAM_THRESHOLD_DIV,
+    fig1_first_epoch,
+)
+from repro.engine.phase import PhaseObservation, PhaseSpec
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocols.base import Protocol
+
+__all__ = ["OneToOneParams", "OneToOneBroadcast"]
+
+#: Node indices (fixed: 1-to-1 means exactly these two parties).
+ALICE, BOB = 0, 1
+
+
+@dataclass(frozen=True)
+class OneToOneParams:
+    """Tuning constants of Figure 1.
+
+    Attributes
+    ----------
+    epsilon:
+        Failure-probability target ``eps``.
+    first_epoch:
+        Index of the first epoch.  The paper uses
+        ``11 + lg ln(8/eps)``; the ``sim`` preset starts lower so that
+        small-``T`` behaviour is visible at laptop scale (the additive
+        constant only affects the efficiency function ``tau``, not the
+        ``sqrt(T)`` shape).
+    max_epoch:
+        Safety cap; a run that climbs past it is aborted and flagged.
+    eps_denom:
+        The ``8`` in ``ln(8/eps)`` (the proof's failure-budget split).
+    jam_threshold_div:
+        The ``4`` in the halting threshold.
+    use_nack:
+        Ablation A4: when False the nack phase is skipped entirely and
+        Alice simply halts after ``blind_epochs`` epochs.  Without the
+        feedback channel Alice cannot tell whether Bob was jammed, so a
+        targeted adversary silently defeats the broadcast — the
+        measurement motivating the nack design.
+    blind_epochs:
+        Number of epochs Alice runs in the no-nack ablation.
+    """
+
+    epsilon: float = 0.1
+    first_epoch: int = 14
+    max_epoch: int = 42
+    eps_denom: float = FIG1_EPS_DENOM
+    jam_threshold_div: float = FIG1_JAM_THRESHOLD_DIV
+    use_nack: bool = True
+    blind_epochs: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon must be in (0, 1), got {self.epsilon!r}"
+            )
+        if self.first_epoch < 1:
+            raise ConfigurationError(
+                f"first_epoch must be >= 1, got {self.first_epoch}"
+            )
+        if self.max_epoch < self.first_epoch:
+            raise ConfigurationError("max_epoch must be >= first_epoch")
+        if self.eps_denom <= 1.0:
+            raise ConfigurationError("eps_denom must exceed 1")
+        if self.jam_threshold_div <= 0.0:
+            raise ConfigurationError("jam_threshold_div must be positive")
+
+    @classmethod
+    def paper(cls, epsilon: float = 0.1, max_epoch: int = 42) -> "OneToOneParams":
+        """Faithful Figure 1 constants (first epoch ``11 + lg ln(8/eps)``)."""
+        return cls(
+            epsilon=epsilon,
+            first_epoch=fig1_first_epoch(epsilon),
+            max_epoch=max_epoch,
+        )
+
+    @classmethod
+    def sim(cls, epsilon: float = 0.1, max_epoch: int = 40) -> "OneToOneParams":
+        """Laptop-scale preset: same dynamics, smaller first epoch.
+
+        Starts at ``3 + lg ln(8/eps)`` — just high enough that
+        ``p_i < 0.5`` from the start.
+        """
+        first = 3 + math.ceil(math.log2(math.log(FIG1_EPS_DENOM / epsilon)))
+        return cls(epsilon=epsilon, first_epoch=max(2, first), max_epoch=max_epoch)
+
+    # -- per-epoch derived quantities ------------------------------------
+
+    def phase_length(self, epoch: int) -> int:
+        """Phase length ``2**i``."""
+        return 1 << epoch
+
+    def send_probability(self, epoch: int) -> float:
+        """``p_i = sqrt(ln(8/eps) / 2**(i-1))``, clamped to 1."""
+        p = math.sqrt(
+            math.log(self.eps_denom / self.epsilon) / 2.0 ** (epoch - 1)
+        )
+        return min(1.0, p)
+
+    def jam_threshold(self, epoch: int) -> float:
+        """Heard-jam count below which a party trusts the silence."""
+        return (
+            math.sqrt(2.0 ** (epoch - 1) * math.log(self.eps_denom / self.epsilon))
+            / self.jam_threshold_div
+        )
+
+
+class OneToOneBroadcast(Protocol):
+    """Figure 1's 1-to-1 BROADCAST as a phase-driven protocol.
+
+    Examples
+    --------
+    >>> from repro.adversaries import SilentAdversary
+    >>> from repro.engine import run
+    >>> res = run(OneToOneBroadcast(OneToOneParams.sim()), SilentAdversary(), seed=1)
+    >>> res.success and res.max_node_cost < 200
+    True
+    """
+
+    n_nodes = 2
+
+    def __init__(self, params: OneToOneParams | None = None) -> None:
+        self.params = params or OneToOneParams.sim()
+        self.reset(np.random.default_rng(0))
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self.epoch = self.params.first_epoch
+        self.phase_kind = "send"  # alternates send -> nack -> next epoch
+        self.alice_alive = True
+        self.bob_alive = True
+        self.bob_informed = False
+        self.aborted = False
+        self._awaiting: str | None = None
+
+    # -- Protocol interface ----------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return not (self.alice_alive or self.bob_alive)
+
+    def next_phase(self) -> PhaseSpec | None:
+        if self._awaiting is not None:
+            raise ProtocolError("next_phase called before observe")
+        if self.done:
+            return None
+        if self.epoch > self.params.max_epoch:
+            # Safety valve: both parties give up.  Flagged in summary().
+            self.aborted = True
+            self.alice_alive = False
+            self.bob_alive = False
+            return None
+
+        p = self.params.send_probability(self.epoch)
+        length = self.params.phase_length(self.epoch)
+        send_probs = np.zeros(2)
+        listen_probs = np.zeros(2)
+        send_kinds = np.array([TxKind.DATA, TxKind.NACK], dtype=np.int8)
+
+        if self.phase_kind == "send":
+            if self.alice_alive:
+                send_probs[ALICE] = p
+            if self.bob_alive:
+                listen_probs[BOB] = p
+            listener_group = BOB
+        else:  # nack phase
+            if self.bob_alive and not self.bob_informed:
+                send_probs[BOB] = p
+            if self.alice_alive:
+                listen_probs[ALICE] = p
+            listener_group = ALICE
+
+        self._awaiting = self.phase_kind
+        return PhaseSpec(
+            length=length,
+            send_probs=send_probs,
+            send_kinds=send_kinds,
+            listen_probs=listen_probs,
+            groups=np.array([0, 1], dtype=np.int64),
+            tags={
+                "protocol": "fig1",
+                "kind": self.phase_kind,
+                "epoch": self.epoch,
+                "p": p,
+                "listener_group": listener_group,
+            },
+        )
+
+    def observe(self, obs: PhaseObservation) -> None:
+        if self._awaiting is None:
+            raise ProtocolError("observe called with no phase outstanding")
+        kind, self._awaiting = self._awaiting, None
+        threshold = self.params.jam_threshold(self.epoch)
+
+        if kind == "send":
+            if self.bob_alive:
+                if obs.heard_data[BOB] > 0:
+                    self.bob_informed = True
+                    self.bob_alive = False  # delivered; Bob halts
+                elif obs.heard_noise[BOB] < threshold:
+                    # Quiet channel yet no message: Alice must be gone.
+                    self.bob_alive = False
+            if not self.params.use_nack:
+                # Ablation A4: no feedback channel.  Alice runs a fixed
+                # number of epochs and hopes for the best.
+                self.epoch += 1
+                if self.epoch >= self.params.first_epoch + self.params.blind_epochs:
+                    self.alice_alive = False
+                return
+            self.phase_kind = "nack"
+        else:
+            if self.alice_alive:
+                heard_nack = obs.heard_nack[ALICE] > 0
+                if not heard_nack and obs.heard_noise[ALICE] < threshold:
+                    # No nack on a quiet channel: Bob received m (or has
+                    # already halted); either way Alice is finished.
+                    self.alice_alive = False
+            self.phase_kind = "send"
+            self.epoch += 1
+
+    def summary(self) -> dict:
+        return {
+            "success": self.bob_informed,
+            "final_epoch": self.epoch,
+            "aborted": self.aborted,
+            "alice_halted": not self.alice_alive,
+            "bob_halted": not self.bob_alive,
+        }
+
+    # -- hooks for the combined protocol ----------------------------------
+
+    def force_bob_informed(self) -> None:
+        """Mark Bob as having received ``m`` out of band.
+
+        Used by :class:`repro.protocols.combined.CombinedOneToOne` when
+        the same physical Bob received ``m`` through the sibling
+        algorithm.
+        """
+        if self.bob_alive:
+            self.bob_informed = True
+            self.bob_alive = False

@@ -1,0 +1,197 @@
+"""Persistence for run results and experiment reports.
+
+Long-lived reproductions need a memory: saving each experiment's report
+to JSON lets future sessions (or CI) diff new runs against recorded
+ones and catch *regressions in the science* — a check that used to pass
+now failing, an exponent drifting out of its band — rather than just
+code breakage.
+
+Functions
+---------
+``save_report`` / ``load_report``
+    Round-trip an :class:`~repro.experiments.registry.ExperimentReport`.
+``run_result_to_dict`` / ``run_result_from_dict``
+    Round-trip a single :class:`~repro.engine.simulator.RunResult`
+    (phase history excluded — it is forensic, not archival).
+``compare_reports``
+    Structured diff of two reports of the same experiment.
+
+The CLI exposes these as ``repro-bcast run E1 --save out.json`` and
+``repro-bcast compare old.json new.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro._version import __version__
+from repro.engine.simulator import RunResult
+from repro.errors import AnalysisError
+from repro.experiments.registry import ExperimentReport
+from repro.experiments.runner import Table
+
+__all__ = [
+    "save_report",
+    "load_report",
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "compare_reports",
+    "ReportDiff",
+]
+
+
+def _jsonable(value):
+    """Recursively convert numpy containers/scalars to JSON-safe types."""
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        v = float(value)
+        return None if np.isnan(v) else v
+    if isinstance(value, float) and np.isnan(value):
+        return None
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """JSON-safe snapshot of one run (history excluded)."""
+    return {
+        "schema": "repro.run_result/1",
+        "version": __version__,
+        "node_costs": _jsonable(result.node_costs),
+        "node_send_costs": _jsonable(result.node_send_costs),
+        "node_listen_costs": _jsonable(result.node_listen_costs),
+        "adversary_cost": int(result.adversary_cost),
+        "slots": int(result.slots),
+        "phases": int(result.phases),
+        "truncated": bool(result.truncated),
+        "stats": _jsonable(result.stats),
+    }
+
+
+def run_result_from_dict(data: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`run_result_to_dict`."""
+    if data.get("schema") != "repro.run_result/1":
+        raise AnalysisError(f"unknown run-result schema: {data.get('schema')!r}")
+
+    def arr(key):
+        v = data.get(key)
+        return None if v is None else np.asarray(v, dtype=np.int64)
+
+    return RunResult(
+        node_costs=np.asarray(data["node_costs"], dtype=np.int64),
+        adversary_cost=int(data["adversary_cost"]),
+        slots=int(data["slots"]),
+        phases=int(data["phases"]),
+        truncated=bool(data["truncated"]),
+        stats=dict(data["stats"]),
+        node_send_costs=arr("node_send_costs"),
+        node_listen_costs=arr("node_listen_costs"),
+    )
+
+
+def _report_to_dict(report: ExperimentReport) -> dict:
+    return {
+        "schema": "repro.experiment_report/1",
+        "version": __version__,
+        "eid": report.eid,
+        "title": report.title,
+        "anchor": report.anchor,
+        "tables": [
+            {
+                "title": t.title,
+                "columns": list(t.columns),
+                "rows": _jsonable(t.rows),
+            }
+            for t in report.tables
+        ],
+        "notes": list(report.notes),
+        "checks": {k: bool(v) for k, v in report.checks.items()},
+    }
+
+
+def save_report(report: ExperimentReport, path: str | Path) -> Path:
+    """Write a report to JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_report_to_dict(report), indent=2))
+    return path
+
+
+def load_report(path: str | Path) -> ExperimentReport:
+    """Read a report saved by :func:`save_report`."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != "repro.experiment_report/1":
+        raise AnalysisError(f"unknown report schema: {data.get('schema')!r}")
+    report = ExperimentReport(
+        eid=data["eid"], title=data["title"], anchor=data["anchor"]
+    )
+    for t in data["tables"]:
+        table = Table(t["title"], list(t["columns"]))
+        for row in t["rows"]:
+            table.add_row(*row)
+        report.tables.append(table)
+    report.notes = list(data["notes"])
+    report.checks = {k: bool(v) for k, v in data["checks"].items()}
+    return report
+
+
+@dataclass(frozen=True)
+class ReportDiff:
+    """Structured difference between two reports of one experiment."""
+
+    eid: str
+    check_regressions: list[str]  # PASS -> FAIL
+    check_fixes: list[str]  # FAIL -> PASS
+    checks_added: list[str]
+    checks_removed: list[str]
+
+    @property
+    def is_regression(self) -> bool:
+        return bool(self.check_regressions)
+
+    def render(self) -> str:
+        lines = [f"diff for {self.eid}:"]
+        for name in self.check_regressions:
+            lines.append(f"  REGRESSION: {name} (was PASS, now FAIL)")
+        for name in self.check_fixes:
+            lines.append(f"  fixed: {name}")
+        for name in self.checks_added:
+            lines.append(f"  new check: {name}")
+        for name in self.checks_removed:
+            lines.append(f"  removed check: {name}")
+        if len(lines) == 1:
+            lines.append("  no check-level differences")
+        return "\n".join(lines)
+
+
+def compare_reports(old: ExperimentReport, new: ExperimentReport) -> ReportDiff:
+    """Diff two reports of the same experiment at the check level."""
+    if old.eid != new.eid:
+        raise AnalysisError(
+            f"cannot compare different experiments: {old.eid!r} vs {new.eid!r}"
+        )
+    regressions, fixes = [], []
+    for name in old.checks.keys() & new.checks.keys():
+        if old.checks[name] and not new.checks[name]:
+            regressions.append(name)
+        elif not old.checks[name] and new.checks[name]:
+            fixes.append(name)
+    return ReportDiff(
+        eid=old.eid,
+        check_regressions=sorted(regressions),
+        check_fixes=sorted(fixes),
+        checks_added=sorted(new.checks.keys() - old.checks.keys()),
+        checks_removed=sorted(old.checks.keys() - new.checks.keys()),
+    )

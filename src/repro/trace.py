@@ -1,0 +1,197 @@
+"""Slot-level tracing and replay.
+
+For small runs it is invaluable — in debugging, in teaching, and in
+*auditing* the simulator — to see exactly who was on the air in every
+slot.  A :class:`TraceRecorder` attached to a
+:class:`~repro.engine.simulator.Simulator` captures each phase's raw
+material (sampled actions, jam plan, resolved outcome); from it one can
+
+* render per-slot ASCII timelines (:func:`timeline`);
+* *replay* the resolution independently and check it reproduces the
+  engine's reported observations bit-for-bit (:func:`verify_trace`) —
+  an end-to-end audit that the vectorised hot path implements the
+  channel semantics.
+
+Tracing stores every event of every phase: use it on runs of up to a
+few million slots, not on full sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.events import (
+    JamPlan,
+    ListenEvents,
+    PhaseOutcome,
+    SendEvents,
+    SlotStatus,
+)
+from repro.channel.model import resolve_phase, slot_content
+from repro.errors import AnalysisError, SimulationError
+
+__all__ = ["PhaseTrace", "TraceRecorder", "timeline", "verify_trace"]
+
+
+@dataclass(frozen=True)
+class PhaseTrace:
+    """Everything needed to replay one phase."""
+
+    phase_index: int
+    length: int
+    n_nodes: int
+    tags: dict
+    sends: SendEvents
+    listens: ListenEvents
+    plan: JamPlan
+    groups: np.ndarray | None
+    heard: np.ndarray  # what the engine reported
+
+
+@dataclass
+class TraceRecorder:
+    """Collects :class:`PhaseTrace` records during a run.
+
+    Pass to :class:`~repro.engine.simulator.Simulator` via the ``trace``
+    argument.  ``max_phases`` guards against accidentally tracing a
+    month-long sweep.
+    """
+
+    max_phases: int = 10_000
+    phases: list[PhaseTrace] = field(default_factory=list)
+
+    def record(
+        self,
+        phase_index: int,
+        length: int,
+        n_nodes: int,
+        tags: dict,
+        sends: SendEvents,
+        listens: ListenEvents,
+        plan: JamPlan,
+        groups: np.ndarray | None,
+        outcome: PhaseOutcome,
+    ) -> None:
+        if len(self.phases) >= self.max_phases:
+            raise SimulationError(
+                f"trace exceeded max_phases={self.max_phases}; "
+                "tracing is for small runs"
+            )
+        self.phases.append(
+            PhaseTrace(
+                phase_index=phase_index,
+                length=length,
+                n_nodes=n_nodes,
+                tags=dict(tags),
+                sends=sends,
+                listens=listens,
+                plan=plan,
+                groups=None if groups is None else groups.copy(),
+                heard=outcome.heard.copy(),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+
+#: Glyphs used by :func:`timeline`.
+GLYPH_SEND = "S"
+GLYPH_SEND_LOST = "x"  # transmission collided or was jammed away
+GLYPH_HEAR_MSG = "M"
+GLYPH_HEAR_NOISE = "n"
+GLYPH_HEAR_CLEAR = "."
+GLYPH_SLEEP = " "
+GLYPH_JAM = "#"
+
+
+def timeline(trace: PhaseTrace, max_width: int = 120) -> str:
+    """Render one phase as a per-slot, per-node ASCII timeline.
+
+    One row per node plus a jam row.  ``S`` = successful transmission,
+    ``x`` = transmission lost to collision/jam, ``M`` = heard a
+    message, ``n`` = heard noise, ``.`` = heard a clear slot, space =
+    asleep.  Phases wider than ``max_width`` are truncated with an
+    ellipsis marker.
+    """
+    width = min(trace.length, max_width)
+    truncated = trace.length > max_width
+
+    content = slot_content(trace.length, trace.sends, trace.plan)
+    groups = (
+        trace.groups
+        if trace.groups is not None
+        else np.zeros(trace.n_nodes, dtype=np.int64)
+    )
+    jam_masks = {int(g): trace.plan.jam_mask(int(g)) for g in np.unique(groups)}
+    jam_union = np.zeros(trace.length, dtype=bool)
+    for m in jam_masks.values():
+        jam_union |= m
+
+    rows = []
+    for u in range(trace.n_nodes):
+        row = [GLYPH_SLEEP] * width
+        jam_u = jam_masks[int(groups[u])]
+        mask = trace.listens.nodes == u
+        for slot in trace.listens.slots[mask]:
+            if slot >= width:
+                continue
+            status = (
+                SlotStatus.NOISE if jam_u[slot] else SlotStatus(int(content[slot]))
+            )
+            if status == SlotStatus.CLEAR:
+                row[slot] = GLYPH_HEAR_CLEAR
+            elif status == SlotStatus.NOISE:
+                row[slot] = GLYPH_HEAR_NOISE
+            else:
+                row[slot] = GLYPH_HEAR_MSG
+        mask = trace.sends.nodes == u
+        for slot in trace.sends.slots[mask]:
+            if slot >= width:
+                continue
+            # "Delivered" = decodable and not jammed for (at least) the
+            # jammed groups; with a global jam this is exact, with a
+            # targeted jam the glyph reflects the jammed side's view.
+            delivered = int(content[slot]) not in (
+                int(SlotStatus.CLEAR),
+                int(SlotStatus.NOISE),
+            ) and not jam_union[slot]
+            row[slot] = GLYPH_SEND if delivered else GLYPH_SEND_LOST
+        rows.append(row)
+
+    label_w = len(f"node {trace.n_nodes - 1}")
+    lines = [
+        f"phase {trace.phase_index} "
+        f"(len {trace.length}{', truncated view' if truncated else ''}) "
+        f"tags={trace.tags}"
+    ]
+    for u, row in enumerate(rows):
+        lines.append(f"{f'node {u}':>{label_w}} │{''.join(row)}")
+    jam_row = [GLYPH_SLEEP] * width
+    for slot in np.flatnonzero(jam_union):
+        if slot < width:
+            jam_row[slot] = GLYPH_JAM
+    lines.append(f"{'jam':>{label_w}} │{''.join(jam_row)}")
+    return "\n".join(lines)
+
+
+def verify_trace(recorder: TraceRecorder) -> int:
+    """Replay every recorded phase and check the engine's reports.
+
+    Re-resolves each phase from its raw events with
+    :func:`repro.channel.model.resolve_phase` and compares the heard
+    matrices element-wise.  Returns the number of phases verified;
+    raises :class:`AnalysisError` on any mismatch.
+    """
+    for t in recorder.phases:
+        outcome = resolve_phase(
+            t.length, t.n_nodes, t.sends, t.listens, t.plan, groups=t.groups
+        )
+        if not np.array_equal(outcome.heard, t.heard):
+            raise AnalysisError(
+                f"replay mismatch in phase {t.phase_index}: "
+                f"{outcome.heard.tolist()} != {t.heard.tolist()}"
+            )
+    return len(recorder.phases)

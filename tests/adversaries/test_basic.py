@@ -1,0 +1,94 @@
+"""Unit tests for the basic adversary strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.base import AdversaryContext
+from repro.adversaries.basic import (
+    PeriodicJammer,
+    RandomJammer,
+    SilentAdversary,
+    SuffixJammer,
+)
+from repro.channel.events import ListenEvents, SendEvents
+from repro.errors import ConfigurationError
+
+
+def ctx(length=100, tags=None, spent=0, phase_index=0):
+    return AdversaryContext(
+        phase_index=phase_index,
+        length=length,
+        n_nodes=2,
+        n_groups=2,
+        tags=tags or {},
+        sends=SendEvents.empty(),
+        listens=ListenEvents.empty(),
+        send_probs=np.array([0.1, 0.0]),
+        listen_probs=np.array([0.0, 0.1]),
+        spent=spent,
+    )
+
+
+class TestSilent:
+    def test_no_cost(self):
+        assert SilentAdversary().plan_phase(ctx()).cost == 0
+
+
+class TestRandomJammer:
+    def test_rate(self):
+        adv = RandomJammer(0.25)
+        adv.begin_run(2, 1, np.random.default_rng(0))
+        costs = [adv.plan_phase(ctx(length=1000)).cost for _ in range(30)]
+        assert abs(np.mean(costs) - 250) < 5 * np.sqrt(1000 * 0.25 * 0.75 / 30)
+
+    def test_targeted(self):
+        adv = RandomJammer(0.5, group=1)
+        adv.begin_run(2, 2, np.random.default_rng(0))
+        plan = adv.plan_phase(ctx())
+        assert len(plan.global_slots) == 0
+        assert 1 in plan.targeted
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            RandomJammer(1.5)
+
+
+class TestPeriodicJammer:
+    def test_period(self):
+        plan = PeriodicJammer(4).plan_phase(ctx(length=16))
+        assert list(plan.global_slots) == [0, 4, 8, 12]
+
+    def test_offset(self):
+        plan = PeriodicJammer(4, offset=1).plan_phase(ctx(length=8))
+        assert list(plan.global_slots) == [1, 5]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicJammer(0)
+        with pytest.raises(ConfigurationError):
+            PeriodicJammer(4, offset=4)
+
+
+class TestSuffixJammer:
+    def test_fraction(self):
+        plan = SuffixJammer(0.25).plan_phase(ctx(length=100))
+        assert plan.cost == 25
+        assert list(plan.global_slots) == list(range(75, 100))
+
+    def test_budget_trims(self):
+        adv = SuffixJammer(1.0, max_total=150)
+        assert adv.plan_phase(ctx(length=100, spent=0)).cost == 100
+        assert adv.plan_phase(ctx(length=100, spent=100)).cost == 50
+        assert adv.plan_phase(ctx(length=100, spent=150)).cost == 0
+
+    def test_targeted_group(self):
+        plan = SuffixJammer(0.5, group=1).plan_phase(ctx(length=10))
+        assert list(plan.targeted[1]) == [5, 6, 7, 8, 9]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            SuffixJammer(-0.1)
+        with pytest.raises(ConfigurationError):
+            SuffixJammer(1.1)

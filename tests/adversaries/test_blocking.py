@@ -1,0 +1,81 @@
+"""Unit tests for q-blocking and epoch-targeted strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.base import AdversaryContext
+from repro.adversaries.blocking import EpochTargetJammer, QBlockingJammer
+from repro.channel.events import ListenEvents, SendEvents
+from repro.errors import ConfigurationError
+
+
+def ctx(length=64, tags=None):
+    return AdversaryContext(
+        phase_index=0,
+        length=length,
+        n_nodes=2,
+        n_groups=2,
+        tags=tags or {},
+        sends=SendEvents.empty(),
+        listens=ListenEvents.empty(),
+        send_probs=np.zeros(2),
+        listen_probs=np.zeros(2),
+    )
+
+
+class TestQBlockingJammer:
+    def test_blocks_fraction(self):
+        plan = QBlockingJammer(q=0.5).plan_phase(ctx())
+        assert plan.cost == 32
+
+    def test_predicate_filters(self):
+        adv = QBlockingJammer(q=1.0, predicate=lambda tags: tags.get("kind") == "send")
+        assert adv.plan_phase(ctx(tags={"kind": "send"})).cost == 64
+        assert adv.plan_phase(ctx(tags={"kind": "nack"})).cost == 0
+
+    def test_target_listener_uses_tag(self):
+        adv = QBlockingJammer(q=1.0, target_listener=True)
+        plan = adv.plan_phase(ctx(tags={"listener_group": 1}))
+        assert 1 in plan.targeted
+        assert len(plan.global_slots) == 0
+
+    def test_target_listener_without_tag_is_global(self):
+        adv = QBlockingJammer(q=1.0, target_listener=True)
+        plan = adv.plan_phase(ctx())
+        assert len(plan.global_slots) == 64
+
+    def test_invalid_q(self):
+        with pytest.raises(ConfigurationError):
+            QBlockingJammer(q=2.0)
+
+
+class TestEpochTargetJammer:
+    def test_attacks_up_to_target(self):
+        adv = EpochTargetJammer(target_epoch=10, q=0.5)
+        assert adv.plan_phase(ctx(tags={"epoch": 9})).cost == 32
+        assert adv.plan_phase(ctx(tags={"epoch": 10})).cost == 32
+        assert adv.plan_phase(ctx(tags={"epoch": 11})).cost == 0
+
+    def test_no_epoch_tag_means_silent(self):
+        adv = EpochTargetJammer(target_epoch=10)
+        assert adv.plan_phase(ctx()).cost == 0
+
+    def test_phase_fraction(self):
+        adv = EpochTargetJammer(target_epoch=10, q=1.0, phase_fraction=0.5)
+        t = {"epoch": 5, "repetition": 0, "n_repetitions": 10}
+        assert adv.plan_phase(ctx(tags=t)).cost == 64
+        t["repetition"] = 5
+        assert adv.plan_phase(ctx(tags=t)).cost == 0
+
+    def test_target_listener(self):
+        adv = EpochTargetJammer(target_epoch=10, q=1.0, target_listener=True)
+        plan = adv.plan_phase(ctx(tags={"epoch": 5, "listener_group": 0}))
+        assert 0 in plan.targeted
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            EpochTargetJammer(5, q=-0.1)
+        with pytest.raises(ConfigurationError):
+            EpochTargetJammer(5, phase_fraction=0.0)

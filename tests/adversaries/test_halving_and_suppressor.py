@@ -1,0 +1,113 @@
+"""Unit tests for the reactive attackers that inspect sampled actions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.base import AdversaryContext
+from repro.adversaries.halving import HalvingAttacker
+from repro.adversaries.suppressor import BroadcastSuppressor
+from repro.channel.events import ListenEvents, SendEvents, TxKind
+from repro.errors import ConfigurationError
+
+
+def ctx_with_sends(send_triples, length=100, listen_prob=0.5, tags=None):
+    if send_triples:
+        nodes, slots, kinds = zip(*send_triples)
+    else:
+        nodes, slots, kinds = (), (), ()
+    return AdversaryContext(
+        phase_index=0,
+        length=length,
+        n_nodes=4,
+        n_groups=1,
+        tags=tags or {},
+        sends=SendEvents(
+            np.array(nodes, dtype=np.int64),
+            np.array(slots, dtype=np.int64),
+            np.array(kinds, dtype=np.int8),
+        ),
+        listens=ListenEvents.empty(),
+        send_probs=np.full(4, 0.1),
+        listen_probs=np.full(4, listen_prob),
+    )
+
+
+class TestHalvingAttacker:
+    def test_quiet_when_no_messages(self):
+        adv = HalvingAttacker(hear_threshold=2)
+        assert adv.plan_phase(ctx_with_sends([])).cost == 0
+
+    def test_quiet_when_messages_below_target(self):
+        adv = HalvingAttacker(hear_threshold=5)
+        # 2 message slots; target = 5 / 0.5 = 10 > 2 -> nothing to jam.
+        sends = [(0, 10, TxKind.DATA), (0, 20, TxKind.DATA)]
+        assert adv.plan_phase(ctx_with_sends(sends)).cost == 0
+
+    def test_jams_suffix_after_target(self):
+        adv = HalvingAttacker(hear_threshold=1)
+        # 5 message slots at 10,20,30,40,50; listen prob 0.5 -> target 2,
+        # so jam from slot 30 (third message slot) onward.
+        sends = [(0, s, TxKind.DATA) for s in (10, 20, 30, 40, 50)]
+        plan = adv.plan_phase(ctx_with_sends(sends))
+        assert plan.global_slots[0] == 30
+        assert plan.cost == 70
+
+    def test_collided_slots_not_counted(self):
+        adv = HalvingAttacker(hear_threshold=1)
+        # Collisions produce noise, not messages; nothing decodable.
+        sends = [(0, 10, TxKind.DATA), (1, 10, TxKind.DATA)]
+        assert adv.plan_phase(ctx_with_sends(sends)).cost == 0
+
+    def test_threshold_from_tags_overrides(self):
+        adv = HalvingAttacker(hear_threshold=1)
+        sends = [(0, s, TxKind.DATA) for s in range(0, 100, 10)]
+        plan_default = adv.plan_phase(ctx_with_sends(sends))
+        plan_tagged = adv.plan_phase(
+            ctx_with_sends(sends, tags={"hear_threshold": 3})
+        )
+        # A higher threshold lets more messages through (jam starts later).
+        assert (
+            len(plan_tagged.global_slots) < len(plan_default.global_slots)
+            or plan_tagged.cost == 0
+        )
+
+    def test_budget_cap(self):
+        adv = HalvingAttacker(hear_threshold=1, max_total=5)
+        sends = [(0, s, TxKind.DATA) for s in (10, 20, 30, 40, 50)]
+        assert adv.plan_phase(ctx_with_sends(sends)).cost <= 5
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            HalvingAttacker(hear_threshold=0)
+        with pytest.raises(ConfigurationError):
+            HalvingAttacker(hear_threshold=1, slack=0)
+
+
+class TestBroadcastSuppressor:
+    def test_jams_exactly_lone_data_slots(self):
+        adv = BroadcastSuppressor()
+        sends = [
+            (0, 10, TxKind.DATA),           # lone DATA -> jam
+            (1, 20, TxKind.NOISE),          # noise -> ignore
+            (0, 30, TxKind.DATA),           # lone DATA -> jam
+            (1, 40, TxKind.DATA), (2, 40, TxKind.DATA),  # collision -> ignore
+        ]
+        plan = adv.plan_phase(ctx_with_sends(sends))
+        assert list(plan.global_slots) == [10, 30]
+
+    def test_respects_target_epoch(self):
+        adv = BroadcastSuppressor(target_epoch=5)
+        sends = [(0, 10, TxKind.DATA)]
+        assert adv.plan_phase(ctx_with_sends(sends, tags={"epoch": 5})).cost == 1
+        assert adv.plan_phase(ctx_with_sends(sends, tags={"epoch": 6})).cost == 0
+
+    def test_budget(self):
+        adv = BroadcastSuppressor(max_total=1)
+        sends = [(0, 10, TxKind.DATA), (0, 30, TxKind.DATA)]
+        assert adv.plan_phase(ctx_with_sends(sends)).cost == 1
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            BroadcastSuppressor(max_total=-1)

@@ -1,0 +1,122 @@
+"""Unit tests for the reactive product jammer and the budget wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.base import AdversaryContext
+from repro.adversaries.basic import SuffixJammer
+from repro.adversaries.budget import BudgetCap
+from repro.adversaries.reactive import ReactiveProductJammer
+from repro.adversaries.spoofing import SpoofingAdversary
+from repro.channel.events import ListenEvents, SendEvents, TxKind
+from repro.errors import ConfigurationError
+
+
+def ctx(length=100, a=0.1, b=0.1, tags=None, spent=0):
+    return AdversaryContext(
+        phase_index=0,
+        length=length,
+        n_nodes=2,
+        n_groups=2,
+        tags=tags or {},
+        sends=SendEvents.empty(),
+        listens=ListenEvents.empty(),
+        send_probs=np.array([a, 0.0]),
+        listen_probs=np.array([0.0, b]),
+        spent=spent,
+    )
+
+
+class TestReactiveProductJammer:
+    def test_jams_above_threshold(self):
+        adv = ReactiveProductJammer(budget=100)
+        # a*b = 0.04 > 1/100
+        assert adv.plan_phase(ctx(a=0.2, b=0.2)).cost == 100
+
+    def test_quiet_below_threshold(self):
+        adv = ReactiveProductJammer(budget=100)
+        # a*b = 0.0001 < 1/100
+        assert adv.plan_phase(ctx(a=0.01, b=0.01)).cost == 0
+
+    def test_budget_respected(self):
+        adv = ReactiveProductJammer(budget=100)
+        assert adv.plan_phase(ctx(a=0.5, b=0.5, spent=70)).cost == 30
+        assert adv.plan_phase(ctx(a=0.5, b=0.5, spent=100)).cost == 0
+
+    def test_jams_prefix(self):
+        adv = ReactiveProductJammer(budget=10)
+        plan = adv.plan_phase(ctx(a=0.5, b=0.5))
+        slots = plan.targeted.get(1, plan.global_slots)
+        assert list(slots) == list(range(10))
+
+    def test_targets_listener_group_tag(self):
+        adv = ReactiveProductJammer(budget=10)
+        plan = adv.plan_phase(ctx(a=0.5, b=0.5, tags={"listener_group": 1}))
+        assert 1 in plan.targeted
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            ReactiveProductJammer(budget=0)
+
+
+class TestBudgetCap:
+    def test_passthrough_under_budget(self):
+        adv = BudgetCap(SuffixJammer(0.5), budget=1000)
+        assert adv.plan_phase(ctx(length=100)).cost == 50
+
+    def test_trims_to_remaining(self):
+        adv = BudgetCap(SuffixJammer(1.0), budget=130)
+        assert adv.plan_phase(ctx(length=100, spent=100)).cost == 30
+
+    def test_exhausted_is_silent(self):
+        adv = BudgetCap(SuffixJammer(1.0), budget=50)
+        assert adv.plan_phase(ctx(length=100, spent=50)).cost == 0
+
+    def test_trim_keeps_earliest_slots(self):
+        adv = BudgetCap(SuffixJammer(1.0), budget=10)
+        plan = adv.plan_phase(ctx(length=100, spent=0))
+        assert list(plan.global_slots) == list(range(10))
+
+    def test_trims_spoofs_too(self):
+        inner = SpoofingAdversary(scenario="simulate")
+        inner.begin_run(2, 2, np.random.default_rng(0))
+        adv = BudgetCap(inner, budget=3)
+        adv.begin_run(2, 2, np.random.default_rng(0))
+        plan = adv.plan_phase(
+            ctx(length=1000, a=0.5, tags={"kind": "nack", "p": 0.5})
+        )
+        assert plan.cost <= 3
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BudgetCap(SuffixJammer(0.5), budget=-1)
+
+
+class TestSpoofingAdversary:
+    def test_jam_scenario_respects_threshold(self):
+        adv = SpoofingAdversary(scenario="jam", budget=100)
+        assert adv.plan_phase(ctx(a=0.5, b=0.5)).cost == 100
+        assert adv.plan_phase(ctx(a=0.01, b=0.01)).cost == 0
+
+    def test_simulate_spoofs_only_feedback_phases(self):
+        adv = SpoofingAdversary(scenario="simulate")
+        adv.begin_run(2, 2, np.random.default_rng(0))
+        send_plan = adv.plan_phase(ctx(tags={"kind": "send", "p": 0.3}))
+        assert send_plan.cost == 0
+        nack_plan = adv.plan_phase(
+            ctx(length=1000, tags={"kind": "nack", "p": 0.3})
+        )
+        assert nack_plan.cost > 0
+        assert (nack_plan.spoof_kinds == int(TxKind.ACK)).all()
+
+    def test_spoof_kind_configurable(self):
+        adv = SpoofingAdversary(scenario="simulate", spoof_kind=TxKind.NACK)
+        adv.begin_run(2, 2, np.random.default_rng(0))
+        plan = adv.plan_phase(ctx(length=1000, tags={"kind": "nack", "p": 0.5}))
+        assert (plan.spoof_kinds == int(TxKind.NACK)).all()
+
+    def test_invalid_scenario(self):
+        with pytest.raises(ConfigurationError):
+            SpoofingAdversary(scenario="bribe")

@@ -1,0 +1,137 @@
+"""Unit tests for the stochastic/windowed/learning adversaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.base import AdversaryContext
+from repro.adversaries.stochastic import (
+    GreedyAdaptiveJammer,
+    MarkovJammer,
+    WindowedJammer,
+)
+from repro.channel.events import ListenEvents, SendEvents
+from repro.errors import ConfigurationError
+
+
+def ctx(length=1000, n_listens=0, spent=0, phase_index=0):
+    listens = (
+        ListenEvents(
+            np.zeros(n_listens, dtype=np.int64),
+            np.arange(n_listens, dtype=np.int64) % length,
+        )
+        if n_listens
+        else ListenEvents.empty()
+    )
+    return AdversaryContext(
+        phase_index=phase_index,
+        length=length,
+        n_nodes=2,
+        n_groups=1,
+        tags={},
+        sends=SendEvents.empty(),
+        listens=listens,
+        send_probs=np.zeros(2),
+        listen_probs=np.zeros(2),
+        spent=spent,
+    )
+
+
+class TestMarkovJammer:
+    def test_stationary_rate(self):
+        adv = MarkovJammer(p_enter=0.02, p_exit=0.08)
+        assert adv.stationary_rate == pytest.approx(0.2)
+
+    def test_long_run_rate_matches(self):
+        adv = MarkovJammer(p_enter=0.02, p_exit=0.08)
+        adv.begin_run(2, 1, np.random.default_rng(7))
+        total = sum(adv.plan_phase(ctx(length=5000)).cost for _ in range(20))
+        rate = total / (20 * 5000)
+        assert abs(rate - 0.2) < 0.05
+
+    def test_burstiness(self):
+        # Mean burst length ~ 1/p_exit: jammed slots come in runs.
+        adv = MarkovJammer(p_enter=0.005, p_exit=0.05)
+        adv.begin_run(2, 1, np.random.default_rng(1))
+        plan = adv.plan_phase(ctx(length=50_000))
+        slots = plan.global_slots
+        if len(slots) > 10:
+            runs = np.split(slots, np.flatnonzero(np.diff(slots) > 1) + 1)
+            mean_run = np.mean([len(r) for r in runs])
+            assert mean_run > 5  # i.i.d. jamming at this rate would give ~1
+
+    def test_budget(self):
+        adv = MarkovJammer(p_enter=0.5, p_exit=0.01, max_total=10)
+        adv.begin_run(2, 1, np.random.default_rng(2))
+        assert adv.plan_phase(ctx(spent=0)).cost <= 10
+
+    def test_targeted(self):
+        adv = MarkovJammer(p_enter=0.9, p_exit=0.1, group=1)
+        adv.begin_run(2, 2, np.random.default_rng(3))
+        plan = adv.plan_phase(ctx())
+        assert len(plan.global_slots) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            MarkovJammer(p_enter=0.0)
+        with pytest.raises(ConfigurationError):
+            MarkovJammer(p_exit=1.5)
+
+
+class TestWindowedJammer:
+    def test_density_respected_in_every_window(self):
+        adv = WindowedJammer(rho=0.25, window=40)
+        plan = adv.plan_phase(ctx(length=400))
+        jam = plan.jam_mask(0)
+        for start in range(0, 400, 40):
+            assert jam[start : start + 40].sum() <= 10
+
+    def test_exact_fraction(self):
+        adv = WindowedJammer(rho=0.5, window=10)
+        assert adv.plan_phase(ctx(length=100)).cost == 50
+
+    def test_zero_rho(self):
+        assert WindowedJammer(rho=0.0).plan_phase(ctx()).cost == 0
+
+    def test_partial_last_window(self):
+        adv = WindowedJammer(rho=1.0, window=64)
+        assert adv.plan_phase(ctx(length=100)).cost == 100
+
+    def test_budget(self):
+        adv = WindowedJammer(rho=1.0, window=8, max_total=5)
+        assert adv.plan_phase(ctx(length=100, spent=3)).cost == 2
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            WindowedJammer(rho=1.5)
+        with pytest.raises(ConfigurationError):
+            WindowedJammer(rho=0.5, window=0)
+
+
+class TestGreedyAdaptiveJammer:
+    def test_first_phase_is_hot(self):
+        adv = GreedyAdaptiveJammer(budget=10_000, q_hot=0.5)
+        adv.begin_run(2, 1, np.random.default_rng(0))
+        assert adv.plan_phase(ctx(length=100, n_listens=50)).cost == 50
+
+    def test_idles_on_quiet_phases(self):
+        adv = GreedyAdaptiveJammer(budget=10_000, q_hot=0.5, smoothing=1.0)
+        adv.begin_run(2, 1, np.random.default_rng(0))
+        adv.plan_phase(ctx(length=100, n_listens=80, phase_index=0))
+        # Now the average density is 0.8; an empty phase is cold.
+        assert adv.plan_phase(ctx(length=100, n_listens=0, phase_index=1)).cost == 0
+
+    def test_budget_exhausts(self):
+        adv = GreedyAdaptiveJammer(budget=30, q_hot=1.0)
+        adv.begin_run(2, 1, np.random.default_rng(0))
+        assert adv.plan_phase(ctx(length=100, n_listens=10, spent=0)).cost == 30
+        assert adv.plan_phase(ctx(length=100, n_listens=10, spent=30)).cost == 0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            GreedyAdaptiveJammer(budget=-1)
+        with pytest.raises(ConfigurationError):
+            GreedyAdaptiveJammer(budget=1, q_hot=0.0)
+        with pytest.raises(ConfigurationError):
+            GreedyAdaptiveJammer(budget=1, smoothing=0.0)

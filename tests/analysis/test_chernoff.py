@@ -1,0 +1,103 @@
+"""Unit tests for the Theorem 6 / Corollary 1 Chernoff machinery —
+including empirical validity checks against simulated binomials."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.chernoff import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    deviation_bound,
+    deviation_probability,
+    required_mean_for_tail,
+)
+from repro.errors import AnalysisError
+
+
+class TestBoundShapes:
+    def test_monotone_in_delta(self):
+        values = [chernoff_upper_tail(50, d) for d in (0.1, 0.3, 0.6, 1.0, 2.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_mean(self):
+        values = [chernoff_upper_tail(m, 0.5) for m in (5, 20, 80)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_simple_form_looser_than_exact_upper(self):
+        for mean in (10, 100):
+            for delta in (0.2, 0.5, 0.9):
+                assert chernoff_upper_tail(mean, delta) <= chernoff_upper_tail(
+                    mean, delta, simple=True
+                ) * (1 + 1e-12)
+
+    def test_zero_cases(self):
+        assert chernoff_upper_tail(0, 0.5) == 1.0
+        assert chernoff_upper_tail(10, 0.0) == 1.0
+        assert chernoff_lower_tail(10, 0.0) == 1.0
+
+    def test_lower_tail_full_deviation(self):
+        # Pr[X < 0] <= e^-mean at delta = 1.
+        assert chernoff_lower_tail(10, 1.0) == pytest.approx(math.exp(-10))
+
+    def test_domain_errors(self):
+        with pytest.raises(AnalysisError):
+            chernoff_upper_tail(-1, 0.5)
+        with pytest.raises(AnalysisError):
+            chernoff_lower_tail(10, 1.5)
+        with pytest.raises(AnalysisError):
+            chernoff_upper_tail(10, 1.5, simple=True)
+
+
+class TestEmpiricalValidity:
+    """The bounds must actually bound simulated binomial tails."""
+
+    @pytest.mark.parametrize("n,p,delta", [(1000, 0.05, 0.3), (400, 0.2, 0.5)])
+    def test_upper_tail_bounds_empirical(self, rng, n, p, delta):
+        mean = n * p
+        samples = rng.binomial(n, p, size=20_000)
+        empirical = np.mean(samples > (1 + delta) * mean)
+        bound = chernoff_upper_tail(mean, delta)
+        assert empirical <= bound + 3 * np.sqrt(bound / 20_000 + 1e-9)
+
+    @pytest.mark.parametrize("n,p,delta", [(1000, 0.05, 0.3), (400, 0.2, 0.5)])
+    def test_lower_tail_bounds_empirical(self, rng, n, p, delta):
+        mean = n * p
+        samples = rng.binomial(n, p, size=20_000)
+        empirical = np.mean(samples < (1 - delta) * mean)
+        bound = chernoff_lower_tail(mean, delta)
+        assert empirical <= bound + 3 * np.sqrt(bound / 20_000 + 1e-9)
+
+    def test_deviation_bound_two_sided(self, rng):
+        n, p, eps = 2000, 0.1, 0.01
+        mean = n * p
+        radius = deviation_bound(mean, eps)
+        samples = rng.binomial(n, p, size=20_000)
+        empirical = np.mean(np.abs(samples - mean) > radius)
+        assert empirical <= 2 * eps + 0.005
+
+
+class TestHelpers:
+    def test_deviation_probability_inverts_bound(self):
+        mean, eps = 50.0, 0.01
+        radius = deviation_bound(mean, eps)
+        assert deviation_probability(mean, radius) == pytest.approx(2 * eps, rel=1e-9)
+
+    def test_deviation_probability_edges(self):
+        assert deviation_probability(0.0, 1.0) == 0.0
+        assert deviation_probability(10.0, 0.0) == 1.0
+
+    def test_required_mean(self):
+        mean = required_mean_for_tail(delta=1.0, tail=1e-6)
+        # With that mean the bound must be at or below the tail.
+        assert chernoff_upper_tail(mean, 1.0) <= 1e-6 * (1 + 1e-9)
+        assert chernoff_upper_tail(mean * 0.9, 1.0) > 1e-6
+
+    def test_required_mean_domain(self):
+        with pytest.raises(AnalysisError):
+            required_mean_for_tail(0.0, 0.01)
+        with pytest.raises(AnalysisError):
+            required_mean_for_tail(1.0, 0.0)

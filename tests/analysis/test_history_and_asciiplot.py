@@ -1,0 +1,118 @@
+"""Unit tests for phase-history aggregation and ASCII charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.basic import SuffixJammer
+from repro.adversaries.budget import BudgetCap
+from repro.analysis.asciiplot import bar_chart, loglog_chart, sparkline
+from repro.analysis.history import by_epoch, by_tag, cumulative_costs
+from repro.channel.accounting import PhaseCost
+from repro.engine.simulator import Simulator
+from repro.errors import AnalysisError
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+
+
+def make_history():
+    return [
+        PhaseCost(0, 16, 4, 2, {"epoch": 5, "kind": "send"}),
+        PhaseCost(1, 16, 3, 0, {"epoch": 5, "kind": "nack"}),
+        PhaseCost(2, 32, 6, 8, {"epoch": 6, "kind": "send"}),
+        PhaseCost(3, 32, 5, 0, {"epoch": 6, "kind": "nack"}),
+    ]
+
+
+class TestHistory:
+    def test_by_epoch(self):
+        rows = by_epoch(make_history())
+        assert [r.epoch for r in rows] == [5, 6]
+        assert rows[0].node_total == 7
+        assert rows[0].adversary == 2
+        assert rows[0].slots == 32
+        assert rows[1].jam_fraction == pytest.approx(8 / 64)
+
+    def test_untagged_phases_grouped(self):
+        rows = by_epoch([PhaseCost(0, 8, 1, 0, {})])
+        assert rows[0].epoch == -1
+
+    def test_by_tag(self):
+        agg = by_tag(make_history(), "kind")
+        assert agg["send"] == (10, 10)
+        assert agg["nack"] == (8, 0)
+
+    def test_cumulative(self):
+        slots, nodes, adv = cumulative_costs(make_history())
+        assert slots == [16, 32, 64, 96]
+        assert nodes == [4, 7, 13, 18]
+        assert adv == [2, 2, 10, 10]
+
+    def test_none_history_rejected(self):
+        with pytest.raises(AnalysisError):
+            by_epoch(None)
+        with pytest.raises(AnalysisError):
+            by_tag(None, "x")
+
+    def test_real_run_round_trip(self):
+        res = Simulator(
+            OneToOneBroadcast(OneToOneParams.sim()),
+            BudgetCap(SuffixJammer(1.0), budget=2000),
+            keep_history=True,
+        ).run(5)
+        rows = by_epoch(res.phase_history)
+        assert sum(r.node_total for r in rows) == res.node_costs.sum()
+        assert sum(r.adversary for r in rows) == res.adversary_cost
+        assert sum(r.slots for r in rows) == res.slots
+
+
+class TestSparkline:
+    def test_shape(self):
+        s = sparkline([1, 2, 3, 4])
+        assert len(s) == 4
+        assert s[0] != s[-1]
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            sparkline([])
+
+
+class TestBarChart:
+    def test_renders(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            bar_chart([], [])
+        with pytest.raises(AnalysisError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestLogLogChart:
+    def test_renders_markers_and_legend(self):
+        out = loglog_chart(
+            {"fig1": ([10, 100, 1000], [3, 10, 30]),
+             "ksy": ([10, 100, 1000], [4, 17, 70])},
+        )
+        assert "F" in out and "K" in out
+        assert "legend" in out
+
+    def test_positive_only(self):
+        with pytest.raises(AnalysisError):
+            loglog_chart({"x": ([0, 1], [1, 1])})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            loglog_chart({})
+        with pytest.raises(AnalysisError):
+            loglog_chart({"x": ([], [])})
+
+    def test_single_point(self):
+        out = loglog_chart({"p": ([5], [7])})
+        assert "P" in out

@@ -1,0 +1,168 @@
+"""Cross-validation: closed-form predictions vs the simulator.
+
+These are the strongest correctness tests in the suite — the analysis
+formulas and the simulator are implemented independently, so agreement
+within sampling noise validates both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.basic import SilentAdversary
+from repro.adversaries.blocking import EpochTargetJammer
+from repro.analysis.history import by_epoch
+from repro.analysis.predictions import (
+    fig1_blocking_adversary_cost,
+    fig1_cost_through_epoch,
+    fig1_epoch_cost,
+    fig2_epoch_cost_pinned,
+    fig2_equilibrium_rate,
+    fig2_predicted_termination_epoch,
+    fig2_repetition_cost,
+)
+from repro.engine.simulator import Simulator
+from repro.errors import AnalysisError
+from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+
+
+class TestFig1Formulas:
+    def test_epoch_cost_formula(self):
+        params = OneToOneParams.sim()
+        i = params.first_epoch + 3
+        expected = 2 * params.send_probability(i) * 2**i
+        assert fig1_epoch_cost(params, i) == pytest.approx(expected)
+
+    def test_geometric_sum_dominated_by_last_term(self):
+        params = OneToOneParams.sim()
+        last = params.first_epoch + 10
+        total = fig1_cost_through_epoch(params, last)
+        assert total < 4.0 * fig1_epoch_cost(params, last)
+
+    def test_domain(self):
+        params = OneToOneParams.sim()
+        with pytest.raises(AnalysisError):
+            fig1_cost_through_epoch(params, params.first_epoch - 1)
+        with pytest.raises(AnalysisError):
+            fig1_blocking_adversary_cost(params, params.first_epoch - 1)
+
+
+class TestFig1SimulatorAgreement:
+    def test_blocked_run_matches_predictions(self):
+        """Under full listener-blocking to epoch l, both parties run all
+        epochs through l+1-ish; per-party cost and adversary cost must
+        match the closed forms within sampling noise."""
+        params = OneToOneParams.sim()
+        target = params.first_epoch + 5
+        reps = 12
+        costs, Ts = [], []
+        for s in range(reps):
+            sim = Simulator(
+                OneToOneBroadcast(params),
+                EpochTargetJammer(target, q=1.0, target_listener=True),
+            )
+            res = sim.run(s)
+            assert res.success
+            costs.append(res.max_node_cost)
+            Ts.append(res.adversary_cost)
+
+        predicted_T = fig1_blocking_adversary_cost(params, target)
+        assert np.mean(Ts) == pytest.approx(predicted_T, rel=0.01)
+
+        # Parties run at least through `target`, usually one epoch more.
+        lo = fig1_cost_through_epoch(params, target)
+        hi = 2.0 * fig1_cost_through_epoch(params, target + 1)
+        assert lo * 0.7 < np.mean(costs) < hi
+
+    def test_per_epoch_history_matches(self):
+        params = OneToOneParams.sim()
+        target = params.first_epoch + 4
+        sim = Simulator(
+            OneToOneBroadcast(params),
+            EpochTargetJammer(target, q=1.0, target_listener=True),
+            keep_history=True,
+        )
+        # Average per-epoch node costs over several runs.
+        per_epoch: dict[int, list[float]] = {}
+        for s in range(10):
+            res = sim.run(s)
+            for row in by_epoch(res.phase_history):
+                per_epoch.setdefault(row.epoch, []).append(row.node_total)
+        for epoch in range(params.first_epoch, target + 1):
+            # node_total sums Alice and Bob: 2x the per-party formula.
+            predicted = 2 * fig1_epoch_cost(params, epoch)
+            measured = np.mean(per_epoch[epoch])
+            assert measured == pytest.approx(predicted, rel=0.25)
+
+
+class TestFig2Formulas:
+    def test_repetition_cost_unsaturated(self):
+        params = OneToNParams.sim()
+        i = 14
+        s = 4.0
+        expected = s + s * params.d * i**params.listen_exp
+        assert fig2_repetition_cost(params, i, s) == pytest.approx(expected)
+
+    def test_repetition_cost_saturated(self):
+        params = OneToNParams.sim()
+        i = params.first_epoch  # tiny window: listening capped at L
+        L = 2**i
+        cost = fig2_repetition_cost(params, i, 16.0)
+        assert cost <= 2 * L
+
+    def test_pinned_epoch_cost(self):
+        params = OneToNParams.sim()
+        i = 10
+        per_rep = fig2_repetition_cost(params, i, params.s_init)
+        assert fig2_epoch_cost_pinned(params, i) == pytest.approx(
+            params.n_repetitions(i) * per_rep
+        )
+
+    def test_equilibrium_rate_scales(self):
+        params = OneToNParams.sim()
+        assert fig2_equilibrium_rate(params, 12, 16) == pytest.approx(
+            2 * fig2_equilibrium_rate(params, 11, 16)
+        )
+        assert fig2_equilibrium_rate(params, 12, 32) == pytest.approx(
+            fig2_equilibrium_rate(params, 12, 16) / 2
+        )
+
+    def test_domain(self):
+        params = OneToNParams.sim()
+        with pytest.raises(AnalysisError):
+            fig2_repetition_cost(params, 10, 0.0)
+        with pytest.raises(AnalysisError):
+            fig2_equilibrium_rate(params, 10, 0)
+        with pytest.raises(AnalysisError):
+            fig2_predicted_termination_epoch(params, 0)
+
+
+class TestFig2SimulatorAgreement:
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_termination_epoch_within_band(self, n):
+        params = OneToNParams.sim()
+        predicted = fig2_predicted_termination_epoch(params, n)
+        res = Simulator(
+            OneToNBroadcast(n, params), SilentAdversary(), max_slots=40_000_000
+        ).run(n)
+        measured = res.stats["final_epoch"]
+        assert abs(measured - predicted) <= 2, (measured, predicted)
+
+    def test_blocked_epochs_cost_pinned_rate(self):
+        """During fully blocked epochs rates stay at s_init; measured
+        per-epoch node cost must match the pinned-rate formula."""
+        n = 8
+        params = OneToNParams.sim()
+        target = 10
+        sim = Simulator(
+            OneToNBroadcast(n, params),
+            EpochTargetJammer(target, q=1.0),
+            keep_history=True,
+        )
+        res = sim.run(3)
+        rows = {r.epoch: r for r in by_epoch(res.phase_history)}
+        for epoch in (8, 9, 10):
+            predicted = n * fig2_epoch_cost_pinned(params, epoch)
+            assert rows[epoch].node_total == pytest.approx(predicted, rel=0.2)

@@ -1,0 +1,110 @@
+"""Unit and statistical tests for the SPRT module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.basic import SilentAdversary
+from repro.analysis.sequential import SPRT, verify_success_probability
+from repro.engine.simulator import run
+from repro.errors import AnalysisError
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+
+
+class TestSPRTMechanics:
+    def test_invalid_params(self):
+        with pytest.raises(AnalysisError):
+            SPRT(p0=0.5, p1=0.9)
+        with pytest.raises(AnalysisError):
+            SPRT(p0=0.9, p1=0.5, alpha=0.0)
+
+    def test_all_successes_accepts_h0(self):
+        test = SPRT(p0=0.9, p1=0.5)
+        result = test.run(lambda i: True, max_samples=100)
+        assert result.decision == "accept_h0"
+        assert result.n_samples < 100  # early stop
+
+    def test_all_failures_accepts_h1(self):
+        test = SPRT(p0=0.9, p1=0.5)
+        result = test.run(lambda i: False, max_samples=100)
+        assert result.decision == "accept_h1"
+        assert result.n_samples <= 5  # failures are very informative
+
+    def test_update_after_decision_raises(self):
+        test = SPRT(p0=0.9, p1=0.5)
+        while test.update(False) is None:
+            pass
+        with pytest.raises(AnalysisError):
+            test.update(False)
+
+    def test_reset(self):
+        test = SPRT(p0=0.9, p1=0.5)
+        test.run(lambda i: False, max_samples=100)
+        test.reset()
+        assert test.n_samples == 0
+        assert test.update(True) is None
+
+    def test_undecided_on_boundary_rate(self, rng):
+        # p right in the indifference zone: usually undecided quickly.
+        test = SPRT(p0=0.9, p1=0.7, alpha=0.01, beta=0.01)
+        result = test.run(lambda i: rng.random() < 0.8, max_samples=30)
+        assert result.n_samples == 30 or result.decision != "undecided"
+
+
+class TestSPRTErrorRates:
+    @pytest.mark.slow
+    def test_false_alarm_rate_bounded(self, rng):
+        # True p = p0: H1 acceptances must be ~<= alpha.
+        alarms = 0
+        trials = 200
+        for _ in range(trials):
+            test = SPRT(p0=0.9, p1=0.6, alpha=0.05, beta=0.05)
+            result = test.run(lambda i: rng.random() < 0.9, max_samples=2000)
+            alarms += result.decision == "accept_h1"
+        assert alarms / trials <= 0.10  # alpha + slack
+
+    @pytest.mark.slow
+    def test_detection_rate(self, rng):
+        # True p = p1: H0 acceptances must be ~<= beta.
+        misses = 0
+        trials = 200
+        for _ in range(trials):
+            test = SPRT(p0=0.9, p1=0.6, alpha=0.05, beta=0.05)
+            result = test.run(lambda i: rng.random() < 0.6, max_samples=2000)
+            misses += result.decision == "accept_h0"
+        assert misses / trials <= 0.10
+
+    def test_early_stopping_beats_fixed_size(self, rng):
+        # At an extreme truth the SPRT needs far fewer than the ~100
+        # samples a fixed-size test of similar power would use.
+        test = SPRT(p0=0.9, p1=0.6, alpha=0.05, beta=0.05)
+        result = test.run(lambda i: rng.random() < 0.99, max_samples=2000)
+        assert result.decision == "accept_h0"
+        assert result.n_samples < 60
+
+
+class TestVerifySuccessProbability:
+    def test_figure1_passes_its_claim(self):
+        params = OneToOneParams.sim(epsilon=0.1)
+
+        def sample(i: int) -> bool:
+            return run(OneToOneBroadcast(params), SilentAdversary(), seed=i).success
+
+        result = verify_success_probability(sample, claimed=0.9, max_samples=400)
+        assert result.decision == "accept_h0"
+
+    def test_broken_protocol_flagged(self, rng):
+        result = verify_success_probability(
+            lambda i: rng.random() < 0.5, claimed=0.9, max_samples=400
+        )
+        assert result.decision == "accept_h1"
+
+    def test_domain(self):
+        with pytest.raises(AnalysisError):
+            verify_success_probability(lambda i: True, claimed=1.5)
+        with pytest.raises(AnalysisError):
+            verify_success_probability(lambda i: True, claimed=0.9, slack=0.0)
+        with pytest.raises(AnalysisError):
+            # degenerate alternative: p1 <= 0
+            verify_success_probability(lambda i: True, claimed=0.3, slack=0.5)

@@ -1,0 +1,73 @@
+"""Unit tests for the energy ledger."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.accounting import EnergyLedger
+from repro.errors import SimulationError
+
+
+class TestEnergyLedger:
+    def test_initial_state(self):
+        led = EnergyLedger(3)
+        assert led.max_node_cost == 0
+        assert led.adversary_cost == 0
+        assert led.n_phases == 0
+
+    def test_accumulation(self):
+        led = EnergyLedger(2)
+        led.charge_phase(10, np.array([3, 1]), 5)
+        led.charge_phase(10, np.array([0, 2]), 1)
+        assert list(led.node_costs) == [3, 3]
+        assert led.max_node_cost == 3
+        assert led.total_node_cost == 6
+        assert led.adversary_cost == 6
+        assert led.n_phases == 2
+
+    def test_conservation(self):
+        led = EnergyLedger(2)
+        for k in range(5):
+            led.charge_phase(8, np.array([k, 1]), k)
+        led.check_conservation()  # must not raise
+
+    def test_negative_cost_rejected(self):
+        led = EnergyLedger(1)
+        with pytest.raises(SimulationError):
+            led.charge_phase(10, np.array([-1]), 0)
+        with pytest.raises(SimulationError):
+            led.charge_phase(10, np.array([1]), -2)
+
+    def test_cost_cannot_exceed_phase_length(self):
+        led = EnergyLedger(1)
+        with pytest.raises(SimulationError):
+            led.charge_phase(4, np.array([5]), 0)
+
+    def test_shape_mismatch_rejected(self):
+        led = EnergyLedger(2)
+        with pytest.raises(SimulationError):
+            led.charge_phase(4, np.array([1]), 0)
+
+    def test_history_tags(self):
+        led = EnergyLedger(1)
+        led.charge_phase(4, np.array([1]), 2, tags={"epoch": 7})
+        assert led.history[0].tags == {"epoch": 7}
+        assert led.history[0].adversary == 2
+
+    def test_no_history_mode(self):
+        led = EnergyLedger(1, keep_history=False)
+        led.charge_phase(4, np.array([1]), 0)
+        assert led.history == []
+        led.check_conservation()  # no-op
+
+    def test_node_costs_is_a_copy(self):
+        led = EnergyLedger(1)
+        led.charge_phase(4, np.array([2]), 0)
+        snapshot = led.node_costs
+        snapshot[0] = 999
+        assert led.node_costs[0] == 2
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(SimulationError):
+            EnergyLedger(0)

@@ -1,0 +1,106 @@
+"""Unit tests for the weighted radio cost model and the ledger split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.basic import SilentAdversary, SuffixJammer
+from repro.adversaries.budget import BudgetCap
+from repro.channel.accounting import CostModel, EnergyLedger
+from repro.engine.simulator import run
+from repro.errors import SimulationError
+from repro.protocols.one_to_n import OneToNBroadcast
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+
+
+class TestCostModel:
+    def test_unit_model_is_identity(self):
+        m = CostModel()
+        out = m.weight(np.array([3, 0]), np.array([2, 5]))
+        assert list(out) == [5, 5]
+
+    def test_weights_applied(self):
+        m = CostModel(tx=2.0, rx=0.5)
+        out = m.weight(np.array([4]), np.array([8]))
+        assert out[0] == pytest.approx(12.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(SimulationError):
+            CostModel(tx=-1.0)
+
+
+class TestLedgerSplit:
+    def test_split_tracked(self):
+        led = EnergyLedger(2)
+        led.charge_phase(
+            10, np.array([3, 2]), 0,
+            send_costs=np.array([1, 2]), listen_costs=np.array([2, 0]),
+        )
+        assert list(led.send_costs) == [1, 2]
+        assert list(led.listen_costs) == [2, 0]
+
+    def test_split_must_sum(self):
+        led = EnergyLedger(1)
+        with pytest.raises(SimulationError):
+            led.charge_phase(
+                10, np.array([3]), 0,
+                send_costs=np.array([1]), listen_costs=np.array([1]),
+            )
+
+    def test_split_must_come_together(self):
+        led = EnergyLedger(1)
+        with pytest.raises(SimulationError):
+            led.charge_phase(10, np.array([1]), 0, send_costs=np.array([1]))
+
+
+class TestRunResultWeighting:
+    def test_split_sums_to_total(self):
+        res = run(
+            OneToOneBroadcast(OneToOneParams.sim()),
+            BudgetCap(SuffixJammer(0.7), budget=4096),
+            seed=1,
+        )
+        assert np.array_equal(
+            res.node_send_costs + res.node_listen_costs, res.node_costs
+        )
+
+    def test_unit_weighting_matches_node_costs(self):
+        res = run(OneToOneBroadcast(OneToOneParams.sim()), SilentAdversary(),
+                  seed=2)
+        assert np.array_equal(
+            res.weighted_node_costs(CostModel()), res.node_costs
+        )
+
+    def test_alice_sends_bob_listens(self):
+        # In the silent case Alice's spend is send-phase sends plus one
+        # nack-phase listen pass; Bob's is pure listening (he never
+        # nacks after receiving m in epoch one, whp).
+        res = run(OneToOneBroadcast(OneToOneParams.sim()), SilentAdversary(),
+                  seed=3)
+        alice_sends = res.node_send_costs[0]
+        bob_sends = res.node_send_costs[1]
+        assert alice_sends > 0
+        assert res.node_listen_costs[1] > 0
+        assert bob_sends <= alice_sends
+
+    def test_broadcast_listen_dominated(self):
+        res = run(OneToNBroadcast(8), SilentAdversary(), seed=4)
+        assert res.node_listen_costs.sum() > 2 * res.node_send_costs.sum()
+
+    def test_reweighting_preserves_order_of_runs(self):
+        # Linear re-pricing cannot reorder two runs whose send and
+        # listen counts are both ordered.
+        res_small = run(
+            OneToOneBroadcast(OneToOneParams.sim()),
+            BudgetCap(SuffixJammer(1.0), budget=512), seed=5,
+        )
+        res_big = run(
+            OneToOneBroadcast(OneToOneParams.sim()),
+            BudgetCap(SuffixJammer(1.0), budget=8192), seed=5,
+        )
+        for model in (CostModel(1.7, 1.0), CostModel(1.0, 1.7)):
+            assert (
+                res_big.weighted_node_costs(model).max()
+                > res_small.weighted_node_costs(model).max()
+            )

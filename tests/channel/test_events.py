@@ -1,0 +1,127 @@
+"""Unit tests for channel event datatypes and JamPlan normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.events import (
+    JamPlan,
+    ListenEvents,
+    SendEvents,
+    SlotStatus,
+    TxKind,
+)
+from repro.errors import AdversaryError, SimulationError
+
+
+class TestTxKindAlignment:
+    def test_kinds_match_statuses(self):
+        # A lone transmission of kind k must decode as status k; the
+        # resolver relies on the numeric alignment.
+        for kind in TxKind:
+            assert SlotStatus(int(kind)).name == kind.name
+
+    def test_clear_is_not_a_tx_kind(self):
+        assert int(SlotStatus.CLEAR) not in {int(k) for k in TxKind}
+
+
+class TestSendEvents:
+    def test_empty(self):
+        ev = SendEvents.empty()
+        assert len(ev) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            SendEvents(np.array([0, 1]), np.array([0]), np.array([2], dtype=np.int8))
+
+    def test_roundtrip(self):
+        ev = SendEvents(np.array([0, 1]), np.array([5, 9]), np.array([2, 1], dtype=np.int8))
+        assert len(ev) == 2
+        assert ev.slots.dtype == np.int64
+
+    def test_2d_rejected(self):
+        with pytest.raises(SimulationError):
+            SendEvents(np.zeros((2, 2)), np.zeros(4), np.zeros(4, dtype=np.int8))
+
+
+class TestListenEvents:
+    def test_empty(self):
+        assert len(ListenEvents.empty()) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            ListenEvents(np.array([0]), np.array([0, 1]))
+
+
+class TestJamPlan:
+    def test_silent_costs_nothing(self):
+        assert JamPlan.silent(100).cost == 0
+
+    def test_suffix_global(self):
+        plan = JamPlan.suffix(10, 3)
+        assert list(plan.global_slots) == [7, 8, 9]
+        assert plan.cost == 3
+
+    def test_suffix_targeted(self):
+        plan = JamPlan.suffix(10, 2, group=1)
+        assert plan.cost == 2
+        assert list(plan.targeted[1]) == [8, 9]
+        assert len(plan.global_slots) == 0
+
+    def test_suffix_clamps(self):
+        assert JamPlan.suffix(10, 25).cost == 10
+        assert JamPlan.suffix(10, -3).cost == 0
+
+    def test_duplicate_slots_deduplicated(self):
+        plan = JamPlan(length=10, global_slots=np.array([3, 3, 5]))
+        assert plan.cost == 2
+
+    def test_targeted_overlap_with_global_not_double_charged(self):
+        plan = JamPlan(
+            length=10,
+            global_slots=np.array([1, 2]),
+            targeted={0: np.array([2, 3])},
+        )
+        assert plan.cost == 3  # slots {1,2} global + {3} targeted
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AdversaryError):
+            JamPlan(length=10, global_slots=np.array([10]))
+        with pytest.raises(AdversaryError):
+            JamPlan(length=10, targeted={0: np.array([-1])})
+
+    def test_spoof_mismatch_rejected(self):
+        with pytest.raises(AdversaryError):
+            JamPlan(
+                length=10,
+                spoof_slots=np.array([1, 2]),
+                spoof_kinds=np.array([3], dtype=np.int8),
+            )
+
+    def test_spoofs_cost(self):
+        plan = JamPlan(
+            length=10,
+            spoof_slots=np.array([1, 2]),
+            spoof_kinds=np.array([3, 3], dtype=np.int8),
+        )
+        assert plan.cost == 2
+
+    def test_jam_mask(self):
+        plan = JamPlan(
+            length=5, global_slots=np.array([0]), targeted={1: np.array([4])}
+        )
+        assert list(plan.jam_mask(0)) == [True, False, False, False, False]
+        assert list(plan.jam_mask(1)) == [True, False, False, False, True]
+
+    def test_non_positive_length_rejected(self):
+        with pytest.raises(AdversaryError):
+            JamPlan(length=0)
+
+    def test_empty_targeted_groups_dropped(self):
+        plan = JamPlan(
+            length=10,
+            global_slots=np.array([1]),
+            targeted={0: np.array([1])},  # fully shadowed by global
+        )
+        assert plan.targeted == {}

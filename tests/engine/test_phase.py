@@ -1,0 +1,76 @@
+"""Unit tests for the PhaseSpec / PhaseObservation contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.events import SlotStatus, TxKind
+from repro.engine.phase import PhaseObservation, PhaseSpec
+from repro.errors import ProtocolError
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        length=16,
+        send_probs=np.array([0.5, 0.0]),
+        send_kinds=np.array([TxKind.DATA, TxKind.NACK], dtype=np.int8),
+        listen_probs=np.array([0.0, 0.5]),
+    )
+    kwargs.update(overrides)
+    return PhaseSpec(**kwargs)
+
+
+class TestPhaseSpec:
+    def test_valid(self):
+        spec = make_spec()
+        assert spec.n_nodes == 2
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_spec(length=0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ProtocolError):
+            make_spec(send_probs=np.array([1.5, 0.0]))
+        with pytest.raises(ProtocolError):
+            make_spec(listen_probs=np.array([0.0, -0.1]))
+
+    def test_array_length_mismatch(self):
+        with pytest.raises(ProtocolError):
+            make_spec(listen_probs=np.array([0.0]))
+
+    def test_invalid_kind(self):
+        with pytest.raises(ProtocolError):
+            make_spec(send_kinds=np.array([0, 7], dtype=np.int8))
+
+    def test_groups_validated(self):
+        with pytest.raises(ProtocolError):
+            make_spec(groups=np.array([0]))
+        spec = make_spec(groups=np.array([0, 1]))
+        assert spec.groups.dtype == np.int64
+
+
+class TestPhaseObservation:
+    def test_accessors(self):
+        heard = np.zeros((2, 5), dtype=np.int64)
+        heard[1, SlotStatus.DATA] = 3
+        heard[1, SlotStatus.NOISE] = 2
+        obs = PhaseObservation(
+            length=16,
+            heard=heard,
+            send_cost=np.array([4, 0]),
+            listen_cost=np.array([0, 6]),
+            tags={"epoch": 5},
+        )
+        assert obs.heard_data[1] == 3
+        assert obs.heard_noise[1] == 2
+        assert obs.heard_clear[1] == 0
+        assert list(obs.cost) == [4, 6]
+        assert obs.tags["epoch"] == 5
+
+    def test_empty_factory(self):
+        obs = PhaseObservation.empty(8, 3, tags={"k": 1})
+        assert obs.heard.shape == (3, 5)
+        assert obs.cost.sum() == 0
+        assert obs.tags == {"k": 1}

@@ -1,0 +1,46 @@
+"""Smoke tests for the cheap experiment modules.
+
+The expensive experiments are exercised (and their claims asserted) by
+``pytest benchmarks/``; here we smoke the fast ones inside the unit
+suite so a broken experiment module fails ``pytest tests/`` too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+FAST_EXPERIMENTS = ["E1", "E4", "E5", "E11", "A4"]
+
+
+@pytest.mark.parametrize("eid", FAST_EXPERIMENTS)
+def test_experiment_runs_and_passes(eid):
+    report = run_experiment(eid, seed=0, quick=True)
+    assert report.eid == eid
+    assert report.tables, f"{eid} produced no tables"
+    failed = [k for k, ok in report.checks.items() if not ok]
+    assert not failed, f"{eid}: {failed}"
+
+
+def test_reports_render_without_error():
+    report = run_experiment("E5", seed=0, quick=True)
+    text = report.render()
+    assert report.anchor in text
+    for table in report.tables:
+        assert table.title in text
+
+
+def test_seeds_change_measurements():
+    r0 = run_experiment("E1", seed=0, quick=True)
+    r1 = run_experiment("E1", seed=999, quick=True)
+    # Same sweep shape, different draws.
+    c0 = r0.tables[0].column("max_cost")
+    c1 = r1.tables[0].column("max_cost")
+    assert list(c0) != list(c1)
+
+
+def test_same_seed_reproduces():
+    a = run_experiment("E4", seed=3, quick=True)
+    b = run_experiment("E4", seed=3, quick=True)
+    assert list(a.tables[0].column("slots")) == list(b.tables[0].column("slots"))

@@ -1,0 +1,116 @@
+"""Unit tests for experiment infrastructure (tables, replication,
+registry) and the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.basic import SilentAdversary
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.experiments.registry import (
+    ExperimentReport,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.runner import Table, replicate
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+
+
+class TestTable:
+    def test_round_trip(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row(3, 4.0)
+        assert list(t.column("a")) == [1.0, 3.0]
+        rendered = t.render()
+        assert "demo" in rendered and "2.500" in rendered
+
+    def test_wrong_arity(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            t.add_row(1)
+
+    def test_render_formats_large_numbers(self):
+        t = Table("demo", ["x"])
+        t.add_row(123456.0)
+        assert "1.23e+05" in t.render()
+
+
+class TestReplicate:
+    def test_independent_and_deterministic(self):
+        make = lambda: OneToOneBroadcast(OneToOneParams.sim())
+        r1 = replicate(make, SilentAdversary, 3, seed=5)
+        r2 = replicate(make, SilentAdversary, 3, seed=5)
+        assert [list(r.node_costs) for r in r1] == [list(r.node_costs) for r in r2]
+        costs = [tuple(r.node_costs) for r in r1]
+        assert len(set(costs)) > 1  # replications differ from each other
+
+    def test_bad_reps(self):
+        with pytest.raises(ConfigurationError):
+            replicate(lambda: None, SilentAdversary, 0)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        ids = [e.eid for e in list_experiments()]
+        n_exp = sum(1 for i in ids if i.startswith("E"))
+        assert ids[:n_exp] == [f"E{i}" for i in range(1, n_exp + 1)]
+        assert set(ids[n_exp:]) == {"A1", "A3", "A4", "A5", "A6"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e5").eid == "E5"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("E99")
+
+    def test_run_e5_quick(self):
+        # E5 is closed-form and fast: a true end-to-end registry test.
+        report = run_experiment("E5", quick=True)
+        assert isinstance(report, ExperimentReport)
+        assert report.eid == "E5"
+        assert report.tables
+        assert report.all_checks_pass
+        assert "PASS" in report.render()
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "A4" in out
+
+    def test_run_e5(self, capsys):
+        assert cli_main(["run", "E5"]) == 0
+        out = capsys.readouterr().out
+        assert "product game" in out or "E5" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestReportRendering:
+    def test_failed_check_renders(self):
+        rep = ExperimentReport(eid="X", title="t", anchor="a")
+        rep.checks["always"] = False
+        assert "FAIL" in rep.render()
+        assert not rep.all_checks_pass
+
+
+class TestCliExtras:
+    def test_duel(self, capsys):
+        assert cli_main(["duel", "--points", "2", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out and "fig1" in out
+        assert "cost ~ T^" in out
+
+    def test_trace(self, capsys):
+        assert cli_main(["trace", "--phases", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "replay audit" in out
+        assert "jam" in out

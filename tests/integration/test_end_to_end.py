@@ -1,0 +1,140 @@
+"""Integration tests: full protocol × adversary matrix plus the
+paper-level statistical claims at small scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries import (
+    BroadcastSuppressor,
+    BudgetCap,
+    EpochTargetJammer,
+    HalvingAttacker,
+    PeriodicJammer,
+    QBlockingJammer,
+    RandomJammer,
+    SilentAdversary,
+    SuffixJammer,
+)
+from repro.analysis.scaling import fit_power_law
+from repro.engine.simulator import Simulator, run
+from repro.protocols import (
+    CombinedOneToOne,
+    KSYOneToOne,
+    NaiveHaltingBroadcast,
+    OneToNBroadcast,
+    OneToOneBroadcast,
+    OneToOneParams,
+)
+
+ONE_TO_ONE_PROTOS = [
+    lambda: OneToOneBroadcast(OneToOneParams.sim()),
+    lambda: KSYOneToOne(),
+    lambda: CombinedOneToOne(),
+]
+
+BUDGETED_ADVERSARIES = [
+    lambda: SilentAdversary(),
+    lambda: BudgetCap(RandomJammer(0.3), budget=8192),
+    lambda: BudgetCap(SuffixJammer(0.8), budget=8192),
+    lambda: BudgetCap(QBlockingJammer(0.5, target_listener=True), budget=8192),
+    # Persistent strategies must be budgeted: an immortal jammer above
+    # the protocols' continue-thresholds keeps them (correctly) running
+    # for as long as it pays.
+    lambda: BudgetCap(PeriodicJammer(5), budget=8192),
+    lambda: EpochTargetJammer(10, q=1.0, target_listener=True),
+]
+
+
+class TestOneToOneMatrix:
+    @pytest.mark.parametrize("proto_i", range(len(ONE_TO_ONE_PROTOS)))
+    @pytest.mark.parametrize("adv_i", range(len(BUDGETED_ADVERSARIES)))
+    def test_terminates_and_succeeds(self, proto_i, adv_i):
+        proto = ONE_TO_ONE_PROTOS[proto_i]()
+        adv = BUDGETED_ADVERSARIES[adv_i]()
+        res = Simulator(proto, adv, max_slots=4_000_000).run(proto_i * 31 + adv_i)
+        assert not res.truncated
+        assert res.success
+        # Resource competitiveness whenever the adversary spent anything
+        # substantial.
+        if res.adversary_cost > 2000:
+            assert res.max_node_cost < res.adversary_cost
+
+
+class TestOneToNMatrix:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16])
+    @pytest.mark.parametrize(
+        "adv_i", range(len(BUDGETED_ADVERSARIES))
+    )
+    def test_terminates_informed(self, n, adv_i):
+        res = Simulator(
+            OneToNBroadcast(n),
+            BUDGETED_ADVERSARIES[adv_i](),
+            max_slots=4_000_000,
+        ).run(n * 131 + adv_i)
+        assert not res.truncated
+        assert res.success
+        assert res.stats["n_informed"] == n
+
+    def test_halving_attack_on_naive(self):
+        res = Simulator(
+            NaiveHaltingBroadcast(16),
+            HalvingAttacker(hear_threshold=4.0, max_total=1 << 17),
+            max_slots=6_000_000,
+        ).run(3)
+        # The attack spreads costs; the run still terminates (Case 1).
+        assert not res.truncated
+
+    def test_suppressor_wastes_money_against_fig2(self):
+        res = Simulator(
+            OneToNBroadcast(32), BroadcastSuppressor(target_epoch=8),
+            max_slots=6_000_000,
+        ).run(4)
+        assert res.success
+
+
+class TestStatisticalClaims:
+    """Small-scale versions of the headline theorem shapes."""
+
+    def test_thm1_sqrt_scaling(self):
+        params = OneToOneParams.sim()
+        Ts, costs = [], []
+        for target in (params.first_epoch + 2, params.first_epoch + 5,
+                       params.first_epoch + 8):
+            runs = [
+                run(
+                    OneToOneBroadcast(params),
+                    EpochTargetJammer(target, q=1.0, target_listener=True),
+                    seed=s,
+                )
+                for s in range(4)
+            ]
+            Ts.append(np.mean([r.adversary_cost for r in runs]))
+            costs.append(np.mean([r.max_node_cost for r in runs]))
+        fit = fit_power_law(np.array(Ts), np.array(costs), n_bootstrap=0)
+        assert 0.3 <= fit.exponent <= 0.7
+
+    def test_thm3_cost_decreases_with_n(self):
+        costs = {}
+        for n in (4, 32):
+            runs = [
+                run(OneToNBroadcast(n), EpochTargetJammer(12, q=0.6), seed=s)
+                for s in range(2)
+            ]
+            costs[n] = np.mean([r.node_costs.mean() for r in runs])
+        assert costs[32] < costs[4]
+
+    def test_latency_linear_in_T(self):
+        params = OneToOneParams.sim()
+        slots, Ts = [], []
+        for target in (params.first_epoch + 3, params.first_epoch + 7):
+            r = run(
+                OneToOneBroadcast(params),
+                EpochTargetJammer(target, q=1.0, target_listener=True),
+                seed=11,
+            )
+            slots.append(r.slots)
+            Ts.append(r.adversary_cost)
+        ratio = (slots[1] / slots[0]) / (Ts[1] / Ts[0])
+        assert 0.5 < ratio < 2.0

@@ -1,0 +1,110 @@
+"""Unit tests for the Theorem 2 product game."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbounds.product_game import (
+    ProductGame,
+    balanced_strategy,
+    imbalance_sweep,
+)
+
+
+class TestEvaluate:
+    def test_balanced_product_near_T(self):
+        for T in (100, 10_000):
+            out = ProductGame(T).evaluate(*balanced_strategy(T))
+            assert 0.6 * T < out.product <= T
+            assert out.adversary_cost == 0  # sits exactly at threshold
+            assert out.success_probability > 0.99
+
+    def test_product_approaches_T_as_failure_vanishes(self):
+        T = 1000
+        game = ProductGame(T)
+        p = 1.0 / np.sqrt(T)
+        short = game.evaluate(np.full(2 * T, p), np.full(2 * T, p))
+        long = game.evaluate(np.full(16 * T, p), np.full(16 * T, p))
+        assert long.product > short.product
+        assert long.product <= T + 1e-9
+
+    def test_over_threshold_gets_jammed(self):
+        T = 100
+        out = ProductGame(T).evaluate_constant(0.5, 0.5, horizon=500)
+        assert out.adversary_cost == T
+        # No delivery possible during the jammed prefix.
+        assert out.expected_cost_alice > 0.5 * T
+
+    def test_at_threshold_not_jammed(self):
+        T = 100
+        out = ProductGame(T).evaluate_constant(0.1, 0.1, horizon=10)
+        assert out.adversary_cost == 0
+
+    def test_zero_strategy(self):
+        out = ProductGame(100).evaluate(np.zeros(10), np.zeros(10))
+        assert out.expected_cost_alice == 0
+        assert out.success_probability == 0
+
+    def test_all_in_strategy(self):
+        # a = b = 1 everywhere: the adversary jams its whole budget and
+        # the message goes through immediately afterwards.
+        T = 50
+        out = ProductGame(T).evaluate_constant(1.0, 1.0, horizon=2 * T)
+        assert out.adversary_cost == T
+        assert out.success_probability == 1.0
+        assert out.expected_cost_alice == pytest.approx(T + 1)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            ProductGame(10).evaluate(np.array([1.5]), np.array([0.5]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ProductGame(10).evaluate(np.zeros(3), np.zeros(4))
+
+    def test_invalid_T(self):
+        with pytest.raises(ConfigurationError):
+            ProductGame(0)
+
+
+class TestTheorem2Claims:
+    def test_max_cost_is_omega_sqrt_T(self):
+        # Over a range of strategies with >= 1/2 success probability the
+        # max party cost never beats sqrt(T) by more than a constant.
+        T = 10_000
+        game = ProductGame(T)
+        for delta in (0.3, 0.5, 0.7):
+            a = min(1.0, float(T) ** -(1 - delta))
+            b = min(1.0, float(T) ** -delta)
+            out = game.evaluate_constant(a, b)
+            if out.success_probability >= 0.5:
+                max_cost = max(out.expected_cost_alice, out.expected_cost_bob)
+                assert max_cost >= 0.5 * np.sqrt(T)
+
+    def test_product_invariant_over_splits(self):
+        T = 10_000
+        outs = imbalance_sweep(T, np.linspace(0.3, 0.7, 5))
+        products = [o.product for o in outs]
+        assert max(products) / min(products) < 1.2
+
+    def test_am_gm_step(self):
+        # The proof's AM-GM step: for any vectors with a_i b_i = 1/T the
+        # constant geometric-mean strategy has no larger product.
+        T = 400
+        rng = np.random.default_rng(0)
+        t = 4 * T
+        game = ProductGame(T)
+        # random admissible vectors: a_i in [1/T, 1], b_i = 1/(a_i T).
+        a = np.exp(rng.uniform(np.log(1.0 / T), 0.0, size=t))
+        b = 1.0 / (a * T)
+        mixed = game.evaluate(a, b)
+        a_hat = float(np.exp(np.mean(np.log(a))))
+        b_hat = 1.0 / (a_hat * T)
+        const = game.evaluate(np.full(t, a_hat), np.full(t, b_hat))
+        assert const.product <= mixed.product * (1 + 1e-9)
+
+    def test_delta_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            imbalance_sweep(100, np.array([0.0]))

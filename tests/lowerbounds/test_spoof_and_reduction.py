@@ -1,0 +1,102 @@
+"""Unit tests for the Theorem 5 game and the Theorem 4 reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.events import TxKind
+from repro.constants import PHI_MINUS_1
+from repro.errors import AnalysisError, ConfigurationError
+from repro.lowerbounds.reduction import implied_per_node_bound, reduction_check
+from repro.lowerbounds.spoof_game import (
+    optimal_delta,
+    scenario_costs,
+    simulate_spoofing_run,
+)
+from repro.protocols.ksy import KSYOneToOne
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+
+
+class TestScenarioCosts:
+    def test_balance_point_is_golden(self):
+        sc = scenario_costs(PHI_MINUS_1)
+        assert sc.is_balanced
+        assert sc.worst == pytest.approx(PHI_MINUS_1, abs=1e-12)
+
+    def test_away_from_optimum_is_worse(self):
+        for d in (0.4, 0.5, 0.7, 0.8):
+            assert scenario_costs(d).worst > PHI_MINUS_1
+
+    def test_scenario_structure(self):
+        sc = scenario_costs(0.5)
+        assert sc.exponent_scenario_jam == 0.5
+        assert sc.exponent_scenario_simulate == 1.0
+
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigurationError):
+            scenario_costs(0.0)
+        with pytest.raises(ConfigurationError):
+            scenario_costs(1.0)
+
+
+class TestOptimalDelta:
+    def test_matches_golden_ratio(self):
+        d, v = optimal_delta()
+        assert d == pytest.approx(PHI_MINUS_1, abs=1e-6)
+        assert v == pytest.approx(PHI_MINUS_1, abs=1e-6)
+
+
+class TestSimulatedScenarioII:
+    def test_spoofed_nacks_keep_fig1_alice_running(self):
+        # Under spoofed nacks Alice never gets a quiet nack phase; at a
+        # fixed horizon her cost tracks the adversary's ~linearly.
+        a1, _, adv1 = simulate_spoofing_run(
+            OneToOneBroadcast(OneToOneParams.sim()), seed=0,
+            spoof_kind=TxKind.NACK, max_slots=1 << 13,
+        )
+        a2, _, adv2 = simulate_spoofing_run(
+            OneToOneBroadcast(OneToOneParams.sim()), seed=0,
+            spoof_kind=TxKind.NACK, max_slots=1 << 16,
+        )
+        assert adv2 > 2 * adv1
+        assert a2 > 2 * a1  # Alice dragged along
+
+    def test_ksy_alice_grows_slower_than_adversary(self):
+        a1, _, adv1 = simulate_spoofing_run(
+            KSYOneToOne(), seed=1, spoof_kind=TxKind.NACK, max_slots=1 << 13,
+        )
+        a2, _, adv2 = simulate_spoofing_run(
+            KSYOneToOne(), seed=1, spoof_kind=TxKind.NACK, max_slots=1 << 17,
+        )
+        exponent = np.log(a2 / a1) / np.log(adv2 / adv1)
+        assert exponent < 0.85  # golden-ratio territory, not linear
+
+
+class TestReduction:
+    def test_bound_formula(self):
+        assert implied_per_node_bound(800, 4) == pytest.approx(10.0)
+
+    def test_reduction_report(self):
+        costs = np.full(8, 100.0)
+        rep = reduction_check(costs, T=1000.0, product_constant=1.0)
+        assert rep.n == 8
+        assert rep.mean_node_cost == 100.0
+        assert rep.implied_alice == 200.0
+        assert rep.implied_bob == 800.0
+        assert rep.product == pytest.approx(2 * 8 * 100.0**2)
+        assert rep.satisfied
+
+    def test_violation_detected(self):
+        # Costs below the floor flag as unsatisfied.
+        costs = np.full(4, 1.0)
+        rep = reduction_check(costs, T=10_000.0)
+        assert not rep.satisfied
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            implied_per_node_bound(-1, 4)
+        with pytest.raises(AnalysisError):
+            implied_per_node_bound(10, 0)
+        with pytest.raises(AnalysisError):
+            reduction_check(np.array([]), T=1.0)

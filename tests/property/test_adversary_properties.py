@@ -1,0 +1,119 @@
+"""Property-based tests of adversary plan invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.base import Adversary, AdversaryContext
+from repro.adversaries.budget import BudgetCap
+from repro.channel.events import JamPlan, ListenEvents, SendEvents, TxKind
+
+
+@st.composite
+def arbitrary_plan(draw):
+    """A random (valid) jam/spoof plan."""
+    length = draw(st.integers(4, 256))
+    n_global = draw(st.integers(0, length))
+    global_slots = draw(
+        st.lists(st.integers(0, length - 1), max_size=n_global)
+    )
+    targeted = {}
+    for g in range(draw(st.integers(0, 2))):
+        targeted[g] = draw(st.lists(st.integers(0, length - 1), max_size=20))
+    n_spoof = draw(st.integers(0, 10))
+    spoof_slots = draw(
+        st.lists(st.integers(0, length - 1), min_size=n_spoof, max_size=n_spoof)
+    )
+    spoof_kinds = draw(
+        st.lists(st.sampled_from([int(k) for k in TxKind]),
+                 min_size=n_spoof, max_size=n_spoof)
+    )
+    return JamPlan(
+        length=length,
+        global_slots=np.array(global_slots, dtype=np.int64),
+        targeted={g: np.array(v, dtype=np.int64) for g, v in targeted.items()},
+        spoof_slots=np.array(spoof_slots, dtype=np.int64),
+        spoof_kinds=np.array(spoof_kinds, dtype=np.int8),
+    )
+
+
+class FixedPlanAdversary(Adversary):
+    def __init__(self, plan: JamPlan):
+        self.plan = plan
+
+    def plan_phase(self, ctx):
+        return self.plan
+
+
+def make_ctx(length: int, spent: int = 0) -> AdversaryContext:
+    return AdversaryContext(
+        phase_index=0,
+        length=length,
+        n_nodes=2,
+        n_groups=2,
+        tags={},
+        sends=SendEvents.empty(),
+        listens=ListenEvents.empty(),
+        send_probs=np.zeros(2),
+        listen_probs=np.zeros(2),
+        spent=spent,
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(arbitrary_plan(), st.integers(0, 300), st.integers(0, 300))
+def test_budget_cap_never_exceeds_remaining(plan, budget, spent):
+    capped = BudgetCap(FixedPlanAdversary(plan), budget)
+    out = capped.plan_phase(make_ctx(plan.length, spent=spent))
+    assert out.cost <= max(0, budget - spent)
+
+
+@settings(max_examples=80, deadline=None)
+@given(arbitrary_plan(), st.integers(0, 300))
+def test_budget_cap_is_identity_under_budget(plan, slack):
+    budget = plan.cost + slack
+    capped = BudgetCap(FixedPlanAdversary(plan), budget)
+    out = capped.plan_phase(make_ctx(plan.length, spent=0))
+    assert out.cost == plan.cost
+    assert np.array_equal(out.global_slots, plan.global_slots)
+    assert set(out.targeted) == set(plan.targeted)
+
+
+@settings(max_examples=80, deadline=None)
+@given(arbitrary_plan())
+def test_plan_normalisation_idempotent(plan):
+    """Re-wrapping a normalised plan's arrays changes nothing."""
+    again = JamPlan(
+        length=plan.length,
+        global_slots=plan.global_slots,
+        targeted=dict(plan.targeted),
+        spoof_slots=plan.spoof_slots,
+        spoof_kinds=plan.spoof_kinds,
+    )
+    assert again.cost == plan.cost
+    assert np.array_equal(again.global_slots, plan.global_slots)
+    for g in plan.targeted:
+        assert np.array_equal(again.targeted[g], plan.targeted[g])
+
+
+@settings(max_examples=80, deadline=None)
+@given(arbitrary_plan(), st.integers(0, 300))
+def test_budget_cap_keeps_earliest_actions(plan, budget):
+    """Whatever survives trimming is a prefix in slot order."""
+    capped = BudgetCap(FixedPlanAdversary(plan), budget)
+    out = capped.plan_phase(make_ctx(plan.length, spent=0))
+    if out.cost == 0 or out.cost == plan.cost:
+        return
+    # Max kept slot must be <= min dropped slot (ties allowed because a
+    # slot can carry several actions).
+    def all_slots(p):
+        slots = list(p.global_slots) + list(p.spoof_slots)
+        for v in p.targeted.values():
+            slots += list(v)
+        return sorted(slots)
+
+    kept = all_slots(out)
+    original = all_slots(plan)
+    assert kept == original[: len(kept)]

@@ -1,0 +1,129 @@
+"""Property-based tests of the channel resolution invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.events import (
+    JamPlan,
+    ListenEvents,
+    SendEvents,
+    SlotStatus,
+    TxKind,
+)
+from repro.channel.model import resolve_phase, slot_content
+
+KINDS = [int(k) for k in TxKind]
+
+
+@st.composite
+def phase_setup(draw):
+    """Random phase: events, jam plan, groups."""
+    length = draw(st.integers(4, 128))
+    n_nodes = draw(st.integers(1, 6))
+    n_sends = draw(st.integers(0, 40))
+    n_listens = draw(st.integers(0, 40))
+    sends = SendEvents(
+        np.array(draw(st.lists(st.integers(0, n_nodes - 1), min_size=n_sends,
+                               max_size=n_sends)), dtype=np.int64),
+        np.array(draw(st.lists(st.integers(0, length - 1), min_size=n_sends,
+                               max_size=n_sends)), dtype=np.int64),
+        np.array(draw(st.lists(st.sampled_from(KINDS), min_size=n_sends,
+                               max_size=n_sends)), dtype=np.int8),
+    )
+    listens = ListenEvents(
+        np.array(draw(st.lists(st.integers(0, n_nodes - 1), min_size=n_listens,
+                               max_size=n_listens)), dtype=np.int64),
+        np.array(draw(st.lists(st.integers(0, length - 1), min_size=n_listens,
+                               max_size=n_listens)), dtype=np.int64),
+    )
+    jam = np.array(
+        draw(st.lists(st.integers(0, length - 1), max_size=length)),
+        dtype=np.int64,
+    )
+    n_groups = draw(st.integers(1, 2))
+    groups = np.array(
+        draw(st.lists(st.integers(0, n_groups - 1), min_size=n_nodes,
+                      max_size=n_nodes)), dtype=np.int64)
+    plan = JamPlan(length=length, global_slots=jam)
+    return length, n_nodes, sends, listens, plan, groups
+
+
+@settings(max_examples=80, deadline=None)
+@given(phase_setup())
+def test_heard_counts_never_exceed_listens(setup):
+    length, n_nodes, sends, listens, plan, groups = setup
+    out = resolve_phase(length, n_nodes, sends, listens, plan, groups)
+    # Each node's total heard slots equals its charged listens.
+    assert (out.heard.sum(axis=1) == out.listen_cost).all()
+
+
+@settings(max_examples=80, deadline=None)
+@given(phase_setup())
+def test_costs_match_events(setup):
+    length, n_nodes, sends, listens, plan, groups = setup
+    out = resolve_phase(length, n_nodes, sends, listens, plan, groups)
+    # Send cost equals the number of send events per node (duplicates
+    # within a slot are separate commitments in the sparse encoding but
+    # the node is on-air either way; our model charges per event, and
+    # the sampler never produces duplicates).
+    assert out.send_cost.sum() == len(sends)
+    # Listen cost can only be reduced (half-duplex drops), never raised.
+    assert out.listen_cost.sum() <= len(listens)
+    assert (out.send_cost >= 0).all() and (out.listen_cost >= 0).all()
+
+
+@settings(max_examples=80, deadline=None)
+@given(phase_setup())
+def test_jammed_slots_never_heard_as_clear_or_message(setup):
+    length, n_nodes, sends, listens, plan, groups = setup
+    # Make every slot jammed: everything heard must be NOISE.
+    plan_all = JamPlan(length=length, global_slots=np.arange(length))
+    out = resolve_phase(length, n_nodes, sends, listens, plan_all, groups)
+    heard = out.heard
+    assert heard[:, SlotStatus.CLEAR].sum() == 0
+    assert heard[:, SlotStatus.DATA].sum() == 0
+    assert heard[:, SlotStatus.NACK].sum() == 0
+    assert heard[:, SlotStatus.ACK].sum() == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(phase_setup())
+def test_message_requires_unique_sender(setup):
+    length, n_nodes, sends, listens, plan, groups = setup
+    content = slot_content(length, sends, plan)
+    counts = np.bincount(
+        np.concatenate([sends.slots, plan.spoof_slots]), minlength=length
+    )
+    message_statuses = (SlotStatus.DATA, SlotStatus.NACK, SlotStatus.ACK)
+    for status in message_statuses:
+        slots = np.flatnonzero(content == status)
+        assert (counts[slots] == 1).all()
+    # Conversely, slots with >= 2 transmissions are always NOISE.
+    collided = np.flatnonzero(counts >= 2)
+    assert (content[collided] == SlotStatus.NOISE).all()
+
+
+@settings(max_examples=80, deadline=None)
+@given(phase_setup())
+def test_adversary_cost_equals_plan_cost(setup):
+    length, n_nodes, sends, listens, plan, groups = setup
+    out = resolve_phase(length, n_nodes, sends, listens, plan, groups)
+    assert out.adversary_cost == plan.cost
+
+
+@settings(max_examples=50, deadline=None)
+@given(phase_setup(), st.integers(0, 1))
+def test_more_jamming_never_helps_listeners(setup, _):
+    """Adding jam can only convert heard statuses toward NOISE."""
+    length, n_nodes, sends, listens, plan, groups = setup
+    out_before = resolve_phase(length, n_nodes, sends, listens, plan, groups)
+    plan_more = JamPlan(length=length, global_slots=np.arange(length))
+    out_after = resolve_phase(length, n_nodes, sends, listens, plan_more, groups)
+    # Total heard slots stay the same; message+clear can only shrink.
+    assert (out_after.heard.sum(axis=1) == out_before.heard.sum(axis=1)).all()
+    good_before = out_before.heard[:, [0, 2, 3, 4]].sum()
+    good_after = out_after.heard[:, [0, 2, 3, 4]].sum()
+    assert good_after <= good_before

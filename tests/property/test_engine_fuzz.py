@@ -1,0 +1,155 @@
+"""Fuzzing the engine: random protocols vs random adversaries.
+
+Hypothesis drives arbitrary (but contract-respecting) phase streams and
+jam plans through the full simulator and asserts the engine-level
+invariants that every experiment silently relies on: cost accounting,
+latency accounting, observation sanity, and truncation behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.base import Adversary
+from repro.channel.events import JamPlan, TxKind
+from repro.engine.phase import PhaseSpec
+from repro.engine.simulator import Simulator
+from repro.protocols.base import Protocol
+
+
+class FuzzProtocol(Protocol):
+    """Emits a predetermined list of random phase specs."""
+
+    def __init__(self, specs):
+        self.specs = specs
+        self.n_nodes = specs[0].n_nodes if specs else 1
+        self.reset(np.random.default_rng(0))
+
+    def reset(self, rng):
+        self.cursor = 0
+        self.observations = []
+
+    @property
+    def done(self):
+        return self.cursor >= len(self.specs)
+
+    def next_phase(self):
+        if self.done:
+            return None
+        spec = self.specs[self.cursor]
+        self.cursor += 1
+        return spec
+
+    def observe(self, obs):
+        self.observations.append(obs)
+
+    def summary(self):
+        return {"success": True, "phases_seen": len(self.observations)}
+
+
+class FuzzAdversary(Adversary):
+    """Jams a random suffix fraction and spoofs a few slots."""
+
+    def __init__(self, fraction: float, n_spoofs: int):
+        self.fraction = fraction
+        self.n_spoofs = n_spoofs
+
+    def plan_phase(self, ctx):
+        n_jam = int(self.fraction * ctx.length)
+        spoof_slots = self.rng.integers(0, ctx.length, self.n_spoofs)
+        return JamPlan(
+            length=ctx.length,
+            global_slots=np.arange(ctx.length - n_jam, ctx.length),
+            spoof_slots=np.unique(spoof_slots),
+            spoof_kinds=np.full(
+                len(np.unique(spoof_slots)), int(TxKind.NACK), dtype=np.int8
+            ),
+        )
+
+
+@st.composite
+def random_specs(draw):
+    n_nodes = draw(st.integers(1, 6))
+    n_phases = draw(st.integers(1, 6))
+    specs = []
+    for _ in range(n_phases):
+        length = draw(st.integers(1, 256))
+        send = np.array(
+            draw(st.lists(st.floats(0.0, 1.0), min_size=n_nodes, max_size=n_nodes))
+        )
+        listen = np.array(
+            draw(st.lists(st.floats(0.0, 1.0), min_size=n_nodes, max_size=n_nodes))
+        )
+        kinds = np.array(
+            draw(st.lists(st.sampled_from([int(k) for k in TxKind]),
+                          min_size=n_nodes, max_size=n_nodes)),
+            dtype=np.int8,
+        )
+        specs.append(
+            PhaseSpec(
+                length=length, send_probs=send, send_kinds=kinds,
+                listen_probs=listen, tags={"fuzz": True},
+            )
+        )
+    return specs
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    random_specs(),
+    st.floats(0.0, 1.0),
+    st.integers(0, 5),
+    st.integers(0, 2**31 - 1),
+)
+def test_engine_invariants_under_fuzz(specs, jam_fraction, n_spoofs, seed):
+    proto = FuzzProtocol(specs)
+    sim = Simulator(proto, FuzzAdversary(jam_fraction, n_spoofs),
+                    keep_history=True)
+    res = sim.run(seed)
+
+    # Latency = sum of phase lengths; phases all executed.
+    assert res.slots == sum(s.length for s in specs)
+    assert res.phases == len(specs)
+    assert not res.truncated
+
+    # Per-node energy can never exceed one action per slot.
+    assert (res.node_costs <= res.slots).all()
+    assert (res.node_costs >= 0).all()
+    assert np.array_equal(
+        res.node_send_costs + res.node_listen_costs, res.node_costs
+    )
+
+    # History conserves everything.
+    assert sum(h.node_total for h in res.phase_history) == res.node_costs.sum()
+    assert sum(h.adversary for h in res.phase_history) == res.adversary_cost
+
+    # Observations: heard slots never exceed listen costs, and each
+    # phase's observation echoes its spec.
+    for spec, obs in zip(specs, proto.observations):
+        assert obs.length == spec.length
+        assert (obs.heard.sum(axis=1) == obs.listen_cost).all()
+        assert (obs.send_cost + obs.listen_cost <= spec.length).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_specs(), st.integers(0, 2**31 - 1))
+def test_full_jam_silences_everything(specs, seed):
+    proto = FuzzProtocol(specs)
+    res = Simulator(proto, FuzzAdversary(1.0, 0)).run(seed)
+    for obs in proto.observations:
+        # Under a total jam every heard slot is noise.
+        heard = obs.heard
+        assert heard[:, 0].sum() == 0  # no clear
+        assert heard[:, 2:].sum() == 0  # no messages
+    assert res.adversary_cost == sum(s.length for s in specs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_specs(), st.integers(0, 2**31 - 1))
+def test_same_seed_bitwise_reproducible(specs, seed):
+    r1 = Simulator(FuzzProtocol(specs), FuzzAdversary(0.3, 2)).run(seed)
+    r2 = Simulator(FuzzProtocol(specs), FuzzAdversary(0.3, 2)).run(seed)
+    assert np.array_equal(r1.node_costs, r2.node_costs)
+    assert r1.adversary_cost == r2.adversary_cost

@@ -1,0 +1,87 @@
+"""Property-based tests of the Theorem 2 product game algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbounds.product_game import ProductGame
+
+
+@st.composite
+def admissible_vectors(draw):
+    """Random strategy pair with a_i * b_i <= 1/T (never jammed)."""
+    T = draw(st.integers(4, 4096))
+    t = draw(st.integers(1, 256))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = np.exp(rng.uniform(np.log(1.0 / T), 0.0, size=t))
+    b = 1.0 / (a * T) * rng.uniform(0.1, 1.0, size=t)  # at or below threshold
+    return T, a, b
+
+
+@settings(max_examples=60, deadline=None)
+@given(admissible_vectors())
+def test_theorem2_product_floor(args):
+    """Theorem 2's inequality, in the exact form the game admits.
+
+    For any strategy pair below the jam threshold (``a_i b_i <= 1/T``),
+    Cauchy-Schwarz gives ``E(A) E(B) >= (sum_i sqrt(a_i b_i) p_i)**2``
+    and ``sqrt(a_i b_i) >= a_i b_i sqrt(T)``, while
+    ``sum_i a_i b_i p_i`` is exactly the success probability — hence
+    ``E(A) E(B) >= T * success**2``.  (No matching *upper* bound holds:
+    wasteful strategies can push the product above T.)
+    """
+    T, a, b = args
+    out = ProductGame(T).evaluate(a, b)
+    assert out.adversary_cost == 0
+    assert out.product >= T * out.success_probability**2 * (1 - 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(admissible_vectors())
+def test_success_prob_consistent_with_costs(args):
+    """Success probability equals 1 - prod(1 - a_i b_i); costs are the
+    survival-weighted sums.  Cross-check against a direct recurrence."""
+    T, a, b = args
+    out = ProductGame(T).evaluate(a, b)
+    surv = 1.0
+    e_a = e_b = 0.0
+    fail = 1.0
+    for ai, bi in zip(a, b):
+        e_a += ai * surv
+        e_b += bi * surv
+        surv *= 1.0 - ai * bi
+        fail *= 1.0 - ai * bi
+    assert np.isclose(out.expected_cost_alice, e_a, rtol=1e-9)
+    assert np.isclose(out.expected_cost_bob, e_b, rtol=1e-9)
+    assert np.isclose(out.success_probability, 1.0 - fail, rtol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(4, 2048), st.integers(0, 2**31 - 1))
+def test_scaling_invariance_of_threshold_strategies(T, seed):
+    """Swapping Alice's and Bob's vectors swaps their costs exactly."""
+    rng = np.random.default_rng(seed)
+    t = 64
+    a = np.exp(rng.uniform(np.log(1.0 / T), 0.0, size=t))
+    b = 1.0 / (a * T)
+    game = ProductGame(T)
+    out_ab = game.evaluate(a, b)
+    out_ba = game.evaluate(b, a)
+    assert np.isclose(out_ab.expected_cost_alice, out_ba.expected_cost_bob)
+    assert np.isclose(out_ab.expected_cost_bob, out_ba.expected_cost_alice)
+    assert np.isclose(out_ab.success_probability, out_ba.success_probability)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 512), st.integers(1, 64))
+def test_longer_horizons_monotone(T, t):
+    """Extending the horizon increases costs and success monotonically."""
+    game = ProductGame(T)
+    p = 1.0 / np.sqrt(T)
+    short = game.evaluate(np.full(t, p), np.full(t, p))
+    longer = game.evaluate(np.full(2 * t, p), np.full(2 * t, p))
+    assert longer.expected_cost_alice >= short.expected_cost_alice
+    assert longer.success_probability >= short.success_probability

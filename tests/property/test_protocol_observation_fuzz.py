@@ -1,0 +1,114 @@
+"""Fuzzing protocols with adversarial observations.
+
+The engine only ever delivers observations consistent with physics, but
+protocol state machines should be robust to *any* count matrix the
+interface admits — extreme jam counts, absurd reception counts, zeros
+everywhere.  These tests drive each protocol with hypothesis-generated
+observations and assert it never crashes, never emits an invalid phase,
+and always terminates its run loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.events import N_STATUS
+from repro.engine.phase import PhaseObservation
+from repro.protocols.base import NodeStatus
+from repro.protocols.ksy import KSYOneToOne, KSYParams
+from repro.protocols.naive import NaiveHaltingBroadcast
+from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+
+MAX_PHASES = 300
+
+
+def drive(proto, draw_counts, rng_seed=0):
+    """Feed random observations until the protocol halts (or cap)."""
+    proto.reset(np.random.default_rng(rng_seed))
+    phases = 0
+    while (spec := proto.next_phase()) is not None:
+        phases += 1
+        assert spec.length > 0
+        assert ((spec.send_probs >= 0) & (spec.send_probs <= 1)).all()
+        assert ((spec.listen_probs >= 0) & (spec.listen_probs <= 1)).all()
+
+        heard = draw_counts(spec)
+        obs = PhaseObservation(
+            length=spec.length,
+            heard=heard,
+            send_cost=np.zeros(spec.n_nodes, dtype=np.int64),
+            listen_cost=heard.sum(axis=1),
+            tags=dict(spec.tags),
+        )
+        proto.observe(obs)
+        if phases >= MAX_PHASES:
+            break
+    assert phases <= MAX_PHASES
+    summary = proto.summary()
+    assert "success" in summary
+    return phases
+
+
+@st.composite
+def count_drawer(draw):
+    """A function mapping a spec to a random heard-counts matrix."""
+    scale = draw(st.sampled_from([0, 1, 3, 10]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+
+    def make(spec):
+        # Counts bounded by the phase length (the only physical law the
+        # interface promises).
+        cap = max(1, min(spec.length, scale * 8))
+        heard = rng.integers(0, cap, size=(spec.n_nodes, N_STATUS))
+        # Keep total heard within the phase length per node.
+        totals = heard.sum(axis=1, keepdims=True)
+        over = totals > spec.length
+        if over.any():
+            heard = (heard * spec.length // np.maximum(totals, 1)).astype(
+                np.int64
+            )
+        return heard.astype(np.int64)
+
+    return make
+
+
+@settings(max_examples=25, deadline=None)
+@given(count_drawer(), st.integers(0, 2**31 - 1))
+def test_one_to_one_never_crashes(drawer, seed):
+    params = OneToOneParams(epsilon=0.1, first_epoch=4, max_epoch=12)
+    drive(OneToOneBroadcast(params), drawer, seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(count_drawer(), st.integers(0, 2**31 - 1))
+def test_ksy_never_crashes(drawer, seed):
+    params = KSYParams(first_epoch=4, max_epoch=12)
+    drive(KSYOneToOne(params), drawer, seed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(count_drawer(), st.integers(1, 9), st.integers(0, 2**31 - 1))
+def test_one_to_n_never_crashes(drawer, n, seed):
+    import dataclasses
+
+    params = dataclasses.replace(OneToNParams.sim(), max_epoch=8)
+    proto = OneToNBroadcast(n, params)
+    drive(proto, drawer, seed)
+    # State stayed legal under arbitrary inputs.
+    assert set(np.unique(proto.status)) <= {int(s) for s in NodeStatus}
+    assert (proto.S > 0).all()
+    helpers = proto.status == NodeStatus.HELPER
+    assert not np.isnan(proto.n_est[helpers]).any()
+
+
+@settings(max_examples=15, deadline=None)
+@given(count_drawer(), st.integers(0, 2**31 - 1))
+def test_naive_halting_never_crashes(drawer, seed):
+    import dataclasses
+
+    params = dataclasses.replace(OneToNParams.sim(), max_epoch=8)
+    drive(NaiveHaltingBroadcast(4, params), drawer, seed)

@@ -1,0 +1,74 @@
+"""Unit tests for the KSY reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.basic import SilentAdversary
+from repro.adversaries.blocking import EpochTargetJammer
+from repro.constants import PHI_MINUS_1, PHI_MINUS_1_SQ
+from repro.engine.simulator import run
+from repro.errors import ConfigurationError
+from repro.protocols.ksy import ALICE, BOB, KSYOneToOne, KSYParams
+
+
+class TestGoldenRatioBudgets:
+    def test_exponent_identity(self):
+        # x^2 = 1 - x for x = phi - 1: the identity the split relies on.
+        assert PHI_MINUS_1_SQ == pytest.approx(1.0 - PHI_MINUS_1)
+
+    def test_budget_product_covers_window(self):
+        # (c L^{x^2}/L) * (c L^x/L) * L = c^2 for any window length.
+        p = KSYParams(c=3.0)
+        for epoch in (6, 10, 16, 20):
+            L = p.phase_length(epoch)
+            product = p.cheap_probability(epoch) * p.expensive_probability(epoch) * L
+            assert product == pytest.approx(9.0, rel=1e-9)
+
+    def test_asymmetry(self):
+        p = KSYParams()
+        for epoch in (8, 14):
+            assert p.expensive_probability(epoch) > p.cheap_probability(epoch)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            KSYParams(c=0)
+        with pytest.raises(ConfigurationError):
+            KSYParams(threshold_frac=0)
+
+
+class TestKSYRuns:
+    def test_silent_success(self):
+        res = run(KSYOneToOne(), SilentAdversary(), seed=0)
+        assert res.success
+        assert res.max_node_cost < 200
+
+    def test_bob_pays_more_than_alice_under_attack(self):
+        params = KSYParams()
+        adv = EpochTargetJammer(params.first_epoch + 6, q=1.0, target_listener=True)
+        res = run(KSYOneToOne(params), adv, seed=1)
+        assert res.success
+        assert res.node_costs[BOB] > res.node_costs[ALICE]
+
+    def test_cost_ratio_tracks_golden_split(self):
+        # Under a long blocking attack Alice/Bob costs should scale like
+        # L^{x^2} vs L^x; their log-cost ratio approaches x^2/x = x.
+        params = KSYParams()
+        adv = EpochTargetJammer(params.first_epoch + 9, q=1.0, target_listener=True)
+        res = run(KSYOneToOne(params), adv, seed=2)
+        ratio = np.log(res.node_costs[ALICE]) / np.log(res.node_costs[BOB])
+        assert 0.35 <= ratio <= 0.85  # ideal ~0.618
+
+    def test_resource_competitive(self):
+        params = KSYParams()
+        adv = EpochTargetJammer(params.first_epoch + 7, q=1.0, target_listener=True)
+        res = run(KSYOneToOne(params), adv, seed=3)
+        assert res.max_node_cost < res.adversary_cost
+
+    def test_success_rate(self):
+        wins = sum(
+            run(KSYOneToOne(), SilentAdversary(), seed=s).success
+            for s in range(40)
+        )
+        assert wins >= 36

@@ -1,0 +1,126 @@
+"""Unit tests for the naive baselines and the combined protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.basic import SilentAdversary, SuffixJammer
+from repro.adversaries.halving import HalvingAttacker
+from repro.engine.simulator import Simulator, run
+from repro.errors import ConfigurationError
+from repro.protocols.combined import CombinedOneToOne
+from repro.protocols.naive import (
+    AlwaysOnSender,
+    FixedProbabilityProtocol,
+    NaiveHaltingBroadcast,
+)
+
+
+class TestAlwaysOnSender:
+    def test_silent_channel(self):
+        res = run(AlwaysOnSender(chunk=64), SilentAdversary(), seed=0)
+        assert res.success
+        # Deterministic: one send chunk delivers, ack chunk halts Alice,
+        # Bob lingers.  Cost ~ a few chunks.
+        assert res.max_node_cost <= 64 * 6
+
+    def test_cost_tracks_budget_linearly(self):
+        costs = []
+        for budget in (1024, 4096):
+            res = run(
+                AlwaysOnSender(chunk=64),
+                SuffixJammer(1.0, max_total=budget),
+                seed=1,
+            )
+            assert res.success
+            assert res.max_node_cost >= budget  # the T + 1 phenomenon
+            costs.append(res.max_node_cost)
+        assert costs[1] > 3 * costs[0]
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ConfigurationError):
+            AlwaysOnSender(chunk=0)
+
+
+class TestFixedProbability:
+    def test_silent_success(self):
+        res = run(FixedProbabilityProtocol(rate=0.2, chunk=128),
+                  SilentAdversary(), seed=0)
+        assert res.success
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            FixedProbabilityProtocol(rate=0.0)
+
+    def test_cost_linear_in_T(self):
+        costs = []
+        for budget in (2048, 8192):
+            res = run(
+                FixedProbabilityProtocol(rate=0.25, chunk=128),
+                SuffixJammer(1.0, max_total=budget),
+                seed=2,
+            )
+            assert res.success
+            costs.append(res.max_node_cost)
+        # Roughly linear: quadrupling T should much-more-than-double cost.
+        assert costs[1] > 2.5 * costs[0]
+
+
+class TestNaiveHaltingBroadcast:
+    def test_unjammed_success(self):
+        res = run(NaiveHaltingBroadcast(8), SilentAdversary(), seed=0)
+        assert res.success
+
+    def test_no_helpers_ever(self):
+        res = run(NaiveHaltingBroadcast(8), SilentAdversary(), seed=1)
+        assert res.stats["n_helpers"] == 0
+
+    def test_halving_attack_spreads_costs(self):
+        res = run(
+            NaiveHaltingBroadcast(16),
+            HalvingAttacker(hear_threshold=4.0, max_total=1 << 17),
+            seed=2,
+        )
+        # The attack strands stragglers: worst node pays well above mean.
+        assert res.max_node_cost > 1.5 * res.node_costs.mean()
+
+    def test_hear_threshold_tag_exposed(self):
+        proto = NaiveHaltingBroadcast(4, halt_after=7.5)
+        proto.reset(np.random.default_rng(0))
+        spec = proto.next_phase()
+        assert spec.tags["hear_threshold"] == 7.5
+        assert spec.tags["protocol"] == "naive-1ton"
+
+
+class TestCombinedOneToOne:
+    def test_silent_success(self):
+        res = run(CombinedOneToOne(), SilentAdversary(), seed=0)
+        assert res.success
+        stats = res.stats
+        # One delivery is enough; the sibling is force-informed.
+        assert stats["fig1"]["success"] or stats["ksy"]["success"]
+
+    def test_interleaves_both_children(self):
+        res = Simulator(
+            CombinedOneToOne(), SuffixJammer(0.6), keep_history=True,
+            max_slots=500_000,
+        ).run(1)
+        children = {h.tags.get("combined_child") for h in res.phase_history}
+        assert children == {"fig1", "ksy"}
+
+    def test_fair_slot_split(self):
+        res = run(CombinedOneToOne(), SuffixJammer(0.6, max_total=4096), seed=2)
+        s = res.stats
+        total = s["slots_fig1"] + s["slots_ksy"]
+        assert total == res.slots
+        # Neither child may be starved beyond a phase-size granularity.
+        assert min(s["slots_fig1"], s["slots_ksy"]) > 0
+
+    def test_cost_bounded_by_sum_of_children(self):
+        # The combination can at most double the better child's cost.
+        res = run(CombinedOneToOne(), SilentAdversary(), seed=3)
+        fig1_alone = run(
+            CombinedOneToOne().fig1.__class__(), SilentAdversary(), seed=3
+        )
+        assert res.max_node_cost < 5 * max(fig1_alone.max_node_cost, 50)

@@ -1,0 +1,252 @@
+"""Unit tests for Figure 2's 1-to-n BROADCAST."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.adversaries.basic import SilentAdversary, SuffixJammer
+from repro.adversaries.blocking import EpochTargetJammer
+from repro.engine.phase import PhaseObservation
+from repro.engine.simulator import run
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocols.base import NodeStatus
+from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
+
+
+class TestParams:
+    def test_paper_preset_matches_figure2(self):
+        p = OneToNParams.paper()
+        assert p.b == 10.0
+        assert p.d == 80.0
+        assert p.listen_exp == 3
+        assert p.s_init == 16.0
+        assert p.helper_frac == pytest.approx(1 / 200)
+        assert p.c_term_global == 360.0
+        assert p.c_term_helper == 360.0
+
+    def test_repetition_count(self):
+        p = OneToNParams(b=2.0)
+        assert p.n_repetitions(5) == 50  # ceil(2 * 25)
+
+    def test_listen_budget(self):
+        p = OneToNParams(d=1.0, listen_exp=1)
+        s = np.array([4.0])
+        assert p.listen_budget(6, s)[0] == pytest.approx(24.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            OneToNParams(b=0)
+        with pytest.raises(ConfigurationError):
+            OneToNParams(helper_frac=0)
+        with pytest.raises(ConfigurationError):
+            OneToNParams(first_epoch=10, max_epoch=9)
+
+
+class TestConstruction:
+    def test_sender_initially_informed(self):
+        proto = OneToNBroadcast(5, sender=2)
+        assert proto.status[2] == NodeStatus.INFORMED
+        assert proto.ever_informed[2]
+        assert (proto.status[[0, 1, 3, 4]] == NodeStatus.UNINFORMED).all()
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            OneToNBroadcast(0)
+
+    def test_invalid_sender(self):
+        with pytest.raises(ConfigurationError):
+            OneToNBroadcast(4, sender=4)
+
+
+class TestPhaseEmission:
+    def test_first_phase_shape(self):
+        proto = OneToNBroadcast(8)
+        proto.reset(np.random.default_rng(0))
+        spec = proto.next_phase()
+        p = proto.params
+        assert spec.length == 2**p.first_epoch
+        assert spec.tags["kind"] == "repetition"
+        assert spec.tags["epoch"] == p.first_epoch
+        assert spec.tags["n_repetitions"] == p.n_repetitions(p.first_epoch)
+        # Sender transmits DATA, everyone else NOISE.
+        assert spec.send_kinds[0] == 2
+        assert (spec.send_kinds[1:] == 1).all()
+        assert (spec.send_probs > 0).all()
+        assert (spec.listen_probs > 0).all()
+
+    def test_uninformed_noise_off(self):
+        params = dataclasses.replace(OneToNParams.sim(), uninformed_noise=False)
+        proto = OneToNBroadcast(8, params)
+        proto.reset(np.random.default_rng(0))
+        spec = proto.next_phase()
+        assert spec.send_probs[0] > 0  # the informed sender
+        assert (spec.send_probs[1:] == 0).all()
+
+    def test_double_next_phase_raises(self):
+        proto = OneToNBroadcast(4)
+        proto.reset(np.random.default_rng(0))
+        proto.next_phase()
+        with pytest.raises(ProtocolError):
+            proto.next_phase()
+
+
+class TestRateUpdate:
+    def _step(self, proto, clear_per_node):
+        spec = proto.next_phase()
+        obs = PhaseObservation.empty(spec.length, proto.n_nodes, spec.tags)
+        obs.heard[:, 0] = clear_per_node
+        proto.observe(obs)
+        return spec
+
+    def test_all_clear_grows_by_paper_factor(self):
+        proto = OneToNBroadcast(4)
+        proto.reset(np.random.default_rng(0))
+        p = proto.params
+        i = p.first_epoch
+        spec = proto.next_phase()
+        expected_listens = spec.listen_probs * spec.length
+        obs = PhaseObservation.empty(spec.length, 4, spec.tags)
+        obs.heard[:, 0] = expected_listens.astype(np.int64)  # all listened slots clear
+        s_before = proto.S.copy()
+        proto.observe(obs)
+        # C' ~ E/2 -> growth factor ~ 2^(1/(2i)).
+        growth = proto.S / s_before
+        assert np.allclose(growth, 2 ** (0.5 / i), rtol=0.05)
+
+    def test_half_clear_no_growth(self):
+        proto = OneToNBroadcast(4)
+        proto.reset(np.random.default_rng(0))
+        spec = proto.next_phase()
+        expected_listens = spec.listen_probs * spec.length
+        obs = PhaseObservation.empty(spec.length, 4, spec.tags)
+        obs.heard[:, 0] = (expected_listens * 0.4).astype(np.int64)
+        s_before = proto.S.copy()
+        proto.observe(obs)
+        assert np.array_equal(proto.S, s_before)
+
+    def test_s_resets_each_epoch(self):
+        proto = OneToNBroadcast(2)
+        proto.reset(np.random.default_rng(0))
+        p = proto.params
+        n_reps = p.n_repetitions(p.first_epoch)
+        for _ in range(n_reps):
+            spec = proto.next_phase()
+            expected = spec.listen_probs * spec.length
+            obs = PhaseObservation.empty(spec.length, 2, spec.tags)
+            obs.heard[:, 0] = expected.astype(np.int64)
+            proto.observe(obs)
+        assert proto.epoch == p.first_epoch + 1
+        assert (proto.S == p.s_init).all()
+
+
+class TestCases:
+    def test_case2_informs(self):
+        proto = OneToNBroadcast(4)
+        proto.reset(np.random.default_rng(0))
+        spec = proto.next_phase()
+        obs = PhaseObservation.empty(spec.length, 4, spec.tags)
+        obs.heard[2, 2] = 1  # node 2 hears m once
+        proto.observe(obs)
+        assert proto.status[2] == NodeStatus.INFORMED
+        assert proto.ever_informed[2]
+
+    def test_case3_promotes_informed_only(self):
+        proto = OneToNBroadcast(4)
+        proto.reset(np.random.default_rng(0))
+        spec = proto.next_phase()
+        thr = int(proto.params.helper_threshold(proto.epoch)) + 1
+        obs = PhaseObservation.empty(spec.length, 4, spec.tags)
+        obs.heard[0, 2] = thr  # sender (informed) hears a lot
+        obs.heard[1, 2] = thr  # uninformed node hears a lot too
+        proto.observe(obs)
+        assert proto.status[0] == NodeStatus.HELPER
+        assert np.isfinite(proto.n_est[0])
+        # The uninformed node only becomes informed (at most one case).
+        assert proto.status[1] == NodeStatus.INFORMED
+        assert np.isnan(proto.n_est[1])
+
+    def test_case1_safety_valve(self):
+        proto = OneToNBroadcast(4)
+        proto.reset(np.random.default_rng(0))
+        proto.S[:] = proto.params.term_global_threshold(proto.epoch) + 1
+        spec = proto.next_phase()
+        proto.observe(PhaseObservation.empty(spec.length, 4, spec.tags))
+        assert (proto.status == NodeStatus.TERMINATED).all()
+        assert proto.done
+
+    def test_case4_helper_termination(self):
+        proto = OneToNBroadcast(4)
+        proto.reset(np.random.default_rng(0))
+        proto.status[1] = NodeStatus.HELPER
+        proto.ever_informed[1] = True
+        proto.n_est[1] = 4.0
+        L = 2**proto.epoch
+        proto.S[1] = proto.params.c_term_helper * np.sqrt(L / 4.0) + 1
+        spec = proto.next_phase()
+        proto.observe(PhaseObservation.empty(spec.length, 4, spec.tags))
+        assert proto.status[1] == NodeStatus.TERMINATED
+        assert proto.terminated_epoch[1] == proto.params.first_epoch
+
+    def test_max_epoch_aborts(self):
+        params = dataclasses.replace(
+            OneToNParams.sim(), first_epoch=3, max_epoch=3
+        )
+        proto = OneToNBroadcast(2, params)
+        proto.reset(np.random.default_rng(0))
+        count = 0
+        while (spec := proto.next_phase()) is not None:
+            proto.observe(PhaseObservation.empty(spec.length, 2, spec.tags))
+            count += 1
+        assert count == params.n_repetitions(3)
+        assert proto.summary()["aborted"]
+
+
+class TestEndToEnd:
+    def test_unjammed_broadcast_succeeds(self):
+        res = run(OneToNBroadcast(8), SilentAdversary(), seed=0)
+        assert res.success
+        assert res.stats["n_informed"] == 8
+        assert res.stats["n_helpers"] == 8
+
+    def test_single_node_terminates(self):
+        # n=1: the sender alone must halt (via S growth) with success.
+        res = run(OneToNBroadcast(1), SilentAdversary(), seed=1)
+        assert res.success
+        assert not res.truncated
+
+    def test_n_estimates_reasonable(self):
+        res = run(OneToNBroadcast(16), SilentAdversary(), seed=2)
+        est = res.stats["n_estimates"]
+        est = est[~np.isnan(est)]
+        assert len(est) == 16
+        assert 1 <= np.median(est) <= 16 * 8
+
+    def test_resource_competitive_under_blocking(self):
+        res = run(
+            OneToNBroadcast(16),
+            EpochTargetJammer(12, q=0.6),
+            seed=3,
+        )
+        assert res.success
+        assert res.max_node_cost < res.adversary_cost
+
+    def test_full_jam_stalls_then_recovers(self):
+        # Jam everything for a budget; afterwards the broadcast finishes.
+        res = run(
+            OneToNBroadcast(8),
+            SuffixJammer(1.0, max_total=50_000),
+            seed=4,
+        )
+        assert res.success
+
+    def test_fairness_costs_clustered(self):
+        res = run(OneToNBroadcast(16), SilentAdversary(), seed=5)
+        costs = res.node_costs
+        assert costs.max() / max(costs.min(), 1) < 4.0
+
+    def test_max_s_ratio_tracked(self):
+        res = run(OneToNBroadcast(8), SilentAdversary(), seed=6)
+        assert res.stats["max_s_ratio"] >= 1.0

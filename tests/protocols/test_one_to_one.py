@@ -1,0 +1,210 @@
+"""Unit tests for Figure 1's 1-to-1 BROADCAST."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversaries.basic import SilentAdversary, SuffixJammer
+from repro.adversaries.blocking import EpochTargetJammer, QBlockingJammer
+from repro.adversaries.budget import BudgetCap
+from repro.constants import fig1_first_epoch
+from repro.engine.phase import PhaseObservation
+from repro.engine.simulator import run
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocols.one_to_one import ALICE, BOB, OneToOneBroadcast, OneToOneParams
+
+
+class TestParams:
+    def test_paper_preset_first_epoch(self):
+        p = OneToOneParams.paper(epsilon=0.1)
+        assert p.first_epoch == fig1_first_epoch(0.1)
+        assert p.first_epoch == 11 + math.ceil(math.log2(math.log(80)))
+
+    def test_sim_preset_probability_valid(self):
+        for eps in (0.3, 0.1, 0.01, 0.001):
+            p = OneToOneParams.sim(epsilon=eps)
+            assert 0 < p.send_probability(p.first_epoch) <= 0.75
+
+    def test_probability_formula(self):
+        p = OneToOneParams(epsilon=0.1, first_epoch=10)
+        expected = math.sqrt(math.log(80) / 2**9)
+        assert p.send_probability(10) == pytest.approx(expected)
+
+    def test_threshold_formula(self):
+        p = OneToOneParams(epsilon=0.1, first_epoch=10)
+        expected = math.sqrt(2**9 * math.log(80)) / 4
+        assert p.jam_threshold(10) == pytest.approx(expected)
+        # Threshold = p_i * 2^(i-1) / 4 (the identity the analysis uses).
+        assert p.jam_threshold(10) == pytest.approx(
+            p.send_probability(10) * 2**9 / 4
+        )
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            OneToOneParams(epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            OneToOneParams(epsilon=1.0)
+
+    def test_max_epoch_below_first_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OneToOneParams(first_epoch=10, max_epoch=9)
+
+
+class TestPhaseStructure:
+    def test_send_then_nack_per_epoch(self):
+        proto = OneToOneBroadcast(OneToOneParams.sim())
+        proto.reset(np.random.default_rng(0))
+        s1 = proto.next_phase()
+        assert s1.tags["kind"] == "send"
+        assert s1.tags["epoch"] == proto.params.first_epoch
+        assert s1.length == 2 ** proto.params.first_epoch
+        assert s1.send_probs[ALICE] > 0 and s1.send_probs[BOB] == 0
+        assert s1.listen_probs[BOB] > 0 and s1.listen_probs[ALICE] == 0
+        assert s1.tags["listener_group"] == BOB
+        proto.observe(PhaseObservation.empty(s1.length, 2, s1.tags))
+        s2 = proto.next_phase()
+        assert s2.tags["kind"] == "nack"
+        assert s2.tags["listener_group"] == ALICE
+
+    def test_epoch_lengths_double(self):
+        proto = OneToOneBroadcast(OneToOneParams.sim())
+        proto.reset(np.random.default_rng(0))
+        lengths = []
+        # Feed heavy noise so nobody halts.
+        for _ in range(6):
+            spec = proto.next_phase()
+            lengths.append(spec.length)
+            obs = PhaseObservation.empty(spec.length, 2, spec.tags)
+            obs.heard[:, 1] = spec.length  # all noise
+            proto.observe(obs)
+        assert lengths[2] == 2 * lengths[0]
+        assert lengths[4] == 2 * lengths[2]
+
+    def test_observe_without_phase_raises(self):
+        proto = OneToOneBroadcast(OneToOneParams.sim())
+        proto.reset(np.random.default_rng(0))
+        with pytest.raises(ProtocolError):
+            proto.observe(PhaseObservation.empty(4, 2))
+
+    def test_double_next_phase_raises(self):
+        proto = OneToOneBroadcast(OneToOneParams.sim())
+        proto.reset(np.random.default_rng(0))
+        proto.next_phase()
+        with pytest.raises(ProtocolError):
+            proto.next_phase()
+
+
+class TestHaltingLogic:
+    def _run_phase(self, proto, data=0, noise=0, nack=0, node=BOB):
+        spec = proto.next_phase()
+        obs = PhaseObservation.empty(spec.length, 2, spec.tags)
+        obs.heard[node, 2] = data
+        obs.heard[node, 1] = noise
+        obs.heard[node, 3] = nack
+        proto.observe(obs)
+        return spec
+
+    def test_bob_halts_on_delivery(self):
+        proto = OneToOneBroadcast(OneToOneParams.sim())
+        proto.reset(np.random.default_rng(0))
+        self._run_phase(proto, data=1, node=BOB)
+        assert proto.bob_informed and not proto.bob_alive
+
+    def test_bob_gives_up_on_quiet_channel(self):
+        proto = OneToOneBroadcast(OneToOneParams.sim())
+        proto.reset(np.random.default_rng(0))
+        self._run_phase(proto, data=0, noise=0, node=BOB)
+        assert not proto.bob_alive and not proto.bob_informed
+
+    def test_bob_keeps_running_when_jammed(self):
+        proto = OneToOneBroadcast(OneToOneParams.sim())
+        proto.reset(np.random.default_rng(0))
+        heavy = int(proto.params.jam_threshold(proto.params.first_epoch)) + 1
+        self._run_phase(proto, noise=heavy, node=BOB)
+        assert proto.bob_alive
+
+    def test_alice_halts_on_quiet_nackless_phase(self):
+        proto = OneToOneBroadcast(OneToOneParams.sim())
+        proto.reset(np.random.default_rng(0))
+        heavy = int(proto.params.jam_threshold(proto.params.first_epoch)) + 1
+        self._run_phase(proto, noise=heavy, node=BOB)  # send: Bob stays
+        self._run_phase(proto, noise=0, nack=0, node=ALICE)  # quiet nack
+        assert not proto.alice_alive
+
+    def test_alice_continues_on_nack(self):
+        proto = OneToOneBroadcast(OneToOneParams.sim())
+        proto.reset(np.random.default_rng(0))
+        heavy = int(proto.params.jam_threshold(proto.params.first_epoch)) + 1
+        self._run_phase(proto, noise=heavy, node=BOB)
+        self._run_phase(proto, nack=1, node=ALICE)
+        assert proto.alice_alive
+
+    def test_max_epoch_aborts(self):
+        params = OneToOneParams(epsilon=0.1, first_epoch=4, max_epoch=5)
+        proto = OneToOneBroadcast(params)
+        proto.reset(np.random.default_rng(0))
+        phases = 0
+        while (spec := proto.next_phase()) is not None:
+            # Drown both parties in noise so neither ever halts on its own.
+            obs = PhaseObservation.empty(spec.length, 2, spec.tags)
+            obs.heard[:, 1] = spec.length
+            proto.observe(obs)
+            phases += 1
+        assert phases == 4  # epochs 4 and 5, two phases each
+        assert proto.done
+        assert proto.summary()["aborted"]
+        assert not proto.summary()["success"]
+
+
+class TestEndToEnd:
+    def test_silent_channel_succeeds_cheaply(self):
+        res = run(OneToOneBroadcast(OneToOneParams.sim()), SilentAdversary(), seed=0)
+        assert res.success
+        assert res.adversary_cost == 0
+        # Efficiency function: cost ~ sqrt(2^i0 ln(1/eps)) = tens.
+        assert res.max_node_cost < 300
+
+    def test_resource_competitive_under_blocking(self):
+        params = OneToOneParams.sim()
+        adv = EpochTargetJammer(params.first_epoch + 6, q=1.0, target_listener=True)
+        res = run(OneToOneBroadcast(params), adv, seed=1)
+        assert res.success
+        assert res.adversary_cost > 0
+        assert res.max_node_cost < res.adversary_cost
+
+    def test_budget_capped_suffix(self):
+        res = run(
+            OneToOneBroadcast(OneToOneParams.sim()),
+            BudgetCap(SuffixJammer(1.0), budget=2048),
+            seed=2,
+        )
+        assert res.success
+        assert res.adversary_cost <= 2048
+
+    def test_below_threshold_blocking_is_ignored(self):
+        # Jamming an eighth of each phase is under the halting threshold:
+        # the protocol should finish fast and cheap.
+        res = run(
+            OneToOneBroadcast(OneToOneParams.sim()),
+            QBlockingJammer(q=0.05, target_listener=True),
+            seed=3,
+        )
+        assert res.success
+        assert res.stats["final_epoch"] <= OneToOneParams.sim().first_epoch + 2
+
+    def test_success_rate_statistical(self):
+        params = OneToOneParams.sim(epsilon=0.1)
+        wins = sum(
+            run(OneToOneBroadcast(params), SilentAdversary(), seed=s).success
+            for s in range(60)
+        )
+        assert wins >= 54  # 1 - eps with slack
+
+    def test_force_bob_informed(self):
+        proto = OneToOneBroadcast(OneToOneParams.sim())
+        proto.reset(np.random.default_rng(0))
+        proto.force_bob_informed()
+        assert proto.bob_informed and not proto.bob_alive

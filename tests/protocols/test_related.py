@@ -1,0 +1,110 @@
+"""Unit tests for the Section 1.4 related-work stand-ins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.basic import SilentAdversary
+from repro.adversaries.blocking import EpochTargetJammer
+from repro.adversaries.suppressor import BroadcastSuppressor
+from repro.engine.simulator import Simulator, run
+from repro.errors import ConfigurationError
+from repro.protocols.related import (
+    GilbertYoungStyleBroadcast,
+    KSYStyleBroadcast,
+    RelatedParams,
+)
+
+
+class TestParams:
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            RelatedParams(c=0)
+        with pytest.raises(ConfigurationError):
+            RelatedParams(first_epoch=10, max_epoch=9)
+
+    def test_min_n(self):
+        with pytest.raises(ConfigurationError):
+            KSYStyleBroadcast(1)
+        with pytest.raises(ConfigurationError):
+            GilbertYoungStyleBroadcast(1)
+
+
+class TestKSYStyleBroadcast:
+    def test_silent_success_cheap(self):
+        res = run(KSYStyleBroadcast(16), SilentAdversary(), seed=0)
+        assert res.success
+        assert res.max_node_cost < 500
+
+    def test_cost_grows_with_n_under_blocking(self):
+        costs = {}
+        for n in (8, 128):
+            res = Simulator(
+                KSYStyleBroadcast(n),
+                EpochTargetJammer(11, q=1.0),
+                max_slots=40_000_000,
+            ).run(1)
+            assert res.success
+            costs[n] = res.node_costs[1:].mean()  # receivers
+        assert costs[128] > costs[8]
+
+    def test_listening_inflated_by_log_n(self):
+        # Start high enough that the ln(n)-inflated rate is unsaturated.
+        params = RelatedParams(first_epoch=16)
+        p_small = KSYStyleBroadcast(8, params)
+        p_big = KSYStyleBroadcast(1024, params)
+        p_small.reset(np.random.default_rng(0))
+        p_big.reset(np.random.default_rng(0))
+        s_small = p_small.next_phase()
+        s_big = p_big.next_phase()
+        assert 0 < s_small.listen_probs[1] < s_big.listen_probs[1] < 1
+
+    def test_source_sends_receivers_listen(self):
+        proto = KSYStyleBroadcast(8)
+        proto.reset(np.random.default_rng(0))
+        spec = proto.next_phase()
+        assert spec.send_probs[0] > 0
+        assert (spec.send_probs[1:] == 0).all()
+        assert (spec.listen_probs[1:] > 0).all()
+
+
+class TestGilbertYoungStyleBroadcast:
+    def test_silent_success(self):
+        res = run(GilbertYoungStyleBroadcast(16), SilentAdversary(), seed=0)
+        assert res.success
+        assert res.stats["informed_fraction"] == 1.0
+
+    def test_cheaper_than_fig2_when_idle(self):
+        from repro.protocols.one_to_n import OneToNBroadcast
+
+        gy = run(GilbertYoungStyleBroadcast(32), SilentAdversary(), seed=1)
+        fig2 = run(OneToNBroadcast(32), SilentAdversary(), seed=1)
+        assert gy.node_costs.mean() < fig2.node_costs.mean() / 10
+
+    def test_uses_ideal_rate_immediately(self):
+        proto = GilbertYoungStyleBroadcast(16)
+        proto.reset(np.random.default_rng(0))
+        spec = proto.next_phase()
+        L = spec.length
+        ideal = np.sqrt(L / 16)
+        assert spec.send_probs[0] == pytest.approx(ideal / L)
+
+    def test_suppressor_causes_partial_coverage(self):
+        res = Simulator(
+            GilbertYoungStyleBroadcast(64),
+            BroadcastSuppressor(max_total=30_000),
+            max_slots=40_000_000,
+        ).run(2)
+        assert res.stats["informed_fraction"] < 0.9
+        assert not res.truncated  # Monte Carlo halting fired
+
+    def test_rides_out_loud_jamming(self):
+        # Audible jamming postpones the quiet-epoch counter, so heavy
+        # blocking delays but does not strand the broadcast.
+        res = Simulator(
+            GilbertYoungStyleBroadcast(16),
+            EpochTargetJammer(10, q=1.0),
+            max_slots=40_000_000,
+        ).run(3)
+        assert res.success

@@ -1,0 +1,36 @@
+"""Run the executable examples embedded in docstrings.
+
+Keeps the documented quickstarts honest: if an API example in a
+docstring stops working, this fails.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.engine.simulator
+import repro.protocols.one_to_one
+import repro.rng
+
+MODULES = [
+    repro,
+    repro.rng,
+    repro.engine.simulator,
+    repro.protocols.one_to_one,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False, raise_on_error=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+
+
+def test_doctests_actually_found():
+    total = sum(
+        doctest.testmod(m, verbose=False).attempted for m in MODULES
+    )
+    assert total >= 6  # the examples exist and are being run

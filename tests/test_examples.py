@@ -1,0 +1,47 @@
+"""Every example script must run clean.
+
+Examples are the public face of the library; a broken one is a broken
+deliverable.  Each is executed as a real subprocess (fresh interpreter,
+no test-suite state) and must exit 0 with non-trivial output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "message delivered",
+    "sensor_network_broadcast.py": "advantage",
+    "bankrupting_the_jammer.py": "fitted exponents",
+    "lower_bound_game.py": "golden ratio",
+    "energy_forensics.py": "cumulative energy race",
+    "slot_microscope.py": "replay",
+    "spectrum_defense.py": "delivery rate",
+}
+
+
+def test_all_examples_are_covered():
+    assert {p.name for p in EXAMPLES} == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert len(proc.stdout) > 200  # produced a real report
+    marker = EXPECTED_MARKERS[script.name]
+    assert marker in proc.stdout, f"{script.name} output missing {marker!r}"
+    assert "Traceback" not in proc.stderr

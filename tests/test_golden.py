@@ -1,0 +1,92 @@
+"""Golden-master regression pins.
+
+Exact recorded outcomes for fixed seeds.  These intentionally overfit
+to the current implementation: any change to the sampling order, the
+resolver, a protocol's decision logic, or RNG plumbing will trip them.
+That is the point — a deliberate behaviour change should update these
+constants *knowingly* (and consider whether EXPERIMENTS.md needs
+regenerating), while an accidental one gets caught immediately.
+
+If a test here fails and you did not intend to change run-level
+behaviour, you broke something subtle; do not just refresh the numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries import (
+    BudgetCap,
+    EpochTargetJammer,
+    SilentAdversary,
+    SuffixJammer,
+)
+from repro.engine.simulator import run
+from repro.lowerbounds.product_game import ProductGame, balanced_strategy
+from repro.multichannel import MCEpochTargetJammer, mc_run
+from repro.protocols import (
+    KSYOneToOne,
+    OneToNBroadcast,
+    OneToOneBroadcast,
+    OneToOneParams,
+)
+
+
+def snap(res):
+    return (
+        list(res.node_costs),
+        int(res.adversary_cost),
+        int(res.slots),
+        bool(res.success),
+    )
+
+
+class TestGoldenRuns:
+    def test_fig1_silent(self):
+        res = run(OneToOneBroadcast(OneToOneParams.sim()), SilentAdversary(),
+                  seed=2014)
+        assert snap(res) == ([54, 27], 0, 128, True)
+
+    def test_fig1_blocked(self):
+        params = OneToOneParams.sim()
+        res = run(
+            OneToOneBroadcast(params),
+            EpochTargetJammer(params.first_epoch + 3, q=1.0,
+                              target_listener=True),
+            seed=7,
+        )
+        assert snap(res) == ([503, 440], 1920, 3968, True)
+
+    def test_fig1_budget_suffix(self):
+        res = run(
+            OneToOneBroadcast(OneToOneParams.sim()),
+            BudgetCap(SuffixJammer(1.0), budget=2048),
+            seed=42,
+        )
+        assert snap(res) == ([519, 450], 2048, 3968, True)
+
+    def test_ksy_silent(self):
+        res = run(KSYOneToOne(), SilentAdversary(), seed=2014)
+        assert snap(res) == ([19, 27], 0, 64, True)
+
+    def test_fig2_small(self):
+        res = run(OneToNBroadcast(4), SilentAdversary(), seed=5)
+        assert res.success
+        assert int(res.adversary_cost) == 0
+        assert list(res.node_costs) == [12622, 18705, 11393, 10547]
+        assert res.stats["final_epoch"] == 8
+
+    def test_multichannel_golden(self):
+        res = mc_run(
+            OneToOneBroadcast(OneToOneParams.sim()),
+            MCEpochTargetJammer(8, q=1.0),
+            4, seed=9,
+        )
+        assert snap(res) == ([360, 277], 3584, 1920, True)
+
+    def test_product_game_exact(self):
+        out = ProductGame(1000).evaluate(*balanced_strategy(1000))
+        # Closed-form: no randomness at all.
+        assert out.expected_cost_alice == out.expected_cost_bob
+        assert abs(out.product - 999.3318665061802) < 1e-9
+        assert out.adversary_cost == 0

@@ -1,0 +1,194 @@
+"""Empirical validation of the paper's lemmas at simulation scale.
+
+Each test instruments a real execution (or the channel directly) and
+checks the inequality the corresponding lemma asserts.  Constants are
+sim-preset-sized, so tolerances are looser than the paper's w.h.p.
+bounds but the *direction* and *structure* of every claim is checked.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversaries.basic import SilentAdversary
+from repro.channel.events import JamPlan, ListenEvents, SendEvents, SlotStatus, TxKind
+from repro.channel.model import slot_content
+from repro.engine.phase import PhaseObservation
+from repro.engine.simulator import Simulator, run
+from repro.protocols.base import NodeStatus
+from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
+
+
+class TestLemma2ChannelProbabilities:
+    """Lemma 2: ``S_A e^-2S_V <= p_m <= e S_A e^-S_V`` and
+    ``e^-2S_V <= p_c <= e^-S_V``."""
+
+    @pytest.mark.parametrize("n,L,s", [(8, 256, 4.0), (16, 512, 6.0), (4, 128, 2.0)])
+    def test_bounds_hold_empirically(self, rng, n, L, s):
+        # n nodes all informed at rate s: S_A = S_V = n*s/L.
+        S_V = n * s / L
+        assert S_V <= 0.5  # the lemma's Fact-1 precondition (y <= 1/2)
+        reps = 300
+        clear = msg = 0
+        for _ in range(reps):
+            send_mask = rng.random((n, L)) < s / L
+            senders_per_slot = send_mask.sum(axis=0)
+            clear += int((senders_per_slot == 0).sum())
+            msg += int((senders_per_slot == 1).sum())
+        p_c = clear / (reps * L)
+        p_m = msg / (reps * L)
+        assert math.exp(-2 * S_V) - 0.02 <= p_c <= math.exp(-S_V) + 0.02
+        lo = S_V * math.exp(-2 * S_V)
+        hi = math.e * S_V * math.exp(-S_V)
+        assert lo - 0.02 <= p_m <= hi + 0.02
+
+
+class TestLemma3NoiseFloor:
+    """Lemma 3 (sim analogue): while ``2**i <= n * s_init`` the channel
+    is saturated with noise and no rate grows.
+
+    Concentration note: Lemmas 3 and 4 are exactly where the paper's
+    big ``d`` matters — with the default sim preset (``d = 1``) the
+    per-repetition samples are so small that tail events occasionally
+    grow a rate or promote a helper early.  These tests therefore use
+    ``d = 4``, which restores the concentration the lemmas rely on
+    while keeping runs fast; the default preset's tail behaviour is
+    tolerated by design (replication absorbs it in the experiments).
+    """
+
+    def test_rates_frozen_below_the_floor(self):
+        import dataclasses
+
+        params = dataclasses.replace(OneToNParams.sim(), d=4.0)
+        n = 64
+
+        class Watcher(OneToNBroadcast):
+            max_S_below_floor = 0.0
+
+            def observe(self, obs):
+                super().observe(obs)
+                if 2**self.epoch <= self.n_nodes * self.params.s_init:
+                    live = self.S[self.active]
+                    if live.size:
+                        Watcher.max_S_below_floor = max(
+                            Watcher.max_S_below_floor, float(live.max())
+                        )
+
+        run(Watcher(n, params), SilentAdversary(), seed=1)
+        assert Watcher.max_S_below_floor <= params.s_init * 1.25
+
+
+class TestLemma4NoEarlyHelpers:
+    """Lemma 4 (sim analogue): no helpers while ``2**i <= n``.
+
+    See the concentration note on :class:`TestLemma3NoiseFloor`.
+    """
+
+    @pytest.mark.parametrize("n", [32, 128])
+    def test_no_helper_below_lg_n(self, n):
+        import dataclasses
+
+        params = dataclasses.replace(OneToNParams.sim(), d=4.0)
+
+        class Watcher(OneToNBroadcast):
+            early_helpers = 0
+
+            def observe(self, obs):
+                super().observe(obs)
+                if 2**self.epoch <= self.n_nodes:
+                    Watcher.early_helpers += int(
+                        (self.status == NodeStatus.HELPER).sum()
+                    )
+
+        Watcher.early_helpers = 0
+        run(Watcher(n, params), SilentAdversary(), seed=2)
+        assert Watcher.early_helpers == 0
+
+
+class TestLemma5RateDivergence:
+    """Lemma 5: ``S_u / S_v <= 2`` throughout an epoch (paper-sized
+    budgets); the sim preset's noisier estimates stay within a modest
+    constant."""
+
+    @pytest.mark.parametrize("n", [8, 32])
+    def test_divergence_bounded(self, n):
+        res = run(OneToNBroadcast(n, OneToNParams.sim()), SilentAdversary(),
+                  seed=3)
+        assert res.stats["max_s_ratio"] < 8.0
+
+    def test_divergence_shrinks_with_larger_budgets(self):
+        # Doubling d halves the relative noise of each C_u sample, so
+        # the max ratio must not grow.
+        import dataclasses
+
+        base = OneToNParams.sim()
+        big = dataclasses.replace(base, d=4.0)
+        r_base = run(OneToNBroadcast(16, base), SilentAdversary(), seed=4)
+        r_big = run(OneToNBroadcast(16, big), SilentAdversary(), seed=4)
+        assert (
+            r_big.stats["max_s_ratio"] <= r_base.stats["max_s_ratio"] * 1.25
+        )
+
+
+class TestLemma6NoHelperUninformedOverlap:
+    """Lemma 6: once any node is a helper, no node is uninformed."""
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_no_overlap_in_unjammed_runs(self, n):
+        res = run(OneToNBroadcast(n, OneToNParams.sim()), SilentAdversary(),
+                  seed=5)
+        assert res.stats["helper_uninformed_overlaps"] == 0
+
+
+class TestLemma1Canonicalisation:
+    """Lemma 1: for a phase-oblivious pattern, postponing all jamming to
+    a suffix preserves the delivery distribution *exactly* (not just
+    approximately): the per-slot processes are i.i.d., so only the
+    number of jammed slots matters."""
+
+    def test_delivery_probability_depends_only_on_jam_count(self, rng):
+        L, p, k = 48, 0.3, 20
+        reps = 4000
+        outcomes = {}
+        schedules = {
+            "suffix": np.arange(L - k, L),
+            "prefix": np.arange(k),
+            "random": np.sort(rng.choice(L, size=k, replace=False)),
+        }
+        for name, jam_slots in schedules.items():
+            jam = np.zeros(L, dtype=bool)
+            jam[jam_slots] = True
+            wins = 0
+            for _ in range(reps):
+                a = rng.random(L) < p
+                b = rng.random(L) < p
+                wins += bool((a & b & ~jam).any())
+            outcomes[name] = wins / reps
+        vals = list(outcomes.values())
+        assert max(vals) - min(vals) < 0.04  # ~4 sigma at these reps
+
+
+class TestHalfDuplexConsistency:
+    """Channel-level sanity used implicitly throughout the analyses: in
+    a slot where every node transmits, nobody hears anything."""
+
+    def test_all_send_no_hear(self):
+        n, L = 4, 8
+        sends = SendEvents(
+            np.repeat(np.arange(n), L),
+            np.tile(np.arange(L), n),
+            np.full(n * L, TxKind.DATA, dtype=np.int8),
+        )
+        listens = ListenEvents(
+            np.repeat(np.arange(n), L), np.tile(np.arange(L), n)
+        )
+        from repro.channel.model import resolve_phase
+
+        out = resolve_phase(L, n, sends, listens, JamPlan.silent(L))
+        assert out.heard.sum() == 0
+        assert (out.send_cost == L).all()
+        content = slot_content(L, sends, JamPlan.silent(L))
+        assert (content == SlotStatus.NOISE).all()

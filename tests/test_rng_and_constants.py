@@ -1,0 +1,97 @@
+"""Unit tests for RNG plumbing and paper constants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    PHI,
+    PHI_MINUS_1,
+    PHI_MINUS_1_SQ,
+    fig1_first_epoch,
+    fig1_jam_threshold,
+    fig1_send_probability,
+    lg,
+)
+from repro.rng import RngFactory, as_generator, derive, spawn
+
+
+class TestConstants:
+    def test_golden_ratio_identities(self):
+        assert PHI == pytest.approx((1 + math.sqrt(5)) / 2)
+        assert PHI * PHI == pytest.approx(PHI + 1)  # phi^2 = phi + 1
+        assert PHI_MINUS_1 == pytest.approx(1 / PHI)  # phi - 1 = 1/phi
+        assert PHI_MINUS_1_SQ == pytest.approx(1 - PHI_MINUS_1)  # x^2 = 1 - x
+
+    def test_lg(self):
+        assert lg(8) == 3.0
+        with pytest.raises(ValueError):
+            lg(0)
+
+    def test_fig1_first_epoch(self):
+        # eps = 0.1: 11 + ceil(lg ln 80) = 11 + ceil(2.13) = 14.
+        assert fig1_first_epoch(0.1) == 14
+        with pytest.raises(ValueError):
+            fig1_first_epoch(0.0)
+
+    def test_fig1_probability_clamped(self):
+        assert fig1_send_probability(1, 0.1) == 1.0
+        p = fig1_send_probability(14, 0.1)
+        assert 0 < p < 0.05
+
+    def test_fig1_threshold_identity(self):
+        # threshold = p_i * 2^(i-1) / 4 when p_i is unclamped.
+        i, eps = 14, 0.1
+        assert fig1_jam_threshold(i, eps) == pytest.approx(
+            fig1_send_probability(i, eps) * 2 ** (i - 1) / 4
+        )
+
+
+class TestRng:
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_as_generator_from_int(self):
+        a = as_generator(5).random()
+        b = as_generator(5).random()
+        assert a == b
+
+    def test_spawn_independent(self):
+        children = spawn(np.random.default_rng(0), 3)
+        vals = [c.random() for c in children]
+        assert len(set(vals)) == 3
+
+    def test_spawn_validation(self):
+        with pytest.raises(ValueError):
+            spawn(np.random.default_rng(0), -1)
+
+    def test_derive_deterministic(self):
+        assert derive(7, 1, 2).random() == derive(7, 1, 2).random()
+        assert derive(7, 1, 2).random() != derive(7, 1, 3).random()
+
+    def test_factory_named_streams(self):
+        fac = RngFactory(123)
+        assert fac.get("a") is fac.get("a")
+        assert fac.get("a") is not fac.get("b")
+
+    def test_factory_order_independent(self):
+        f1 = RngFactory(9)
+        f2 = RngFactory(9)
+        x1 = f1.get("protocol").random()
+        _ = f2.get("adversary").random()
+        x2 = f2.get("protocol").random()
+        assert x1 == x2
+
+    def test_factory_from_generator(self):
+        fac = RngFactory(np.random.default_rng(3))
+        assert isinstance(fac.get("x"), np.random.Generator)
+
+    def test_stream_names(self):
+        fac = RngFactory(1)
+        fac.get("b")
+        fac.get("a")
+        assert list(fac.stream_names()) == ["a", "b"]

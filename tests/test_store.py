@@ -1,0 +1,120 @@
+"""Unit tests for result/report persistence and regression diffs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.basic import SilentAdversary, SuffixJammer
+from repro.adversaries.budget import BudgetCap
+from repro.cli import main as cli_main
+from repro.engine.simulator import run
+from repro.errors import AnalysisError
+from repro.experiments import run_experiment
+from repro.experiments.registry import ExperimentReport
+from repro.experiments.runner import Table
+from repro.protocols.one_to_n import OneToNBroadcast
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+from repro.store import (
+    compare_reports,
+    load_report,
+    run_result_from_dict,
+    run_result_to_dict,
+    save_report,
+)
+
+
+class TestRunResultRoundTrip:
+    def test_round_trip(self):
+        res = run(
+            OneToOneBroadcast(OneToOneParams.sim()),
+            BudgetCap(SuffixJammer(0.6), budget=2048),
+            seed=7,
+        )
+        back = run_result_from_dict(run_result_to_dict(res))
+        assert list(back.node_costs) == list(res.node_costs)
+        assert back.adversary_cost == res.adversary_cost
+        assert back.slots == res.slots
+        assert back.success == res.success
+        assert list(back.node_send_costs) == list(res.node_send_costs)
+
+    def test_numpy_stats_survive(self):
+        # Figure 2's summary contains numpy arrays (n_estimates with
+        # NaNs); serialization must not choke.
+        import json
+
+        res = run(OneToNBroadcast(4), SilentAdversary(), seed=1)
+        data = run_result_to_dict(res)
+        text = json.dumps(data)  # must be JSON-safe
+        back = run_result_from_dict(json.loads(text))
+        assert back.stats["n_informed"] == res.stats["n_informed"]
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_result_from_dict({"schema": "bogus"})
+
+
+class TestReportRoundTrip:
+    def test_round_trip(self, tmp_path):
+        report = run_experiment("E5", quick=True)
+        path = save_report(report, tmp_path / "e5.json")
+        back = load_report(path)
+        assert back.eid == report.eid
+        assert back.checks == report.checks
+        assert back.notes == report.notes
+        assert len(back.tables) == len(report.tables)
+        assert back.tables[0].columns == report.tables[0].columns
+        assert np.allclose(
+            back.tables[0].column("T"), report.tables[0].column("T")
+        )
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text('{"schema": "nope"}')
+        with pytest.raises(AnalysisError):
+            load_report(p)
+
+
+def make_report(checks: dict) -> ExperimentReport:
+    r = ExperimentReport(eid="EX", title="t", anchor="a")
+    r.tables.append(Table("t", ["x"]))
+    r.checks = dict(checks)
+    return r
+
+
+class TestCompare:
+    def test_regression_detected(self):
+        old = make_report({"a": True, "b": True})
+        new = make_report({"a": True, "b": False})
+        diff = compare_reports(old, new)
+        assert diff.is_regression
+        assert diff.check_regressions == ["b"]
+        assert "REGRESSION" in diff.render()
+
+    def test_fix_and_additions(self):
+        old = make_report({"a": False, "gone": True})
+        new = make_report({"a": True, "fresh": True})
+        diff = compare_reports(old, new)
+        assert not diff.is_regression
+        assert diff.check_fixes == ["a"]
+        assert diff.checks_added == ["fresh"]
+        assert diff.checks_removed == ["gone"]
+
+    def test_different_eids_rejected(self):
+        old = make_report({})
+        new = make_report({})
+        object.__setattr__  # noqa - reports are mutable dataclasses
+        new.eid = "OTHER"
+        with pytest.raises(AnalysisError):
+            compare_reports(old, new)
+
+
+class TestCliIntegration:
+    def test_run_save_and_compare(self, tmp_path, capsys):
+        assert cli_main(["run", "E5", "--save", str(tmp_path)]) == 0
+        saved = tmp_path / "E5.json"
+        assert saved.exists()
+        # Comparing a report to itself: no regressions, exit 0.
+        assert cli_main(["compare", str(saved), str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert "no check-level differences" in out

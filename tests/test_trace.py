@@ -1,0 +1,124 @@
+"""Unit tests for the slot-level trace/replay subsystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.basic import SilentAdversary, SuffixJammer
+from repro.adversaries.budget import BudgetCap
+from repro.channel.events import JamPlan, ListenEvents, SendEvents, TxKind
+from repro.engine.simulator import Simulator
+from repro.errors import AnalysisError, SimulationError
+from repro.protocols.one_to_n import OneToNBroadcast
+from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
+from repro.trace import PhaseTrace, TraceRecorder, timeline, verify_trace
+
+
+def traced_run(protocol, adversary, seed=0, **kwargs):
+    rec = TraceRecorder()
+    res = Simulator(protocol, adversary, trace=rec, **kwargs).run(seed)
+    return res, rec
+
+
+class TestRecorder:
+    def test_records_every_phase(self):
+        res, rec = traced_run(
+            OneToOneBroadcast(OneToOneParams.sim()), SilentAdversary()
+        )
+        assert len(rec) == res.phases
+        assert rec.phases[0].tags["kind"] == "send"
+
+    def test_max_phases_guard(self):
+        rec = TraceRecorder(max_phases=1)
+        sim = Simulator(
+            OneToOneBroadcast(OneToOneParams.sim()),
+            BudgetCap(SuffixJammer(1.0), budget=4096),
+            trace=rec,
+        )
+        with pytest.raises(SimulationError):
+            sim.run(0)
+
+
+class TestReplay:
+    def test_one_to_one_replays_exactly(self):
+        _, rec = traced_run(
+            OneToOneBroadcast(OneToOneParams.sim()),
+            BudgetCap(SuffixJammer(0.6), budget=4096),
+            seed=3,
+        )
+        assert verify_trace(rec) == len(rec)
+
+    def test_one_to_n_replays_exactly(self):
+        _, rec = traced_run(
+            OneToNBroadcast(6), SilentAdversary(), seed=4,
+            max_slots=3_000_000,
+        )
+        assert verify_trace(rec) > 0
+
+    def test_mismatch_detected(self):
+        _, rec = traced_run(
+            OneToOneBroadcast(OneToOneParams.sim()), SilentAdversary()
+        )
+        t = rec.phases[0]
+        corrupted = PhaseTrace(
+            phase_index=t.phase_index,
+            length=t.length,
+            n_nodes=t.n_nodes,
+            tags=t.tags,
+            sends=t.sends,
+            listens=t.listens,
+            plan=t.plan,
+            groups=t.groups,
+            heard=t.heard + 1,
+        )
+        rec.phases[0] = corrupted
+        with pytest.raises(AnalysisError):
+            verify_trace(rec)
+
+
+class TestTimeline:
+    def _simple_trace(self):
+        sends = SendEvents(
+            np.array([0, 0, 1]),
+            np.array([2, 5, 5]),
+            np.array([TxKind.DATA, TxKind.DATA, TxKind.DATA], dtype=np.int8),
+        )
+        listens = ListenEvents(np.array([1, 1, 1]), np.array([1, 2, 7]))
+        plan = JamPlan(length=8, global_slots=np.array([7]))
+        return PhaseTrace(
+            phase_index=0, length=8, n_nodes=2, tags={"kind": "send"},
+            sends=sends, listens=listens, plan=plan, groups=None,
+            heard=np.zeros((2, 5), dtype=np.int64),
+        )
+
+    def test_glyphs(self):
+        text = timeline(self._simple_trace())
+        lines = text.splitlines()
+        node0 = lines[1].split("│")[1]
+        node1 = lines[2].split("│")[1]
+        jam = lines[3].split("│")[1]
+        # Node 0: lone DATA at slot 2 delivered (S); collided at 5 (x).
+        assert node0[2] == "S"
+        assert node0[5] == "x"
+        # Node 1: heard clear at 1, message at 2, noise (jam) at 7,
+        # collided own send at 5.
+        assert node1[1] == "."
+        assert node1[2] == "M"
+        assert node1[7] == "n"
+        assert node1[5] == "x"
+        assert jam[7] == "#"
+
+    def test_truncation(self):
+        _, rec = traced_run(
+            OneToOneBroadcast(OneToOneParams.sim()), SilentAdversary()
+        )
+        text = timeline(rec.phases[0], max_width=32)
+        assert "truncated view" in text
+
+    def test_real_phase_renders(self):
+        _, rec = traced_run(
+            OneToNBroadcast(4), SilentAdversary(), max_slots=100_000
+        )
+        text = timeline(rec.phases[0])
+        assert "node 0" in text and "jam" in text
