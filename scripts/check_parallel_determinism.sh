@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate: parallel execution must not change the science.
+#
+# 1. Runs the `parallel`-marked pytest suite (executor determinism,
+#    report byte-identity across jobs counts).
+# 2. Runs one experiment through the real CLI serially and with -j 2,
+#    and requires the two saved reports to be byte-identical.
+#
+# Usage: scripts/check_parallel_determinism.sh [extra pytest args]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== determinism suite (pytest -m parallel) =="
+python -m pytest -q -m parallel "$@"
+
+echo "== CLI byte-identity: repro-bcast run E4 vs run E4 -j 2 =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+python -m repro.cli run E4 --seed 11 --save "$tmp/serial" > /dev/null
+python -m repro.cli run E4 --seed 11 -j 2 --save "$tmp/parallel" > /dev/null
+if ! cmp "$tmp/serial/E4.json" "$tmp/parallel/E4.json"; then
+    echo "FAIL: parallel report differs from serial report" >&2
+    exit 1
+fi
+echo "OK: E4 report byte-identical with -j 2"

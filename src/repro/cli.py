@@ -5,7 +5,8 @@
     repro-bcast list                 # what experiments exist
     repro-bcast run E1               # quick mode
     repro-bcast run E1 --full        # full sweep (what EXPERIMENTS.md records)
-    repro-bcast run all --seed 7
+    repro-bcast run E1 --full -j 4   # same results, four worker processes
+    repro-bcast run all --seed 7 --jobs 0 --timeout 600
     python -m repro.cli run E5       # equivalent module form
 """
 
@@ -16,7 +17,7 @@ import sys
 import time
 
 from repro._version import __version__
-from repro.experiments import list_experiments, run_experiment
+from repro.experiments import RunConfig, list_experiments, run_experiment
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,6 +39,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--full", action="store_true",
         help="full sweep instead of the quick CI-sized one",
+    )
+    run_p.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for replication fan-out "
+             "(1 = serial, 0 = one per core; results are bit-identical "
+             "for any N)",
+    )
+    run_p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-replication wall-clock limit; an overrunning worker "
+             "is killed and the task retried instead of wedging the sweep",
     )
     run_p.add_argument(
         "--save", metavar="DIR",
@@ -188,11 +200,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     failures = 0
     for eid in ids:
+        config = RunConfig(
+            seed=args.seed,
+            quick=not args.full,
+            jobs=args.jobs,
+            timeout=args.timeout,
+        )
         t0 = time.perf_counter()
-        report = run_experiment(eid, seed=args.seed, quick=not args.full)
+        report = run_experiment(eid, config)
         elapsed = time.perf_counter() - t0
         print(report.render())
-        print(f"({elapsed:.1f}s)")
+        if config.stats.tasks:
+            print(f"({elapsed:.1f}s; {config.stats.summary()})")
+        else:
+            print(f"({elapsed:.1f}s)")
         print()
         if args.save:
             from pathlib import Path

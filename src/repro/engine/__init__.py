@@ -16,16 +16,20 @@ The engine exploits it to simulate an entire phase in one shot:
 5. the protocol observes only what its nodes legally heard.
 """
 
+from repro.engine.executor import ExecutorStats, resolve_jobs, run_tasks
 from repro.engine.phase import PhaseObservation, PhaseSpec
 from repro.engine.sampling import bernoulli_positions, sample_action_events
 from repro.engine.simulator import RunResult, Simulator, run
 
 __all__ = [
+    "ExecutorStats",
     "PhaseObservation",
     "PhaseSpec",
     "RunResult",
     "Simulator",
     "bernoulli_positions",
+    "resolve_jobs",
     "run",
+    "run_tasks",
     "sample_action_events",
 ]

@@ -1,0 +1,382 @@
+"""Deterministic fan-out of independent simulation tasks.
+
+Every experiment decomposes into independent ``(point, replication)``
+tasks whose seeds are fixed up front, so execution order cannot change
+the science — which makes them safe to spread across worker processes.
+This module is the execution backbone behind
+:func:`repro.experiments.runner.replicate` and
+:func:`repro.experiments.runner.sweep_epoch_targets`:
+
+* the **serial** backend (default) runs tasks in order in-process, with
+  zero dependencies and best-effort timeout enforcement via
+  ``SIGALRM`` where available;
+* the **process** backend forks a pool of workers that *inherit* the
+  task closures (no pickling of user callables — only task indices go
+  to workers and pickled results come back), with chunked task
+  assignment, a per-task timeout, and bounded retry when a worker
+  crashes.  A hung or segfaulting adversary run therefore cannot wedge
+  a sweep.
+
+Determinism contract: ``run_tasks`` returns results in task order, and
+each task must be a pure function of its own pre-derived seed.  Under
+that contract serial and parallel runs are bit-identical.
+
+Examples
+--------
+>>> from repro.engine.executor import run_tasks
+>>> run_tasks([lambda i=i: i * i for i in range(5)])
+[0, 1, 4, 9, 16]
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections import deque
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ExecutorError
+
+__all__ = ["ExecutorStats", "resolve_jobs", "run_tasks"]
+
+# How often the parent wakes to check worker deadlines (seconds).
+_POLL_INTERVAL = 0.05
+
+
+@dataclass
+class ExecutorStats:
+    """Accounting for one or more :func:`run_tasks` batches.
+
+    An experiment typically issues several batches (one per
+    ``replicate`` call); passing the same stats object accumulates
+    across them.  ``busy_time`` is the sum of in-task durations as
+    measured inside the workers, so ``utilization`` compares it against
+    the pool's capacity ``wall_time * workers``.
+    """
+
+    tasks: int = 0
+    batches: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    wall_time: float = 0.0
+    busy_time: float = 0.0
+    workers: int = 0
+    backend: str = ""
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of pool capacity spent inside tasks (0 when idle)."""
+        capacity = self.wall_time * max(self.workers, 1)
+        return self.busy_time / capacity if capacity > 0 else 0.0
+
+    def summary(self) -> str:
+        """One-line human summary for report notes / the CLI."""
+        parts = [
+            f"executor: {self.tasks} tasks in {self.batches} batches",
+            f"backend={self.backend or 'serial'}",
+            f"workers={max(self.workers, 1)}",
+            f"wall {self.wall_time:.2f}s",
+            f"utilization {self.utilization:.0%}",
+        ]
+        if self.retries or self.timeouts or self.crashes:
+            parts.append(
+                f"retries={self.retries} (timeouts={self.timeouts}, "
+                f"crashes={self.crashes})"
+            )
+        return ", ".join(parts)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0``/negative mean "all cores"."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_tasks(
+    tasks: Sequence[Callable[[], Any]],
+    *,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = 1,
+    chunk_size: int | None = None,
+    stats: ExecutorStats | None = None,
+) -> list[Any]:
+    """Run independent zero-argument tasks, returning results in order.
+
+    Parameters
+    ----------
+    tasks:
+        Zero-argument callables.  Each must be a pure function of state
+        fixed before the call (its derived seed), never of shared
+        mutable state — that is what makes parallel runs bit-identical
+        to serial ones.
+    jobs:
+        Worker processes.  ``1`` (default) runs serially in-process;
+        ``0`` or negative means one per CPU core.  The process backend
+        needs ``os.fork`` (POSIX); elsewhere execution silently falls
+        back to serial.
+    timeout:
+        Per-task wall-clock limit in seconds.  In the process backend
+        an overrunning worker is killed and the task retried; serially
+        it is enforced best-effort via ``SIGALRM`` on the main thread.
+    retries:
+        How many times a task that timed out or whose worker crashed is
+        retried before :class:`~repro.errors.ExecutorError` is raised.
+        Ordinary exceptions raised *by* a task are never retried — they
+        are deterministic and propagate immediately.
+    chunk_size:
+        Tasks per assignment message in the process backend (default:
+        auto, targeting ~4 chunks per worker).
+    stats:
+        Optional :class:`ExecutorStats` to accumulate into.
+    """
+    if retries < 0:
+        raise ExecutorError(f"retries must be >= 0, got {retries}")
+    stats = stats if stats is not None else ExecutorStats()
+    tasks = list(tasks)
+    n = len(tasks)
+    if n == 0:
+        return []
+    jobs = min(resolve_jobs(jobs), n)
+    use_process = jobs > 1 and hasattr(os, "fork")
+
+    start = time.perf_counter()
+    if use_process:
+        results = _run_process(tasks, jobs, timeout, retries, chunk_size, stats)
+        backend, workers = "process", jobs
+    else:
+        results = _run_serial(tasks, timeout, retries, stats)
+        backend, workers = "serial", 1
+    stats.tasks += n
+    stats.batches += 1
+    stats.wall_time += time.perf_counter() - start
+    stats.workers = max(stats.workers, workers)
+    # A mixed run (some batches too small to fork) reports "process":
+    # the record is about capability used, not every batch's path.
+    if stats.backend != "process":
+        stats.backend = backend
+    return results
+
+
+# --------------------------------------------------------------------------
+# serial backend
+
+
+class _SerialTimeout(Exception):
+    """Internal: a SIGALRM fired inside a serially-executed task."""
+
+
+def _raise_serial_timeout(signum, frame):
+    raise _SerialTimeout()
+
+
+def _run_serial(tasks, timeout, retries, stats):
+    use_alarm = bool(timeout) and hasattr(signal, "setitimer")
+    if use_alarm:
+        try:
+            previous = signal.signal(signal.SIGALRM, _raise_serial_timeout)
+        except ValueError:  # not on the main thread: no enforcement
+            use_alarm = False
+
+    results = []
+    try:
+        for i, task in enumerate(tasks):
+            for attempt in range(retries + 1):
+                t0 = time.perf_counter()
+                try:
+                    if use_alarm:
+                        signal.setitimer(signal.ITIMER_REAL, timeout)
+                    results.append(task())
+                    break
+                except _SerialTimeout:
+                    stats.timeouts += 1
+                    if attempt >= retries:
+                        raise ExecutorError(
+                            f"task {i} timed out after {timeout}s "
+                            f"({attempt + 1} attempts)"
+                        ) from None
+                    stats.retries += 1
+                finally:
+                    if use_alarm:
+                        signal.setitimer(signal.ITIMER_REAL, 0)
+                    stats.busy_time += time.perf_counter() - t0
+    finally:
+        if use_alarm:
+            signal.signal(signal.SIGALRM, previous)
+    return results
+
+
+# --------------------------------------------------------------------------
+# process backend (fork pool)
+
+
+def _worker_main(conn, tasks):
+    """Worker loop: receive index chunks, send back per-task results.
+
+    Runs in a forked child, so ``tasks`` (with all its closures) is
+    inherited memory — nothing user-provided crosses the pipe except
+    pickled *results*.
+    """
+    while True:
+        try:
+            chunk = conn.recv()
+        except EOFError:
+            return
+        if chunk is None:
+            return
+        for idx in chunk:
+            t0 = time.perf_counter()
+            try:
+                result = tasks[idx]()
+                payload = ("ok", idx, result, time.perf_counter() - t0)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+                payload = (
+                    "err", idx, f"{type(exc).__name__}: {exc}",
+                    time.perf_counter() - t0,
+                )
+            try:
+                conn.send(payload)
+            except Exception as exc:  # unpicklable result: report, don't die
+                conn.send(
+                    ("err", idx, f"result not picklable: {exc}",
+                     time.perf_counter() - t0)
+                )
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "assigned", "deadline")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.assigned: deque[int] = deque()  # front = in-flight task
+        self.deadline: float | None = None
+
+
+def _run_process(tasks, jobs, timeout, retries, chunk_size, stats):
+    import multiprocessing as mp
+    from multiprocessing.connection import wait as conn_wait
+
+    ctx = mp.get_context("fork")
+    n = len(tasks)
+    if chunk_size is None:
+        chunk_size = max(1, min(32, n // (jobs * 4)))
+
+    pending: deque[int] = deque(range(n))
+    attempts = [0] * n
+    results: list[Any] = [None] * n
+    done = 0
+
+    def spawn() -> _Worker:
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=_worker_main, args=(child_conn, tasks),
+                           daemon=True)
+        proc.start()
+        child_conn.close()
+        return _Worker(proc, parent_conn)
+
+    def assign(worker: _Worker) -> None:
+        if not pending or worker.assigned:
+            return
+        chunk = [pending.popleft() for _ in range(min(chunk_size, len(pending)))]
+        worker.conn.send(chunk)
+        worker.assigned.extend(chunk)
+        worker.deadline = (time.perf_counter() + timeout) if timeout else None
+
+    def shutdown(workers) -> None:
+        for w in workers:
+            try:
+                w.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for w in workers:
+            w.proc.join(timeout=1.0)
+            if w.proc.is_alive():
+                w.proc.kill()
+                w.proc.join()
+            w.conn.close()
+
+    def consume(worker: _Worker, msg) -> None:
+        nonlocal done
+        status, idx, payload, duration = msg
+        expected = worker.assigned.popleft()
+        if expected != idx:  # pragma: no cover - protocol invariant
+            raise ExecutorError(f"worker returned task {idx}, expected {expected}")
+        stats.busy_time += duration
+        if status == "err":
+            raise ExecutorError(f"task {idx} raised: {payload}")
+        results[idx] = payload
+        done += 1
+        worker.deadline = (
+            (time.perf_counter() + timeout)
+            if timeout and worker.assigned else None
+        )
+
+    def fail_in_flight(worker: _Worker, kind: str) -> None:
+        """Kill ``worker``, requeue its chunk, charge one attempt to the
+        in-flight task."""
+        worker.proc.kill()
+        worker.proc.join()
+        worker.conn.close()
+        idx = worker.assigned.popleft()
+        attempts[idx] += 1
+        if kind == "timeout":
+            stats.timeouts += 1
+        else:
+            stats.crashes += 1
+        if attempts[idx] > retries:
+            raise ExecutorError(
+                f"task {idx} {kind} after {attempts[idx]} attempts "
+                f"(retries={retries})"
+            )
+        stats.retries += 1
+        # Untouched remainder of the chunk goes back first, the failed
+        # task in front of it — order keeps results deterministic-ready.
+        for j in reversed(worker.assigned):
+            pending.appendleft(j)
+        pending.appendleft(idx)
+
+    workers = [spawn() for _ in range(jobs)]
+    try:
+        for w in workers:
+            assign(w)
+        while done < n:
+            active = [w for w in workers if w.assigned]
+            ready = conn_wait([w.conn for w in active], timeout=_POLL_INTERVAL)
+            by_conn = {w.conn: w for w in workers}
+            for conn in ready:
+                w = by_conn[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    workers.remove(w)
+                    fail_in_flight(w, "crash")
+                    workers.append(spawn())
+                    continue
+                consume(w, msg)
+            now = time.perf_counter()
+            for w in list(workers):
+                if w.assigned and w.deadline is not None and now > w.deadline:
+                    # Drain results that beat the deadline before blaming
+                    # the in-flight task.
+                    while w.assigned and w.conn.poll(0):
+                        try:
+                            consume(w, w.conn.recv())
+                        except (EOFError, OSError):
+                            break
+                    if not (w.assigned and w.deadline is not None
+                            and now > w.deadline):
+                        continue
+                    workers.remove(w)
+                    fail_in_flight(w, "timeout")
+                    workers.append(spawn())
+            for w in workers:
+                assign(w)
+    finally:
+        shutdown(workers)
+    return results

@@ -50,6 +50,15 @@ class BudgetExceededError(SimulationError):
     """
 
 
+class ExecutorError(ReproError):
+    """The parallel executor could not complete a task batch.
+
+    Raised when a task keeps timing out or crashing its worker past the
+    configured retry budget, or when a task raises an exception inside
+    a worker process (the original error message is embedded).
+    """
+
+
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot work with.
 

@@ -8,14 +8,15 @@ paper-versus-measured outcomes.
 
 Usage::
 
-    from repro.experiments import run_experiment, list_experiments
-    report = run_experiment("E1", quick=True, seed=0)
+    from repro.experiments import RunConfig, run_experiment, list_experiments
+    report = run_experiment("E1", RunConfig(seed=0, quick=True, jobs=4))
     print(report.render())
 """
 
 from repro.experiments.registry import (
     Experiment,
     ExperimentReport,
+    RunConfig,
     get_experiment,
     list_experiments,
     run_experiment,
@@ -25,6 +26,7 @@ from repro.experiments.runner import Table, replicate, sweep_epoch_targets
 __all__ = [
     "Experiment",
     "ExperimentReport",
+    "RunConfig",
     "Table",
     "get_experiment",
     "list_experiments",

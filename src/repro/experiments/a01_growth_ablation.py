@@ -19,12 +19,19 @@ import dataclasses
 import numpy as np
 
 from repro.adversaries.basic import SilentAdversary
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     n = 16 if quick else 32
     n_reps = 3 if quick else 8
     base = OneToNParams.sim()
@@ -41,7 +48,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         results = replicate(
             lambda p=params: OneToNBroadcast(n, p),
             lambda: SilentAdversary(),
-            n_reps, seed=seed,
+            n_reps, seed=seed, config=cfg,
         )
         ratio = float(np.mean([r.stats["max_s_ratio"] for r in results]))
         spreads = []

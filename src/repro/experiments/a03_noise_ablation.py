@@ -32,12 +32,19 @@ import math
 import numpy as np
 
 from repro.adversaries.suppressor import BroadcastSuppressor
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     base = OneToNParams.sim()
     ns = (64, 128) if quick else (32, 64, 128, 256)
     n_reps = 2 if quick else 4
@@ -55,7 +62,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
             results = replicate(
                 lambda p=params, n=n: OneToNBroadcast(n, p),
                 lambda t=target: BroadcastSuppressor(target_epoch=t),
-                n_reps, seed=seed + n,
+                n_reps, seed=seed + n, config=cfg,
             )
             row = dict(
                 success=float(np.mean([r.success for r in results])),

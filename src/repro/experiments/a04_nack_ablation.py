@@ -20,12 +20,19 @@ import numpy as np
 
 from repro.adversaries.basic import SilentAdversary
 from repro.adversaries.blocking import EpochTargetJammer
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate, stable_hash
 from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     n_reps = 30 if quick else 150
     base = OneToOneParams.sim(epsilon=0.1)
     blind = 3
@@ -52,7 +59,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         for aname, make_adv in adversaries.items():
             results = replicate(
                 lambda p=params: OneToOneBroadcast(p), make_adv, n_reps,
-                seed=seed + stable_hash(vname, aname),
+                seed=seed + stable_hash(vname, aname), config=cfg,
             )
             rate = float(np.mean([r.success for r in results]))
             cost = float(np.mean([r.max_node_cost for r in results]))

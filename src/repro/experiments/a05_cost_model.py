@@ -24,7 +24,7 @@ from repro.adversaries.basic import SilentAdversary
 from repro.adversaries.blocking import EpochTargetJammer
 from repro.analysis.scaling import fit_power_law
 from repro.channel.accounting import CostModel
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
@@ -36,7 +36,14 @@ MODELS = {
 }
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     params = OneToOneParams.sim()
     targets = (
         range(params.first_epoch + 2, params.first_epoch + 9, 2)
@@ -52,7 +59,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         results = replicate(
             lambda: OneToOneBroadcast(params),
             lambda t=t: EpochTargetJammer(t, q=1.0, target_listener=True),
-            n_reps, seed=seed + t,
+            n_reps, seed=seed + t, config=cfg,
         )
         T = float(np.mean([r.adversary_cost for r in results]))
         by_model = {
@@ -96,11 +103,11 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
     res1 = replicate(
         lambda: OneToOneBroadcast(params),
         lambda: EpochTargetJammer(targets[-1], q=1.0, target_listener=True),
-        n_reps, seed=seed,
+        n_reps, seed=seed, config=cfg,
     )
     res2 = replicate(
         lambda: OneToNBroadcast(16, OneToNParams.sim()),
-        SilentAdversary, max(2, n_reps // 2), seed=seed,
+        SilentAdversary, max(2, n_reps // 2), seed=seed, config=cfg,
     )
     for name, results in (("fig1 (under attack)", res1), ("fig2 (n=16, idle)", res2)):
         send = float(np.mean([r.node_send_costs.sum() for r in results]))

@@ -25,7 +25,7 @@ import dataclasses
 import numpy as np
 
 from repro.adversaries.basic import SilentAdversary
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 
@@ -42,7 +42,14 @@ PERTURBATIONS = [
 ]
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     n = 16 if quick else 32
     n_reps = 2 if quick else 5
     base = OneToNParams.sim()
@@ -60,7 +67,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         results = replicate(
             lambda p=params: OneToNBroadcast(n, p),
             SilentAdversary, n_reps, seed=seed,
-            max_slots=80_000_000,
+            max_slots=80_000_000, config=cfg,
         )
         rows[name] = dict(
             success=float(np.mean([r.success for r in results])),

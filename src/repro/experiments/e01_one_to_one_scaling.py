@@ -18,14 +18,21 @@ import numpy as np
 from repro.adversaries.blocking import EpochTargetJammer
 from repro.analysis.scaling import fit_power_law
 from repro.analysis.theory import thm1_cost
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, sweep_epoch_targets
 from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
 
 EPSILON = 0.1
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     params = OneToOneParams.sim(epsilon=EPSILON)
     targets = (
         range(params.first_epoch + 2, params.first_epoch + 9, 2)
@@ -39,7 +46,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         lambda target: EpochTargetJammer(target, q=1.0, target_listener=True),
         targets,
         n_reps=n_reps,
-        seed=seed,
+        seed=seed, config=cfg,
     )
 
     table = Table(

@@ -16,7 +16,7 @@ from repro.adversaries.basic import RandomJammer, SilentAdversary
 from repro.adversaries.blocking import QBlockingJammer
 from repro.adversaries.budget import BudgetCap
 from repro.analysis.stats import wilson_interval
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate, stable_hash
 from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
 
@@ -34,7 +34,14 @@ REGIMES = {
 }
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     epsilons = (0.3, 0.1) if quick else (0.3, 0.1, 0.03, 0.01)
     n_reps = 40 if quick else 300
 
@@ -49,7 +56,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         for name, make_adv in REGIMES.items():
             results = replicate(
                 lambda: OneToOneBroadcast(params), make_adv, n_reps,
-                seed=seed + stable_hash(eps, name),
+                seed=seed + stable_hash(eps, name), config=cfg,
             )
             wins = sum(r.success for r in results)
             low, _ = wilson_interval(wins, n_reps)

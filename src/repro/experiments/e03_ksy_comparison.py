@@ -18,14 +18,21 @@ from repro.adversaries.basic import SuffixJammer
 from repro.adversaries.blocking import EpochTargetJammer
 from repro.analysis.scaling import fit_power_law
 from repro.constants import PHI_MINUS_1
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate, sweep_epoch_targets
 from repro.protocols.ksy import KSYOneToOne, KSYParams
 from repro.protocols.naive import AlwaysOnSender
 from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     fig1_params = OneToOneParams.sim(epsilon=0.1)
     ksy_params = KSYParams.sim()
     lo = max(fig1_params.first_epoch, ksy_params.first_epoch) + 2
@@ -41,12 +48,12 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
     fig1_pts = sweep_epoch_targets(
         lambda: OneToOneBroadcast(fig1_params),
         lambda t: EpochTargetJammer(t, q=1.0, target_listener=True),
-        targets, n_reps=n_reps, seed=seed,
+        targets, n_reps=n_reps, seed=seed, config=cfg,
     )
     ksy_pts = sweep_epoch_targets(
         lambda: KSYOneToOne(ksy_params),
         lambda t: EpochTargetJammer(t, q=1.0, target_listener=True),
-        targets, n_reps=n_reps, seed=seed + 1,
+        targets, n_reps=n_reps, seed=seed + 1, config=cfg,
     )
     det_rows = []
     for t in targets:
@@ -55,7 +62,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
             lambda: AlwaysOnSender(),
             lambda b=budget: SuffixJammer(1.0, max_total=b),
             max(2, n_reps // 2),
-            seed=seed + 2 + t,
+            seed=seed + 2 + t, config=cfg,
         )
         det_rows.append(
             (

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table
 from repro.lowerbounds.product_game import (
     ProductGame,
@@ -29,7 +29,14 @@ from repro.lowerbounds.product_game import (
 )
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     del seed  # the game is deterministic
     budgets = (10, 100, 1000, 10_000) if quick else (10, 100, 1000, 10_000, 100_000)
     report = ExperimentReport(eid="E5", title="", anchor="")

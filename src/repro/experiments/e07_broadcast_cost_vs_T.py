@@ -17,12 +17,19 @@ import numpy as np
 from repro.adversaries.blocking import EpochTargetJammer
 from repro.analysis.scaling import fit_power_law
 from repro.analysis.theory import thm4_cost
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, sweep_epoch_targets
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     params = OneToNParams.sim()
     n = 8 if quick else 16
     targets = (11, 13, 15) if quick else (11, 12, 13, 14, 15, 16)
@@ -35,7 +42,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         targets, n_reps=n_reps, seed=seed,
         # The largest full-mode target runs ~10^8 slots before halting;
         # a tight cap would censor its cost and flatten the fit.
-        max_slots=400_000_000,
+        max_slots=400_000_000, config=cfg,
     )
 
     table = Table(

@@ -20,12 +20,19 @@ import numpy as np
 
 from repro.adversaries.basic import SilentAdversary
 from repro.analysis.scaling import fit_power_law
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     params = OneToNParams.sim()
     ns = (4, 16, 64) if quick else (4, 8, 16, 32, 64, 128, 256)
     n_reps = 2 if quick else 4
@@ -40,7 +47,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         results = replicate(
             lambda n=n: OneToNBroadcast(n, params),
             lambda: SilentAdversary(),
-            n_reps, seed=seed + n,
+            n_reps, seed=seed + n, config=cfg,
         )
         mean_cost = float(np.mean([r.node_costs.mean() for r in results]))
         slots = float(np.mean([r.slots for r in results]))

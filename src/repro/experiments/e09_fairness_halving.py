@@ -23,13 +23,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.adversaries.halving import HalvingAttacker
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate
 from repro.protocols.naive import NaiveHaltingBroadcast
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     params = OneToNParams.sim()
     n = 16 if quick else 32
     n_reps = 2 if quick else 5
@@ -43,7 +50,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         ("helper (Fig 2)", lambda: OneToNBroadcast(n, params)),
         ("naive halting", lambda: NaiveHaltingBroadcast(n, params)),
     ):
-        results = replicate(make, attacker, n_reps, seed=seed)
+        results = replicate(make, attacker, n_reps, seed=seed, config=cfg)
         T = float(np.mean([r.adversary_cost for r in results]))
         mean_cost = float(np.mean([r.node_costs.mean() for r in results]))
         max_cost = float(np.mean([r.max_node_cost for r in results]))

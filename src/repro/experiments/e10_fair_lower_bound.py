@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.adversaries.blocking import EpochTargetJammer
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate
 from repro.lowerbounds.reduction import reduction_check
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
@@ -26,7 +26,14 @@ from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 PRODUCT_CONSTANT = 0.25  # absorbs the reduction's constant factors
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     params = OneToNParams.sim()
     settings = (
         [(8, 12), (16, 13)] if quick else [(8, 12), (16, 13), (32, 14), (64, 14)]
@@ -46,7 +53,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         results = replicate(
             lambda n=n: OneToNBroadcast(n, params),
             lambda t=target: EpochTargetJammer(t, q=0.6),
-            n_reps, seed=seed + n,
+            n_reps, seed=seed + n, config=cfg,
         )
         costs = np.mean([r.node_costs for r in results], axis=0)
         T = float(np.mean([r.adversary_cost for r in results]))

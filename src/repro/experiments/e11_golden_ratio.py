@@ -25,7 +25,7 @@ from repro.analysis.scaling import fit_power_law
 from repro.analysis.theory import spoof_exponent
 from repro.channel.events import TxKind
 from repro.constants import PHI_MINUS_1
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table
 from repro.lowerbounds.spoof_game import optimal_delta, simulate_spoofing_run
 from repro.protocols.ksy import KSYOneToOne, KSYParams
@@ -33,7 +33,14 @@ from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
 from repro.rng import derive
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     report = ExperimentReport(eid="E11", title="", anchor="")
 
     # Part 1: the closed-form curve.

@@ -18,12 +18,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.adversaries.blocking import EpochTargetJammer
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     params = OneToNParams.sim()
     target = 12 if quick else 14
     ns = (4, 16, 64) if quick else (4, 8, 16, 32, 64, 128)
@@ -39,7 +46,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         results = replicate(
             lambda n=n: OneToNBroadcast(n, params),
             lambda: EpochTargetJammer(target, q=0.6),
-            n_reps, seed=seed + 7 * n,
+            n_reps, seed=seed + 7 * n, config=cfg,
         )
         T = float(np.mean([r.adversary_cost for r in results]))
         max_cost = float(np.mean([r.max_node_cost for r in results]))

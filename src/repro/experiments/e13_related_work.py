@@ -28,7 +28,7 @@ import numpy as np
 from repro.adversaries.blocking import EpochTargetJammer
 from repro.adversaries.basic import SilentAdversary
 from repro.adversaries.suppressor import BroadcastSuppressor
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 from repro.protocols.related import (
@@ -42,7 +42,14 @@ def _mean(results, fn):
     return float(np.mean([fn(r) for r in results]))
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     fig2_params = OneToNParams.sim()
     rel_params = RelatedParams()
     ns = (8, 32, 128) if quick else (8, 16, 32, 64, 128)
@@ -71,7 +78,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
             results = replicate(
                 lambda m=make, n=n: m(n),
                 lambda: EpochTargetJammer(block_target, q=1.0),
-                n_reps, seed=seed + n, max_slots=60_000_000,
+                n_reps, seed=seed + n, max_slots=60_000_000, config=cfg,
             )
             cost = _mean(results, lambda r: r.node_costs.mean())
             costs[name].append(cost)
@@ -97,7 +104,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         results = replicate(
             lambda m=makers[name]: m(n_attack),
             lambda: BroadcastSuppressor(target_epoch=suppress_to),
-            n_reps, seed=seed + 5, max_slots=60_000_000,
+            n_reps, seed=seed + 5, max_slots=60_000_000, config=cfg,
         )
         frac = _mean(results, lambda r: r.stats["n_informed"] / n_attack)
         fractions[name] = frac

@@ -29,12 +29,19 @@ from repro.adversaries.stochastic import (
     MarkovJammer,
     WindowedJammer,
 )
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate, stable_hash
 from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     params = OneToOneParams.sim()
     budget = 1 << 14 if quick else 1 << 17
     n_reps = 6 if quick else 20
@@ -66,7 +73,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
     from repro.adversaries.basic import SilentAdversary
 
     baseline_runs = replicate(
-        lambda: OneToOneBroadcast(params), SilentAdversary, n_reps, seed=seed
+        lambda: OneToOneBroadcast(params), SilentAdversary, n_reps, seed=seed, config=cfg
     )
     baseline = float(np.mean([r.max_node_cost for r in baseline_runs]))
 
@@ -83,7 +90,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
     for name, make in strategies.items():
         results = replicate(
             lambda: OneToOneBroadcast(params), make, n_reps,
-            seed=seed + stable_hash(name), max_slots=20_000_000,
+            seed=seed + stable_hash(name), max_slots=20_000_000, config=cfg,
         )
         T = float(np.mean([r.adversary_cost for r in results]))
         cost = float(np.mean([r.max_node_cost for r in results]))

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table
 from repro.multichannel import (
     ChannelBandJammer,
@@ -49,7 +49,14 @@ def _measure(params, adversary_factory, C, n_reps, seed):
     return float(np.mean(Ts)), float(np.mean(costs)), float(np.mean(succ))
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     base = OneToOneParams.sim()
     channel_counts = (1, 2, 4, 8) if quick else (1, 2, 4, 8, 16)
     n_reps = 4 if quick else 15

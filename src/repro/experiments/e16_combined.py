@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.adversaries.blocking import EpochTargetJammer
 from repro.adversaries.basic import SilentAdversary
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, RunConfig
 from repro.experiments.runner import Table, replicate
 from repro.protocols.combined import CombinedOneToOne
 from repro.protocols.ksy import KSYOneToOne, KSYParams
@@ -32,7 +32,14 @@ from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
 EPSILON = 0.01  # deliberately small: makes fig1's T=0 term expensive
 
 
-def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
     fig1_params = OneToOneParams.sim(epsilon=EPSILON)
     ksy_params = KSYParams.sim()
     n_reps = 8 if quick else 30
@@ -64,7 +71,7 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentReport:
         succ = 1.0
         for name, make in makers.items():
             results = replicate(
-                make, lambda t=t: adv(t), n_reps, seed=seed + 13 * t,
+                make, lambda t=t: adv(t), n_reps, seed=seed + 13 * t, config=cfg,
             )
             costs[name] = float(np.mean([r.max_node_cost for r in results]))
             Ts[name] = float(np.mean([r.adversary_cost for r in results]))

@@ -1,21 +1,133 @@
-"""Experiment registry and report type."""
+"""Experiment registry, run configuration, and report type."""
 
 from __future__ import annotations
 
 import importlib
+import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.engine.executor import ExecutorStats
 from repro.errors import ConfigurationError
 from repro.experiments.runner import Table
 
 __all__ = [
     "Experiment",
     "ExperimentReport",
+    "RUNTIME_NOTE_PREFIX",
+    "RunConfig",
+    "SCHEMA_VERSION",
     "get_experiment",
     "list_experiments",
     "run_experiment",
 ]
+
+#: Version stamp for persisted experiment reports; bumped whenever the
+#: report's serialized shape changes.  ``repro.store`` writes it and
+#: ``compare_reports`` refuses to diff reports from different versions.
+SCHEMA_VERSION = 2
+
+#: Notes carrying this prefix describe *this run's* execution (executor
+#: stats, machine-local timings).  They render in the CLI but are
+#: excluded from persisted reports so that serial and parallel runs of
+#: the same seed stay byte-identical on disk.
+RUNTIME_NOTE_PREFIX = "[runtime]"
+
+
+@dataclass
+class RunConfig:
+    """Everything an experiment run needs besides the experiment id.
+
+    This is the single way execution options travel from the CLI (or a
+    caller) through :func:`run_experiment` into the experiment modules
+    and down to the executor.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; every task derives its own stream from it.
+    quick:
+        ``True`` runs the reduced CI-sized sweep, ``False`` the full
+        sweep recorded in EXPERIMENTS.md.
+    jobs:
+        Worker processes for replication fan-out (``1`` = serial,
+        ``0``/negative = one per core).
+    timeout:
+        Per-replication wall-clock limit in seconds (``None`` = no
+        limit).
+    history:
+        Keep per-phase cost history on each
+        :class:`~repro.engine.simulator.RunResult` (memory-heavy; off
+        for big sweeps).
+    retries:
+        Executor retry budget for tasks whose worker crashed or timed
+        out.
+    stats:
+        Accumulated :class:`~repro.engine.executor.ExecutorStats` for
+        every task batch the run issued.  Excluded from equality: two
+        configs that run the same science compare equal even if one has
+        already executed.
+    """
+
+    seed: int = 0
+    quick: bool = True
+    jobs: int = 1
+    timeout: float | None = None
+    history: bool = False
+    retries: int = 1
+    stats: ExecutorStats = field(
+        default_factory=ExecutorStats, repr=False, compare=False
+    )
+
+    @property
+    def full(self) -> bool:
+        """The inverse of :attr:`quick` (what the CLI's ``--full`` sets)."""
+        return not self.quick
+
+    @classmethod
+    def coerce(
+        cls,
+        config: RunConfig | int | None = None,
+        *,
+        seed: int | None = None,
+        quick: bool | None = None,
+        warn: bool = True,
+    ) -> RunConfig:
+        """Normalize new-style and legacy call conventions to a config.
+
+        Accepts a :class:`RunConfig` (returned as-is), ``None`` plus
+        the legacy ``seed=``/``quick=`` keywords, or a bare integer in
+        the config position (the legacy positional seed).  Legacy forms
+        emit a :class:`DeprecationWarning` when ``warn`` is true.
+        """
+        if isinstance(config, cls):
+            if seed is not None or quick is not None:
+                raise ConfigurationError(
+                    "pass either a RunConfig or legacy seed=/quick= "
+                    "keywords, not both"
+                )
+            return config
+        if config is not None:
+            if isinstance(config, bool) or not isinstance(config, int):
+                raise ConfigurationError(
+                    f"expected a RunConfig or an integer seed, got {config!r}"
+                )
+            if seed is not None:
+                raise ConfigurationError(
+                    "seed given both positionally and as a keyword"
+                )
+            seed = config
+        if (seed is not None or quick is not None) and warn:
+            warnings.warn(
+                "run(seed=..., quick=...) is deprecated; pass a "
+                "RunConfig instead, e.g. run(RunConfig(seed=7, quick=False))",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return cls(
+            seed=0 if seed is None else seed,
+            quick=True if quick is None else quick,
+        )
 
 
 @dataclass
@@ -33,6 +145,7 @@ class ExperimentReport:
     tables: list[Table] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     checks: dict[str, bool] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
 
     @property
     def all_checks_pass(self) -> bool:
@@ -122,18 +235,32 @@ def get_experiment(eid: str) -> Experiment:
         raise ConfigurationError(f"unknown experiment {eid!r}; known: {known}") from None
 
 
-def run_experiment(eid: str, seed: int = 0, quick: bool = True) -> ExperimentReport:
+def run_experiment(
+    eid: str,
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
     """Run one experiment by id.
 
-    ``quick=True`` uses reduced sweeps/replications sized for CI and the
-    benchmark suite; ``quick=False`` runs the full sweep recorded in
-    EXPERIMENTS.md.
+    Pass a :class:`RunConfig` to control seed, sweep size, parallelism,
+    and timeouts::
+
+        run_experiment("E1", RunConfig(seed=7, quick=False, jobs=4))
+
+    The legacy ``seed=``/``quick=`` keywords are still accepted here
+    (without a deprecation warning — this is the convenience entry
+    point) and map onto a default config.
     """
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick, warn=False)
     exp = get_experiment(eid)
     mod = importlib.import_module(exp.module)
     runner: Callable[..., ExperimentReport] = mod.run
-    report = runner(seed=seed, quick=quick)
+    report = runner(cfg)
     report.eid = exp.eid
     report.title = exp.title
     report.anchor = exp.anchor
+    if cfg.stats.tasks:
+        report.notes.append(f"{RUNTIME_NOTE_PREFIX} {cfg.stats.summary()}")
     return report

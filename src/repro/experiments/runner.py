@@ -1,4 +1,12 @@
-"""Shared experiment machinery: tables, replication, jam sweeps."""
+"""Shared experiment machinery: tables, replication, jam sweeps.
+
+``replicate`` and ``sweep_epoch_targets`` fan their independent
+simulation tasks out through :mod:`repro.engine.executor`; pass a
+:class:`~repro.experiments.registry.RunConfig` via ``config=`` to run
+them on several worker processes.  Seeds are derived per task from
+indices fixed before execution starts, so serial and parallel runs are
+bit-identical.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.adversaries.base import Adversary
+from repro.engine.executor import run_tasks
 from repro.engine.simulator import RunResult, Simulator
 from repro.errors import ConfigurationError
 from repro.protocols.base import Protocol
@@ -21,10 +30,13 @@ def stable_hash(*parts) -> int:
 
     Python's built-in ``hash`` is salted per interpreter process, which
     would make experiment replications irreproducible across runs.
+    Returns the full 32-bit CRC range: an earlier version collapsed it
+    to 10,000 values, which made seed collisions between sweep cells
+    likely at scale (birthday bound ~120 cells).
     """
     import zlib
 
-    return zlib.crc32(repr(parts).encode("utf-8")) % 10_000
+    return zlib.crc32(repr(parts).encode("utf-8"))
 
 
 @dataclass
@@ -47,6 +59,22 @@ class Table:
         """Extract one column as a float array (for fits)."""
         idx = self.columns.index(name)
         return np.asarray([row[idx] for row in self.rows], dtype=float)
+
+    def to_dict(self) -> dict:
+        """Plain-container snapshot (the persisted form in ``repro.store``)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> Table:
+        """Rebuild a table from :meth:`to_dict` output."""
+        table = cls(data["title"], list(data["columns"]))
+        for row in data["rows"]:
+            table.add_row(*row)
+        return table
 
     def render(self) -> str:
         def fmt(v) -> str:
@@ -71,26 +99,54 @@ class Table:
         return "\n".join(lines)
 
 
+def _executor_kwargs(config) -> dict:
+    """Map a RunConfig (or ``None`` = serial) onto ``run_tasks`` options."""
+    if config is None:
+        return {}
+    return {
+        "jobs": config.jobs,
+        "timeout": config.timeout,
+        "retries": config.retries,
+        "stats": config.stats,
+    }
+
+
 def replicate(
     make_protocol: Callable[[], Protocol],
     make_adversary: Callable[[], Adversary],
     n_reps: int,
     seed: int = 0,
+    *,
+    config=None,
     **sim_kwargs,
 ) -> list[RunResult]:
     """Run ``n_reps`` independent executions with derived seeds.
 
     Fresh protocol/adversary instances are built per replication so
     that stateful strategies cannot leak across runs; replication ``r``
-    uses the generator ``derive(seed, r)``.
+    uses the generator ``derive(seed, r)`` regardless of which worker
+    executes it, so results are identical for any ``config.jobs``.
+
+    ``config`` is an optional
+    :class:`~repro.experiments.registry.RunConfig` supplying the
+    executor options (jobs, timeout, retries, history); ``None`` runs
+    serially in-process.
     """
     if n_reps < 1:
         raise ConfigurationError(f"n_reps must be >= 1, got {n_reps}")
-    results = []
-    for r in range(n_reps):
-        sim = Simulator(make_protocol(), make_adversary(), **sim_kwargs)
-        results.append(sim.run(derive(seed, r)))
-    return results
+    if config is not None and config.history:
+        sim_kwargs.setdefault("keep_history", True)
+
+    def make_task(r: int) -> Callable[[], RunResult]:
+        def task() -> RunResult:
+            sim = Simulator(make_protocol(), make_adversary(), **sim_kwargs)
+            return sim.run(derive(seed, r))
+
+        return task
+
+    return run_tasks(
+        [make_task(r) for r in range(n_reps)], **_executor_kwargs(config)
+    )
 
 
 @dataclass(frozen=True)
@@ -107,12 +163,27 @@ class SweepPoint:
     truncated_rate: float = 0.0
 
 
+def _aggregate_point(target: int, results: list[RunResult], n_reps: int) -> SweepPoint:
+    return SweepPoint(
+        setting=float(target),
+        mean_T=float(np.mean([r.adversary_cost for r in results])),
+        mean_max_cost=float(np.mean([r.max_node_cost for r in results])),
+        mean_mean_cost=float(np.mean([r.node_costs.mean() for r in results])),
+        mean_slots=float(np.mean([r.slots for r in results])),
+        success_rate=float(np.mean([r.success for r in results])),
+        n_reps=n_reps,
+        truncated_rate=float(np.mean([r.truncated for r in results])),
+    )
+
+
 def sweep_epoch_targets(
     make_protocol: Callable[[], Protocol],
     make_adversary: Callable[[int], Adversary],
     targets: Sequence[int],
     n_reps: int,
     seed: int = 0,
+    *,
+    config=None,
     **sim_kwargs,
 ) -> list[SweepPoint]:
     """The workhorse sweep behind E1/E3/E4/E6/E7: attack up to epoch
@@ -122,28 +193,32 @@ def sweep_epoch_targets(
     ``make_adversary`` receives the target epoch and returns a fresh
     strategy (usually an
     :class:`~repro.adversaries.blocking.EpochTargetJammer`).
+
+    The whole ``(target, replication)`` grid is submitted as one task
+    batch, so with ``config.jobs > 1`` parallelism spans sweep points —
+    a slow largest-budget point no longer serializes behind the cheap
+    ones.  Replication ``r`` of target ``t`` always uses
+    ``derive(seed + 1000 * t, r)``, matching the historical per-point
+    seeding exactly.
     """
-    points = []
-    for target in targets:
-        results = replicate(
-            make_protocol,
-            lambda t=target: make_adversary(t),
-            n_reps,
-            seed=seed + 1000 * target,
-            **sim_kwargs,
-        )
-        points.append(
-            SweepPoint(
-                setting=float(target),
-                mean_T=float(np.mean([r.adversary_cost for r in results])),
-                mean_max_cost=float(np.mean([r.max_node_cost for r in results])),
-                mean_mean_cost=float(
-                    np.mean([r.node_costs.mean() for r in results])
-                ),
-                mean_slots=float(np.mean([r.slots for r in results])),
-                success_rate=float(np.mean([r.success for r in results])),
-                n_reps=n_reps,
-                truncated_rate=float(np.mean([r.truncated for r in results])),
+    if n_reps < 1:
+        raise ConfigurationError(f"n_reps must be >= 1, got {n_reps}")
+    targets = list(targets)
+    if config is not None and config.history:
+        sim_kwargs.setdefault("keep_history", True)
+
+    def make_task(target: int, r: int) -> Callable[[], RunResult]:
+        def task() -> RunResult:
+            sim = Simulator(
+                make_protocol(), make_adversary(target), **sim_kwargs
             )
-        )
-    return points
+            return sim.run(derive(seed + 1000 * target, r))
+
+        return task
+
+    tasks = [make_task(t, r) for t in targets for r in range(n_reps)]
+    flat = run_tasks(tasks, **_executor_kwargs(config))
+    return [
+        _aggregate_point(target, flat[i * n_reps : (i + 1) * n_reps], n_reps)
+        for i, target in enumerate(targets)
+    ]

@@ -31,17 +31,24 @@ import numpy as np
 from repro._version import __version__
 from repro.engine.simulator import RunResult
 from repro.errors import AnalysisError
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import (
+    RUNTIME_NOTE_PREFIX,
+    SCHEMA_VERSION,
+    ExperimentReport,
+)
 from repro.experiments.runner import Table
 
 __all__ = [
     "save_report",
     "load_report",
+    "report_to_dict",
     "run_result_to_dict",
     "run_result_from_dict",
     "compare_reports",
     "ReportDiff",
 ]
+
+_REPORT_SCHEMAS = ("repro.experiment_report/1", "repro.experiment_report/2")
 
 
 def _jsonable(value):
@@ -101,22 +108,25 @@ def run_result_from_dict(data: dict) -> RunResult:
     )
 
 
-def _report_to_dict(report: ExperimentReport) -> dict:
+def report_to_dict(report: ExperimentReport) -> dict:
+    """Canonical persisted form of a report.
+
+    Volatile runtime notes (prefixed ``[runtime]``: executor stats,
+    machine-local timings) are excluded, so two runs of the same seed
+    serialize byte-identically no matter how many workers executed
+    them — the property ``scripts/check_parallel_determinism.sh`` pins.
+    """
     return {
-        "schema": "repro.experiment_report/1",
+        "schema": "repro.experiment_report/2",
+        "schema_version": report.schema_version,
         "version": __version__,
         "eid": report.eid,
         "title": report.title,
         "anchor": report.anchor,
-        "tables": [
-            {
-                "title": t.title,
-                "columns": list(t.columns),
-                "rows": _jsonable(t.rows),
-            }
-            for t in report.tables
+        "tables": [_jsonable(t.to_dict()) for t in report.tables],
+        "notes": [
+            n for n in report.notes if not n.startswith(RUNTIME_NOTE_PREFIX)
         ],
-        "notes": list(report.notes),
         "checks": {k: bool(v) for k, v in report.checks.items()},
     }
 
@@ -125,23 +135,22 @@ def save_report(report: ExperimentReport, path: str | Path) -> Path:
     """Write a report to JSON; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(_report_to_dict(report), indent=2))
+    path.write_text(json.dumps(report_to_dict(report), indent=2))
     return path
 
 
 def load_report(path: str | Path) -> ExperimentReport:
     """Read a report saved by :func:`save_report`."""
     data = json.loads(Path(path).read_text())
-    if data.get("schema") != "repro.experiment_report/1":
+    if data.get("schema") not in _REPORT_SCHEMAS:
         raise AnalysisError(f"unknown report schema: {data.get('schema')!r}")
     report = ExperimentReport(
-        eid=data["eid"], title=data["title"], anchor=data["anchor"]
+        eid=data["eid"],
+        title=data["title"],
+        anchor=data["anchor"],
+        schema_version=int(data.get("schema_version", 1)),
     )
-    for t in data["tables"]:
-        table = Table(t["title"], list(t["columns"]))
-        for row in t["rows"]:
-            table.add_row(*row)
-        report.tables.append(table)
+    report.tables = [Table.from_dict(t) for t in data["tables"]]
     report.notes = list(data["notes"])
     report.checks = {k: bool(v) for k, v in data["checks"].items()}
     return report
@@ -177,10 +186,21 @@ class ReportDiff:
 
 
 def compare_reports(old: ExperimentReport, new: ExperimentReport) -> ReportDiff:
-    """Diff two reports of the same experiment at the check level."""
+    """Diff two reports of the same experiment at the check level.
+
+    Reports serialized under different schema versions are refused:
+    check names and note conventions shift between versions, so a diff
+    across them would report phantom regressions.
+    """
     if old.eid != new.eid:
         raise AnalysisError(
             f"cannot compare different experiments: {old.eid!r} vs {new.eid!r}"
+        )
+    if old.schema_version != new.schema_version:
+        raise AnalysisError(
+            f"cannot compare reports across schema versions: "
+            f"{old.schema_version} vs {new.schema_version} "
+            f"(current is {SCHEMA_VERSION}; re-run the baseline)"
         )
     regressions, fixes = [], []
     for name in old.checks.keys() & new.checks.keys():

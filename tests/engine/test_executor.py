@@ -1,0 +1,159 @@
+"""Unit tests for the parallel task executor.
+
+The executor's contract is strict because the science depends on it:
+results in task order, bit-identical across backends and worker
+counts, bounded retry on crash/timeout, honest stats.  Process-backend
+tests are skipped where ``os.fork`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import ExecutorStats, resolve_jobs, run_tasks
+from repro.errors import ExecutorError
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="process backend needs os.fork"
+)
+
+
+def square_tasks(n):
+    return [lambda i=i: i * i for i in range(n)]
+
+
+class TestSerialBackend:
+    def test_results_in_order(self):
+        assert run_tasks(square_tasks(10)) == [i * i for i in range(10)]
+
+    def test_empty(self):
+        assert run_tasks([]) == []
+
+    def test_exception_propagates_unwrapped(self):
+        def boom():
+            raise ValueError("deterministic failure")
+
+        with pytest.raises(ValueError, match="deterministic failure"):
+            run_tasks([boom])
+
+    def test_timeout_raises_after_retries(self):
+        stats = ExecutorStats()
+        with pytest.raises(ExecutorError, match="timed out"):
+            run_tasks(
+                [lambda: time.sleep(10)], timeout=0.1, retries=1, stats=stats
+            )
+        assert stats.timeouts == 2  # first attempt + one retry
+        assert stats.retries == 1
+
+    def test_stats_accounting(self):
+        stats = ExecutorStats()
+        run_tasks(square_tasks(7), stats=stats)
+        assert stats.tasks == 7
+        assert stats.batches == 1
+        assert stats.backend == "serial"
+        assert stats.workers == 1
+        assert stats.wall_time > 0
+        assert stats.retries == stats.timeouts == stats.crashes == 0
+        assert "7 tasks" in stats.summary()
+
+    def test_stats_accumulate_across_batches(self):
+        stats = ExecutorStats()
+        run_tasks(square_tasks(3), stats=stats)
+        run_tasks(square_tasks(4), stats=stats)
+        assert stats.tasks == 7
+        assert stats.batches == 2
+
+
+class TestResolveJobs:
+    def test_positive_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_and_none_mean_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+
+@needs_fork
+class TestProcessBackend:
+    def test_matches_serial_bit_for_bit(self):
+        # Numpy payloads with per-task derived state, as in real sweeps.
+        def make(i):
+            def task():
+                rng = np.random.default_rng(1000 + i)
+                return rng.integers(0, 1 << 30, size=8)
+
+            return task
+
+        tasks = [make(i) for i in range(23)]
+        serial = run_tasks(tasks, jobs=1)
+        parallel = run_tasks(tasks, jobs=4)
+        assert all(np.array_equal(a, b) for a, b in zip(serial, parallel))
+
+    def test_runs_in_worker_processes(self):
+        pids = run_tasks([os.getpid for _ in range(16)], jobs=3)
+        assert os.getpid() not in pids
+        assert len(set(pids)) > 1
+
+    def test_closures_inherited_without_pickling(self):
+        # Lambdas over local state cannot be pickled; fork inheritance
+        # is what lets experiment factories cross into workers.
+        payload = {"offset": 17}
+        results = run_tasks(
+            [lambda i=i: payload["offset"] + i for i in range(8)], jobs=2
+        )
+        assert results == [17 + i for i in range(8)]
+
+    def test_task_exception_reported(self):
+        def boom():
+            raise ValueError("deterministic failure")
+
+        with pytest.raises(ExecutorError, match="deterministic failure"):
+            run_tasks([boom, lambda: 1], jobs=2)
+
+    def test_crashed_worker_is_retried(self, tmp_path):
+        flag = tmp_path / "crashed-once"
+
+        def crashy():
+            if not flag.exists():
+                flag.touch()
+                os._exit(13)  # simulate a segfaulting worker
+            return 42
+
+        stats = ExecutorStats()
+        results = run_tasks([crashy, lambda: 7], jobs=2, retries=1, stats=stats)
+        assert results == [42, 7]
+        assert stats.crashes == 1
+        assert stats.retries == 1
+
+    def test_persistent_crash_exhausts_retries(self):
+        def crashy():
+            os._exit(13)
+
+        stats = ExecutorStats()
+        with pytest.raises(ExecutorError, match="crash after 2 attempts"):
+            run_tasks([crashy, lambda: 7], jobs=2, retries=1, stats=stats)
+        assert stats.crashes == 2
+
+    def test_hung_task_times_out(self):
+        stats = ExecutorStats()
+        start = time.perf_counter()
+        with pytest.raises(ExecutorError, match="timeout"):
+            run_tasks(
+                [lambda: time.sleep(60), lambda: 2],
+                jobs=2, timeout=0.3, retries=0, stats=stats,
+            )
+        assert time.perf_counter() - start < 10  # did not wedge
+        assert stats.timeouts == 1
+
+    def test_stats_accounting(self):
+        stats = ExecutorStats()
+        run_tasks(square_tasks(20), jobs=4, stats=stats)
+        assert stats.tasks == 20
+        assert stats.backend == "process"
+        assert stats.workers == 4
+        assert 0.0 <= stats.utilization <= 1.0
+        assert "backend=process" in stats.summary()

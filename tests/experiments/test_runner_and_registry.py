@@ -10,12 +10,14 @@ from repro.adversaries.basic import SilentAdversary
 from repro.cli import main as cli_main
 from repro.errors import ConfigurationError
 from repro.experiments.registry import (
+    SCHEMA_VERSION,
     ExperimentReport,
+    RunConfig,
     get_experiment,
     list_experiments,
     run_experiment,
 )
-from repro.experiments.runner import Table, replicate
+from repro.experiments.runner import Table, replicate, stable_hash
 from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
 
 
@@ -28,6 +30,19 @@ class TestTable:
         rendered = t.render()
         assert "demo" in rendered and "2.500" in rendered
 
+    def test_dict_round_trip(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row("x", -3)
+        back = Table.from_dict(t.to_dict())
+        assert back.title == t.title
+        assert back.columns == t.columns
+        assert [list(r) for r in back.rows] == [list(r) for r in t.rows]
+
+    def test_from_dict_checks_arity(self):
+        with pytest.raises(ConfigurationError):
+            Table.from_dict({"title": "t", "columns": ["a", "b"], "rows": [[1]]})
+
     def test_wrong_arity(self):
         t = Table("demo", ["a", "b"])
         with pytest.raises(ConfigurationError):
@@ -37,6 +52,67 @@ class TestTable:
         t = Table("demo", ["x"])
         t.add_row(123456.0)
         assert "1.23e+05" in t.render()
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+        assert stable_hash("a", 1) != stable_hash("a", 2)
+
+    def test_full_crc32_range_no_mass_collisions(self):
+        # Regression: an earlier `% 10_000` collapsed the range, so any
+        # two of ~120 sweep cells collided with even odds and silently
+        # shared seeds.  Over the full 32-bit range, 20k inputs should
+        # collide essentially never (expected collisions ~ 0.05).
+        values = {stable_hash("cell", i) for i in range(20_000)}
+        assert len(values) >= 19_990
+        assert max(values) > 10_000  # the old modulus would cap here
+
+
+class TestRunConfig:
+    def test_defaults(self):
+        cfg = RunConfig()
+        assert (cfg.seed, cfg.quick, cfg.jobs, cfg.timeout) == (0, True, 1, None)
+        assert not cfg.full
+
+    def test_coerce_passthrough(self):
+        cfg = RunConfig(seed=9, quick=False, jobs=3)
+        assert RunConfig.coerce(cfg) is cfg
+
+    def test_coerce_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = RunConfig.coerce(None, seed=5, quick=False)
+        assert (cfg.seed, cfg.quick) == (5, False)
+
+    def test_coerce_legacy_positional_seed(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = RunConfig.coerce(7)
+        assert cfg.seed == 7
+
+    def test_coerce_rejects_mixing(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig.coerce(RunConfig(), seed=1)
+        with pytest.raises(ConfigurationError):
+            RunConfig.coerce(7, seed=1)
+        with pytest.raises(ConfigurationError):
+            RunConfig.coerce("E1")
+
+    def test_stats_excluded_from_equality(self):
+        a, b = RunConfig(seed=1), RunConfig(seed=1)
+        a.stats.tasks = 99
+        assert a == b
+
+    def test_module_entry_point_shim(self):
+        # Old-style direct module calls still work, but warn.
+        from repro.experiments import e05_product_lower_bound as e05
+
+        with pytest.warns(DeprecationWarning):
+            legacy = e05.run(seed=0, quick=True)
+        modern = e05.run(RunConfig(seed=0, quick=True))
+        assert legacy.checks == modern.checks
+        assert [t.to_dict() for t in legacy.tables] == [
+            t.to_dict() for t in modern.tables
+        ]
 
 
 class TestReplicate:

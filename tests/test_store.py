@@ -108,6 +108,31 @@ class TestCompare:
         with pytest.raises(AnalysisError):
             compare_reports(old, new)
 
+    def test_schema_version_mismatch_rejected(self):
+        old = make_report({"a": True})
+        new = make_report({"a": True})
+        old.schema_version = 1  # a report loaded from a pre-v2 file
+        with pytest.raises(AnalysisError, match="schema version"):
+            compare_reports(old, new)
+
+
+class TestSchemaVersion:
+    def test_saved_reports_stamped(self, tmp_path):
+        from repro.experiments.registry import SCHEMA_VERSION
+        from repro.store import report_to_dict
+
+        report = make_report({"a": True})
+        data = report_to_dict(report)
+        assert data["schema_version"] == SCHEMA_VERSION
+        back = load_report(save_report(report, tmp_path / "r.json"))
+        assert back.schema_version == SCHEMA_VERSION
+
+    def test_runtime_notes_not_persisted(self, tmp_path):
+        report = make_report({"a": True})
+        report.notes = ["science note", "[runtime] executor: 5 tasks"]
+        back = load_report(save_report(report, tmp_path / "r.json"))
+        assert back.notes == ["science note"]
+
 
 class TestCliIntegration:
     def test_run_save_and_compare(self, tmp_path, capsys):
