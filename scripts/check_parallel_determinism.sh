@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
-# CI gate: parallel execution must not change the science.
+# CI gate: neither parallel execution nor the result cache may change
+# the science.
 #
 # 1. Runs the `parallel`-marked pytest suite (executor determinism,
 #    report byte-identity across jobs counts).
-# 2. Runs one experiment through the real CLI serially and with -j 2,
+# 2. Runs the `cache`-marked pytest suite (fingerprints, store,
+#    checkpoint/resume).
+# 3. Runs one experiment through the real CLI serially and with -j 2,
 #    and requires the two saved reports to be byte-identical.
+# 4. Runs E1 through the CLI twice against the same cache directory and
+#    requires the warm-cache report to be byte-identical to the cold
+#    one, with every cell served from the cache.
 #
 # Usage: scripts/check_parallel_determinism.sh [extra pytest args]
 
@@ -14,6 +20,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== determinism suite (pytest -m parallel) =="
 python -m pytest -q -m parallel "$@"
+
+echo "== cache suite (pytest -m cache) =="
+python -m pytest -q -m cache "$@"
 
 echo "== CLI byte-identity: repro-bcast run E4 vs run E4 -j 2 =="
 tmp=$(mktemp -d)
@@ -25,3 +34,19 @@ if ! cmp "$tmp/serial/E4.json" "$tmp/parallel/E4.json"; then
     exit 1
 fi
 echo "OK: E4 report byte-identical with -j 2"
+
+echo "== CLI byte-identity: cold vs warm cache (repro-bcast run E1 --cache) =="
+python -m repro.cli run E1 --seed 11 --cache --cache-dir "$tmp/cache" \
+    --save "$tmp/cold" > /dev/null
+python -m repro.cli run E1 --seed 11 --cache --cache-dir "$tmp/cache" \
+    --save "$tmp/warm" > "$tmp/warm.out"
+if ! cmp "$tmp/cold/E1.json" "$tmp/warm/E1.json"; then
+    echo "FAIL: warm-cache report differs from cold report" >&2
+    exit 1
+fi
+if ! grep -q "(100%" "$tmp/warm.out"; then
+    echo "FAIL: warm run was not served entirely from the cache" >&2
+    cat "$tmp/warm.out" >&2
+    exit 1
+fi
+echo "OK: E1 report byte-identical cold vs warm, 100% cache hits"

@@ -1,0 +1,159 @@
+"""Canonical fingerprints for cacheable simulation tasks.
+
+A cached result may only be served when *everything* that determines
+the run is identical: protocol parameters, adversary parameters,
+simulator limits, the derived seed path, the engine version, and the
+run-result schema it was stored under.  This module turns those inputs
+into a canonical, process-independent cache key.
+
+The discipline is the same as :func:`repro.experiments.runner.stable_hash`
+— hash a canonical textual form of the inputs, never Python's salted
+``hash`` — but a 32-bit CRC is far too collision-prone to address
+results by content (a collision would silently serve the wrong
+science).  Keys are therefore SHA-256 over a canonical JSON encoding;
+the CRC survives only as the cheap shard selector inside
+:class:`repro.cache.store.CacheStore`.
+
+``describe`` is deliberately conservative: anything it cannot reduce to
+a canonical form (an open callable, a ``numpy`` ``Generator``, a
+foreign object) raises :class:`~repro.errors.FingerprintError`, and the
+runner runs the task uncached rather than risk a wrong hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro._version import __version__
+from repro.errors import FingerprintError
+
+__all__ = [
+    "CACHE_KEY_SCHEMA",
+    "describe",
+    "fingerprint",
+    "task_key",
+]
+
+#: Stamped into every key payload; bump to invalidate every existing
+#: cache entry at once (e.g. when the key composition itself changes).
+CACHE_KEY_SCHEMA = "repro.cache_key/1"
+
+#: Attributes whose names start with this are runtime state (private
+#: rng streams, scratch buffers), not configuration — never part of a
+#: fingerprint.
+_PRIVATE_PREFIX = "_"
+
+
+def describe(obj, _depth: int = 0):
+    """Reduce ``obj`` to a canonical JSON-able form, or raise.
+
+    Handles the configuration vocabulary of this package: scalars,
+    numpy scalars/arrays, lists/tuples/dicts, enums, dataclasses
+    (parameter objects), and plain objects built from those (protocols,
+    adversaries — described as class name plus public attributes).
+    Private attributes (leading underscore) are runtime state and are
+    skipped.  Everything else — callables, generators, file handles —
+    raises :class:`~repro.errors.FingerprintError`: an honest "cannot
+    cache this" beats a wrong cache hit.
+    """
+    if _depth > 16:
+        raise FingerprintError("object graph too deep to fingerprint")
+    # numpy scalars first: np.float64 subclasses float (and on some
+    # platforms np.int64 subclasses int), and their reprs are not
+    # canonical across numpy versions.
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        # repr round-trips exactly; NaN/inf spelled out so json never
+        # has to make a policy decision here.
+        return ["float", repr(float(obj))]
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return ["ndarray", obj.dtype.str, list(obj.shape),
+                describe(obj.tolist(), _depth + 1)]
+    if isinstance(obj, Enum):
+        return ["enum", type(obj).__qualname__, obj.name]
+    if isinstance(obj, (list, tuple)):
+        return [describe(v, _depth + 1) for v in obj]
+    if isinstance(obj, dict):
+        items = []
+        for k in sorted(obj, key=str):
+            if not isinstance(k, (str, int, bool)):
+                raise FingerprintError(f"unhashable dict key {k!r}")
+            items.append([str(k), describe(obj[k], _depth + 1)])
+        return ["dict", items]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            "dataclass",
+            f"{type(obj).__module__}.{type(obj).__qualname__}",
+            [[f.name, describe(getattr(obj, f.name), _depth + 1)]
+             for f in fields(obj)],
+        ]
+    if isinstance(obj, np.random.Generator):
+        raise FingerprintError("random generators have no canonical form")
+    if callable(obj):
+        raise FingerprintError(f"cannot fingerprint callable {obj!r}")
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        return [
+            "object",
+            f"{type(obj).__module__}.{type(obj).__qualname__}",
+            [[name, describe(value, _depth + 1)]
+             for name, value in sorted(attrs.items())
+             if not name.startswith(_PRIVATE_PREFIX)],
+        ]
+    raise FingerprintError(
+        f"cannot fingerprint {type(obj).__qualname__} instance {obj!r}"
+    )
+
+
+def fingerprint(
+    *,
+    kind: str,
+    protocol,
+    adversary,
+    sim_kwargs: dict,
+    experiment: str | None = None,
+    quick: bool | None = None,
+) -> dict:
+    """Build the shared (per-task-group) part of a cache key payload.
+
+    ``protocol`` and ``adversary`` are freshly constructed instances
+    (the runner builds one extra of each purely to describe it); the
+    engine version and run-result schema version ride along so that any
+    change to either invalidates old entries rather than serving them.
+    """
+    from repro.store import RUN_RESULT_SCHEMA_VERSION
+
+    return {
+        "schema": CACHE_KEY_SCHEMA,
+        "engine": __version__,
+        "result_schema": RUN_RESULT_SCHEMA_VERSION,
+        "kind": kind,
+        "experiment": experiment,
+        "quick": quick,
+        "protocol": describe(protocol),
+        "adversary": describe(adversary),
+        "sim": describe(dict(sim_kwargs)),
+    }
+
+
+def task_key(base: dict, seed_path: tuple) -> str:
+    """Finish a key: ``base`` (from :func:`fingerprint`) plus the
+    task's derived-seed path, hashed to a 64-hex-digit SHA-256.
+
+    ``seed_path`` is the exact entropy/label path handed to
+    :func:`repro.rng.derive` — two tasks share a key only if they would
+    consume the same random stream against the same configuration.
+    """
+    payload = dict(base, seed_path=describe(list(seed_path)))
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

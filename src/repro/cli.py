@@ -7,6 +7,9 @@
     repro-bcast run E1 --full        # full sweep (what EXPERIMENTS.md records)
     repro-bcast run E1 --full -j 4   # same results, four worker processes
     repro-bcast run all --seed 7 --jobs 0 --timeout 600
+    repro-bcast run E1 --cache       # memoize cells; re-runs are warm
+    repro-bcast cache stats          # census of the result cache
+    repro-bcast cache gc --max-bytes 500M
     python -m repro.cli run E5       # equivalent module form
 """
 
@@ -55,6 +58,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", metavar="DIR",
         help="save each report as DIR/<eid>.json for later comparison",
     )
+    run_p.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="serve (sweep point, replication) cells from the "
+             "content-addressed result cache and write misses back; an "
+             "interrupted sweep resumes from its finished cells "
+             "(--no-cache disables)",
+    )
+    run_p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache location (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    run_p.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="consult existing cache entries (--no-resume recomputes "
+             "every cell but still refreshes the cache)",
+    )
+
+    cache_p = sub.add_parser(
+        "cache",
+        help="inspect or maintain the result cache "
+             "(see 'run --cache')",
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    for name, text in (
+        ("stats", "entry/segment/byte census of the cache"),
+        ("gc", "compact the cache and bound its size"),
+        ("clear", "delete every cache entry"),
+    ):
+        p = cache_sub.add_parser(name, help=text)
+        p.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="cache location (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+        )
+        if name == "gc":
+            p.add_argument(
+                "--max-bytes", metavar="N", default=None,
+                help="size bound, with optional K/M/G suffix "
+                     "(default 256M)",
+            )
 
     cmp_p = sub.add_parser(
         "compare",
@@ -172,8 +214,41 @@ def _duel(seed: int, points: int, reps: int) -> int:
     return 0
 
 
+def _parse_size(text: str | None, default: int) -> int:
+    """Parse a byte count with an optional K/M/G suffix ('500M')."""
+    if text is None:
+        return default
+    text = text.strip().upper()
+    scale = {"K": 1024, "M": 1024**2, "G": 1024**3}.get(text[-1:], 1)
+    digits = text[:-1] if scale != 1 else text
+    return int(digits) * scale
+
+
+def _cache_cmd(args) -> int:
+    """The `cache` subcommand: stats / gc / clear."""
+    from repro.cache import DEFAULT_GC_BYTES, CacheStore, default_cache_dir
+
+    store = CacheStore(
+        args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    )
+    if args.cache_command == "stats":
+        print(store.stats().render())
+        return 0
+    if args.cache_command == "gc":
+        freed = store.gc(_parse_size(args.max_bytes, DEFAULT_GC_BYTES))
+        print(f"freed {freed} bytes")
+        print(store.stats().render())
+        return 0
+    freed = store.clear()
+    print(f"cleared {freed} bytes")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "cache":
+        return _cache_cmd(args)
 
     if args.command == "list":
         for exp in list_experiments():
@@ -205,12 +280,15 @@ def main(argv: list[str] | None = None) -> int:
             quick=not args.full,
             jobs=args.jobs,
             timeout=args.timeout,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
         )
         t0 = time.perf_counter()
         report = run_experiment(eid, config)
         elapsed = time.perf_counter() - t0
         print(report.render())
-        if config.stats.tasks:
+        if config.stats.tasks or config.stats.cache_requests:
             print(f"({elapsed:.1f}s; {config.stats.summary()})")
         else:
             print(f"({elapsed:.1f}s)")

@@ -66,12 +66,26 @@ class ExecutorStats:
     busy_time: float = 0.0
     workers: int = 0
     backend: str = ""
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes_read: int = 0
+    cache_bytes_written: int = 0
 
     @property
     def utilization(self) -> float:
         """Fraction of pool capacity spent inside tasks (0 when idle)."""
         capacity = self.wall_time * max(self.workers, 1)
         return self.busy_time / capacity if capacity > 0 else 0.0
+
+    @property
+    def cache_requests(self) -> int:
+        """Cacheable task lookups issued (hits + misses)."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cacheable lookups served warm (0 when none)."""
+        return self.cache_hits / self.cache_requests if self.cache_requests else 0.0
 
     def summary(self) -> str:
         """One-line human summary for report notes / the CLI."""
@@ -86,6 +100,13 @@ class ExecutorStats:
             parts.append(
                 f"retries={self.retries} (timeouts={self.timeouts}, "
                 f"crashes={self.crashes})"
+            )
+        if self.cache_requests:
+            parts.append(
+                f"cache {self.cache_hits}/{self.cache_requests} hits "
+                f"({self.cache_hit_rate:.0%}; "
+                f"{self.cache_bytes_read}B read, "
+                f"{self.cache_bytes_written}B written)"
             )
         return ", ".join(parts)
 

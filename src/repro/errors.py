@@ -64,3 +64,21 @@ class AnalysisError(ReproError):
 
     Example: a power-law fit over fewer than two distinct x values.
     """
+
+
+class CacheError(ReproError):
+    """The result cache could not read or write an entry.
+
+    Examples: an unwritable cache directory, or a stored record whose
+    schema no longer matches the current serializer.
+    """
+
+
+class FingerprintError(CacheError):
+    """A task's inputs cannot be canonically fingerprinted.
+
+    Raised when a protocol or adversary carries state with no stable
+    canonical form (open callables, random generators, foreign
+    objects).  The runner treats such tasks as uncacheable and simply
+    executes them, so this error never aborts an experiment.
+    """

@@ -6,6 +6,7 @@ import importlib
 import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.engine.executor import ExecutorStats
 from repro.errors import ConfigurationError
@@ -62,9 +63,26 @@ class RunConfig:
     retries:
         Executor retry budget for tasks whose worker crashed or timed
         out.
+    cache:
+        Enable the content-addressed result cache
+        (:mod:`repro.cache`): completed ``(point, replication)`` cells
+        are served from disk when their fingerprint matches, and misses
+        are written back as they complete — which is also what makes an
+        interrupted sweep resumable.
+    cache_dir:
+        Cache location; ``None`` means ``$REPRO_CACHE_DIR`` or
+        ``.repro-cache`` in the working directory.
+    resume:
+        Consult existing cache entries (the default).  ``False``
+        recomputes every cell but still writes the fresh results back,
+        refreshing the cache in place.
+    experiment:
+        Experiment id stamped into cache fingerprints;
+        :func:`run_experiment` fills it in automatically.
     stats:
         Accumulated :class:`~repro.engine.executor.ExecutorStats` for
-        every task batch the run issued.  Excluded from equality: two
+        every task batch the run issued.  Excluded from equality (as
+        are the cache fields, which cannot change the science): two
         configs that run the same science compare equal even if one has
         already executed.
     """
@@ -75,6 +93,10 @@ class RunConfig:
     timeout: float | None = None
     history: bool = False
     retries: int = 1
+    cache: bool = field(default=False, compare=False)
+    cache_dir: "str | Path | None" = field(default=None, compare=False)
+    resume: bool = field(default=True, compare=False)
+    experiment: str | None = field(default=None, repr=False, compare=False)
     stats: ExecutorStats = field(
         default_factory=ExecutorStats, repr=False, compare=False
     )
@@ -83,6 +105,17 @@ class RunConfig:
     def full(self) -> bool:
         """The inverse of :attr:`quick` (what the CLI's ``--full`` sets)."""
         return not self.quick
+
+    def resolve_cache_store(self):
+        """The :class:`~repro.cache.store.CacheStore` this run should
+        use, or ``None`` when caching is disabled."""
+        if not self.cache:
+            return None
+        from repro.cache import CacheStore, default_cache_dir
+
+        return CacheStore(
+            self.cache_dir if self.cache_dir is not None else default_cache_dir()
+        )
 
     @classmethod
     def coerce(
@@ -255,12 +288,13 @@ def run_experiment(
     """
     cfg = RunConfig.coerce(config, seed=seed, quick=quick, warn=False)
     exp = get_experiment(eid)
+    cfg.experiment = exp.eid  # stamp cache fingerprints with the id
     mod = importlib.import_module(exp.module)
     runner: Callable[..., ExperimentReport] = mod.run
     report = runner(cfg)
     report.eid = exp.eid
     report.title = exp.title
     report.anchor = exp.anchor
-    if cfg.stats.tasks:
+    if cfg.stats.tasks or cfg.stats.cache_requests:
         report.notes.append(f"{RUNTIME_NOTE_PREFIX} {cfg.stats.summary()}")
     return report

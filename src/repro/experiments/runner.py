@@ -6,6 +6,15 @@ simulation tasks out through :mod:`repro.engine.executor`; pass a
 them on several worker processes.  Seeds are derived per task from
 indices fixed before execution starts, so serial and parallel runs are
 bit-identical.
+
+With ``config.cache`` enabled, every task is first looked up in the
+content-addressed result cache (:mod:`repro.cache`) by a fingerprint of
+its protocol, adversary, simulator options, and derived seed; hits are
+served from disk and misses are written back as they complete, so an
+interrupted sweep resumes from its finished cells on the next identical
+invocation.  Tasks whose inputs cannot be canonically fingerprinted
+(callable predicates, trace recorders, history-keeping runs) simply
+execute uncached.
 """
 
 from __future__ import annotations
@@ -111,6 +120,67 @@ def _executor_kwargs(config) -> dict:
     }
 
 
+def _fingerprint_base(
+    config, store, kind: str, make_protocol, sim_kwargs: dict
+) -> dict | None:
+    """Shared (protocol + simulator + run context) part of the cache
+    key payload, or ``None`` when these tasks cannot be cached.
+
+    History-keeping runs are never cached: ``run_result_to_dict``
+    deliberately drops ``phase_history`` (forensic, not archival), so a
+    warm hit could not reproduce a cold run bit-for-bit.
+    """
+    if store is None or sim_kwargs.get("keep_history"):
+        return None
+    from repro.cache.fingerprint import fingerprint
+    from repro.errors import FingerprintError
+
+    try:
+        return fingerprint(
+            kind=kind,
+            protocol=make_protocol(),
+            adversary=None,  # group-specific; filled in per adversary
+            sim_kwargs=sim_kwargs,
+            experiment=config.experiment,
+            quick=config.quick,
+        )
+    except FingerprintError:
+        return None
+
+
+def _group_keys(base: dict | None, make_adversary, seed_paths) -> list:
+    """Content keys for one adversary's replications (``None`` entries
+    mean "run uncached")."""
+    if base is None:
+        return [None] * len(seed_paths)
+    from repro.cache.fingerprint import describe, task_key
+    from repro.errors import FingerprintError
+
+    try:
+        with_adv = dict(base, adversary=describe(make_adversary()))
+    except FingerprintError:
+        return [None] * len(seed_paths)
+    return [task_key(with_adv, path) for path in seed_paths]
+
+
+def _dispatch(tasks, keys, config, store) -> list:
+    """Run tasks through the cache when one is configured, else
+    straight through the executor."""
+    kwargs = _executor_kwargs(config)
+    if store is None or all(k is None for k in keys):
+        return run_tasks(tasks, **kwargs)
+    from repro.cache import cached_run_tasks
+
+    return cached_run_tasks(
+        tasks,
+        keys,
+        store=store,
+        resume=config.resume,
+        meta={"experiment": config.experiment},
+        run_kwargs=kwargs,
+    )
+
+
 def replicate(
     make_protocol: Callable[[], Protocol],
     make_adversary: Callable[[], Adversary],
@@ -144,8 +214,11 @@ def replicate(
 
         return task
 
-    return run_tasks(
-        [make_task(r) for r in range(n_reps)], **_executor_kwargs(config)
+    store = config.resolve_cache_store() if config is not None else None
+    base = _fingerprint_base(config, store, "replicate", make_protocol, sim_kwargs)
+    keys = _group_keys(base, make_adversary, [(seed, r) for r in range(n_reps)])
+    return _dispatch(
+        [make_task(r) for r in range(n_reps)], keys, config, store
     )
 
 
@@ -217,7 +290,20 @@ def sweep_epoch_targets(
         return task
 
     tasks = [make_task(t, r) for t in targets for r in range(n_reps)]
-    flat = run_tasks(tasks, **_executor_kwargs(config))
+    store = config.resolve_cache_store() if config is not None else None
+    base = _fingerprint_base(
+        config, store, "sweep_epoch_targets", make_protocol, sim_kwargs
+    )
+    keys = [
+        key
+        for t in targets
+        for key in _group_keys(
+            base,
+            lambda t=t: make_adversary(t),
+            [(seed + 1000 * t, r) for r in range(n_reps)],
+        )
+    ]
+    flat = _dispatch(tasks, keys, config, store)
     return [
         _aggregate_point(target, flat[i * n_reps : (i + 1) * n_reps], n_reps)
         for i, target in enumerate(targets)

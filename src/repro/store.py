@@ -46,50 +46,82 @@ __all__ = [
     "run_result_from_dict",
     "compare_reports",
     "ReportDiff",
+    "RUN_RESULT_SCHEMA_VERSION",
 ]
 
-_REPORT_SCHEMAS = ("repro.experiment_report/1", "repro.experiment_report/2")
+def _report_schema(version: int) -> str:
+    return f"repro.experiment_report/{version}"
 
 
-def _jsonable(value):
-    """Recursively convert numpy containers/scalars to JSON-safe types."""
+# Every version up to the current one is loadable; deriving the tuple
+# from SCHEMA_VERSION means a future bump cannot desync the writer's
+# stamp from the reader's accept list.
+_REPORT_SCHEMAS = tuple(_report_schema(v) for v in range(1, SCHEMA_VERSION + 1))
+
+#: Version stamp for persisted run results.  v2 preserves NaN floats
+#: (v1 collapsed them to ``null``), making the round-trip bit-lossless
+#: — the property the result cache depends on.
+RUN_RESULT_SCHEMA_VERSION = 2
+
+
+def _run_result_schema(version: int) -> str:
+    return f"repro.run_result/{version}"
+
+
+_RUN_RESULT_SCHEMAS = tuple(
+    _run_result_schema(v) for v in range(1, RUN_RESULT_SCHEMA_VERSION + 1)
+)
+
+
+def _jsonable(value, keep_nan: bool = False):
+    """Recursively convert numpy containers/scalars to JSON-safe types.
+
+    ``keep_nan=True`` preserves NaN floats (Python's ``json`` reads and
+    writes them as the ``NaN`` literal); the default maps them to
+    ``None`` for strict-JSON consumers of report files.
+    """
     if isinstance(value, np.ndarray):
-        return [_jsonable(v) for v in value.tolist()]
+        return [_jsonable(v, keep_nan) for v in value.tolist()]
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):
         v = float(value)
-        return None if np.isnan(v) else v
+        return v if keep_nan or not np.isnan(v) else None
     if isinstance(value, float) and np.isnan(value):
-        return None
+        return value if keep_nan else None
     if isinstance(value, (np.bool_,)):
         return bool(value)
     if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        return {str(k): _jsonable(v, keep_nan) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
+        return [_jsonable(v, keep_nan) for v in value]
     return value
 
 
 def run_result_to_dict(result: RunResult) -> dict:
-    """JSON-safe snapshot of one run (history excluded)."""
+    """JSON-safe snapshot of one run (history excluded).
+
+    The round-trip through :func:`run_result_from_dict` is lossless —
+    NaNs in ``stats`` included — so a cached result is bit-identical to
+    a freshly computed one.
+    """
     return {
-        "schema": "repro.run_result/1",
+        "schema": _run_result_schema(RUN_RESULT_SCHEMA_VERSION),
         "version": __version__,
-        "node_costs": _jsonable(result.node_costs),
-        "node_send_costs": _jsonable(result.node_send_costs),
-        "node_listen_costs": _jsonable(result.node_listen_costs),
+        "node_costs": _jsonable(result.node_costs, keep_nan=True),
+        "node_send_costs": _jsonable(result.node_send_costs, keep_nan=True),
+        "node_listen_costs": _jsonable(result.node_listen_costs, keep_nan=True),
         "adversary_cost": int(result.adversary_cost),
         "slots": int(result.slots),
         "phases": int(result.phases),
         "truncated": bool(result.truncated),
-        "stats": _jsonable(result.stats),
+        "stats": _jsonable(result.stats, keep_nan=True),
     }
 
 
 def run_result_from_dict(data: dict) -> RunResult:
     """Rebuild a :class:`RunResult` from :func:`run_result_to_dict`."""
-    if data.get("schema") != "repro.run_result/1":
+    if data.get("schema") not in _RUN_RESULT_SCHEMAS:
         raise AnalysisError(f"unknown run-result schema: {data.get('schema')!r}")
 
     def arr(key):
@@ -117,7 +149,7 @@ def report_to_dict(report: ExperimentReport) -> dict:
     them — the property ``scripts/check_parallel_determinism.sh`` pins.
     """
     return {
-        "schema": "repro.experiment_report/2",
+        "schema": _report_schema(SCHEMA_VERSION),
         "schema_version": report.schema_version,
         "version": __version__,
         "eid": report.eid,

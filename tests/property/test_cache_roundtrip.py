@@ -1,0 +1,83 @@
+"""Property tests: cached results are bit-identical to computed ones.
+
+The cache's byte-identical-report guarantee reduces to one invariant:
+``run_result_to_dict`` → JSON → ``run_result_from_dict`` is lossless
+for every :class:`RunResult` the simulator can produce — including NaN
+floats in ``stats`` and absent send/listen splits.  Equality is
+asserted on canonical JSON text because ``NaN != NaN`` scuppers naive
+dict comparison while ``"NaN" == "NaN"`` does not.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.store import CacheStore
+from repro.engine.simulator import RunResult
+from repro.store import run_result_from_dict, run_result_to_dict
+
+pytestmark = pytest.mark.cache
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+stat_values = st.one_of(
+    st.booleans(),
+    st.integers(-(2**31), 2**31),
+    finite,
+    st.just(float("nan")),
+    st.lists(st.one_of(finite, st.just(float("nan"))), max_size=4),
+)
+costs = st.lists(st.integers(0, 2**40), min_size=1, max_size=6)
+
+
+@st.composite
+def run_results(draw):
+    node_costs = draw(costs)
+    split = draw(st.booleans())
+    sends = draw(costs) if split else None
+    return RunResult(
+        node_costs=np.asarray(node_costs, dtype=np.int64),
+        adversary_cost=draw(st.integers(0, 2**40)),
+        slots=draw(st.integers(0, 2**40)),
+        phases=draw(st.integers(0, 10**6)),
+        truncated=draw(st.booleans()),
+        stats=draw(
+            st.dictionaries(st.text(min_size=1, max_size=12), stat_values,
+                            max_size=6)
+        ),
+        node_send_costs=None if sends is None else np.asarray(sends, dtype=np.int64),
+        node_listen_costs=None if sends is None else np.asarray(sends, dtype=np.int64),
+    )
+
+
+def canonical(result: RunResult) -> str:
+    return json.dumps(run_result_to_dict(result), sort_keys=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(run_results())
+def test_dict_json_round_trip_lossless(result):
+    text = json.dumps(run_result_to_dict(result))
+    back = run_result_from_dict(json.loads(text))
+    assert canonical(back) == canonical(result)
+    if result.node_send_costs is None:
+        assert back.node_send_costs is None
+    else:
+        assert np.array_equal(back.node_send_costs, result.node_send_costs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(run_results(), st.integers(0, 2**256 - 1))
+def test_cache_store_round_trip_lossless(result, key_int):
+    key = f"{key_int:064x}"
+    with tempfile.TemporaryDirectory() as root:
+        store = CacheStore(root)
+        store.put(key, result)
+        back = store.get(key)
+    assert canonical(back) == canonical(result)
+    assert back.node_costs.dtype == result.node_costs.dtype

@@ -53,6 +53,60 @@ class TestRunResultRoundTrip:
         with pytest.raises(AnalysisError):
             run_result_from_dict({"schema": "bogus"})
 
+    def test_absent_send_listen_split_round_trips(self):
+        from repro.engine.simulator import RunResult
+
+        res = RunResult(
+            node_costs=np.asarray([3, 4], dtype=np.int64),
+            adversary_cost=9,
+            slots=100,
+            phases=2,
+            truncated=False,
+            stats={"success": True},
+        )
+        assert res.node_send_costs is None
+        back = run_result_from_dict(run_result_to_dict(res))
+        assert back.node_send_costs is None
+        assert back.node_listen_costs is None
+        assert list(back.node_costs) == [3, 4]
+
+    def test_nan_stats_round_trip_bit_for_bit(self):
+        import json
+
+        from repro.engine.simulator import RunResult
+
+        res = RunResult(
+            node_costs=np.asarray([1], dtype=np.int64),
+            adversary_cost=0,
+            slots=0,
+            phases=0,
+            truncated=False,
+            stats={"n_estimates": [1.0, float("nan"), 3.0], "x": float("nan")},
+        )
+        data = run_result_to_dict(res)
+        # v2 keeps NaN as NaN (json's NaN literal), never null.
+        back = run_result_from_dict(json.loads(json.dumps(data)))
+        assert np.isnan(back.stats["x"])
+        assert np.isnan(back.stats["n_estimates"][1])
+        assert json.dumps(run_result_to_dict(back), sort_keys=True) == json.dumps(
+            data, sort_keys=True
+        )
+
+    def test_v1_records_still_load(self):
+        from repro.engine.simulator import RunResult
+
+        res = RunResult(
+            node_costs=np.asarray([1], dtype=np.int64),
+            adversary_cost=2,
+            slots=3,
+            phases=1,
+            truncated=False,
+            stats={},
+        )
+        data = run_result_to_dict(res)
+        data["schema"] = "repro.run_result/1"
+        assert run_result_from_dict(data).adversary_cost == 2
+
 
 class TestReportRoundTrip:
     def test_round_trip(self, tmp_path):
@@ -143,3 +197,12 @@ class TestCliIntegration:
         assert cli_main(["compare", str(saved), str(saved)]) == 0
         out = capsys.readouterr().out
         assert "no check-level differences" in out
+
+    def test_compare_exits_nonzero_on_regression(self, tmp_path, capsys):
+        """CI gates on this exit code — no output parsing required."""
+        old = save_report(make_report({"a": True}), tmp_path / "old.json")
+        new = save_report(make_report({"a": False}), tmp_path / "new.json")
+        assert cli_main(["compare", str(old), str(new)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # The fix direction (FAIL -> PASS) is not a regression: exit 0.
+        assert cli_main(["compare", str(new), str(old)]) == 0
