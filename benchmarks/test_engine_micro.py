@@ -14,6 +14,7 @@ import pytest
 from repro.adversaries import EpochTargetJammer, SilentAdversary, SuffixJammer
 from repro.channel.events import JamPlan, ListenEvents, SendEvents, TxKind
 from repro.channel.model import resolve_phase
+from repro.channel.model_dense import resolve_phase_dense
 from repro.engine.sampling import bernoulli_positions, sample_action_events
 from repro.engine.simulator import run
 from repro.protocols import (
@@ -52,6 +53,40 @@ def test_resolve_phase_dense_traffic(benchmark):
     )
     plan = JamPlan.suffix(L, L // 4)
     benchmark(resolve_phase, L, n, sends, listens, plan)
+
+
+def _large_sparse_phase(jam: str):
+    """Late-epoch regime: a huge phase (L = 2**20) with only a handful
+    of events — exactly where the interval resolver's O(events) bound
+    pays off over the dense O(L) scan."""
+    rng = np.random.default_rng(7)
+    n, L, events = 2, 1 << 20, 64
+    sends = SendEvents(
+        rng.integers(0, n, events // 2),
+        rng.integers(0, L, events // 2),
+        np.full(events // 2, TxKind.DATA, dtype=np.int8),
+    )
+    listens = ListenEvents(
+        rng.integers(0, n, events // 2), rng.integers(0, L, events // 2)
+    )
+    if jam == "suffix":
+        plan = JamPlan.suffix(L, L // 2)
+    else:  # the epoch-target shape: jam the listener's group for a prefix
+        plan = JamPlan.prefix(L, L // 2, group=1)
+    groups = np.array([0, 1], dtype=np.int64)
+    return L, n, sends, listens, plan, groups
+
+
+@pytest.mark.parametrize("jam", ["suffix", "epoch"])
+def test_resolve_phase_sparse_large_L(benchmark, jam):
+    args = _large_sparse_phase(jam)
+    benchmark(resolve_phase, *args)
+
+
+@pytest.mark.parametrize("jam", ["suffix", "epoch"])
+def test_resolve_phase_dense_oracle_large_L(benchmark, jam):
+    args = _large_sparse_phase(jam)
+    benchmark(resolve_phase_dense, *args)
 
 
 def test_full_run_one_to_one_unjammed(benchmark):

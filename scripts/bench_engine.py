@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Benchmark the channel kernels and record the results.
+
+Runs the engine micro-benchmarks (``benchmarks/test_engine_micro.py``)
+under pytest-benchmark and distils the full JSON output into a compact
+``BENCH_engine.json`` at the repo root: per-benchmark mean/stddev timings
+plus the headline sparse-vs-dense speedup ratios at L = 2**20.  The
+compact file is committed so the O(events) claim in DESIGN.md is backed
+by a recorded measurement.
+
+Usage:
+
+    PYTHONPATH=src python scripts/bench_engine.py [extra pytest args]
+
+Extra args are forwarded to pytest, e.g. ``-k large_L`` to time only the
+kernel comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_engine.json"
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(ROOT / "benchmarks" / "test_engine_micro.py"),
+            "--benchmark-only",
+            f"--benchmark-json={raw_path}",
+            "-q",
+            *sys.argv[1:],
+        ]
+        proc = subprocess.run(cmd, cwd=ROOT)
+        if proc.returncode != 0:
+            return proc.returncode
+        raw = json.loads(raw_path.read_text())
+
+    benchmarks = {}
+    for b in raw["benchmarks"]:
+        benchmarks[b["name"]] = {
+            "mean_s": b["stats"]["mean"],
+            "stddev_s": b["stats"]["stddev"],
+            "rounds": b["stats"]["rounds"],
+        }
+
+    # Headline numbers: sparse resolver vs dense oracle on the huge
+    # sparse-traffic phases (L = 2**20, ~64 events).
+    speedups = {}
+    for jam in ("suffix", "epoch"):
+        sparse = benchmarks.get(f"test_resolve_phase_sparse_large_L[{jam}]")
+        dense = benchmarks.get(f"test_resolve_phase_dense_oracle_large_L[{jam}]")
+        if sparse and dense:
+            speedups[jam] = {
+                "sparse_mean_s": sparse["mean_s"],
+                "dense_mean_s": dense["mean_s"],
+                "speedup": dense["mean_s"] / sparse["mean_s"],
+            }
+
+    OUT.write_text(
+        json.dumps(
+            {
+                "machine": {
+                    "python": platform.python_version(),
+                    "machine": platform.machine(),
+                    "system": platform.system(),
+                },
+                "sparse_vs_dense_large_L": speedups,
+                "benchmarks": benchmarks,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUT}")
+    for jam, s in speedups.items():
+        print(
+            f"  L=2**20 {jam} jam: sparse {s['sparse_mean_s'] * 1e6:.1f} us, "
+            f"dense {s['dense_mean_s'] * 1e6:.1f} us -> {s['speedup']:.0f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,11 +6,17 @@
 #    report byte-identity across jobs counts).
 # 2. Runs the `cache`-marked pytest suite (fingerprints, store,
 #    checkpoint/resume).
-# 3. Runs one experiment through the real CLI serially and with -j 2,
+# 3. Runs the `engine`-marked pytest suite (sparse/dense resolver
+#    differential oracle, half-duplex and ground-truth pins).
+# 4. Runs one experiment through the real CLI serially and with -j 2,
 #    and requires the two saved reports to be byte-identical.
-# 4. Runs E1 through the CLI twice against the same cache directory and
+# 5. Runs E1 through the CLI twice against the same cache directory and
 #    requires the warm-cache report to be byte-identical to the cold
 #    one, with every cell served from the cache.
+# 6. Runs E1 with the sparse resolver (default) and the dense oracle
+#    (REPRO_DENSE_RESOLVER=1) and requires the two saved reports to be
+#    byte-identical — the end-to-end differential gate for the
+#    O(events) kernel.
 #
 # Usage: scripts/check_parallel_determinism.sh [extra pytest args]
 
@@ -23,6 +29,9 @@ python -m pytest -q -m parallel "$@"
 
 echo "== cache suite (pytest -m cache) =="
 python -m pytest -q -m cache "$@"
+
+echo "== engine suite (pytest -m engine) =="
+python -m pytest -q -m engine "$@"
 
 echo "== CLI byte-identity: repro-bcast run E4 vs run E4 -j 2 =="
 tmp=$(mktemp -d)
@@ -50,3 +59,13 @@ if ! grep -q "(100%" "$tmp/warm.out"; then
     exit 1
 fi
 echo "OK: E1 report byte-identical cold vs warm, 100% cache hits"
+
+echo "== CLI byte-identity: sparse resolver vs dense oracle (run E1) =="
+python -m repro.cli run E1 --seed 11 --save "$tmp/sparse" > /dev/null
+REPRO_DENSE_RESOLVER=1 python -m repro.cli run E1 --seed 11 \
+    --save "$tmp/dense" > /dev/null
+if ! cmp "$tmp/sparse/E1.json" "$tmp/dense/E1.json"; then
+    echo "FAIL: dense-oracle report differs from sparse report" >&2
+    exit 1
+fi
+echo "OK: E1 report byte-identical sparse vs dense oracle"

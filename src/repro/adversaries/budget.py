@@ -52,15 +52,23 @@ class BudgetCap(Adversary):
         if remaining <= 0:
             return JamPlan.silent(ctx.length)
 
-        # Flatten all actions into (slot, category) records, keep the
-        # earliest `remaining`, and rebuild the plan.
+        # Flatten actions into (slot, category) records, keep the
+        # earliest `remaining`, and rebuild the plan.  Only the first
+        # `remaining` actions *per category* can survive the global
+        # cut, so each interval set is prefix-trimmed before being
+        # materialised — the record list stays O(categories * budget)
+        # even when the plan covers millions of slots.
         records: list[tuple[int, str, int]] = []
-        records += [(int(s), "global", 0) for s in plan.global_slots]
-        for g, slots in plan.targeted.items():
-            records += [(int(s), "targeted", g) for s in slots]
         records += [
-            (int(s), "spoof", int(k))
-            for s, k in zip(plan.spoof_slots, plan.spoof_kinds)
+            (int(s), "global", 0)
+            for s in plan.global_slots.take_first(remaining)
+        ]
+        for g, slots in plan.targeted.items():
+            records += [(int(s), "targeted", g) for s in slots.take_first(remaining)]
+        spoof_order = np.argsort(plan.spoof_slots, kind="stable")[:remaining]
+        records += [
+            (int(plan.spoof_slots[i]), "spoof", int(plan.spoof_kinds[i]))
+            for i in spoof_order
         ]
         records.sort(key=lambda r: r[0])
         kept = records[:remaining]

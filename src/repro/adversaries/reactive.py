@@ -50,10 +50,7 @@ class ReactiveProductJammer(Adversary):
         if a * b <= 1.0 / self.budget:
             return JamPlan.silent(ctx.length)
         n_jam = min(ctx.length, remaining)
-        slots = np.arange(n_jam, dtype=np.int64)
         group = self.group
         if group is None and "listener_group" in ctx.tags:
             group = int(ctx.tags["listener_group"])
-        if group is None:
-            return JamPlan(length=ctx.length, global_slots=slots)
-        return JamPlan(length=ctx.length, targeted={group: slots})
+        return JamPlan.prefix(ctx.length, n_jam, group=group)

@@ -71,10 +71,7 @@ class SpoofingAdversary(Adversary):
             return JamPlan.silent(ctx.length)
         n_jam = min(ctx.length, remaining)
         group = int(ctx.tags.get("listener_group", 1))
-        return JamPlan(
-            length=ctx.length,
-            targeted={group: np.arange(n_jam, dtype=np.int64)},
-        )
+        return JamPlan.prefix(ctx.length, n_jam, group=group)
 
     def _plan_simulate(self, ctx: AdversaryContext) -> JamPlan:
         # Only feedback phases are spoofed: the adversary stands in for

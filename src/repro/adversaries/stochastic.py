@@ -28,7 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.adversaries.base import Adversary, AdversaryContext
-from repro.channel.events import JamPlan, PhaseOutcome
+from repro.channel.events import JamPlan, PhaseOutcome, SlotSet
 from repro.errors import ConfigurationError
 
 __all__ = ["MarkovJammer", "WindowedJammer", "GreedyAdaptiveJammer"]
@@ -85,11 +85,14 @@ class MarkovJammer(Adversary):
         # uniforms once, then walk the (cheap, branch-free) recurrence.
         u = self.rng.random(ctx.length)
         state = self._in_burst
-        jammed = np.empty(ctx.length, dtype=bool)
         # The chain is inherently sequential but its per-slot work is a
         # comparison; a python loop over ctx.length slots would dominate
         # the engine, so regenerate runs of states from the geometric
-        # sojourn times instead.
+        # sojourn times instead — each jamming sojourn IS an interval,
+        # so the plan is built as a SlotSet directly (one interval per
+        # burst, no dense materialisation).
+        starts: list[int] = []
+        ends: list[int] = []
         t = 0
         while t < ctx.length:
             p_leave = self.p_exit if state else self.p_enter
@@ -97,15 +100,17 @@ class MarkovJammer(Adversary):
             # uniform falls below p_leave (geometric).
             leave = np.flatnonzero(u[t:] < p_leave)
             stay = int(leave[0]) + 1 if len(leave) else ctx.length - t
-            jammed[t : t + stay] = state
+            if state:
+                starts.append(t)
+                ends.append(t + stay)
             t += stay
             state = not state
         self._in_burst = state if t == ctx.length else self._in_burst
 
-        slots = np.flatnonzero(jammed).astype(np.int64)
+        slots = SlotSet(np.array(starts, np.int64), np.array(ends, np.int64))
         if self.max_total is not None:
             keep = max(0, self.max_total - ctx.spent)
-            slots = slots[:keep]
+            slots = slots.take_first(keep)
         if self.group is None:
             return JamPlan(length=ctx.length, global_slots=slots)
         return JamPlan(length=ctx.length, targeted={self.group: slots})
@@ -147,13 +152,13 @@ class WindowedJammer(Adversary):
         per_window = int(self.rho * self.window)
         if per_window == 0:
             return JamPlan.silent(ctx.length)
+        # One interval per window: [w, w + per_window) clipped to the
+        # phase — O(L / window) intervals, no per-slot materialisation.
         starts = np.arange(0, ctx.length, self.window, dtype=np.int64)
-        offsets = np.arange(per_window, dtype=np.int64)
-        slots = (starts[:, None] + offsets[None, :]).ravel()
-        slots = slots[slots < ctx.length]
+        slots = SlotSet(starts, np.minimum(starts + per_window, ctx.length))
         if self.max_total is not None:
             keep = max(0, self.max_total - ctx.spent)
-            slots = slots[:keep]
+            slots = slots.take_first(keep)
         return JamPlan(length=ctx.length, global_slots=slots)
 
 

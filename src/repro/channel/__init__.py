@@ -20,10 +20,12 @@ from repro.channel.events import (
     ListenEvents,
     PhaseOutcome,
     SendEvents,
+    SlotSet,
     SlotStatus,
     TxKind,
 )
-from repro.channel.model import resolve_phase
+from repro.channel.model import get_resolver, resolve_phase
+from repro.channel.model_dense import resolve_phase_dense
 from repro.channel.accounting import EnergyLedger, PhaseCost
 
 __all__ = [
@@ -33,7 +35,10 @@ __all__ = [
     "PhaseCost",
     "PhaseOutcome",
     "SendEvents",
+    "SlotSet",
     "SlotStatus",
     "TxKind",
+    "get_resolver",
     "resolve_phase",
+    "resolve_phase_dense",
 ]

@@ -13,6 +13,7 @@ from enum import IntEnum
 
 import numpy as np
 
+from repro.channel.intervals import SlotSet
 from repro.errors import AdversaryError, SimulationError
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "ListenEvents",
     "JamPlan",
     "PhaseOutcome",
+    "SlotSet",
     "N_STATUS",
 ]
 
@@ -140,14 +142,14 @@ class ListenEvents:
         return ListenEvents(np.empty(0, np.int64), np.empty(0, np.int64))
 
 
-def _normalize_slots(slots: np.ndarray | list[int], length: int, what: str) -> np.ndarray:
-    arr = np.unique(np.asarray(slots, dtype=np.int64))
-    if len(arr) and (arr[0] < 0 or arr[-1] >= length):
+def _normalize_slots(slots, length: int, what: str) -> SlotSet:
+    ss = SlotSet.coerce(slots)
+    if len(ss) and (ss.min < 0 or ss.max >= length):
         raise AdversaryError(
             f"{what} contains slot indices outside [0, {length}): "
-            f"range [{arr[0]}, {arr[-1]}]"
+            f"range [{ss.min}, {ss.max}]"
         )
-    return arr
+    return ss
 
 
 @dataclass
@@ -170,14 +172,22 @@ class JamPlan:
         listener (Theorem 5's Bob-spoofing adversary); colliding with
         another transmission it produces noise.
 
-    Plans are normalised on construction: slot lists are deduplicated and
+    Jam schedules are held as :class:`~repro.channel.intervals.SlotSet`
+    run-length intervals; constructors accept either a ``SlotSet`` or an
+    explicit slot-index array (coerced on construction).  The canonical
+    suffix/prefix shapes are therefore O(1) in the phase length, and the
+    sparse resolver queries them without ever materialising a length-L
+    structure.  ``SlotSet`` iterates/indexes like the sorted explicit
+    array it replaces, so downstream slot-level access keeps working.
+
+    Plans are normalised on construction: slot sets are deduplicated and
     sorted, and targeted slots that are already jammed globally are
     dropped (jamming a slot twice cannot cost twice).
     """
 
     length: int
-    global_slots: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
-    targeted: dict[int, np.ndarray] = field(default_factory=dict)
+    global_slots: SlotSet = field(default_factory=SlotSet.empty)
+    targeted: dict[int, SlotSet] = field(default_factory=dict)
     spoof_slots: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
     spoof_kinds: np.ndarray = field(default_factory=lambda: np.empty(0, np.int8))
 
@@ -185,12 +195,12 @@ class JamPlan:
         if self.length <= 0:
             raise AdversaryError(f"JamPlan length must be positive, got {self.length}")
         self.global_slots = _normalize_slots(self.global_slots, self.length, "global jam")
-        cleaned: dict[int, np.ndarray] = {}
+        cleaned: dict[int, SlotSet] = {}
         for group, slots in self.targeted.items():
-            arr = _normalize_slots(slots, self.length, f"targeted jam for group {group}")
-            arr = np.setdiff1d(arr, self.global_slots, assume_unique=True)
-            if len(arr):
-                cleaned[int(group)] = arr
+            ss = _normalize_slots(slots, self.length, f"targeted jam for group {group}")
+            ss = ss.difference(self.global_slots)
+            if len(ss):
+                cleaned[int(group)] = ss
         self.targeted = cleaned
         spoof_slots = np.asarray(self.spoof_slots, dtype=np.int64)
         spoof_kinds = np.asarray(self.spoof_kinds, dtype=np.int8)
@@ -225,19 +235,40 @@ class JamPlan:
         """Jam the last ``n_jammed`` slots (Lemma 1's canonical form).
 
         With ``group=None`` the jam is channel-wide, otherwise targeted.
+        O(1) in ``length`` — a single interval.
         """
         n_jammed = int(max(0, min(length, n_jammed)))
-        slots = np.arange(length - n_jammed, length, dtype=np.int64)
+        slots = SlotSet.range(length - n_jammed, length)
         if group is None:
             return JamPlan(length=length, global_slots=slots)
         return JamPlan(length=length, targeted={int(group): slots})
 
+    @staticmethod
+    def prefix(length: int, n_jammed: int, group: int | None = None) -> "JamPlan":
+        """Jam the first ``n_jammed`` slots (the reactive "act until the
+        battery dies" shape).  O(1) in ``length`` — a single interval."""
+        n_jammed = int(max(0, min(length, n_jammed)))
+        slots = SlotSet.range(0, n_jammed)
+        if group is None:
+            return JamPlan(length=length, global_slots=slots)
+        return JamPlan(length=length, targeted={int(group): slots})
+
+    def jam_set(self, group: int) -> SlotSet:
+        """Slots jammed for ``group`` (global ∪ targeted) as intervals."""
+        targeted = self.targeted.get(int(group))
+        if targeted is None:
+            return self.global_slots
+        return self.global_slots.union(targeted)
+
     def jam_mask(self, group: int) -> np.ndarray:
-        """Boolean array of length ``length``: slots jammed for ``group``."""
-        mask = np.zeros(self.length, dtype=bool)
-        mask[self.global_slots] = True
+        """Boolean array of length ``length``: slots jammed for ``group``.
+
+        Dense — used by the dense oracle resolver and the trace
+        timeline; the sparse hot path uses :meth:`jam_set` instead.
+        """
+        mask = self.global_slots.mask(self.length)
         if group in self.targeted:
-            mask[self.targeted[group]] = True
+            mask |= self.targeted[group].mask(self.length)
         return mask
 
 

@@ -1,9 +1,20 @@
-"""Collision/CCA resolution for one phase of the slotted channel.
+"""Collision/CCA resolution for one phase — sparse, O(events) hot path.
 
-This is the hot path of the whole simulator: one call resolves all
-``L`` slots of a phase at once with NumPy primitives (``bincount``,
-boolean masks, fancy indexing) — no per-slot Python loop, following the
-vectorisation idioms of the hpc-parallel guides.
+This is the hot path of the whole simulator.  One call resolves a phase
+of ``L`` slots, but the work scales with the *events* in the phase —
+``O(#sends + #listens + #spoofs + #jam intervals)`` — never with ``L``
+itself: statuses are evaluated only at the union of transmission slots
+and listening slots, and jam schedules are interval
+(:class:`~repro.channel.intervals.SlotSet`) queries via
+``searchsorted``.  At the sweep scale the paper's theorems care about
+(phases of ``2**20`` slots with a handful of events each) this is what
+makes large-``T`` experiments feasible.
+
+The dense O(L) reference implementation is kept verbatim in
+:mod:`repro.channel.model_dense` as a differential oracle; the
+``engine``-marked test suite asserts both resolvers return bit-identical
+:class:`~repro.channel.events.PhaseOutcome`\\ s on randomised phases,
+and the CI gate replays a full experiment under both.
 
 Semantics implemented (Section 1.2 of the paper):
 
@@ -21,6 +32,8 @@ Semantics implemented (Section 1.2 of the paper):
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.channel.events import (
@@ -31,34 +44,76 @@ from repro.channel.events import (
     SendEvents,
     SlotStatus,
 )
-from repro.errors import SimulationError
+from repro.channel.model_dense import (
+    resolve_phase_dense,
+    slot_content,
+    validate_phase_inputs,
+)
 
-__all__ = ["resolve_phase", "slot_content"]
+__all__ = [
+    "resolve_phase",
+    "resolve_phase_dense",
+    "slot_content",
+    "slot_content_at",
+    "get_resolver",
+    "DENSE_RESOLVER_ENV",
+]
+
+#: Setting this environment variable to ``1``/``true``/``yes``/``on``
+#: makes the engine default to the dense oracle resolver — the lever the
+#: CI byte-identity gate uses to replay a whole experiment densely.
+DENSE_RESOLVER_ENV = "REPRO_DENSE_RESOLVER"
 
 
-def slot_content(length: int, sends: SendEvents, plan: JamPlan) -> np.ndarray:
-    """Un-jammed channel content per slot, as a ``SlotStatus`` array.
-
-    Spoofed transmissions from ``plan`` participate in collisions exactly
-    like node transmissions.  Jamming is *not* applied here — it is
-    per-group and applied by :func:`resolve_phase`.
-    """
+def _tx_events(sends: SendEvents, plan: JamPlan) -> tuple[np.ndarray, np.ndarray]:
+    """All on-air transmissions of the phase: node sends plus spoofs."""
     tx_slots = sends.slots
     tx_kinds = sends.kinds
     if len(plan.spoof_slots):
         tx_slots = np.concatenate([tx_slots, plan.spoof_slots])
         tx_kinds = np.concatenate([tx_kinds, plan.spoof_kinds])
+    return tx_slots, tx_kinds
 
-    content = np.zeros(length, dtype=np.int8)  # SlotStatus.CLEAR
+
+def _unique_tx_content(
+    tx_slots: np.ndarray, tx_kinds: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per distinct transmission slot, its un-jammed content status.
+
+    Returns ``(slots, statuses)`` with ``slots`` sorted ascending: a
+    lone transmission decodes as its kind, two or more collide to NOISE.
+    Slots carrying no transmission are implicitly CLEAR.
+    """
+    uniq, first, counts = np.unique(
+        tx_slots, return_index=True, return_counts=True
+    )
+    statuses = tx_kinds[first].astype(np.int8)
+    statuses[counts >= 2] = SlotStatus.NOISE
+    return uniq, statuses
+
+
+def slot_content_at(
+    slots: np.ndarray, sends: SendEvents, plan: JamPlan
+) -> np.ndarray:
+    """Un-jammed channel content at the queried ``slots`` only.
+
+    The sparse counterpart of :func:`slot_content`: evaluates the
+    collision outcome at ``len(slots)`` query points in
+    ``O((#tx + #queries) log #tx)`` instead of materialising a length-L
+    array.  Jamming is *not* applied — it is per-group and applied by
+    :func:`resolve_phase`.
+    """
+    slots = np.asarray(slots, dtype=np.int64)
+    tx_slots, tx_kinds = _tx_events(sends, plan)
     if len(tx_slots) == 0:
-        return content
-
-    counts = np.bincount(tx_slots, minlength=length)
-    # For slots with exactly one transmission the scatter below writes the
-    # unique sender's kind; collided slots are overwritten with NOISE next.
-    content[tx_slots] = tx_kinds
-    content[counts >= 2] = SlotStatus.NOISE
-    return content
+        return np.zeros(len(slots), dtype=np.int8)  # SlotStatus.CLEAR
+    uniq, statuses = _unique_tx_content(tx_slots, tx_kinds)
+    pos = np.searchsorted(uniq, slots)
+    safe = np.minimum(pos, len(uniq) - 1)
+    hit = uniq[safe] == slots
+    out = np.zeros(len(slots), dtype=np.int8)
+    out[hit] = statuses[safe[hit]]
+    return out
 
 
 def resolve_phase(
@@ -92,75 +147,85 @@ def resolve_phase(
     -------
     PhaseOutcome
         Per-node heard-status counts, per-node costs, and channel-wide
-        ground truth.
+        ground truth (``n_clear``/``n_noise`` are group 0's view).
+
+    Notes
+    -----
+    Cost is ``O(E log E)`` for ``E = #sends + #listens + #spoofs +
+    #jam intervals`` — independent of ``length``.  Bit-identical to
+    :func:`~repro.channel.model_dense.resolve_phase_dense`.
     """
-    if plan.length != length:
-        raise SimulationError(
-            f"JamPlan length {plan.length} does not match phase length {length}"
-        )
-    if len(sends.nodes) and (sends.nodes.min() < 0 or sends.nodes.max() >= n_nodes):
-        raise SimulationError("send event node index out of range")
-    if len(listens.nodes) and (
-        listens.nodes.min() < 0 or listens.nodes.max() >= n_nodes
-    ):
-        raise SimulationError("listen event node index out of range")
-    if len(sends.slots) and (sends.slots.min() < 0 or sends.slots.max() >= length):
-        raise SimulationError("send event slot index out of range")
-    if len(listens.slots) and (
-        listens.slots.min() < 0 or listens.slots.max() >= length
-    ):
-        raise SimulationError("listen event slot index out of range")
+    groups = validate_phase_inputs(length, n_nodes, sends, listens, plan, groups)
 
-    if groups is None:
-        groups = np.zeros(n_nodes, dtype=np.int64)
+    tx_slots, tx_kinds = _tx_events(sends, plan)
+    if len(tx_slots):
+        uniq_tx, tx_status = _unique_tx_content(tx_slots, tx_kinds)
     else:
-        groups = np.asarray(groups, dtype=np.int64)
-        if groups.shape != (n_nodes,):
-            raise SimulationError(
-                f"groups must have shape ({n_nodes},), got {groups.shape}"
-            )
-
-    content = slot_content(length, sends, plan)
+        uniq_tx = np.empty(0, np.int64)
+        tx_status = np.empty(0, np.int8)
 
     # Half-duplex: drop listen events that coincide with the same node's
-    # own send.  Key each (node, slot) pair into a single int64.
+    # own send.  Key each (node, slot) pair into a single int64 and
+    # binary-search the listen keys against the sorted send keys (the
+    # sort is O(#sends log #sends); `np.isin` would re-sort *both* sides
+    # and build an intermediate boolean lattice every phase).
     listen_nodes, listen_slots = listens.nodes, listens.slots
     if len(sends) and len(listens):
-        send_keys = sends.nodes * length + sends.slots
+        send_keys = np.sort(sends.nodes * length + sends.slots)
         listen_keys = listen_nodes * length + listen_slots
-        keep = ~np.isin(listen_keys, send_keys)
+        pos = np.searchsorted(send_keys, listen_keys)
+        safe = np.minimum(pos, len(send_keys) - 1)
+        keep = send_keys[safe] != listen_keys
         listen_nodes = listen_nodes[keep]
         listen_slots = listen_slots[keep]
 
-    # Per-group status views.  Group count is tiny (<= l <= 2 in the
-    # paper's experiments), so one length-L copy per group is cheap.
+    # Un-jammed content status under each listen event, via one binary
+    # search into the distinct transmission slots.
+    if len(uniq_tx) and len(listen_slots):
+        pos = np.searchsorted(uniq_tx, listen_slots)
+        safe = np.minimum(pos, len(uniq_tx) - 1)
+        hit = uniq_tx[safe] == listen_slots
+        base_status = np.zeros(len(listen_slots), dtype=np.int64)
+        base_status[hit] = tx_status[safe[hit]]
+    else:
+        base_status = np.zeros(len(listen_slots), dtype=np.int64)
+
+    # Per-group views: jamming overrides content with NOISE.  Group
+    # count is tiny (<= l <= 2 in the paper's experiments); per group
+    # the work is one interval-membership query per event.
     group_ids = np.unique(groups)
     heard = np.zeros((n_nodes, N_STATUS), dtype=np.int64)
-    data_decodable = np.zeros(length, dtype=bool)
+    is_data_tx = tx_status == SlotStatus.DATA
+    data_decodable = np.zeros(int(is_data_tx.sum()), dtype=bool)
+    data_tx_slots = uniq_tx[is_data_tx]
     for g in group_ids:
-        status_g = content.copy()
-        jam_mask = plan.jam_mask(int(g))
-        status_g[jam_mask] = SlotStatus.NOISE
-        data_decodable |= status_g == SlotStatus.DATA
+        jam_g = plan.jam_set(int(g))
+        data_decodable |= ~jam_g.contains(data_tx_slots)
 
         in_group = groups[listen_nodes] == g
         if not in_group.any():
             continue
         nodes_g = listen_nodes[in_group]
-        statuses = status_g[listen_slots[in_group]].astype(np.int64)
+        statuses = np.where(
+            jam_g.contains(listen_slots[in_group]),
+            np.int64(SlotStatus.NOISE),
+            base_status[in_group],
+        )
         flat = np.bincount(nodes_g * N_STATUS + statuses, minlength=n_nodes * N_STATUS)
         heard += flat.reshape(n_nodes, N_STATUS)
 
     send_cost = np.bincount(sends.nodes, minlength=n_nodes)
     listen_cost = np.bincount(listen_nodes, minlength=n_nodes)
 
-    # Channel-wide ground truth from group 0's perspective.
-    status_0 = content.copy()
-    status_0[plan.jam_mask(int(group_ids[0]) if len(group_ids) else 0)] = (
-        SlotStatus.NOISE
+    # Channel-wide ground truth from group 0's perspective: CLEAR slots
+    # are those with neither transmission nor group-0 jam, NOISE slots
+    # the group-0 jam plus un-jammed collisions/noise transmissions.
+    jam_0 = plan.jam_set(0)
+    tx_jammed_0 = jam_0.contains(uniq_tx)
+    n_clear = length - jam_0.size - int((~tx_jammed_0).sum())
+    n_noise = jam_0.size + int(
+        ((tx_status == SlotStatus.NOISE) & ~tx_jammed_0).sum()
     )
-    n_clear = int(np.count_nonzero(status_0 == SlotStatus.CLEAR))
-    n_noise = int(np.count_nonzero(status_0 == SlotStatus.NOISE))
 
     return PhaseOutcome(
         heard=heard,
@@ -169,5 +234,24 @@ def resolve_phase(
         adversary_cost=plan.cost,
         n_clear=n_clear,
         n_noise=n_noise,
-        data_slots=int(np.count_nonzero(data_decodable)),
+        data_slots=int(data_decodable.sum()),
     )
+
+
+def get_resolver(dense: bool | None = None):
+    """Select the phase resolver.
+
+    ``dense=True`` returns the O(L) oracle, ``dense=False`` the sparse
+    O(events) resolver, and ``None`` (the default) consults the
+    :data:`DENSE_RESOLVER_ENV` environment variable so a whole process
+    tree — including executor worker processes, which inherit the
+    environment — can be pinned to the oracle without code changes.
+    """
+    if dense is None:
+        dense = os.environ.get(DENSE_RESOLVER_ENV, "").strip().lower() in {
+            "1",
+            "true",
+            "yes",
+            "on",
+        }
+    return resolve_phase_dense if dense else resolve_phase

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.adversaries.base import Adversary, AdversaryContext
 from repro.channel.accounting import EnergyLedger
-from repro.channel.model import resolve_phase
+from repro.channel.model import get_resolver
 from repro.engine.phase import PhaseObservation
 from repro.engine.sampling import sample_action_events
 from repro.errors import BudgetExceededError, ProtocolError
@@ -96,6 +96,13 @@ class Simulator:
     trace:
         Optional :class:`repro.trace.TraceRecorder` capturing raw
         slot-level material of every phase (small runs only).
+    dense:
+        Resolver selection: ``False`` (default) uses the sparse
+        O(events) kernel, ``True`` the dense O(L) oracle
+        (:mod:`repro.channel.model_dense`), ``None`` defers to the
+        ``REPRO_DENSE_RESOLVER`` environment variable.  Both produce
+        bit-identical outcomes; the oracle exists for differential
+        testing and byte-identity CI gates.
     """
 
     def __init__(
@@ -108,6 +115,7 @@ class Simulator:
         strict: bool = False,
         keep_history: bool = False,
         trace=None,
+        dense: bool | None = None,
     ) -> None:
         self.protocol = protocol
         self.adversary = adversary
@@ -116,6 +124,7 @@ class Simulator:
         self.strict = strict
         self.keep_history = keep_history
         self.trace = trace
+        self.resolve_phase = get_resolver(dense)
 
     def run(self, seed: int | np.random.Generator | None = None) -> RunResult:
         """Play one execution and return its :class:`RunResult`."""
@@ -174,7 +183,7 @@ class Simulator:
                 spent=ledger.adversary_cost,
             )
             plan = adversary.plan_phase(ctx)
-            outcome = resolve_phase(
+            outcome = self.resolve_phase(
                 spec.length,
                 protocol.n_nodes,
                 sends,

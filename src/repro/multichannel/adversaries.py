@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.channel.events import JamPlan, ListenEvents, SendEvents
+from repro.channel.events import JamPlan, ListenEvents, SendEvents, SlotSet
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -68,9 +68,13 @@ def _band_suffix_plan(
     n_jam = int(round(q * ctx.length))
     if k == 0 or n_jam == 0:
         return JamPlan.silent(ctx.n_channels * ctx.length)
-    tail = np.arange(ctx.length - n_jam, ctx.length, dtype=np.int64)
+    # One interval per jammed channel: the phase tail within that
+    # channel's virtual-slot band — O(k) regardless of phase length.
     channels = np.arange(k, dtype=np.int64)
-    slots = (channels[:, None] * ctx.length + tail[None, :]).ravel()
+    slots = SlotSet(
+        channels * ctx.length + (ctx.length - n_jam),
+        channels * ctx.length + ctx.length,
+    )
     return JamPlan(length=ctx.n_channels * ctx.length, global_slots=slots)
 
 
@@ -112,7 +116,7 @@ class ChannelBandJammer(MCAdversary):
         if self.max_total is not None and plan.cost > self.max_total - ctx.spent:
             keep = max(0, self.max_total - ctx.spent)
             plan = JamPlan(
-                length=plan.length, global_slots=np.sort(plan.global_slots)[:keep]
+                length=plan.length, global_slots=plan.global_slots.take_first(keep)
             )
         return plan
 

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.channel.accounting import EnergyLedger
 from repro.channel.events import JamPlan, ListenEvents, SendEvents
-from repro.channel.model import resolve_phase
+from repro.channel.model import get_resolver
 from repro.engine.phase import PhaseObservation
 from repro.engine.sampling import sample_action_events
 from repro.engine.simulator import RunResult
@@ -58,6 +58,11 @@ class MCSimulator:
         An :class:`~repro.multichannel.adversaries.MCAdversary`.
     n_channels:
         Number of frequency channels ``C >= 1``.
+    dense:
+        Resolver selection, as in
+        :class:`~repro.engine.simulator.Simulator`: ``False`` sparse
+        (default), ``True`` the dense oracle, ``None`` defers to
+        ``REPRO_DENSE_RESOLVER``.
     """
 
     def __init__(
@@ -70,6 +75,7 @@ class MCSimulator:
         max_phases: int = 200_000,
         strict: bool = False,
         keep_history: bool = False,
+        dense: bool | None = None,
     ) -> None:
         if n_channels < 1:
             raise ConfigurationError(f"n_channels must be >= 1, got {n_channels}")
@@ -80,6 +86,7 @@ class MCSimulator:
         self.max_phases = max_phases
         self.strict = strict
         self.keep_history = keep_history
+        self.resolve_phase = get_resolver(dense)
 
     def run(self, seed: int | np.random.Generator | None = None) -> RunResult:
         factory = RngFactory(seed)
@@ -119,9 +126,11 @@ class MCSimulator:
             # another.  (The virtual-slot resolver would only catch
             # same-channel conflicts.)
             if len(sends) and len(listens):
-                send_keys = sends.nodes * spec.length + sends.slots
+                send_keys = np.sort(sends.nodes * spec.length + sends.slots)
                 listen_keys = listens.nodes * spec.length + listens.slots
-                keep = ~np.isin(listen_keys, send_keys)
+                pos = np.searchsorted(send_keys, listen_keys)
+                safe = np.minimum(pos, len(send_keys) - 1)
+                keep = send_keys[safe] != listen_keys
                 listens = ListenEvents(listens.nodes[keep], listens.slots[keep])
             v_sends = SendEvents(
                 sends.nodes,
@@ -148,7 +157,7 @@ class MCSimulator:
                     f"MC plan must cover {C}x{spec.length} virtual slots, "
                     f"got {plan.length}"
                 )
-            outcome = resolve_phase(
+            outcome = self.resolve_phase(
                 C * spec.length, protocol.n_nodes, v_sends, v_listens, plan
             )
             ledger.charge_phase(

@@ -30,6 +30,7 @@ from repro.channel.events import (
     SlotStatus,
 )
 from repro.channel.model import resolve_phase, slot_content
+from repro.channel.model_dense import resolve_phase_dense
 from repro.errors import AnalysisError, SimulationError
 
 __all__ = ["PhaseTrace", "TraceRecorder", "timeline", "verify_trace"]
@@ -180,15 +181,35 @@ def timeline(trace: PhaseTrace, max_width: int = 120) -> str:
 def verify_trace(recorder: TraceRecorder) -> int:
     """Replay every recorded phase and check the engine's reports.
 
-    Re-resolves each phase from its raw events with
-    :func:`repro.channel.model.resolve_phase` and compares the heard
-    matrices element-wise.  Returns the number of phases verified;
-    raises :class:`AnalysisError` on any mismatch.
+    Re-resolves each phase from its raw events with *both* resolvers —
+    the sparse O(events) hot path
+    (:func:`repro.channel.model.resolve_phase`) and the dense O(L)
+    oracle (:func:`repro.channel.model_dense.resolve_phase_dense`) —
+    checks the two produce identical :class:`PhaseOutcome`\\ s, and
+    compares the heard matrices against what the engine reported.
+    Returns the number of phases verified; raises
+    :class:`AnalysisError` on any mismatch.
     """
     for t in recorder.phases:
         outcome = resolve_phase(
             t.length, t.n_nodes, t.sends, t.listens, t.plan, groups=t.groups
         )
+        oracle = resolve_phase_dense(
+            t.length, t.n_nodes, t.sends, t.listens, t.plan, groups=t.groups
+        )
+        if not (
+            np.array_equal(outcome.heard, oracle.heard)
+            and np.array_equal(outcome.send_cost, oracle.send_cost)
+            and np.array_equal(outcome.listen_cost, oracle.listen_cost)
+            and (outcome.adversary_cost, outcome.n_clear, outcome.n_noise,
+                 outcome.data_slots)
+            == (oracle.adversary_cost, oracle.n_clear, oracle.n_noise,
+                oracle.data_slots)
+        ):
+            raise AnalysisError(
+                f"sparse/dense resolver divergence in phase {t.phase_index}: "
+                f"{outcome} != {oracle}"
+            )
         if not np.array_equal(outcome.heard, t.heard):
             raise AnalysisError(
                 f"replay mismatch in phase {t.phase_index}: "

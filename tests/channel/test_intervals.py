@@ -1,0 +1,145 @@
+"""Unit tests for the SlotSet run-length interval representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.intervals import SlotSet
+from repro.errors import SimulationError
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = SlotSet.empty()
+        assert len(s) == 0 and s.n_intervals == 0 and not s
+
+    def test_range_is_single_interval(self):
+        s = SlotSet.range(3, 7)
+        assert s.n_intervals == 1
+        assert list(s) == [3, 4, 5, 6]
+
+    def test_empty_range(self):
+        assert SlotSet.range(5, 5) == SlotSet.empty()
+        assert SlotSet.range(7, 3) == SlotSet.empty()
+
+    def test_from_slots_runs(self):
+        s = SlotSet.from_slots([9, 1, 2, 3, 9, 5])
+        assert s.n_intervals == 3
+        assert list(s.starts) == [1, 5, 9]
+        assert list(s.ends) == [4, 6, 10]
+
+    def test_from_slots_dedups(self):
+        assert len(SlotSet.from_slots([4, 4, 4])) == 1
+
+    def test_overlapping_intervals_merged(self):
+        s = SlotSet(np.array([0, 2, 10]), np.array([5, 7, 12]))
+        assert s.n_intervals == 2
+        assert list(s.starts) == [0, 10] and list(s.ends) == [7, 12]
+
+    def test_adjacent_intervals_merged(self):
+        s = SlotSet(np.array([0, 3]), np.array([3, 6]))
+        assert s.n_intervals == 1 and list(s) == [0, 1, 2, 3, 4, 5]
+
+    def test_unsorted_input_normalised(self):
+        s = SlotSet(np.array([8, 0]), np.array([9, 2]))
+        assert list(s.starts) == [0, 8]
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            SlotSet(np.array([5]), np.array([3]))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SimulationError):
+            SlotSet(np.array([1, 2]), np.array([3]))
+
+    def test_coerce_passthrough_and_array(self):
+        s = SlotSet.range(0, 4)
+        assert SlotSet.coerce(s) is s
+        assert SlotSet.coerce([2, 0, 1]) == SlotSet.range(0, 3)
+
+
+class TestQueries:
+    def test_size_vs_n_intervals(self):
+        s = SlotSet.from_slots([0, 1, 5, 6, 7])
+        assert s.size == 5 and s.n_intervals == 2 and len(s) == 5
+
+    def test_min_max(self):
+        s = SlotSet.from_slots([3, 10, 11])
+        assert s.min == 3 and s.max == 11
+
+    def test_min_max_empty_raise(self):
+        with pytest.raises(SimulationError):
+            _ = SlotSet.empty().min
+        with pytest.raises(SimulationError):
+            _ = SlotSet.empty().max
+
+    def test_contains(self):
+        s = SlotSet.from_slots([1, 2, 3, 8])
+        np.testing.assert_array_equal(
+            s.contains([0, 1, 3, 4, 8, 9]),
+            [False, True, True, False, True, False],
+        )
+
+    def test_contains_empty_set(self):
+        assert not SlotSet.empty().contains([0, 5]).any()
+
+    def test_to_slots_roundtrip(self):
+        slots = [0, 4, 5, 6, 99]
+        assert SlotSet.from_slots(slots).to_slots().tolist() == slots
+
+    def test_mask(self):
+        s = SlotSet.from_slots([1, 2, 4])
+        assert s.mask(6).tolist() == [False, True, True, False, True, False]
+
+    def test_mask_domain_checked(self):
+        with pytest.raises(SimulationError):
+            SlotSet.range(0, 10).mask(5)
+
+    def test_getitem_and_array(self):
+        s = SlotSet.from_slots([7, 3, 5])
+        assert s[0] == 3 and s[-1] == 7
+        np.testing.assert_array_equal(np.asarray(s), [3, 5, 7])
+
+
+class TestAlgebra:
+    def test_union(self):
+        a, b = SlotSet.range(0, 4), SlotSet.range(2, 8)
+        assert a.union(b) == SlotSet.range(0, 8)
+
+    def test_union_disjoint(self):
+        a, b = SlotSet.range(0, 2), SlotSet.range(5, 7)
+        u = a.union(b)
+        assert u.n_intervals == 2 and list(u) == [0, 1, 5, 6]
+
+    def test_intersection(self):
+        a, b = SlotSet.range(0, 6), SlotSet.from_slots([4, 5, 6, 7])
+        assert a.intersection(b) == SlotSet.from_slots([4, 5])
+
+    def test_difference(self):
+        a = SlotSet.range(0, 10)
+        b = SlotSet.from_slots([2, 3, 7])
+        assert list(a.difference(b)) == [0, 1, 4, 5, 6, 8, 9]
+
+    def test_difference_with_empty(self):
+        a = SlotSet.range(3, 6)
+        assert a.difference(SlotSet.empty()) == a
+        assert SlotSet.empty().difference(a) == SlotSet.empty()
+
+    def test_complement(self):
+        s = SlotSet.from_slots([0, 3])
+        assert list(s.complement(5)) == [1, 2, 4]
+
+    def test_take_first_within_interval(self):
+        s = SlotSet.range(10, 20)
+        assert s.take_first(4) == SlotSet.range(10, 14)
+
+    def test_take_first_across_intervals(self):
+        s = SlotSet(np.array([0, 10]), np.array([3, 15]))
+        assert list(s.take_first(5)) == [0, 1, 2, 10, 11]
+
+    def test_take_first_bounds(self):
+        s = SlotSet.range(0, 5)
+        assert s.take_first(0) == SlotSet.empty()
+        assert s.take_first(-2) == SlotSet.empty()
+        assert s.take_first(99) == s

@@ -1,0 +1,234 @@
+"""Differential oracle: the sparse O(events) resolver must be
+bit-identical to the dense O(L) reference on arbitrary phases.
+
+These are the tests backing the PR-3 kernel swap: every field of
+:class:`~repro.channel.events.PhaseOutcome` — not just ``heard`` — must
+agree between :func:`repro.channel.model.resolve_phase` and
+:func:`repro.channel.model_dense.resolve_phase_dense`, across spoofs,
+targeted jams, interval and explicit-slot plan construction, and
+multi-group node assignments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.events import (
+    JamPlan,
+    ListenEvents,
+    SendEvents,
+    SlotSet,
+    SlotStatus,
+    TxKind,
+)
+from repro.channel.model import (
+    get_resolver,
+    resolve_phase,
+    slot_content,
+    slot_content_at,
+)
+from repro.channel.model_dense import resolve_phase_dense
+
+pytestmark = pytest.mark.engine
+
+KINDS = [int(k) for k in TxKind]
+
+
+def assert_outcomes_identical(a, b) -> None:
+    """Full PhaseOutcome equality, field by field."""
+    np.testing.assert_array_equal(a.heard, b.heard)
+    np.testing.assert_array_equal(a.send_cost, b.send_cost)
+    np.testing.assert_array_equal(a.listen_cost, b.listen_cost)
+    assert a.adversary_cost == b.adversary_cost
+    assert a.n_clear == b.n_clear
+    assert a.n_noise == b.n_noise
+    assert a.data_slots == b.data_slots
+
+
+@st.composite
+def full_phase_setup(draw):
+    """Random phase with spoofs, targeted jams, and group assignments."""
+    length = draw(st.integers(4, 160))
+    n_nodes = draw(st.integers(1, 6))
+    n_sends = draw(st.integers(0, 50))
+    n_listens = draw(st.integers(0, 50))
+    n_spoofs = draw(st.integers(0, 8))
+    sends = SendEvents(
+        np.array(draw(st.lists(st.integers(0, n_nodes - 1), min_size=n_sends,
+                               max_size=n_sends)), dtype=np.int64),
+        np.array(draw(st.lists(st.integers(0, length - 1), min_size=n_sends,
+                               max_size=n_sends)), dtype=np.int64),
+        np.array(draw(st.lists(st.sampled_from(KINDS), min_size=n_sends,
+                               max_size=n_sends)), dtype=np.int8),
+    )
+    listens = ListenEvents(
+        np.array(draw(st.lists(st.integers(0, n_nodes - 1), min_size=n_listens,
+                               max_size=n_listens)), dtype=np.int64),
+        np.array(draw(st.lists(st.integers(0, length - 1), min_size=n_listens,
+                               max_size=n_listens)), dtype=np.int64),
+    )
+    n_groups = draw(st.integers(1, 3))
+    targeted = {}
+    for g in range(n_groups):
+        if draw(st.booleans()):
+            targeted[g] = np.array(
+                draw(st.lists(st.integers(0, length - 1), max_size=length // 2)),
+                dtype=np.int64,
+            )
+    plan = JamPlan(
+        length=length,
+        global_slots=np.array(
+            draw(st.lists(st.integers(0, length - 1), max_size=length)),
+            dtype=np.int64,
+        ),
+        targeted=targeted,
+        spoof_slots=np.array(
+            draw(st.lists(st.integers(0, length - 1), min_size=n_spoofs,
+                          max_size=n_spoofs)), dtype=np.int64),
+        spoof_kinds=np.array(
+            draw(st.lists(st.sampled_from(KINDS), min_size=n_spoofs,
+                          max_size=n_spoofs)), dtype=np.int8),
+    )
+    # Deliberately allow group assignments that leave group 0 empty.
+    groups = np.array(
+        draw(st.lists(st.integers(0, n_groups - 1), min_size=n_nodes,
+                      max_size=n_nodes)), dtype=np.int64)
+    return length, n_nodes, sends, listens, plan, groups
+
+
+@settings(max_examples=200, deadline=None)
+@given(full_phase_setup())
+def test_sparse_equals_dense_oracle(setup):
+    length, n_nodes, sends, listens, plan, groups = setup
+    sparse = resolve_phase(length, n_nodes, sends, listens, plan, groups)
+    dense = resolve_phase_dense(length, n_nodes, sends, listens, plan, groups)
+    assert_outcomes_identical(sparse, dense)
+
+
+@settings(max_examples=100, deadline=None)
+@given(full_phase_setup())
+def test_sparse_equals_dense_without_groups(setup):
+    length, n_nodes, sends, listens, plan, _ = setup
+    sparse = resolve_phase(length, n_nodes, sends, listens, plan)
+    dense = resolve_phase_dense(length, n_nodes, sends, listens, plan)
+    assert_outcomes_identical(sparse, dense)
+
+
+@settings(max_examples=100, deadline=None)
+@given(full_phase_setup())
+def test_slot_content_at_matches_dense_content(setup):
+    length, _, sends, _, plan, _ = setup
+    dense = slot_content(length, sends, plan)
+    queries = np.arange(length, dtype=np.int64)
+    np.testing.assert_array_equal(slot_content_at(queries, sends, plan), dense)
+
+
+class TestGroundTruthIsGroupZero:
+    """Regression: n_clear/n_noise promise *group 0's* view, even when
+    no node currently belongs to group 0 (the seed resolver used the
+    lowest present group instead)."""
+
+    def test_group_zero_view_with_empty_group_zero(self):
+        # Both nodes live in group 1; group 1 is targeted in slot 1.
+        # Group 0's channel stays clean, so the ground truth must show
+        # zero noise and a decodable channel.
+        length = 4
+        plan = JamPlan(length=length, targeted={1: np.array([1])})
+        sends = SendEvents(
+            np.array([0]), np.array([1]), np.array([int(TxKind.DATA)], np.int8)
+        )
+        groups = np.array([1, 1])
+        for resolver in (resolve_phase, resolve_phase_dense):
+            out = resolver(length, 2, sends, ListenEvents.empty(), plan, groups)
+            assert out.n_noise == 0, resolver.__name__
+            assert out.n_clear == length - 1, resolver.__name__
+
+    def test_global_jam_still_counts_for_absent_group_zero(self):
+        length = 8
+        plan = JamPlan(length=length, global_slots=np.array([0, 1, 2]))
+        groups = np.array([2, 2])
+        for resolver in (resolve_phase, resolve_phase_dense):
+            out = resolver(
+                length, 2, SendEvents.empty(), ListenEvents.empty(), plan, groups
+            )
+            assert out.n_noise == 3, resolver.__name__
+            assert out.n_clear == 5, resolver.__name__
+
+
+class TestHalfDuplexPinned:
+    """Half-duplex semantics: a node that schedules a send and a listen
+    in the same slot performs only the send — charged once, hears
+    nothing — regardless of resolver."""
+
+    @pytest.mark.parametrize("resolver", [resolve_phase, resolve_phase_dense],
+                             ids=["sparse", "dense"])
+    def test_send_and_listen_same_slot_charged_once(self, resolver):
+        sends = SendEvents(
+            np.array([0]), np.array([2]), np.array([int(TxKind.DATA)], np.int8)
+        )
+        listens = ListenEvents(np.array([0, 0, 1]), np.array([2, 3, 2]))
+        out = resolver(4, 2, sends, listens, JamPlan.silent(4))
+        assert out.send_cost[0] == 1
+        assert out.listen_cost[0] == 1  # only the slot-3 listen survives
+        assert out.heard[0].sum() == 1
+        assert out.heard[0, SlotStatus.CLEAR] == 1  # slot 3, not its own DATA
+        # The *other* node's same-slot listen is unaffected.
+        assert out.heard[1, SlotStatus.DATA] == 1
+
+    @pytest.mark.parametrize("resolver", [resolve_phase, resolve_phase_dense],
+                             ids=["sparse", "dense"])
+    def test_many_conflicts_drop_exactly_the_conflicting_listens(self, resolver):
+        rng = np.random.default_rng(42)
+        length, n_nodes, n_ev = 64, 8, 120
+        sends = SendEvents(
+            rng.integers(0, n_nodes, n_ev),
+            rng.integers(0, length, n_ev),
+            np.full(n_ev, int(TxKind.DATA), np.int8),
+        )
+        listens = ListenEvents(
+            rng.integers(0, n_nodes, n_ev), rng.integers(0, length, n_ev)
+        )
+        out = resolver(length, n_nodes, sends, listens, JamPlan.silent(length))
+        send_keys = set(
+            (sends.nodes * length + sends.slots).tolist()
+        )
+        expected_kept = sum(
+            1
+            for u, s in zip(listens.nodes.tolist(), listens.slots.tolist())
+            if u * length + s not in send_keys
+        )
+        assert out.listen_cost.sum() == expected_kept
+
+
+def test_get_resolver_flag(monkeypatch):
+    assert get_resolver(dense=True) is resolve_phase_dense
+    assert get_resolver(dense=False) is resolve_phase
+    monkeypatch.delenv("REPRO_DENSE_RESOLVER", raising=False)
+    assert get_resolver() is resolve_phase
+    monkeypatch.setenv("REPRO_DENSE_RESOLVER", "1")
+    assert get_resolver() is resolve_phase_dense
+    monkeypatch.setenv("REPRO_DENSE_RESOLVER", "off")
+    assert get_resolver() is resolve_phase
+
+
+def test_simulator_dense_flag_bit_identical():
+    """A full run under either resolver yields identical results."""
+    from repro.adversaries import EpochTargetJammer
+    from repro.engine.simulator import run
+    from repro.protocols import OneToOneBroadcast, OneToOneParams
+
+    params = OneToOneParams.sim()
+    mk = lambda: OneToOneBroadcast(params)  # noqa: E731
+    adv = lambda: EpochTargetJammer(  # noqa: E731
+        params.first_epoch + 2, q=1.0, target_listener=True
+    )
+    sparse = run(mk(), adv(), seed=123, dense=False)
+    dense = run(mk(), adv(), seed=123, dense=True)
+    np.testing.assert_array_equal(sparse.node_costs, dense.node_costs)
+    assert sparse.adversary_cost == dense.adversary_cost
+    assert sparse.slots == dense.slots
+    assert sparse.phases == dense.phases
+    assert sparse.stats == dense.stats

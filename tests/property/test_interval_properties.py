@@ -1,0 +1,188 @@
+"""Property tests: SlotSet algebra vs python-set semantics, and JamPlan
+normalization invariants on the interval representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.events import JamPlan, SlotSet, TxKind
+
+DOMAIN = 64
+
+slot_lists = st.lists(st.integers(0, DOMAIN - 1), max_size=DOMAIN)
+
+
+@st.composite
+def slot_sets(draw):
+    """Either built from explicit slots or from raw (possibly messy)
+    interval endpoints — both must normalise to the same invariants."""
+    if draw(st.booleans()):
+        return SlotSet.from_slots(
+            np.array(draw(slot_lists), dtype=np.int64)
+        )
+    n = draw(st.integers(0, 8))
+    starts = np.array(
+        draw(st.lists(st.integers(0, DOMAIN - 1), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    widths = np.array(
+        draw(st.lists(st.integers(1, 8), min_size=n, max_size=n)), dtype=np.int64
+    )
+    return SlotSet(starts, starts + widths)
+
+
+class TestSlotSetVsPythonSet:
+    """Every SlotSet operation must agree with the obvious set-of-ints
+    model."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(slot_sets())
+    def test_normal_form(self, s):
+        # Sorted, disjoint, non-adjacent, non-empty intervals.
+        assert np.all(s.starts < s.ends)
+        if s.n_intervals > 1:
+            assert np.all(s.starts[1:] > s.ends[:-1])
+        # size and slot expansion agree.
+        assert s.size == len(s.to_slots())
+        assert s.size == int((s.ends - s.starts).sum())
+
+    @settings(max_examples=150, deadline=None)
+    @given(slot_lists)
+    def test_from_slots_roundtrip(self, slots):
+        model = sorted(set(slots))
+        assert SlotSet.from_slots(np.array(slots, np.int64)).to_slots().tolist() == model
+
+    @settings(max_examples=150, deadline=None)
+    @given(slot_sets(), slot_sets())
+    def test_union(self, a, b):
+        assert set(a.union(b)) == set(a) | set(b)
+
+    @settings(max_examples=150, deadline=None)
+    @given(slot_sets(), slot_sets())
+    def test_intersection(self, a, b):
+        assert set(a.intersection(b)) == set(a) & set(b)
+
+    @settings(max_examples=150, deadline=None)
+    @given(slot_sets(), slot_sets())
+    def test_difference(self, a, b):
+        assert set(a.difference(b)) == set(a) - set(b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(slot_sets())
+    def test_complement(self, s):
+        n = DOMAIN + 8  # widths may push ends past DOMAIN
+        assert set(s.complement(n)) == set(range(n)) - set(s)
+
+    @settings(max_examples=100, deadline=None)
+    @given(slot_sets(), st.integers(0, 2 * DOMAIN))
+    def test_take_first(self, s, n):
+        assert list(s.take_first(n)) == sorted(set(s))[:n]
+
+    @settings(max_examples=100, deadline=None)
+    @given(slot_sets(), slot_lists)
+    def test_contains(self, s, queries):
+        q = np.array(queries, np.int64)
+        expected = np.array([x in set(s) for x in queries], dtype=bool)
+        np.testing.assert_array_equal(s.contains(q), expected)
+
+    @settings(max_examples=100, deadline=None)
+    @given(slot_sets())
+    def test_mask_matches_membership(self, s):
+        n = DOMAIN + 8
+        mask = s.mask(n)
+        assert set(np.flatnonzero(mask)) == set(s)
+
+
+class TestJamPlanInvariants:
+    """Normalization invariants of JamPlan on the interval form."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(slot_lists, st.dictionaries(st.integers(0, 3), slot_lists, max_size=3))
+    def test_targeted_minus_global_and_dedup(self, global_slots, targeted):
+        plan = JamPlan(
+            length=DOMAIN,
+            global_slots=np.array(global_slots, np.int64),
+            targeted={g: np.array(v, np.int64) for g, v in targeted.items()},
+        )
+        g_set = set(global_slots)
+        # Global: deduplicated and sorted.
+        assert list(plan.global_slots) == sorted(g_set)
+        for g, slots in plan.targeted.items():
+            expected = set(targeted[g]) - g_set
+            # Targeted ∖ global, deduplicated, non-empty groups only.
+            assert set(slots) == expected and expected
+        # Groups whose targeted slots were fully swallowed disappear.
+        for g, v in targeted.items():
+            if not (set(v) - g_set):
+                assert g not in plan.targeted
+
+    @settings(max_examples=150, deadline=None)
+    @given(slot_lists, st.dictionaries(st.integers(0, 3), slot_lists, max_size=3),
+           slot_lists)
+    def test_cost_counts_each_action_once(self, global_slots, targeted, spoofs):
+        plan = JamPlan(
+            length=DOMAIN,
+            global_slots=np.array(global_slots, np.int64),
+            targeted={g: np.array(v, np.int64) for g, v in targeted.items()},
+            spoof_slots=np.array(spoofs, np.int64),
+            spoof_kinds=np.full(len(spoofs), int(TxKind.NOISE), np.int8),
+        )
+        g_set = set(global_slots)
+        expected = (
+            len(g_set)
+            + sum(len(set(v) - g_set) for v in targeted.values())
+            + len(spoofs)  # spoof duplicates are distinct transmissions
+        )
+        assert plan.cost == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(slot_lists, st.dictionaries(st.integers(0, 3), slot_lists, max_size=3))
+    def test_interval_vs_explicit_construction_identical(self, global_slots, targeted):
+        """Building from explicit slot arrays or pre-built SlotSets must
+        yield the same normalised plan."""
+        explicit = JamPlan(
+            length=DOMAIN,
+            global_slots=np.array(global_slots, np.int64),
+            targeted={g: np.array(v, np.int64) for g, v in targeted.items()},
+        )
+        interval = JamPlan(
+            length=DOMAIN,
+            global_slots=SlotSet.from_slots(np.array(global_slots, np.int64)),
+            targeted={
+                g: SlotSet.from_slots(np.array(v, np.int64))
+                for g, v in targeted.items()
+            },
+        )
+        assert explicit.global_slots == interval.global_slots
+        assert explicit.targeted.keys() == interval.targeted.keys()
+        for g in explicit.targeted:
+            assert explicit.targeted[g] == interval.targeted[g]
+        assert explicit.cost == interval.cost
+
+    @settings(max_examples=100, deadline=None)
+    @given(slot_lists, st.dictionaries(st.integers(0, 3), slot_lists, max_size=3),
+           st.integers(0, 3))
+    def test_jam_set_matches_jam_mask(self, global_slots, targeted, group):
+        plan = JamPlan(
+            length=DOMAIN,
+            global_slots=np.array(global_slots, np.int64),
+            targeted={g: np.array(v, np.int64) for g, v in targeted.items()},
+        )
+        mask = plan.jam_mask(group)
+        assert set(plan.jam_set(group)) == set(np.flatnonzero(mask))
+
+    @pytest.mark.parametrize("ctor", [JamPlan.suffix, JamPlan.prefix])
+    def test_suffix_prefix_are_single_intervals(self, ctor):
+        plan = ctor(1 << 40, 1000)  # astronomically long phase: O(1) intervals
+        assert plan.global_slots.n_intervals == 1
+        assert plan.cost == 1000
+        plan_t = ctor(1 << 40, 7, group=2)
+        assert plan_t.targeted[2].n_intervals == 1
+        assert plan_t.cost == 7
+
+    def test_suffix_prefix_slot_positions(self):
+        assert list(JamPlan.suffix(10, 3).global_slots) == [7, 8, 9]
+        assert list(JamPlan.prefix(10, 3).global_slots) == [0, 1, 2]
