@@ -1,0 +1,10 @@
+"""Benchmark E17: searched adversaries stay inside the sqrt envelope.
+
+Runs the arena's evolutionary strategy search against Figure 1 and
+asserts the strongest attack found obeys the C*sqrt(T ln 1/eps) cost
+envelope; see src/repro/experiments/e17_arena_search.py.
+"""
+
+
+def test_e17(run_quick):
+    run_quick("E17")

@@ -17,6 +17,12 @@
 #    (REPRO_DENSE_RESOLVER=1) and requires the two saved reports to be
 #    byte-identical — the end-to-end differential gate for the
 #    O(events) kernel.
+# 7. Runs the `arena`-marked pytest suite (genome search, corpus
+#    replay, tournaments).
+# 8. Runs a fixed-seed arena search through the real CLI serially and
+#    with -j 2 and requires the two saved leaderboard reports — which
+#    embed the best genome's fingerprint — to be byte-identical, plus
+#    the default `duel` chart to be byte-identical across repeats.
 #
 # Usage: scripts/check_parallel_determinism.sh [extra pytest args]
 
@@ -69,3 +75,27 @@ if ! cmp "$tmp/sparse/E1.json" "$tmp/dense/E1.json"; then
     exit 1
 fi
 echo "OK: E1 report byte-identical sparse vs dense oracle"
+
+echo "== arena suite (pytest -m arena) =="
+python -m pytest -q -m arena "$@"
+
+echo "== CLI byte-identity: arena search serial vs -j 2 =="
+python -m repro.cli arena search --seed 11 --generations 2 --population 6 \
+    --reps 2 --save "$tmp/arena-serial" > /dev/null
+python -m repro.cli arena search --seed 11 --generations 2 --population 6 \
+    --reps 2 -j 2 --save "$tmp/arena-parallel" > /dev/null
+if ! cmp "$tmp/arena-serial/ARENA-SEARCH.json" \
+         "$tmp/arena-parallel/ARENA-SEARCH.json"; then
+    echo "FAIL: parallel arena search differs from serial" >&2
+    exit 1
+fi
+echo "OK: arena search leaderboard (and best genome) byte-identical with -j 2"
+
+echo "== CLI byte-identity: duel default output across repeats =="
+python -m repro.cli duel --points 2 --reps 2 > "$tmp/duel-a.out"
+python -m repro.cli duel --points 2 --reps 2 > "$tmp/duel-b.out"
+if ! cmp "$tmp/duel-a.out" "$tmp/duel-b.out"; then
+    echo "FAIL: duel output is not deterministic" >&2
+    exit 1
+fi
+echo "OK: duel chart byte-identical across repeats"

@@ -37,8 +37,19 @@ Strategies provided:
                              (Awerbuch/Richa et al. [6, 34–36])
 :class:`GreedyAdaptiveJammer` learns listening density and blocks the
                              phases the protocol pays attention to
+:class:`SplicedScheduleJammer` jams an arbitrary union of relative
+                             intervals of every phase (the arena's
+                             interval-splice genome family)
 :class:`BudgetCap`           wrapper clamping any strategy to a total budget
 ==========================  ==================================================
+
+Every zoo strategy above is constructible from scalar configuration, so
+:func:`repro.cache.describe` gives it a canonical form and
+:func:`repro.adversaries.canonical.rebuild_adversary` rebuilds an
+equivalent instance from that form — the round-trip the arena's attack
+corpus and the result cache both rely on.  The *uncacheable* residue is
+explicit and small: see
+:data:`repro.adversaries.canonical.UNCACHEABLE_FORMS`.
 """
 
 from repro.adversaries.base import Adversary, AdversaryContext
@@ -52,6 +63,7 @@ from repro.adversaries.blocking import EpochTargetJammer, QBlockingJammer
 from repro.adversaries.budget import BudgetCap
 from repro.adversaries.halving import HalvingAttacker
 from repro.adversaries.reactive import ReactiveProductJammer
+from repro.adversaries.spliced import SplicedScheduleJammer
 from repro.adversaries.spoofing import SpoofingAdversary
 from repro.adversaries.stochastic import (
     GreedyAdaptiveJammer,
@@ -74,6 +86,7 @@ __all__ = [
     "RandomJammer",
     "ReactiveProductJammer",
     "SilentAdversary",
+    "SplicedScheduleJammer",
     "SpoofingAdversary",
     "SuffixJammer",
     "WindowedJammer",

@@ -1,0 +1,201 @@
+"""Canonical description round-trip for the adversary zoo.
+
+:func:`repro.cache.fingerprint.describe` already reduces every zoo
+strategy to a canonical JSON-able form (class name plus public
+attributes); this module adds the *inverse* — rebuilding an equivalent
+instance from that form — and makes the uncacheable residue explicit.
+
+The round-trip contract, pinned by ``tests/adversaries/test_canonical.py``::
+
+    describe(rebuild_adversary(describe(adv))) == describe(adv)
+
+holds for every strategy in :data:`ZOO_CLASSES` whose configuration is
+scalar (which is all of them, as constructed by their public
+constructors).  It is what lets the arena's attack corpus store a found
+adversary as data and replay it exactly in a later process, and what
+the result cache's fingerprints assume when they treat a description as
+a complete identity.
+
+What cannot round-trip — and therefore silently falls out of the cache
+via :class:`~repro.errors.FingerprintError` — is listed in
+:data:`UNCACHEABLE_FORMS`.  Use :func:`is_cacheable` to test an
+instance instead of guessing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from enum import Enum
+
+import numpy as np
+
+from repro.adversaries.base import Adversary
+from repro.adversaries.basic import (
+    PeriodicJammer,
+    RandomJammer,
+    SilentAdversary,
+    SuffixJammer,
+)
+from repro.adversaries.blocking import EpochTargetJammer, QBlockingJammer
+from repro.adversaries.budget import BudgetCap
+from repro.adversaries.halving import HalvingAttacker
+from repro.adversaries.reactive import ReactiveProductJammer
+from repro.adversaries.spliced import SplicedScheduleJammer
+from repro.adversaries.spoofing import SpoofingAdversary
+from repro.adversaries.stochastic import (
+    GreedyAdaptiveJammer,
+    MarkovJammer,
+    WindowedJammer,
+)
+from repro.adversaries.suppressor import BroadcastSuppressor
+from repro.cache.fingerprint import describe
+from repro.channel.events import TxKind
+from repro.errors import CacheError, FingerprintError
+
+__all__ = [
+    "UNCACHEABLE_FORMS",
+    "ZOO_CLASSES",
+    "adversary_fingerprint",
+    "is_cacheable",
+    "rebuild_adversary",
+    "undescribe",
+]
+
+#: Every zoo strategy, keyed by class name — the vocabulary
+#: :func:`rebuild_adversary` accepts.  Each class's constructor keywords
+#: coincide with its public attributes (a deliberate invariant: it is
+#: what makes ``describe`` output a complete constructor call).
+ZOO_CLASSES: dict[str, type[Adversary]] = {
+    cls.__name__: cls
+    for cls in (
+        BroadcastSuppressor,
+        BudgetCap,
+        EpochTargetJammer,
+        GreedyAdaptiveJammer,
+        HalvingAttacker,
+        MarkovJammer,
+        PeriodicJammer,
+        QBlockingJammer,
+        RandomJammer,
+        ReactiveProductJammer,
+        SilentAdversary,
+        SplicedScheduleJammer,
+        SpoofingAdversary,
+        SuffixJammer,
+        WindowedJammer,
+    )
+}
+
+#: Enum types that may appear inside adversary configuration.
+_ENUMS: dict[str, type[Enum]] = {"TxKind": TxKind}
+
+#: The explicit uncacheable set: configuration forms that break the
+#: round-trip.  The first two have no canonical description at all
+#: (``describe`` raises, so tasks built from them run correctly but are
+#: never served from or written to the result cache); the third
+#: describes but cannot be rebuilt, so it cannot live in the attack
+#: corpus.  Anything not listed here is expected to round-trip.  Note
+#: that a strategy's *own* generator (``Adversary.rng``) hides behind a
+#: private attribute, which ``describe`` skips — stateful zoo members
+#: stay cacheable.
+UNCACHEABLE_FORMS: tuple[tuple[str, str], ...] = (
+    ("QBlockingJammer(predicate=<callable>)",
+     "an open callable has no canonical form (describe raises)"),
+    ("any adversary holding a public numpy Generator attribute",
+     "generator state is process-local runtime state (describe raises)"),
+    ("any adversary holding a public TraceRecorder or other non-zoo object",
+     "runtime history describes but is not constructor configuration "
+     "(rebuild raises)"),
+)
+
+
+def is_cacheable(adversary: Adversary) -> bool:
+    """Whether ``adversary`` has a canonical description.
+
+    False exactly when :func:`repro.cache.describe` raises
+    :class:`~repro.errors.FingerprintError` — the same test the
+    experiment runner applies before consulting the result cache.
+    """
+    try:
+        describe(adversary)
+    except FingerprintError:
+        return False
+    return True
+
+
+def adversary_fingerprint(adversary: Adversary) -> str:
+    """SHA-256 hex digest of the canonical description.
+
+    Raises :class:`~repro.errors.FingerprintError` for uncacheable
+    instances (see :data:`UNCACHEABLE_FORMS`).
+    """
+    text = json.dumps(describe(adversary), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _is_tagged(desc, tag: str, arity: int) -> bool:
+    return (
+        isinstance(desc, list)
+        and len(desc) == arity
+        and desc[0] == tag
+    )
+
+
+def undescribe(desc):
+    """Invert :func:`repro.cache.describe` for the configuration
+    vocabulary of this package.
+
+    Handles scalars, tagged floats, enums, dicts, ndarrays, nested
+    objects from :data:`ZOO_CLASSES`, and plain lists of any of those.
+    Raises :class:`~repro.errors.CacheError` on forms it does not know
+    (dataclass descriptions belong to protocols, not adversaries).
+    """
+    if desc is None or isinstance(desc, (bool, int, str)):
+        return desc
+    if not isinstance(desc, list):
+        raise CacheError(f"unknown description node: {desc!r}")
+    if _is_tagged(desc, "float", 2) and isinstance(desc[1], str):
+        return float(desc[1])
+    if _is_tagged(desc, "enum", 3):
+        enum_type = _ENUMS.get(desc[1])
+        if enum_type is None:
+            raise CacheError(f"unknown enum type in description: {desc[1]!r}")
+        return enum_type[desc[2]]
+    if _is_tagged(desc, "dict", 2) and isinstance(desc[1], list):
+        return {key: undescribe(value) for key, value in desc[1]}
+    if _is_tagged(desc, "ndarray", 4):
+        _, dtype, shape, values = desc
+        return np.asarray(undescribe(values), dtype=np.dtype(dtype)).reshape(shape)
+    if _is_tagged(desc, "object", 3):
+        return rebuild_adversary(desc)
+    return [undescribe(item) for item in desc]
+
+
+def rebuild_adversary(desc) -> Adversary:
+    """Rebuild a zoo adversary from its :func:`~repro.cache.describe`
+    form.
+
+    The inner adversary of a :class:`BudgetCap` (and any other object
+    attribute) is rebuilt recursively.  Raises
+    :class:`~repro.errors.CacheError` when the description names a
+    class outside :data:`ZOO_CLASSES` or carries attributes its
+    constructor does not accept.
+    """
+    if not _is_tagged(desc, "object", 3):
+        raise CacheError(f"not an object description: {desc!r}")
+    _, qualified, attrs = desc
+    name = qualified.rsplit(".", 1)[-1]
+    cls = ZOO_CLASSES.get(name)
+    if cls is None:
+        raise CacheError(
+            f"cannot rebuild {qualified!r}: not a zoo adversary "
+            f"(known: {', '.join(sorted(ZOO_CLASSES))})"
+        )
+    kwargs = {key: undescribe(value) for key, value in attrs}
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise CacheError(
+            f"description of {name} does not match its constructor: {exc}"
+        ) from exc

@@ -1,0 +1,89 @@
+"""Interval-splice jamming schedules.
+
+The arena's search loop (:mod:`repro.arena`) needs a family whose
+genome *is* a jam schedule: an arbitrary union of intervals, expressed
+as fractions of each phase so that one genome applies to phases of
+every length.  Mutation can then splice the schedule directly — shift,
+grow, split, merge, add, or drop an interval — exploring shapes no
+hand-written strategy commits to (mid-phase bursts, multi-burst combs,
+prefix+suffix pincers).
+
+Lemma 1 says none of these shapes can beat the canonical suffix by more
+than a constant against phase-oblivious protocols; this family is how
+the arena *tests* that claim instead of assuming it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.base import Adversary, AdversaryContext
+from repro.channel.events import JamPlan, SlotSet
+from repro.errors import ConfigurationError
+
+__all__ = ["SplicedScheduleJammer"]
+
+
+class SplicedScheduleJammer(Adversary):
+    """Jams a fixed union of relative intervals of every phase.
+
+    Parameters
+    ----------
+    intervals:
+        Sequence of ``(start, end)`` pairs with
+        ``0 <= start < end <= 1``; each pair jams slots
+        ``[floor(start * L), floor(end * L))`` of a length-``L`` phase.
+        Overlaps are legal (the slot set is normalised); an interval
+        that rounds to zero slots in a short phase jams nothing there.
+    group:
+        Target group (``None`` = channel-wide).
+    target_listener:
+        Jam the group named by the ``"listener_group"`` phase tag when
+        present (overrides ``group`` for those phases).
+    max_total:
+        Optional energy budget; earliest slots are kept when it binds.
+    """
+
+    def __init__(
+        self,
+        intervals,
+        group: int | None = None,
+        target_listener: bool = False,
+        max_total: int | None = None,
+    ) -> None:
+        cleaned: list[list[float]] = []
+        for pair in intervals:
+            start, end = (float(pair[0]), float(pair[1]))
+            if not 0.0 <= start < end <= 1.0:
+                raise ConfigurationError(
+                    f"interval must satisfy 0 <= start < end <= 1, got "
+                    f"({start!r}, {end!r})"
+                )
+            cleaned.append([start, end])
+        if not cleaned:
+            raise ConfigurationError("at least one interval is required")
+        if max_total is not None and max_total < 0:
+            raise ConfigurationError(f"max_total must be >= 0, got {max_total}")
+        # Sorted plain lists: a canonical, JSON-able description (the
+        # genome form) regardless of the order the caller supplied.
+        self.intervals = sorted(cleaned)
+        self.group = group
+        self.target_listener = target_listener
+        self.max_total = max_total
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        starts = np.array(
+            [int(s * ctx.length) for s, _ in self.intervals], dtype=np.int64
+        )
+        ends = np.array(
+            [int(e * ctx.length) for _, e in self.intervals], dtype=np.int64
+        )
+        slots = SlotSet(starts, ends)
+        if self.max_total is not None:
+            slots = slots.take_first(max(0, self.max_total - ctx.spent))
+        group = self.group
+        if self.target_listener and "listener_group" in ctx.tags:
+            group = int(ctx.tags["listener_group"])
+        if group is None:
+            return JamPlan(length=ctx.length, global_slots=slots)
+        return JamPlan(length=ctx.length, targeted={group: slots})

@@ -1,0 +1,70 @@
+"""Adversarial strategy search, attack corpus, and tournament harness.
+
+Theorems 1–5 are worst-case claims quantified over *all* adaptive
+adversaries; the experiment suite exercises a fixed hand-written zoo.
+This package closes the gap by treating the adversary as what the
+analyses say she is — an optimizer of the resource exchange — and
+searching her strategy space mechanically:
+
+* :mod:`repro.arena.space` — a parametric genome over the zoo's
+  strategy families (suffix/prefix/splice schedules, q-blocking
+  targets, reactive thresholds, stochastic sojourn parameters, budget
+  caps) with seeded mutation and crossover, each genome canonically
+  describable and hence fingerprintable;
+* :mod:`repro.arena.search` — deterministic random-search and
+  evolutionary loops maximising the attack's sqrt-normalized exchange
+  index, fanned out in batches through
+  :mod:`repro.engine.executor` and memoized via :mod:`repro.cache`
+  (a restarted search resumes from its finished evaluations);
+* :mod:`repro.arena.corpus` — an append-only JSONL regression corpus
+  of found attacks, fingerprint-keyed, with greedy genome shrinking
+  and exact replay through the simulator;
+* :mod:`repro.arena.tournament` — the protocols × strategies duel
+  matrix behind ``repro-bcast arena tournament`` and the refactored
+  ``repro-bcast duel``, producing leaderboard
+  :class:`~repro.experiments.runner.Table` reports compatible with
+  :mod:`repro.store` / ``compare_reports``.
+
+Experiment E17 wires the search into the registry: the best attack
+found against Figure 1 must still obey the ``O(sqrt(T ln 1/eps))``
+cost envelope within preset constant factors — the theorems defended
+against an optimizer instead of a zoo.
+"""
+
+from __future__ import annotations
+
+from repro.arena.corpus import ATTACK_SCHEMA, AttackCorpus, AttackRecord, shrink
+from repro.arena.search import (
+    Evaluation,
+    SearchResult,
+    evaluate_genomes,
+    evolve,
+    random_search,
+)
+from repro.arena.space import (
+    Genome,
+    StrategySpace,
+    default_space,
+    protocol_factory,
+    protocol_names,
+)
+from repro.arena.tournament import duel, tournament
+
+__all__ = [
+    "ATTACK_SCHEMA",
+    "AttackCorpus",
+    "AttackRecord",
+    "Evaluation",
+    "Genome",
+    "SearchResult",
+    "StrategySpace",
+    "default_space",
+    "duel",
+    "evaluate_genomes",
+    "evolve",
+    "protocol_factory",
+    "protocol_names",
+    "random_search",
+    "shrink",
+    "tournament",
+]

@@ -253,6 +253,40 @@ class JamPlan:
             return JamPlan(length=length, global_slots=slots)
         return JamPlan(length=length, targeted={int(group): slots})
 
+    def to_json(self) -> dict:
+        """Plain-container snapshot of the plan.
+
+        Jam schedules persist as interval boundaries (see
+        :meth:`SlotSet.to_json`); spoof events as explicit slot/kind
+        lists.  The round-trip through :meth:`from_json` is exact —
+        normalisation is idempotent, so a rebuilt plan equals the
+        original field for field — which is what lets the attack corpus
+        replay a recorded schedule through :func:`repro.trace.verify_trace`.
+        """
+        return {
+            "length": int(self.length),
+            "global_slots": self.global_slots.to_json(),
+            "targeted": {
+                str(g): ss.to_json() for g, ss in sorted(self.targeted.items())
+            },
+            "spoof_slots": self.spoof_slots.tolist(),
+            "spoof_kinds": self.spoof_kinds.tolist(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JamPlan":
+        """Rebuild a plan from :meth:`to_json` output."""
+        return cls(
+            length=int(data["length"]),
+            global_slots=SlotSet.from_json(data["global_slots"]),
+            targeted={
+                int(g): SlotSet.from_json(ss)
+                for g, ss in data["targeted"].items()
+            },
+            spoof_slots=np.asarray(data["spoof_slots"], dtype=np.int64),
+            spoof_kinds=np.asarray(data["spoof_kinds"], dtype=np.int8),
+        )
+
     def jam_set(self, group: int) -> SlotSet:
         """Slots jammed for ``group`` (global ∪ targeted) as intervals."""
         targeted = self.targeted.get(int(group))

@@ -109,6 +109,26 @@ class SlotSet:
             return obj
         return SlotSet.from_slots(obj)
 
+    # -- serialization ------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Plain-container snapshot: ``{"starts": [...], "ends": [...]}``.
+
+        Interval boundaries, not materialised slots — the persisted form
+        is as compact as the in-memory one, so a corpus entry holding a
+        million-slot suffix jam stays two integers on disk.
+        """
+        return {"starts": self.starts.tolist(), "ends": self.ends.tolist()}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SlotSet":
+        """Rebuild from :meth:`to_json` output (re-normalised on
+        construction, so hand-edited overlaps are merged, not trusted)."""
+        return cls(
+            np.asarray(data["starts"], dtype=np.int64),
+            np.asarray(data["ends"], dtype=np.int64),
+        )
+
     # -- scalar queries ----------------------------------------------
 
     @property

@@ -37,7 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list registered experiments")
 
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")
-    run_p.add_argument("experiment", help="experiment id (E1..E16, A1, A3-A6, or 'all')")
+    run_p.add_argument("experiment", help="experiment id (E1..E17, A1, A3-A6, or 'all')")
     run_p.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
     run_p.add_argument(
         "--full", action="store_true",
@@ -118,6 +118,113 @@ def build_parser() -> argparse.ArgumentParser:
     duel_p.add_argument(
         "--reps", type=int, default=3, help="replications per point (default 3)"
     )
+    duel_p.add_argument(
+        "--adversary", default="default", metavar="FAMILY",
+        help="attack family swept against all three protocols; 'default' "
+             "keeps the historic pairing (epoch-target blocking vs the "
+             "randomized protocols, full suffix jam vs deterministic). "
+             "See 'repro-bcast arena search --help' for the searchable "
+             "space behind these families.",
+    )
+
+    arena_p = sub.add_parser(
+        "arena",
+        help="adversarial strategy search, attack corpus, and tournaments "
+             "(repro.arena)",
+    )
+    arena_sub = arena_p.add_subparsers(dest="arena_command", required=True)
+
+    search_p = arena_sub.add_parser(
+        "search",
+        help="search the adversary genome space for the strongest attack",
+    )
+    search_p.add_argument("--seed", type=int, default=0)
+    search_p.add_argument(
+        "--protocol", default="fig1",
+        help="defender preset to attack (default fig1)",
+    )
+    search_p.add_argument(
+        "--algo", choices=("evolve", "random"), default="evolve",
+        help="evolutionary (mu+lambda) or pure random search",
+    )
+    search_p.add_argument(
+        "--generations", type=int, default=3,
+        help="evolutionary generations (default 3)",
+    )
+    search_p.add_argument(
+        "--population", type=int, default=8,
+        help="genomes per generation (default 8)",
+    )
+    search_p.add_argument(
+        "--iterations", type=int, default=24,
+        help="random-search samples when --algo random (default 24)",
+    )
+    search_p.add_argument(
+        "--reps", type=int, default=3,
+        help="replications per genome evaluation (default 3)",
+    )
+    search_p.add_argument(
+        "--full", action="store_true",
+        help="full-size budget range instead of the quick CI-sized one",
+    )
+    search_p.add_argument(
+        "--top", type=int, default=10, help="leaderboard rows shown (default 10)"
+    )
+    search_p.add_argument(
+        "--corpus", metavar="PATH", default=None,
+        help="append the best attack found to this JSONL corpus",
+    )
+    search_p.add_argument(
+        "--save", metavar="DIR",
+        help="save the leaderboard report as DIR/ARENA-SEARCH.json",
+    )
+
+    tour_p = arena_sub.add_parser(
+        "tournament",
+        help="duel every defender preset against a fixed strategy roster",
+    )
+    tour_p.add_argument("--seed", type=int, default=0)
+    tour_p.add_argument(
+        "--protocols", default=None, metavar="A,B,...",
+        help="comma-separated defender presets (default: all)",
+    )
+    tour_p.add_argument(
+        "--reps", type=int, default=3,
+        help="replications per matrix cell (default 3)",
+    )
+    tour_p.add_argument(
+        "--save", metavar="DIR",
+        help="save the matrix report as DIR/ARENA.json",
+    )
+
+    replay_p = arena_sub.add_parser(
+        "replay",
+        help="re-run corpus attacks and fail loudly on any drift",
+    )
+    replay_p.add_argument(
+        "fingerprint", nargs="?", default=None,
+        help="entry to replay (unambiguous prefix ok; default: all)",
+    )
+    replay_p.add_argument(
+        "--corpus", metavar="PATH", default=".repro-arena/corpus.jsonl",
+    )
+
+    corpus_p = arena_sub.add_parser(
+        "corpus", help="list the attack corpus, strongest first"
+    )
+    corpus_p.add_argument(
+        "--corpus", metavar="PATH", default=".repro-arena/corpus.jsonl",
+    )
+    corpus_p.add_argument(
+        "--shrink", metavar="FP", default=None,
+        help="greedily minimize this entry's genome and store the result",
+    )
+
+    for p in (search_p, tour_p, replay_p, corpus_p):
+        p.add_argument(
+            "--jobs", "-j", type=int, default=1, metavar="N",
+            help="worker processes (results are bit-identical for any N)",
+        )
 
     trace_p = sub.add_parser(
         "trace",
@@ -167,50 +274,136 @@ def _trace(seed: int, jam: float, budget: int, n_phases: int) -> int:
     return 0
 
 
-def _duel(seed: int, points: int, reps: int) -> int:
-    """The `duel` subcommand: Figure 1 vs KSY vs deterministic."""
-    import numpy as np
+def _duel(seed: int, points: int, reps: int, adversary: str = "default") -> int:
+    """The `duel` subcommand: Figure 1 vs KSY vs deterministic.
 
-    from repro.adversaries import BudgetCap, EpochTargetJammer, SuffixJammer
-    from repro.analysis.asciiplot import loglog_chart
-    from repro.analysis.scaling import fit_power_law
-    from repro.protocols import (
-        AlwaysOnSender,
-        KSYOneToOne,
-        KSYParams,
-        OneToOneBroadcast,
-        OneToOneParams,
-    )
-    from repro.experiments.runner import replicate
+    The sweep itself lives in :func:`repro.arena.tournament.duel`; the
+    default output is byte-identical to the historic hardcoded version.
+    """
+    from repro.arena.tournament import duel
 
-    fig1 = OneToOneParams.sim()
-    ksy = KSYParams.sim()
-    lo = max(fig1.first_epoch, ksy.first_epoch) + 2
-    targets = range(lo, lo + 2 * points, 2)
+    print(duel(seed, points, reps, adversary))
+    return 0
 
-    series: dict[str, tuple[list, list]] = {}
-    for name, make, attack in (
-        ("fig1", lambda: OneToOneBroadcast(fig1),
-         lambda t: EpochTargetJammer(t, q=1.0, target_listener=True)),
-        ("ksy", lambda: KSYOneToOne(ksy),
-         lambda t: EpochTargetJammer(t, q=1.0, target_listener=True)),
-        ("deterministic", lambda: AlwaysOnSender(),
-         lambda t: BudgetCap(SuffixJammer(1.0), budget=1 << (t + 1))),
-    ):
-        Ts, costs = [], []
-        for t in targets:
-            runs = replicate(make, lambda t=t: attack(t), reps, seed=seed + t)
-            Ts.append(float(np.mean([r.adversary_cost for r in runs])))
-            costs.append(float(np.mean([r.max_node_cost for r in runs])))
-        series[name] = (Ts, costs)
 
-    print("max per-party cost vs adversary budget T (log-log):")
-    print(loglog_chart(series))
-    print()
-    for name, (Ts, costs) in series.items():
-        fit = fit_power_law(np.array(Ts), np.array(costs), n_bootstrap=0)
-        print(f"  {name:<13} cost ~ T^{fit.exponent:.3f}")
-    print("  theory: 0.5 (fig1), 0.618 (ksy), 1.0 (deterministic)")
+def _arena(args) -> int:
+    """The `arena` subcommand group: search / tournament / replay / corpus."""
+    from pathlib import Path
+
+    from repro.arena.corpus import AttackCorpus, AttackRecord, shrink
+    from repro.arena.search import evolve, random_search
+    from repro.arena.space import default_space, protocol_factory
+    from repro.experiments import RunConfig
+    from repro.experiments.registry import ExperimentReport
+
+    config = RunConfig(jobs=args.jobs)
+
+    if args.arena_command == "search":
+        space = default_space(quick=not args.full)
+        make = protocol_factory(args.protocol)
+        if args.algo == "random":
+            result = random_search(
+                space, make, iterations=args.iterations,
+                n_reps=args.reps, seed=args.seed, config=config,
+            )
+            found_by = "random_search"
+        else:
+            result = evolve(
+                space, make, generations=args.generations,
+                population=args.population, n_reps=args.reps,
+                seed=args.seed, config=config,
+            )
+            found_by = "evolve"
+        report = ExperimentReport(
+            eid="ARENA-SEARCH",
+            title=f"adversary search vs {args.protocol} ({found_by})",
+            anchor="Theorems 1+2 (worst case over adversaries)",
+            tables=[result.table(top=args.top)],
+        )
+        best = result.best
+        report.notes.append(
+            f"best: {best.genome.describe_short()} "
+            f"[{best.fingerprint[:12]}] index {best.index:.3f} "
+            f"T={best.mean_T:.0f} cost={best.mean_cost:.0f}"
+        )
+        print(report.render())
+        if args.corpus:
+            corpus = AttackCorpus(args.corpus)
+            record = AttackRecord.from_evaluation(
+                best, protocol=args.protocol, seed=args.seed,
+                baseline=result.baseline, found_by=found_by,
+            )
+            added = corpus.add(record)
+            print(
+                f"corpus: {'recorded' if added else 'already has'} "
+                f"{record.fingerprint[:12]} ({len(corpus)} entries)"
+            )
+        if args.save:
+            from repro.store import save_report
+
+            out = save_report(report, Path(args.save) / f"{report.eid}.json")
+            print(f"saved {out}")
+        return 0
+
+    if args.arena_command == "tournament":
+        from repro.arena.tournament import tournament
+
+        protocols = (
+            [p.strip() for p in args.protocols.split(",") if p.strip()]
+            if args.protocols else None
+        )
+        report = tournament(
+            protocols, n_reps=args.reps, seed=args.seed, config=config
+        )
+        print(report.render())
+        if args.save:
+            from repro.store import save_report
+
+            out = save_report(report, Path(args.save) / f"{report.eid}.json")
+            print(f"saved {out}")
+        return 1 if not report.all_checks_pass else 0
+
+    corpus = AttackCorpus(args.corpus)
+    space = default_space()
+
+    if args.arena_command == "replay":
+        records = (
+            [corpus.get(args.fingerprint)]
+            if args.fingerprint else corpus.records()
+        )
+        if not records:
+            print("corpus is empty")
+            return 0
+        for record in records:
+            corpus.replay(record, space, config)
+            print(
+                f"replayed {record.fingerprint[:12]} "
+                f"({record.genome.describe_short()} vs {record.protocol}): "
+                f"exact"
+            )
+        return 0
+
+    # corpus: list entries (optionally shrink one)
+    if args.shrink:
+        record = corpus.get(args.shrink)
+        small = shrink(record, space, config=config)
+        changed = small.fingerprint != record.fingerprint
+        if changed:
+            corpus.add(small)
+        print(
+            f"shrunk {record.genome.describe_short()} -> "
+            f"{small.genome.describe_short()} "
+            f"(index {record.index:.2f} -> {small.index:.2f}"
+            f"{', recorded' if changed else ', no simpler form held'})"
+        )
+    for record in corpus.records():
+        print(
+            f"{record.fingerprint[:12]}  index {record.index:8.2f}  "
+            f"T {record.mean_T:8.0f}  vs {record.protocol:<13}  "
+            f"{record.genome.describe_short()}  [{record.found_by}]"
+        )
+    if not len(corpus):
+        print("corpus is empty")
     return 0
 
 
@@ -256,7 +449,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "duel":
-        return _duel(args.seed, args.points, args.reps)
+        return _duel(args.seed, args.points, args.reps, args.adversary)
+
+    if args.command == "arena":
+        return _arena(args)
 
     if args.command == "compare":
         from repro.store import compare_reports, load_report

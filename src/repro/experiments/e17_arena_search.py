@@ -1,0 +1,96 @@
+"""E17 — searched adversaries cannot escape the sqrt(T ln 1/eps) envelope.
+
+Theorems 1 and 2 quantify over *every* adversary: Figure 1 concedes at
+most ``O(sqrt(T ln 1/eps))`` cost to any spending schedule, and no
+schedule does better than forcing ``Theta(sqrt(T))``.  E14 checked a
+hand-written zoo; this experiment turns the quantifier into a search —
+an evolutionary optimizer over the arena's genome space (suffix /
+blocking / epoch-target / reactive / stochastic / spliced schedules,
+budgets, and targets) explicitly maximising the attack's exchange
+index — and asserts the *best attack found* still sits inside the
+envelope within a preset constant.
+
+Claims checked: the strongest searched attack's marginal cost stays
+below ``C_ENV * sqrt(T ln 1/eps)``; no attack achieves a 1:1 marginal
+exchange; and the search is productive (it finds genuinely spending,
+cost-forcing schedules), so the envelope check has teeth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arena.search import evolve
+from repro.arena.space import default_space, protocol_factory
+from repro.experiments.registry import ExperimentReport, RunConfig
+from repro.experiments.runner import Table
+from repro.protocols.one_to_one import OneToOneParams
+
+#: Preset envelope constant: the searched attack's marginal cost must
+#: stay below ``C_ENV * sqrt(T ln 1/eps)``.  The zoo (E14) and searches
+#: across seeds land indices around 15-25 against the sim preset, i.e.
+#: ``C ~ 10-17`` after dividing out ``sqrt(ln 1/eps)``; 24 gives the
+#: optimizer honest headroom while staying within one small constant
+#: of the theory.
+C_ENV = 24.0
+
+
+def run(
+    config: RunConfig | int | None = None,
+    *,
+    seed: int | None = None,
+    quick: bool | None = None,
+) -> ExperimentReport:
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    seed, quick = cfg.seed, cfg.quick
+    eps = OneToOneParams.sim().epsilon
+    generations, population, n_reps = (3, 8, 3) if quick else (6, 12, 6)
+
+    space = default_space(quick)
+    result = evolve(
+        space,
+        protocol_factory("fig1"),
+        generations=generations,
+        population=population,
+        n_reps=n_reps,
+        seed=seed,
+        config=cfg,
+    )
+
+    report = ExperimentReport(eid="E17", title="", anchor="")
+    report.tables.append(result.table(top=8))
+
+    progress = Table(
+        "search progress: best index per generation",
+        ["generation", "best index"],
+    )
+    for gen, best_index in enumerate(result.history):
+        progress.add_row(gen, best_index)
+    report.tables.append(progress)
+
+    best = result.best
+    envelope = C_ENV * float(np.sqrt(best.mean_T * np.log(1.0 / eps)))
+    marginal = max(0.0, best.mean_cost - result.baseline)
+    report.notes.append(
+        f"best attack: {best.genome.describe_short()} -> "
+        f"T={best.mean_T:.0f}, marginal cost {marginal:.0f} vs envelope "
+        f"{envelope:.0f} (C_ENV={C_ENV:g}, eps={eps:g})"
+    )
+    report.notes.append(
+        f"evaluated {result.n_evaluated} distinct genomes over "
+        f"{result.n_generations} generations (baseline {result.baseline:.1f})"
+    )
+
+    report.checks[
+        f"best attack within C*sqrt(T ln 1/eps) envelope (C={C_ENV:g})"
+    ] = bool(marginal <= envelope)
+    report.checks["no attack reaches a 1:1 marginal exchange"] = bool(
+        all(ev.ratio < 1.0 for ev in result.leaderboard if ev.mean_T >= 256)
+    )
+    report.checks["search productive (best attack forces real cost)"] = bool(
+        best.index > 1.0 and best.mean_T >= 256
+    )
+    report.checks["elitism makes per-generation best monotone"] = bool(
+        all(b >= a for a, b in zip(result.history, result.history[1:]))
+    )
+    return report

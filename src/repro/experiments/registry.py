@@ -241,6 +241,8 @@ _REGISTRY: dict[str, Experiment] = {
                    "repro.experiments.e15_multichannel"),
         Experiment("E16", "the min-combination of Figure 1 and KSY", "remark after Theorem 1",
                    "repro.experiments.e16_combined"),
+        Experiment("E17", "searched adversaries stay inside the sqrt envelope", "Theorems 1+2 (worst case over adversaries)",
+                   "repro.experiments.e17_arena_search"),
         Experiment("A1", "slow vs aggressive rate growth", "Lemma 5 / Section 3.1 ablation",
                    "repro.experiments.a01_growth_ablation"),
         Experiment("A3", "uninformed noise on/off", "Section 3.1 ablation (n gauging)",

@@ -1,0 +1,160 @@
+"""Canonical description round-trip for every zoo adversary.
+
+The contract: ``describe(rebuild_adversary(describe(adv))) ==
+describe(adv)`` — with identical fingerprints — for every strategy the
+zoo exports, and the forms that cannot round-trip are exactly the ones
+:data:`~repro.adversaries.canonical.UNCACHEABLE_FORMS` declares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries import (
+    BroadcastSuppressor,
+    BudgetCap,
+    EpochTargetJammer,
+    GreedyAdaptiveJammer,
+    HalvingAttacker,
+    MarkovJammer,
+    PeriodicJammer,
+    QBlockingJammer,
+    RandomJammer,
+    ReactiveProductJammer,
+    SilentAdversary,
+    SplicedScheduleJammer,
+    SpoofingAdversary,
+    SuffixJammer,
+    WindowedJammer,
+)
+from repro.adversaries.canonical import (
+    UNCACHEABLE_FORMS,
+    ZOO_CLASSES,
+    adversary_fingerprint,
+    is_cacheable,
+    rebuild_adversary,
+    undescribe,
+)
+from repro.cache.fingerprint import describe
+from repro.channel.events import TxKind
+from repro.errors import CacheError, FingerprintError
+
+# One representative instance per zoo class, at non-default parameters
+# so the round-trip must actually carry the configuration.
+ZOO_INSTANCES = [
+    SilentAdversary(),
+    SuffixJammer(0.7),
+    RandomJammer(0.3),
+    PeriodicJammer(5),
+    QBlockingJammer(0.9, target_listener=True),
+    EpochTargetJammer(9, q=0.8, target_listener=True, phase_fraction=0.5),
+    BudgetCap(SuffixJammer(1.0), budget=2048),
+    BudgetCap(BudgetCap(RandomJammer(0.2), budget=512), budget=4096),
+    HalvingAttacker(4096),
+    ReactiveProductJammer(1024),
+    MarkovJammer(p_enter=0.05, p_exit=0.2),
+    WindowedJammer(rho=0.4, window=32),
+    GreedyAdaptiveJammer(2048, q_hot=0.9, smoothing=0.3),
+    BroadcastSuppressor(1024),
+    SpoofingAdversary("jam", budget=512, spoof_kind=TxKind.NACK),
+    SplicedScheduleJammer(
+        [(0.2, 0.5), (0.7, 0.9)], target_listener=True, max_total=999
+    ),
+]
+
+
+def test_every_zoo_class_has_a_representative():
+    exercised = {type(a).__name__ for a in ZOO_INSTANCES} | {
+        type(a.inner).__name__
+        for a in ZOO_INSTANCES
+        if isinstance(a, BudgetCap)
+    }
+    assert set(ZOO_CLASSES) <= exercised
+
+
+@pytest.mark.parametrize(
+    "adversary", ZOO_INSTANCES, ids=lambda a: type(a).__name__
+)
+def test_describe_rebuild_round_trip(adversary):
+    desc = describe(adversary)
+    rebuilt = rebuild_adversary(desc)
+    assert type(rebuilt) is type(adversary)
+    assert describe(rebuilt) == desc
+    assert adversary_fingerprint(rebuilt) == adversary_fingerprint(adversary)
+
+
+@pytest.mark.parametrize(
+    "adversary", ZOO_INSTANCES, ids=lambda a: type(a).__name__
+)
+def test_zoo_is_cacheable_even_after_rng_use(adversary):
+    assert is_cacheable(adversary)
+    before = adversary_fingerprint(adversary)
+    adversary.rng  # materialises the private generator
+    assert is_cacheable(adversary)
+    assert adversary_fingerprint(adversary) == before
+
+
+def test_uncacheable_set_is_declared_and_real():
+    assert len(UNCACHEABLE_FORMS) == 3
+    # 1. open callables have no canonical form
+    predicated = QBlockingJammer(0.9, predicate=lambda epoch: True)
+    assert not is_cacheable(predicated)
+    with pytest.raises(FingerprintError):
+        adversary_fingerprint(predicated)
+    # 2. a public generator attribute is runtime state
+    from repro.adversaries.base import Adversary
+
+    class Wrapped(Adversary):
+        def __init__(self):
+            self.gen = np.random.default_rng(0)
+
+        def plan_phase(self, ctx):  # pragma: no cover - never planned
+            raise NotImplementedError
+
+    assert not is_cacheable(Wrapped())
+    # 3. runtime history describes but cannot be rebuilt
+    from repro.trace import TraceRecorder
+
+    class Holder:
+        def __init__(self):
+            self.recorder = TraceRecorder()
+
+    desc = describe(Holder())
+    with pytest.raises(CacheError):
+        rebuild_adversary(desc)
+
+
+def test_rebuild_rejects_non_zoo_and_malformed():
+    with pytest.raises(CacheError):
+        rebuild_adversary(["object", "os.path", []])
+    with pytest.raises(CacheError):
+        rebuild_adversary(["not-an-object"])
+    with pytest.raises(CacheError):
+        # attributes that are not constructor kwargs
+        rebuild_adversary(
+            ["object", "repro.adversaries.basic.SuffixJammer",
+             [["nonsense", 1]]]
+        )
+    with pytest.raises(CacheError):
+        undescribe(["enum", "NoSuchEnum", "X"])
+
+
+def test_undescribe_inverts_scalar_and_container_forms():
+    payload = {
+        "f": 0.25,
+        "i": 7,
+        "b": True,
+        "s": "x",
+        "none": None,
+        "kind": TxKind.NACK,
+        "arr": np.arange(6, dtype=np.int64).reshape(2, 3),
+        "nested": [1, [2.5, "y"]],
+    }
+    out = undescribe(describe(payload))
+    assert out["f"] == 0.25 and out["i"] == 7 and out["b"] is True
+    assert out["s"] == "x" and out["none"] is None
+    assert out["kind"] is TxKind.NACK
+    assert np.array_equal(out["arr"], payload["arr"])
+    assert out["arr"].dtype == np.int64
+    assert out["nested"] == [1, [2.5, "y"]]

@@ -1,0 +1,112 @@
+"""Search loops: determinism, jobs-invariance, memoization, objective."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arena.search import (
+    baseline_cost,
+    evaluate_genomes,
+    evolve,
+    random_search,
+)
+from repro.arena.space import Genome, StrategySpace, protocol_factory
+from repro.errors import ConfigurationError
+from repro.experiments import RunConfig
+
+pytestmark = pytest.mark.arena
+
+SPACE = StrategySpace(families=["suffix", "random"], budget_log2=(8, 10))
+FIG1 = protocol_factory("fig1")
+
+
+def _fingerprints(result):
+    return [ev.fingerprint for ev in result.leaderboard]
+
+
+def test_random_search_same_seed_same_result():
+    a = random_search(SPACE, FIG1, iterations=5, n_reps=2, seed=21)
+    b = random_search(SPACE, FIG1, iterations=5, n_reps=2, seed=21)
+    assert _fingerprints(a) == _fingerprints(b)
+    assert a.best.index == b.best.index
+    assert a.baseline == b.baseline
+
+
+def test_random_search_different_seed_different_genomes():
+    a = random_search(SPACE, FIG1, iterations=5, n_reps=2, seed=21)
+    b = random_search(SPACE, FIG1, iterations=5, n_reps=2, seed=22)
+    assert _fingerprints(a) != _fingerprints(b)
+
+
+def test_evolve_is_jobs_invariant():
+    serial = evolve(SPACE, FIG1, generations=2, population=4, n_reps=2, seed=5)
+    parallel = evolve(
+        SPACE, FIG1, generations=2, population=4, n_reps=2, seed=5,
+        config=RunConfig(jobs=2),
+    )
+    assert _fingerprints(serial) == _fingerprints(parallel)
+    assert [ev.index for ev in serial.leaderboard] == [
+        ev.index for ev in parallel.leaderboard
+    ]
+    assert serial.history == parallel.history
+
+
+def test_evaluation_seed_is_path_independent():
+    """A genome's measurement depends on (seed, genome) only — not on
+    which search path or batch reached it."""
+    g = Genome("suffix", {"fraction": 1.0, "budget_log2": 9})
+    other = Genome("random", {"p": 0.3, "budget_log2": 9})
+    baseline = baseline_cost(FIG1, 2, 3)
+    [alone] = evaluate_genomes(
+        SPACE, [g], FIG1, baseline=baseline, n_reps=2, seed=3
+    )
+    batched = evaluate_genomes(
+        SPACE, [other, g], FIG1, baseline=baseline, n_reps=2, seed=3
+    )
+    assert batched[1].mean_cost == alone.mean_cost
+    assert batched[1].index == alone.index
+
+
+def test_memo_short_circuits_duplicates():
+    g = Genome("suffix", {"fraction": 1.0, "budget_log2": 9})
+    baseline = baseline_cost(FIG1, 2, 3)
+    memo = {}
+    first = evaluate_genomes(
+        SPACE, [g, g, g], FIG1, baseline=baseline, n_reps=2, seed=3, memo=memo
+    )
+    assert len(memo) == 1
+    assert first[0] is first[1] is first[2]
+
+
+def test_leaderboard_sorted_by_index_then_fingerprint():
+    result = random_search(SPACE, FIG1, iterations=6, n_reps=2, seed=1)
+    keys = [(-ev.index, ev.fingerprint) for ev in result.leaderboard]
+    assert keys == sorted(keys)
+    assert result.best is result.leaderboard[0]
+    assert result.n_evaluated == len(result.leaderboard)
+
+
+def test_evolve_history_is_monotone_under_elitism():
+    result = evolve(SPACE, FIG1, generations=3, population=4, n_reps=2, seed=8)
+    assert len(result.history) == 3
+    assert all(b >= a for a, b in zip(result.history, result.history[1:]))
+
+
+def test_search_result_table_shape():
+    result = random_search(SPACE, FIG1, iterations=4, n_reps=2, seed=2)
+    table = result.table(top=2)
+    assert len(table.rows) == 2
+    assert table.columns == [
+        "strategy", "T", "max_cost", "index", "cost/T", "success", "key",
+    ]
+
+
+def test_search_argument_validation():
+    with pytest.raises(ConfigurationError):
+        random_search(SPACE, FIG1, iterations=0)
+    with pytest.raises(ConfigurationError):
+        evolve(SPACE, FIG1, generations=0, population=4)
+    with pytest.raises(ConfigurationError):
+        evolve(SPACE, FIG1, generations=1, population=1)
+    with pytest.raises(ConfigurationError):
+        evaluate_genomes(SPACE, [], FIG1, baseline=0.0, n_reps=0, seed=0)

@@ -1,0 +1,127 @@
+"""The genome space: sampling, operators, canonical identity, realisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.base import Adversary
+from repro.arena.space import (
+    Genome,
+    StrategySpace,
+    default_space,
+    protocol_factory,
+    protocol_names,
+)
+from repro.cache.fingerprint import describe
+from repro.errors import ConfigurationError
+from repro.rng import derive
+
+pytestmark = pytest.mark.arena
+
+
+def test_random_genome_is_seed_deterministic():
+    space = default_space()
+    a = [space.random_genome(derive(5, 1)) for _ in range(10)]
+    b = [space.random_genome(derive(5, 1)) for _ in range(10)]
+    assert [g.fingerprint() for g in a] == [g.fingerprint() for g in b]
+
+
+def test_fingerprint_ignores_param_insertion_order():
+    g1 = Genome("suffix", {"fraction": 0.5, "budget_log2": 10})
+    g2 = Genome("suffix", {"budget_log2": 10, "fraction": 0.5})
+    assert g1.fingerprint() == g2.fingerprint()
+
+
+def test_fingerprint_distinguishes_params_and_family():
+    base = Genome("suffix", {"fraction": 0.5, "budget_log2": 10})
+    assert base.fingerprint() != Genome(
+        "suffix", {"fraction": 0.5001, "budget_log2": 10}
+    ).fingerprint()
+    assert base.fingerprint() != Genome(
+        "random", {"p": 0.5, "budget_log2": 10}
+    ).fingerprint()
+
+
+def test_genome_json_round_trip_preserves_fingerprint():
+    space = default_space()
+    rng = derive(9, 2)
+    for _ in range(20):
+        g = space.random_genome(rng)
+        assert Genome.from_json(g.to_json()).fingerprint() == g.fingerprint()
+
+
+def test_every_family_samples_and_builds():
+    rng = derive(3, 3)
+    for family in default_space().families:
+        space = StrategySpace(families=[family])
+        for _ in range(5):
+            g = space.random_genome(rng)
+            assert g.family == family
+            adv = space.build(g)
+            assert isinstance(adv, Adversary)
+            # Everything the space builds must be canonically
+            # describable, or the search could not memoize it.
+            describe(adv)
+
+
+def test_mutation_stays_in_range_and_changes_something():
+    space = default_space()
+    rng = derive(11, 4)
+    changed = 0
+    for _ in range(60):
+        g = space.random_genome(rng)
+        m = space.mutate(g, rng)
+        space.build(m)  # still realisable
+        if m.fingerprint() != g.fingerprint():
+            changed += 1
+        lo, hi = space.budget_gene.lo, space.budget_gene.hi
+        assert lo <= m.params["budget_log2"] <= hi
+    assert changed > 40  # mutation is rarely a no-op
+
+
+def test_spliced_mutation_keeps_intervals_legal():
+    space = StrategySpace(families=["spliced"])
+    rng = derive(7, 5)
+    g = space.random_genome(rng)
+    for _ in range(80):
+        g = space.mutate(g, rng)
+        intervals = g.params["intervals"]
+        assert 1 <= len(intervals) <= 5
+        for start, end in intervals:
+            assert 0.0 <= start < end <= 1.0
+
+
+def test_crossover_same_family_mixes_parent_values():
+    space = StrategySpace(families=["markov"])
+    rng = derive(13, 6)
+    a = space.random_genome(rng)
+    b = space.random_genome(rng)
+    child = space.crossover(a, b, rng)
+    assert child.family == "markov"
+    for name, value in child.params.items():
+        assert value in (a.params[name], b.params[name])
+
+
+def test_crossover_across_families_copies_first_parent():
+    space = default_space()
+    a = Genome("suffix", {"fraction": 0.5, "budget_log2": 10})
+    b = Genome("random", {"p": 0.2, "budget_log2": 11})
+    child = space.crossover(a, b, derive(0, 7))
+    assert child.fingerprint() == a.fingerprint()
+
+
+def test_space_rejects_unknown_family_and_bad_budget():
+    with pytest.raises(ConfigurationError):
+        StrategySpace(families=["nope"])
+    with pytest.raises(ConfigurationError):
+        StrategySpace(budget_log2=(5, 2))
+    with pytest.raises(ConfigurationError):
+        default_space().build(Genome("nope", {"budget_log2": 10}))
+
+
+def test_protocol_registry():
+    assert protocol_names() == ["fig1", "ksy", "combined", "deterministic"]
+    for name in protocol_names():
+        assert protocol_factory(name)() is not None
+    with pytest.raises(ConfigurationError):
+        protocol_factory("nope")

@@ -1,0 +1,99 @@
+"""Tournament matrix, report persistence, and the refactored duel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arena.space import Genome
+from repro.arena.tournament import (
+    default_roster,
+    duel,
+    duel_adversaries,
+    tournament,
+)
+from repro.errors import ConfigurationError
+from repro.store import compare_reports, load_report, save_report
+
+pytestmark = pytest.mark.arena
+
+ROSTER = [
+    Genome("suffix", {"fraction": 1.0, "budget_log2": 9}),
+    Genome("random", {"p": 0.25, "budget_log2": 9}),
+]
+
+
+def test_matrix_covers_every_cell():
+    report = tournament(
+        ["fig1", "deterministic"], ROSTER, n_reps=2, seed=1
+    )
+    assert report.eid == "ARENA"
+    matrix = report.tables[0]
+    assert matrix.columns == ["strategy", "fig1", "deterministic"]
+    assert len(matrix.rows) == len(ROSTER)
+    # one leaderboard per protocol after the matrix
+    assert len(report.tables) == 3
+    assert report.all_checks_pass
+
+
+def test_tournament_is_deterministic():
+    a = tournament(["fig1"], ROSTER, n_reps=2, seed=3)
+    b = tournament(["fig1"], ROSTER, n_reps=2, seed=3)
+    assert a.tables[0].rows == b.tables[0].rows
+    assert a.notes == b.notes
+
+
+def test_tournament_report_round_trips_through_store(tmp_path):
+    report = tournament(["fig1"], ROSTER, n_reps=2, seed=3)
+    path = save_report(report, tmp_path / "ARENA.json")
+    diff = compare_reports(load_report(path), report)
+    assert not diff.is_regression
+
+
+def test_tournament_rejects_bad_input():
+    with pytest.raises(ConfigurationError):
+        tournament(["nope"], ROSTER, n_reps=2, seed=0)
+    with pytest.raises(ConfigurationError):
+        tournament(["fig1"], [], n_reps=2, seed=0)
+
+
+def test_default_roster_is_one_per_family_and_buildable():
+    from repro.arena.space import default_space
+
+    roster = default_roster()
+    assert len({g.family for g in roster}) == len(roster)
+    space = default_space()
+    for genome in roster:
+        space.build(genome)
+
+
+def test_duel_default_output_shape_and_determinism():
+    text = duel(0, 2, 2)
+    assert text == duel(0, 2, 2)
+    lines = text.splitlines()
+    assert lines[0] == "max per-party cost vs adversary budget T (log-log):"
+    assert lines[-1] == "  theory: 0.5 (fig1), 0.618 (ksy), 1.0 (deterministic)"
+    for name in ("fig1", "ksy", "deterministic"):
+        assert any(line.startswith(f"  {name:<13} cost ~ T^") for line in lines)
+
+
+def test_duel_alternate_adversary_sweeps_all_protocols():
+    text = duel(0, 2, 2, adversary="suffix")
+    assert "adversary: suffix" in text
+    assert "theory: 0.5 (fig1)" not in text
+
+
+def test_duel_rejects_unknown_adversary_and_sizes():
+    assert "default" in duel_adversaries()
+    with pytest.raises(ConfigurationError):
+        duel(0, 2, 2, adversary="nope")
+    with pytest.raises(ConfigurationError):
+        duel(0, 0, 2)
+
+
+def test_cli_duel_matches_arena_duel(capsys):
+    """The subcommand is a verbatim print of the arena implementation."""
+    from repro.cli import main
+
+    assert main(["duel", "--points", "2", "--reps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out == duel(0, 2, 2) + "\n"
