@@ -23,6 +23,11 @@
 #    with -j 2 and requires the two saved leaderboard reports — which
 #    embed the best genome's fingerprint — to be byte-identical, plus
 #    the default `duel` chart to be byte-identical across repeats.
+# 9. Runs the `telemetry`-marked pytest suite (sink, readers,
+#    instrumentation coverage).
+# 10. Runs E1 with and without --telemetry and requires the two saved
+#    reports to be byte-identical (telemetry is write-only
+#    observability), plus `telemetry summarize` to render the run.
 #
 # Usage: scripts/check_parallel_determinism.sh [extra pytest args]
 
@@ -99,3 +104,26 @@ if ! cmp "$tmp/duel-a.out" "$tmp/duel-b.out"; then
     exit 1
 fi
 echo "OK: duel chart byte-identical across repeats"
+
+echo "== telemetry suite (pytest -m telemetry) =="
+python -m pytest -q -m telemetry "$@"
+
+echo "== CLI byte-identity: run E1 with vs without --telemetry =="
+python -m repro.cli run E1 --seed 11 --save "$tmp/tele-off" > /dev/null
+python -m repro.cli run E1 --seed 11 --telemetry "$tmp/tele" \
+    --save "$tmp/tele-on" > /dev/null
+if ! cmp "$tmp/tele-off/E1.json" "$tmp/tele-on/E1.json"; then
+    echo "FAIL: telemetry-on report differs from telemetry-off report" >&2
+    exit 1
+fi
+if ! python -m repro.cli telemetry summarize --dir "$tmp/tele" \
+        > "$tmp/tele-summary.out"; then
+    echo "FAIL: telemetry summarize failed on the recorded run" >&2
+    exit 1
+fi
+if ! grep -q "executor.task" "$tmp/tele-summary.out"; then
+    echo "FAIL: telemetry summary is missing executor spans" >&2
+    cat "$tmp/tele-summary.out" >&2
+    exit 1
+fi
+echo "OK: E1 report byte-identical with --telemetry; summarize renders spans"

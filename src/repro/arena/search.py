@@ -32,6 +32,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.runner import Table, replicate, stable_hash
 from repro.protocols.base import Protocol
 from repro.rng import derive
+from repro.telemetry.sink import get_sink
 
 __all__ = [
     "Evaluation",
@@ -210,6 +211,12 @@ def random_search(
         baseline=baseline, n_reps=n_reps, seed=seed, config=config, memo=memo,
     )
     ranked = sorted(memo.values(), key=_rank_key)
+    sink = get_sink()
+    if sink is not None:
+        sink.gauge(
+            "arena.best_index", ranked[0].index,
+            algo="random", evaluated=len(memo),
+        )
     return SearchResult(
         best=ranked[0],
         leaderboard=ranked,
@@ -257,6 +264,12 @@ def evolve(
         )
         ranked = sorted(evaluated, key=_rank_key)
         history.append(ranked[0].index)
+        sink = get_sink()
+        if sink is not None:
+            sink.gauge(
+                "arena.best_index", ranked[0].index,
+                algo="evolve", generation=gen, evaluated=len(memo),
+            )
         if gen == generations - 1:
             break
         elites = [ev.genome for ev in ranked[:n_elite]]

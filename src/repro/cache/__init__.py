@@ -132,4 +132,12 @@ def cached_run_tasks(
         stats.cache_misses += n_misses
         stats.cache_bytes_read += bytes_read
         stats.cache_bytes_written += bytes_written
+    from repro.telemetry.sink import get_sink
+
+    sink = get_sink()
+    if sink is not None:
+        sink.counter("cache.hits", n_hits)
+        sink.counter("cache.misses", n_misses)
+        sink.counter("cache.bytes_read", bytes_read)
+        sink.counter("cache.bytes_written", bytes_written)
     return results

@@ -11,12 +11,14 @@ run writes thousands of entries, and a directory of thousands of tiny
 files is slower to scan and garbage-collect than 64 segment files.
 
 Concurrency: entries are written by forked executor workers running the
-miss tasks, so every append takes an ``fcntl`` exclusive lock on its
-segment and writes the record as a single ``write`` call.  Readers
-tolerate a torn final line (a worker killed mid-append) by skipping
-records that fail to parse; the next complete append resumes the file.
-When several records carry the same key the *newest* wins, which is
-what makes ``resume=False`` refresh semantics work without rewrites.
+miss tasks, so every append takes an exclusive lock on its segment
+(:func:`repro.locking.exclusive_lock`: ``fcntl`` where available, an
+atomic ``O_EXCL`` lockfile elsewhere) and writes the record as a single
+``write`` call.  Readers tolerate a torn final line (a worker killed
+mid-append) by skipping records that fail to parse; the next complete
+append resumes the file.  When several records carry the same key the
+*newest* wins, which is what makes ``resume=False`` refresh semantics
+work without rewrites.
 """
 
 from __future__ import annotations
@@ -24,18 +26,16 @@ from __future__ import annotations
 import io
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.engine.simulator import RunResult
 from repro.errors import CacheError
+from repro.locking import exclusive_lock
 from repro.store import run_result_from_dict, run_result_to_dict
-
-try:  # POSIX only; elsewhere appends stay best-effort atomic.
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX platform
-    fcntl = None
+from repro.telemetry.sink import get_sink
 
 __all__ = ["CacheStore", "CacheStats", "DEFAULT_GC_BYTES", "default_cache_dir"]
 
@@ -116,15 +116,18 @@ class CacheStore:
         data = (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
         path = self._segment(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        t0 = time.perf_counter()
         with open(path, "ab") as fh:
-            if fcntl is not None:
-                fcntl.flock(fh, fcntl.LOCK_EX)
-            try:
+            with exclusive_lock(fh, path):
+                lock_wait = time.perf_counter() - t0
                 fh.write(data)
                 fh.flush()
-            finally:
-                if fcntl is not None:
-                    fcntl.flock(fh, fcntl.LOCK_UN)
+        sink = get_sink()
+        if sink is not None:
+            sink.span_event(
+                "cache.put", time.perf_counter() - t0,
+                bytes=len(data), lock_wait=round(lock_wait, 6),
+            )
         return len(data)
 
     # -- read path -------------------------------------------------------
@@ -135,6 +138,7 @@ class CacheStore:
         Each needed segment is read exactly once, so a warm sweep costs
         one file read per shard instead of one per cell.
         """
+        t0 = time.perf_counter()
         wanted = set(keys)
         by_segment: dict[Path, set[str]] = {}
         for key in wanted:
@@ -159,6 +163,12 @@ class CacheStore:
                         f"corrupt cache record for key {key[:12]}… in "
                         f"{path}: {exc}"
                     ) from exc
+        sink = get_sink()
+        if sink is not None:
+            sink.span_event(
+                "cache.get_many", time.perf_counter() - t0,
+                keys=len(wanted), hits=len(hits), bytes=bytes_read,
+            )
         return hits, bytes_read
 
     def get(self, key: str) -> RunResult | None:
@@ -196,9 +206,7 @@ class CacheStore:
         reclaimed = 0
         for path in self._segment_paths():
             with open(path, "r+b") as fh:
-                if fcntl is not None:
-                    fcntl.flock(fh, fcntl.LOCK_EX)
-                try:
+                with exclusive_lock(fh, path):
                     raw = fh.read()
                     latest: dict[str, dict] = {}
                     for record in self._parse_lines(raw):
@@ -216,9 +224,6 @@ class CacheStore:
                         fh.write(data)
                         fh.truncate()
                         reclaimed += len(raw) - len(data)
-                finally:
-                    if fcntl is not None:
-                        fcntl.flock(fh, fcntl.LOCK_UN)
         return reclaimed
 
     def gc(self, max_bytes: int = DEFAULT_GC_BYTES) -> int:

@@ -10,6 +10,8 @@
     repro-bcast run E1 --cache       # memoize cells; re-runs are warm
     repro-bcast cache stats          # census of the result cache
     repro-bcast cache gc --max-bytes 500M
+    repro-bcast run E1 --telemetry   # record a structured event log
+    repro-bcast telemetry summarize  # render it (spans/counters/gauges)
     python -m repro.cli run E5       # equivalent module form
 """
 
@@ -73,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action=argparse.BooleanOptionalAction, default=True,
         help="consult existing cache entries (--no-resume recomputes "
              "every cell but still refreshes the cache)",
+    )
+    run_p.add_argument(
+        "--telemetry", nargs="?", const="", default=None, metavar="DIR",
+        help="record a structured event log (task spans, cache counters, "
+             "phase timings) plus a run manifest under DIR (default: "
+             "$REPRO_TELEMETRY_DIR or ./.repro-telemetry); reports are "
+             "byte-identical with or without it — inspect with "
+             "'repro-bcast telemetry summarize'",
     )
 
     cache_p = sub.add_parser(
@@ -224,6 +234,39 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--jobs", "-j", type=int, default=1, metavar="N",
             help="worker processes (results are bit-identical for any N)",
+        )
+        p.add_argument(
+            "--telemetry", nargs="?", const="", default=None, metavar="DIR",
+            help="record a structured event log under DIR (default: "
+                 "$REPRO_TELEMETRY_DIR or ./.repro-telemetry)",
+        )
+
+    tele_p = sub.add_parser(
+        "telemetry",
+        help="inspect structured run telemetry (see 'run --telemetry')",
+    )
+    tele_sub = tele_p.add_subparsers(dest="telemetry_command", required=True)
+    tele_sum_p = tele_sub.add_parser(
+        "summarize",
+        help="render a human summary (spans, counters, gauges) of one "
+             "run's event log",
+    )
+    tele_tail_p = tele_sub.add_parser(
+        "tail", help="print the last raw event records of one run"
+    )
+    tele_tail_p.add_argument(
+        "-n", "--lines", type=int, default=20, metavar="N",
+        help="records to print (default 20)",
+    )
+    for p in (tele_sum_p, tele_tail_p):
+        p.add_argument(
+            "run", nargs="?", default=None,
+            help="run id or run directory (default: the latest run)",
+        )
+        p.add_argument(
+            "--dir", dest="telemetry_dir", metavar="DIR", default=None,
+            help="telemetry root (default: $REPRO_TELEMETRY_DIR or "
+                 "./.repro-telemetry)",
         )
 
     trace_p = sub.add_parser(
@@ -407,6 +450,49 @@ def _arena(args) -> int:
     return 0
 
 
+def _maybe_telemetry(args, command: str, **manifest):
+    """Telemetry session for a ``--telemetry`` flag, or a no-op context.
+
+    Yields the active sink (``None`` when telemetry is off) so callers
+    can report where the event log went.
+    """
+    import contextlib
+
+    if getattr(args, "telemetry", None) is None:
+        return contextlib.nullcontext(None)
+    from repro.telemetry import session
+
+    return session(
+        args.telemetry or None, manifest={"command": command, **manifest}
+    )
+
+
+def _telemetry_cmd(args) -> int:
+    """The `telemetry` subcommand: summarize / tail."""
+    from repro.errors import TelemetryError
+    from repro.telemetry import (
+        default_telemetry_dir,
+        resolve_run,
+        summarize,
+        tail,
+    )
+
+    root = (
+        args.telemetry_dir if args.telemetry_dir is not None
+        else default_telemetry_dir()
+    )
+    try:
+        run_dir = resolve_run(args.run, root)
+    except TelemetryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.telemetry_command == "summarize":
+        print(summarize(run_dir))
+    else:
+        print(tail(run_dir, args.lines))
+    return 0
+
+
 def _parse_size(text: str | None, default: int) -> int:
     """Parse a byte count with an optional K/M/G suffix ('500M')."""
     if text is None:
@@ -443,6 +529,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "cache":
         return _cache_cmd(args)
 
+    if args.command == "telemetry":
+        return _telemetry_cmd(args)
+
     if args.command == "list":
         for exp in list_experiments():
             print(f"{exp.eid:4s} {exp.title}  [{exp.anchor}]")
@@ -452,7 +541,14 @@ def main(argv: list[str] | None = None) -> int:
         return _duel(args.seed, args.points, args.reps, args.adversary)
 
     if args.command == "arena":
-        return _arena(args)
+        with _maybe_telemetry(
+            args, f"arena {args.arena_command}",
+            seed=getattr(args, "seed", None), jobs=args.jobs,
+        ) as sink:
+            code = _arena(args)
+            if sink is not None:
+                print(f"telemetry: {sink.run_dir}")
+        return code
 
     if args.command == "compare":
         from repro.store import compare_reports, load_report
@@ -470,33 +566,43 @@ def main(argv: list[str] | None = None) -> int:
         else [args.experiment]
     )
     failures = 0
-    for eid in ids:
-        config = RunConfig(
-            seed=args.seed,
-            quick=not args.full,
-            jobs=args.jobs,
-            timeout=args.timeout,
-            cache=args.cache,
-            cache_dir=args.cache_dir,
-            resume=args.resume,
-        )
-        t0 = time.perf_counter()
-        report = run_experiment(eid, config)
-        elapsed = time.perf_counter() - t0
-        print(report.render())
-        if config.stats.tasks or config.stats.cache_requests:
-            print(f"({elapsed:.1f}s; {config.stats.summary()})")
-        else:
-            print(f"({elapsed:.1f}s)")
-        print()
-        if args.save:
-            from pathlib import Path
+    with _maybe_telemetry(
+        args, "run",
+        experiments=ids, seed=args.seed, quick=not args.full,
+        jobs=args.jobs,
+        config_fingerprint=RunConfig(
+            seed=args.seed, quick=not args.full
+        ).fingerprint(),
+    ) as sink:
+        for eid in ids:
+            config = RunConfig(
+                seed=args.seed,
+                quick=not args.full,
+                jobs=args.jobs,
+                timeout=args.timeout,
+                cache=args.cache,
+                cache_dir=args.cache_dir,
+                resume=args.resume,
+            )
+            t0 = time.perf_counter()
+            report = run_experiment(eid, config)
+            elapsed = time.perf_counter() - t0
+            print(report.render())
+            if config.stats.tasks or config.stats.cache_requests:
+                print(f"({elapsed:.1f}s; {config.stats.summary()})")
+            else:
+                print(f"({elapsed:.1f}s)")
+            print()
+            if args.save:
+                from pathlib import Path
 
-            from repro.store import save_report
+                from repro.store import save_report
 
-            out = save_report(report, Path(args.save) / f"{report.eid}.json")
-            print(f"saved {out}")
-        failures += sum(not ok for ok in report.checks.values())
+                out = save_report(report, Path(args.save) / f"{report.eid}.json")
+                print(f"saved {out}")
+            failures += sum(not ok for ok in report.checks.values())
+        if sink is not None:
+            print(f"telemetry: {sink.run_dir}")
     if failures:
         print(f"{failures} check(s) FAILED", file=sys.stderr)
         return 1

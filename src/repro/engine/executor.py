@@ -39,8 +39,9 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ExecutorError
+from repro.telemetry.sink import get_sink
 
-__all__ = ["ExecutorStats", "resolve_jobs", "run_tasks"]
+__all__ = ["ExecutorStats", "available_cpus", "resolve_jobs", "run_tasks"]
 
 # How often the parent wakes to check worker deadlines (seconds).
 _POLL_INTERVAL = 0.05
@@ -111,10 +112,30 @@ class ExecutorStats:
         return ", ".join(parts)
 
 
+def available_cpus() -> int:
+    """CPUs actually usable by this process.
+
+    ``os.cpu_count()`` reports the machine, not the process: under a
+    cgroup CPU set or ``taskset`` affinity mask (the norm in CI
+    containers) it oversubscribes the pool, and the forked workers then
+    fight each other for the few cores the scheduler will really give
+    them.  ``os.sched_getaffinity(0)`` reflects those limits where the
+    platform provides it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - affinity query refused
+            pass
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``--jobs`` value: ``None``/``0``/negative mean "all cores"."""
+    """Normalize a ``--jobs`` value: ``None``/``0``/negative mean "all
+    cores available to this process" (see :func:`available_cpus`)."""
     if jobs is None or jobs <= 0:
-        return os.cpu_count() or 1
+        return available_cpus()
     return jobs
 
 
@@ -173,9 +194,15 @@ def run_tasks(
     else:
         results = _run_serial(tasks, timeout, retries, stats)
         backend, workers = "serial", 1
+    wall = time.perf_counter() - start
     stats.tasks += n
     stats.batches += 1
-    stats.wall_time += time.perf_counter() - start
+    stats.wall_time += wall
+    sink = get_sink()
+    if sink is not None:
+        sink.span_event(
+            "executor.batch", wall, backend=backend, workers=workers, tasks=n
+        )
     stats.workers = max(stats.workers, workers)
     # A mixed run (some batches too small to fork) reports "process":
     # the record is about capability used, not every batch's path.
@@ -197,6 +224,7 @@ def _raise_serial_timeout(signum, frame):
 
 
 def _run_serial(tasks, timeout, retries, stats):
+    sink = get_sink()
     use_alarm = bool(timeout) and hasattr(signal, "setitimer")
     if use_alarm:
         try:
@@ -209,23 +237,53 @@ def _run_serial(tasks, timeout, retries, stats):
         for i, task in enumerate(tasks):
             for attempt in range(retries + 1):
                 t0 = time.perf_counter()
+                completed = False
                 try:
                     if use_alarm:
                         signal.setitimer(signal.ITIMER_REAL, timeout)
-                    results.append(task())
-                    break
-                except _SerialTimeout:
-                    stats.timeouts += 1
-                    if attempt >= retries:
-                        raise ExecutorError(
-                            f"task {i} timed out after {timeout}s "
-                            f"({attempt + 1} attempts)"
-                        ) from None
-                    stats.retries += 1
-                finally:
+                    value = task()
+                    completed = True
+                    # Disarm before the result is recorded.  The alarm
+                    # used to stay armed until the ``finally`` below,
+                    # so one firing after the task finished (but before
+                    # the disarm) was caught as a timeout and the task
+                    # retried — appending a *duplicate* result and
+                    # shifting every later result by one slot.
                     if use_alarm:
                         signal.setitimer(signal.ITIMER_REAL, 0)
-                    stats.busy_time += time.perf_counter() - t0
+                except _SerialTimeout:
+                    # ``completed`` distinguishes a real in-task timeout
+                    # from an alarm that lost the race with the task's
+                    # completion; the latter is success, not a retry.
+                    pass
+                finally:
+                    if use_alarm:
+                        try:
+                            signal.setitimer(signal.ITIMER_REAL, 0)
+                        except _SerialTimeout:
+                            pass  # alarm landed on the disarm call itself
+                    duration = time.perf_counter() - t0
+                    stats.busy_time += duration
+                if completed:
+                    if sink is not None:
+                        sink.span_event(
+                            "executor.task", duration,
+                            index=i, attempt=attempt, outcome="ok",
+                        )
+                    results.append(value)
+                    break
+                stats.timeouts += 1
+                if sink is not None:
+                    sink.span_event(
+                        "executor.task", duration,
+                        index=i, attempt=attempt, outcome="timeout",
+                    )
+                if attempt >= retries:
+                    raise ExecutorError(
+                        f"task {i} timed out after {timeout}s "
+                        f"({attempt + 1} attempts)"
+                    ) from None
+                stats.retries += 1
     finally:
         if use_alarm:
             signal.signal(signal.SIGALRM, previous)
@@ -255,7 +313,14 @@ def _worker_main(conn, tasks):
             try:
                 result = tasks[idx]()
                 payload = ("ok", idx, result, time.perf_counter() - t0)
-            except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            except (KeyboardInterrupt, SystemExit):
+                # A Ctrl-C (or an explicit exit) must kill this worker —
+                # the parent sees the EOF as a crash and its own
+                # interrupt tears the pool down.  Reporting it as a task
+                # error would swallow the interrupt and keep the fork
+                # pool running through the user's abort.
+                raise
+            except Exception as exc:  # forwarded to parent
                 payload = (
                     "err", idx, f"{type(exc).__name__}: {exc}",
                     time.perf_counter() - t0,
@@ -284,6 +349,7 @@ def _run_process(tasks, jobs, timeout, retries, chunk_size, stats):
     from multiprocessing.connection import wait as conn_wait
 
     ctx = mp.get_context("fork")
+    sink = get_sink()
     n = len(tasks)
     if chunk_size is None:
         chunk_size = max(1, min(32, n // (jobs * 4)))
@@ -299,6 +365,8 @@ def _run_process(tasks, jobs, timeout, retries, chunk_size, stats):
                            daemon=True)
         proc.start()
         child_conn.close()
+        if sink is not None:
+            sink.event("executor.worker.spawn", worker_pid=proc.pid)
         return _Worker(proc, parent_conn)
 
     def assign(worker: _Worker) -> None:
@@ -321,6 +389,11 @@ def _run_process(tasks, jobs, timeout, retries, chunk_size, stats):
                 w.proc.kill()
                 w.proc.join()
             w.conn.close()
+            if sink is not None:
+                sink.event(
+                    "executor.worker.exit",
+                    worker_pid=w.proc.pid, exitcode=w.proc.exitcode,
+                )
 
     def consume(worker: _Worker, msg) -> None:
         nonlocal done
@@ -329,6 +402,12 @@ def _run_process(tasks, jobs, timeout, retries, chunk_size, stats):
         if expected != idx:  # pragma: no cover - protocol invariant
             raise ExecutorError(f"worker returned task {idx}, expected {expected}")
         stats.busy_time += duration
+        if sink is not None:
+            sink.span_event(
+                "executor.task", duration,
+                index=idx, attempt=attempts[idx],
+                outcome="err" if status == "err" else "ok",
+            )
         if status == "err":
             raise ExecutorError(f"task {idx} raised: {payload}")
         results[idx] = payload
@@ -350,6 +429,12 @@ def _run_process(tasks, jobs, timeout, retries, chunk_size, stats):
             stats.timeouts += 1
         else:
             stats.crashes += 1
+        if sink is not None:
+            sink.event(
+                "executor.task.fail",
+                index=idx, attempt=attempts[idx], outcome=kind,
+                worker_pid=worker.proc.pid,
+            )
         if attempts[idx] > retries:
             raise ExecutorError(
                 f"task {idx} {kind} after {attempts[idx]} attempts "

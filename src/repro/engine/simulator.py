@@ -8,6 +8,7 @@ is phase-granular; all slot-level work happens vectorised inside
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,6 +21,7 @@ from repro.engine.sampling import sample_action_events
 from repro.errors import BudgetExceededError, ProtocolError
 from repro.protocols.base import Protocol
 from repro.rng import RngFactory
+from repro.telemetry.sink import get_sink
 
 __all__ = ["Simulator", "RunResult", "run"]
 
@@ -141,6 +143,13 @@ class Simulator:
         phases = 0
         truncated = False
         n_groups_seen = 1
+        # Telemetry: aggregate per-phase resolve timing into one span
+        # per run — a phase-granular log would dwarf the science output
+        # at 200k-phase scale.  ``sink is None`` is the entire disabled
+        # overhead.
+        sink = get_sink()
+        resolve_time = 0.0
+        n_events = 0
 
         spec = protocol.next_phase()
         if spec is not None:
@@ -183,6 +192,8 @@ class Simulator:
                 spent=ledger.adversary_cost,
             )
             plan = adversary.plan_phase(ctx)
+            if sink is not None:
+                t0 = time.perf_counter()
             outcome = self.resolve_phase(
                 spec.length,
                 protocol.n_nodes,
@@ -191,6 +202,9 @@ class Simulator:
                 plan,
                 groups=spec.groups,
             )
+            if sink is not None:
+                resolve_time += time.perf_counter() - t0
+                n_events += len(sends) + len(listens)
             ledger.charge_phase(
                 spec.length,
                 outcome.send_cost + outcome.listen_cost,
@@ -223,6 +237,12 @@ class Simulator:
             raise ProtocolError("protocol returned no phase but reports not done")
 
         ledger.check_conservation()
+        if sink is not None:
+            sink.span_event(
+                "sim.run", resolve_time,
+                phases=phases, slots=slots, events=n_events,
+                events_per_slot=round(n_events / slots, 6) if slots else 0.0,
+            )
         return RunResult(
             node_costs=ledger.node_costs,
             adversary_cost=ledger.adversary_cost,

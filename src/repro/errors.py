@@ -74,6 +74,15 @@ class CacheError(ReproError):
     """
 
 
+class TelemetryError(ReproError):
+    """A telemetry run directory could not be located or read.
+
+    Raised by the summarize/tail readers (no runs recorded, unknown run
+    id) — never by the write path, which must not be able to abort an
+    experiment.
+    """
+
+
 class FingerprintError(CacheError):
     """A task's inputs cannot be canonically fingerprinted.
 

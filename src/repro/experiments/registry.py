@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 import importlib
+import time
 import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -11,6 +13,7 @@ from pathlib import Path
 from repro.engine.executor import ExecutorStats
 from repro.errors import ConfigurationError
 from repro.experiments.runner import Table
+from repro.telemetry.sink import get_sink, session
 
 __all__ = [
     "Experiment",
@@ -76,6 +79,12 @@ class RunConfig:
         Consult existing cache entries (the default).  ``False``
         recomputes every cell but still writes the fresh results back,
         refreshing the cache in place.
+    telemetry:
+        Telemetry root directory (:mod:`repro.telemetry`); ``None``
+        (default) disables telemetry.  When set and no sink is already
+        active, :func:`run_experiment` opens a run-scoped sink around
+        the call.  Telemetry never changes results — it is excluded
+        from equality like the cache fields.
     experiment:
         Experiment id stamped into cache fingerprints;
         :func:`run_experiment` fills it in automatically.
@@ -96,6 +105,7 @@ class RunConfig:
     cache: bool = field(default=False, compare=False)
     cache_dir: "str | Path | None" = field(default=None, compare=False)
     resume: bool = field(default=True, compare=False)
+    telemetry: "str | Path | None" = field(default=None, compare=False)
     experiment: str | None = field(default=None, repr=False, compare=False)
     stats: ExecutorStats = field(
         default_factory=ExecutorStats, repr=False, compare=False
@@ -105,6 +115,17 @@ class RunConfig:
     def full(self) -> bool:
         """The inverse of :attr:`quick` (what the CLI's ``--full`` sets)."""
         return not self.quick
+
+    def fingerprint(self) -> str:
+        """Short digest of the science-determining fields.
+
+        Two configs with equal fingerprints produce byte-identical
+        reports; execution knobs (jobs, timeout, cache, telemetry) are
+        deliberately excluded.  Stamped into telemetry manifests so an
+        event log can be matched to the run it measured.
+        """
+        payload = repr((self.seed, self.quick, self.experiment))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def resolve_cache_store(self):
         """The :class:`~repro.cache.store.CacheStore` this run should
@@ -291,9 +312,36 @@ def run_experiment(
     cfg = RunConfig.coerce(config, seed=seed, quick=quick, warn=False)
     exp = get_experiment(eid)
     cfg.experiment = exp.eid  # stamp cache fingerprints with the id
+    if cfg.telemetry is not None and get_sink() is None:
+        # API parity with the CLI's --telemetry: one run directory
+        # scoped to this call.  An already-active sink (e.g. the CLI's
+        # session around a `run all`) is reused, not nested.
+        with session(
+            cfg.telemetry,
+            manifest={
+                "command": "run_experiment",
+                "experiments": [exp.eid],
+                "seed": cfg.seed,
+                "quick": cfg.quick,
+                "config_fingerprint": cfg.fingerprint(),
+            },
+        ):
+            return _execute(exp, cfg)
+    return _execute(exp, cfg)
+
+
+def _execute(exp: Experiment, cfg: RunConfig) -> ExperimentReport:
     mod = importlib.import_module(exp.module)
     runner: Callable[..., ExperimentReport] = mod.run
+    t0 = time.perf_counter()
     report = runner(cfg)
+    sink = get_sink()
+    if sink is not None:
+        sink.span_event(
+            "experiment.run", time.perf_counter() - t0,
+            eid=exp.eid, seed=cfg.seed, quick=cfg.quick,
+            config_fingerprint=cfg.fingerprint(),
+        )
     report.eid = exp.eid
     report.title = exp.title
     report.anchor = exp.anchor

@@ -158,3 +158,75 @@ class TestConcurrency:
             for i in range(per_proc):
                 back = store.get(f"{p:032x}{i:032x}")
                 assert back.adversary_cost == 100 + p * 1000 + i
+
+
+class TestLockFallback:
+    """Regression: ``put``/``compact`` used to run lock-free when
+    ``fcntl`` was unavailable — concurrent writers could interleave
+    partial lines.  The ``O_EXCL`` lockfile fallback must serialize the
+    same operations ``fcntl.flock`` does."""
+
+    @pytest.fixture(autouse=True)
+    def no_fcntl(self, monkeypatch):
+        import repro.locking as locking
+
+        monkeypatch.setattr(locking, "fcntl", None)
+
+    def test_put_get_roundtrip_without_fcntl(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put(KEY_A, make_result(1))
+        store.put(KEY_A, make_result(2))
+        store.put(KEY_B, make_result(3))
+        assert dumps(store.get(KEY_A)) == dumps(make_result(2))
+        assert dumps(store.get(KEY_B)) == dumps(make_result(3))
+
+    def test_lockfile_removed_after_put(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put(KEY_A, make_result(1))
+        assert list(tmp_path.rglob("*.lock")) == []
+
+    def test_compact_without_fcntl(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put(KEY_A, make_result(1))
+        store.put(KEY_A, make_result(2))
+        store.compact()
+        assert store.stats().entries == 1
+        assert dumps(store.get(KEY_A)) == dumps(make_result(2))
+        assert list(tmp_path.rglob("*.lock")) == []
+
+    def test_stale_lockfile_is_broken(self, tmp_path):
+        import time as _time
+
+        from repro.locking import lockfile_path
+
+        store = CacheStore(tmp_path)
+        store.put(KEY_A, make_result(1))  # materialize the segment
+        lock = lockfile_path(store._segment(KEY_A))
+        lock.touch()
+        old = _time.time() - 60.0
+        os.utime(lock, (old, old))  # abandoned by a killed writer
+        store.put(KEY_A, make_result(2))  # must break the lock, not hang
+        assert dumps(store.get(KEY_A)) == dumps(make_result(2))
+        assert not lock.exists()
+
+    def test_forked_writers_without_fcntl(self, tmp_path):
+        if not hasattr(os, "fork"):
+            pytest.skip("needs os.fork")
+        store = CacheStore(tmp_path)
+        n_procs, per_proc = 3, 6
+        pids = []
+        for p in range(n_procs):
+            pid = os.fork()
+            if pid == 0:
+                try:
+                    for i in range(per_proc):
+                        store.put(f"{p:032x}{i:032x}", make_result(p * 1000 + i))
+                finally:
+                    os._exit(0)
+            pids.append(pid)
+        for pid in pids:
+            _, status = os.waitpid(pid, 0)
+            assert status == 0
+        stats = store.stats()
+        assert stats.entries == n_procs * per_proc
+        assert stats.unique_keys == n_procs * per_proc

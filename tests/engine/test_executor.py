@@ -8,13 +8,21 @@ tests are skipped where ``os.fork`` is unavailable.
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
+import signal
 import time
 
 import numpy as np
 import pytest
 
-from repro.engine.executor import ExecutorStats, resolve_jobs, run_tasks
+import repro.engine.executor as executor_mod
+from repro.engine.executor import (
+    ExecutorStats,
+    available_cpus,
+    resolve_jobs,
+    run_tasks,
+)
 from repro.errors import ExecutorError
 
 needs_fork = pytest.mark.skipif(
@@ -67,14 +75,82 @@ class TestSerialBackend:
         assert stats.tasks == 7
         assert stats.batches == 2
 
+    def test_late_alarm_after_completion_is_not_a_timeout(self, monkeypatch):
+        """Regression: SIGALRM firing after ``task()`` returned.
+
+        The alarm used to stay armed until the per-attempt ``finally``,
+        so one firing in the window after the task finished was caught
+        as a ``_SerialTimeout`` and the completed task retried —
+        appending a duplicate result and shifting every later result by
+        one slot (or, landing on the ``finally`` disarm itself, leaking
+        the internal exception out of ``run_tasks``).  The fake
+        ``setitimer`` delivers the alarm synchronously at the first
+        disarm call, i.e. at the first signal checkpoint after task
+        completion.
+        """
+        real_setitimer = signal.setitimer
+        fired = {"done": False}
+
+        def late_alarm_setitimer(which, seconds, *rest):
+            if seconds == 0 and not fired["done"]:
+                fired["done"] = True
+                real_setitimer(which, 0)
+                executor_mod._raise_serial_timeout(signal.SIGALRM, None)
+            return real_setitimer(which, seconds, *rest)
+
+        monkeypatch.setattr(signal, "setitimer", late_alarm_setitimer)
+        stats = ExecutorStats()
+        results = run_tasks(
+            [lambda: "a", lambda: "b", lambda: "c"],
+            timeout=30.0, retries=1, stats=stats,
+        )
+        assert results == ["a", "b", "c"]  # no duplicate, no shift
+        assert stats.timeouts == 0
+        assert stats.retries == 0
+
+    def test_real_timeout_still_enforced_after_race_fix(self):
+        # The disarm-before-append fix must not weaken genuine
+        # in-task timeout enforcement.
+        stats = ExecutorStats()
+        results = run_tasks(
+            [lambda: time.sleep(0.05) or "slow", lambda: "fast"],
+            timeout=5.0, retries=0, stats=stats,
+        )
+        assert results == ["slow", "fast"]
+        assert stats.timeouts == 0
+
 
 class TestResolveJobs:
     def test_positive_passthrough(self):
         assert resolve_jobs(3) == 3
 
-    def test_zero_and_none_mean_all_cores(self):
-        assert resolve_jobs(0) == (os.cpu_count() or 1)
-        assert resolve_jobs(None) == (os.cpu_count() or 1)
+    def test_zero_and_none_mean_available_cpus(self):
+        assert resolve_jobs(0) == available_cpus()
+        assert resolve_jobs(None) == available_cpus()
+
+    def test_affinity_mask_caps_the_default(self, monkeypatch):
+        # A cgroup/taskset mask of 2 CPUs on an 8-core machine must
+        # yield 2 workers, not 8.
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 3}, raising=False
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert available_cpus() == 2
+        assert resolve_jobs(0) == 2
+        assert resolve_jobs(None) == 2
+        assert resolve_jobs(6) == 6  # explicit requests pass through
+
+    def test_cpu_count_fallback_without_affinity(self, monkeypatch):
+        # Platforms without sched_getaffinity fall back to cpu_count.
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert available_cpus() == 5
+        assert resolve_jobs(0) == 5
+
+    def test_empty_affinity_or_cpu_count_means_one(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert available_cpus() == 1
 
 
 @needs_fork
@@ -157,3 +233,70 @@ class TestProcessBackend:
         assert stats.workers == 4
         assert 0.0 <= stats.utilization <= 1.0
         assert "backend=process" in stats.summary()
+
+
+@needs_fork
+class TestWorkerInterrupts:
+    """Regression: ``_worker_main`` used to catch ``BaseException``.
+
+    A Ctrl-C (or an explicit ``sys.exit``) inside a task was swallowed
+    and forwarded to the parent as an ordinary error payload, so the
+    worker kept running instead of dying — interrupts must terminate
+    the worker, not masquerade as task failures.
+    """
+
+    def _drive_worker(self, task):
+        # Run _worker_main in-process against a primed pipe: one chunk
+        # holding task 0, then the shutdown sentinel.
+        parent_conn, child_conn = mp.get_context("fork").Pipe()
+        parent_conn.send([0])
+        parent_conn.send(None)
+        try:
+            executor_mod._worker_main(child_conn, [task])
+        finally:
+            parent_conn.close()
+            child_conn.close()
+
+    def test_worker_main_reraises_keyboard_interrupt(self):
+        def interrupted():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            self._drive_worker(interrupted)
+
+    def test_worker_main_reraises_system_exit(self):
+        def exiting():
+            raise SystemExit(3)
+
+        with pytest.raises(SystemExit):
+            self._drive_worker(exiting)
+
+    def test_worker_main_still_forwards_ordinary_errors(self):
+        parent_conn, child_conn = mp.get_context("fork").Pipe()
+        parent_conn.send([0])
+        parent_conn.send(None)
+
+        def boom():
+            raise ValueError("plain failure")
+
+        executor_mod._worker_main(child_conn, [boom])
+        status, index, message, duration = parent_conn.recv()
+        parent_conn.close()
+        child_conn.close()
+        assert (status, index) == ("err", 0)
+        assert "plain failure" in message
+        assert duration >= 0.0
+
+    def test_interrupted_worker_terminates_pool_cleanly(self):
+        # End-to-end: the interrupt kills the worker, the parent sees a
+        # crash (not an "err" result), and shutdown leaves no children.
+        def interrupted():
+            raise KeyboardInterrupt
+
+        stats = ExecutorStats()
+        with pytest.raises(ExecutorError, match="crash after 1 attempts"):
+            run_tasks(
+                [interrupted, lambda: 1], jobs=2, retries=0, stats=stats
+            )
+        assert stats.crashes == 1
+        assert mp.active_children() == []

@@ -1,0 +1,78 @@
+"""Property test: serial and process ``run_tasks`` are observationally
+equivalent under injected faults.
+
+The executor's contract is that backend choice is invisible to the
+caller: same results, same order, same length — even when tasks time
+out or workers crash and the retry machinery kicks in.  Each generated
+schedule assigns every task a behaviour (``ok``, ``timeout_once``,
+``crash_once``); the one-shot faults arm via flag files so the retry
+succeeds, and crashes only fire inside forked workers (the serial
+backend cannot survive ``os._exit``, and the contract is about what the
+*caller* sees, which for serial is the ordinary exception path).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.executor import run_tasks
+
+pytestmark = [
+    pytest.mark.parallel,
+    pytest.mark.skipif(not hasattr(os, "fork"), reason="needs os.fork"),
+]
+
+MAIN_PID = os.getpid()
+TIMEOUT = 0.25
+
+behaviours = st.lists(
+    st.sampled_from(["ok", "timeout_once", "crash_once"]),
+    min_size=1,
+    max_size=5,
+)
+
+
+def make_task(i: int, behaviour: str, flags: Path):
+    flag = flags / str(i)
+
+    def task():
+        if behaviour == "timeout_once" and not flag.exists():
+            flag.touch()
+            time.sleep(30)  # parent (or alarm) enforces TIMEOUT
+        if (
+            behaviour == "crash_once"
+            and os.getpid() != MAIN_PID
+            and not flag.exists()
+        ):
+            flag.touch()
+            os._exit(23)  # hard worker death, as a segfault would be
+        return ("result", i)
+
+    return task
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(schedule=behaviours)
+def test_serial_and_process_agree_under_faults(schedule):
+    expected = [("result", i) for i in range(len(schedule))]
+    outcomes = {}
+    for backend_jobs in (1, 2):
+        flags = Path(tempfile.mkdtemp(prefix="exec-equiv-"))
+        tasks = [make_task(i, b, flags) for i, b in enumerate(schedule)]
+        outcomes[backend_jobs] = run_tasks(
+            tasks, jobs=backend_jobs, timeout=TIMEOUT, retries=2
+        )
+    assert outcomes[1] == expected
+    assert outcomes[2] == expected
+    assert len(outcomes[1]) == len(outcomes[2]) == len(schedule)
