@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import run_experiment
+from repro.experiments import RunConfig, run_experiment
 
 
 @pytest.fixture
@@ -20,7 +20,7 @@ def run_quick(benchmark):
 
     def _run(eid: str, seed: int = 0):
         report = benchmark.pedantic(
-            lambda: run_experiment(eid, seed=seed, quick=True),
+            lambda: run_experiment(eid, RunConfig(seed=seed, quick=True)),
             rounds=1,
             iterations=1,
         )

@@ -11,9 +11,12 @@ by a recorded measurement.
 Usage:
 
     PYTHONPATH=src python scripts/bench_engine.py [extra pytest args]
+    PYTHONPATH=src python scripts/bench_engine.py --batch
 
 Extra args are forwarded to pytest, e.g. ``-k large_L`` to time only the
-kernel comparison.
+kernel comparison.  ``--batch`` instead times ``Simulator.run_batch``
+against serial ``run`` loops on replicate-shaped workloads and merges a
+``batch_vs_serial`` section into ``BENCH_engine.json``.
 """
 
 from __future__ import annotations
@@ -23,13 +26,104 @@ import platform
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 OUT = ROOT / "BENCH_engine.json"
 
 
+def bench_batch() -> int:
+    """Time run_batch against serial run loops; merge into the record.
+
+    The speedup here is bounded by the per-trial protocol Python floor
+    (``next_phase``/``observe`` cannot be stacked), so the honest
+    numbers are well under the stacked-kernel ceiling: replicate-shaped
+    1-to-1 sweeps gain, event-heavy 1-to-n workloads sit near parity
+    (their inner arrays are large enough that numpy already amortises
+    the overhead serially).
+    """
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.adversaries import EpochTargetJammer
+    from repro.engine.simulator import Simulator
+    from repro.protocols import (
+        OneToNBroadcast,
+        OneToNParams,
+        OneToOneBroadcast,
+        OneToOneParams,
+    )
+
+    p11 = OneToOneParams.sim()
+    pn = OneToNParams.sim()
+    workloads = {
+        "e1_style_one_to_one": (
+            lambda: OneToOneBroadcast(p11),
+            lambda: EpochTargetJammer(
+                p11.first_epoch + 3, q=1.0, target_listener=True
+            ),
+            64,  # trials
+            32,  # batch size
+        ),
+        "e6_style_one_to_n": (
+            lambda: OneToNBroadcast(16, OneToNParams.sim()),
+            lambda: EpochTargetJammer(pn.first_epoch + 1, q=0.9),
+            16,
+            16,
+        ),
+    }
+
+    section = {}
+    for name, (mk_p, mk_a, n_trials, batch_size) in workloads.items():
+        seeds = list(range(n_trials))
+        Simulator(mk_p(), mk_a()).run(0)  # warm caches / imports
+
+        t0 = time.perf_counter()
+        serial = [Simulator(mk_p(), mk_a()).run(s) for s in seeds]
+        serial_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        batched = []
+        for i in range(0, n_trials, batch_size):
+            batched.extend(
+                Simulator(mk_p(), mk_a()).run_batch(
+                    seeds[i : i + batch_size],
+                    make_protocol=mk_p,
+                    make_adversary=mk_a,
+                )
+            )
+        batch_s = time.perf_counter() - t0
+
+        for a, b in zip(serial, batched):  # bench doubles as a check
+            assert a.adversary_cost == b.adversary_cost
+            assert list(a.node_costs) == list(b.node_costs)
+        section[name] = {
+            "n_trials": n_trials,
+            "batch_size": batch_size,
+            "serial_s": serial_s,
+            "batch_s": batch_s,
+            "speedup": serial_s / batch_s,
+        }
+        print(
+            f"  {name}: serial {serial_s:.2f}s, batch({batch_size}) "
+            f"{batch_s:.2f}s -> {serial_s / batch_s:.2f}x"
+        )
+
+    record = json.loads(OUT.read_text()) if OUT.exists() else {}
+    record["batch_vs_serial"] = section
+    record.setdefault("machine", {})
+    record["machine"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+    OUT.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+    return 0
+
+
 def main() -> int:
+    if "--batch" in sys.argv[1:]:
+        return bench_batch()
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = Path(tmp) / "bench.json"
         cmd = [

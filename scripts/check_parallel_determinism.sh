@@ -14,9 +14,12 @@
 #    requires the warm-cache report to be byte-identical to the cold
 #    one, with every cell served from the cache.
 # 6. Runs E1 with the sparse resolver (default) and the dense oracle
-#    (REPRO_DENSE_RESOLVER=1) and requires the two saved reports to be
+#    (REPRO_RESOLVER=dense) and requires the two saved reports to be
 #    byte-identical — the end-to-end differential gate for the
 #    O(events) kernel.
+# 6b. Runs E1 serially and with --batch 8 and requires the two saved
+#    reports to be byte-identical — the end-to-end gate for the
+#    trial-batched kernel.
 # 7. Runs the `arena`-marked pytest suite (genome search, corpus
 #    replay, tournaments).
 # 8. Runs a fixed-seed arena search through the real CLI serially and
@@ -73,13 +76,21 @@ echo "OK: E1 report byte-identical cold vs warm, 100% cache hits"
 
 echo "== CLI byte-identity: sparse resolver vs dense oracle (run E1) =="
 python -m repro.cli run E1 --seed 11 --save "$tmp/sparse" > /dev/null
-REPRO_DENSE_RESOLVER=1 python -m repro.cli run E1 --seed 11 \
+REPRO_RESOLVER=dense python -m repro.cli run E1 --seed 11 \
     --save "$tmp/dense" > /dev/null
 if ! cmp "$tmp/sparse/E1.json" "$tmp/dense/E1.json"; then
     echo "FAIL: dense-oracle report differs from sparse report" >&2
     exit 1
 fi
 echo "OK: E1 report byte-identical sparse vs dense oracle"
+
+echo "== CLI byte-identity: serial vs trial-batched (run E1 -B 8) =="
+python -m repro.cli run E1 --seed 11 --batch 8 --save "$tmp/batched" > /dev/null
+if ! cmp "$tmp/sparse/E1.json" "$tmp/batched/E1.json"; then
+    echo "FAIL: batched report differs from serial report" >&2
+    exit 1
+fi
+echo "OK: E1 report byte-identical serial vs --batch 8"
 
 echo "== arena suite (pytest -m arena) =="
 python -m pytest -q -m arena "$@"

@@ -86,6 +86,22 @@ class Adversary(ABC):
     def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
         """Produce the jam/spoof plan for one phase."""
 
+    @classmethod
+    def plan_phase_batch(
+        cls, advs: "list[Adversary]", ctxs: "list[AdversaryContext]"
+    ) -> "list[JamPlan]":
+        """Plans for B parallel trials — ``advs[t]`` answers ``ctxs[t]``.
+
+        The batched engine keeps one adversary *instance per trial*
+        (strategies are stateful); this classmethod is the batch-shaped
+        entry point so stateless interval strategies can emit all B
+        plans with shared work.  The default simply loops
+        :meth:`plan_phase` per trial, which is always semantically
+        correct — overriding is purely a performance optimisation and
+        must stay bit-identical to the loop.
+        """
+        return [a.plan_phase(c) for a, c in zip(advs, ctxs)]
+
     def observe_outcome(self, ctx: AdversaryContext, outcome: PhaseOutcome) -> None:
         """Optional hook: see the resolved phase (the adversary is
         omniscient about the past)."""

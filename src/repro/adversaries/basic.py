@@ -19,6 +19,10 @@ class SilentAdversary(Adversary):
     def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
         return JamPlan.silent(ctx.length)
 
+    @classmethod
+    def plan_phase_batch(cls, advs, ctxs):
+        return [JamPlan.silent(c.length) for c in ctxs]
+
 
 class RandomJammer(Adversary):
     """Jams each slot independently with probability ``p``.
@@ -106,3 +110,15 @@ class SuffixJammer(Adversary):
         if self.max_total is not None:
             want = min(want, max(0, self.max_total - ctx.spent))
         return JamPlan.suffix(ctx.length, want, group=self.group)
+
+    @classmethod
+    def plan_phase_batch(cls, advs, ctxs):
+        wants = []
+        for a, c in zip(advs, ctxs):
+            want = int(round(a.fraction * c.length))
+            if a.max_total is not None:
+                want = min(want, max(0, a.max_total - c.spent))
+            wants.append(want)
+        return JamPlan.suffix_batch(
+            [c.length for c in ctxs], wants, [a.group for a in advs]
+        )

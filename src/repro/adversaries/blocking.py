@@ -67,6 +67,18 @@ class QBlockingJammer(Adversary):
             return JamPlan.silent(ctx.length)
         return _suffix_plan(ctx, self.q, self._group_for(ctx))
 
+    @classmethod
+    def plan_phase_batch(cls, advs, ctxs):
+        wants, groups = [], []
+        for a, c in zip(advs, ctxs):
+            if a.predicate is not None and not a.predicate(c.tags):
+                wants.append(0)
+                groups.append(None)
+            else:
+                wants.append(int(round(a.q * c.length)))
+                groups.append(a._group_for(c))
+        return JamPlan.suffix_batch([c.length for c in ctxs], wants, groups)
+
 
 class EpochTargetJammer(Adversary):
     """Blocks a ``q`` fraction of every phase up to a target epoch.
@@ -112,10 +124,10 @@ class EpochTargetJammer(Adversary):
         self.target_listener = target_listener
         self.phase_fraction = phase_fraction
 
-    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+    def _want_and_group(self, ctx: AdversaryContext) -> tuple[int, int | None]:
         epoch = ctx.tags.get("epoch")
         if epoch is None or epoch > self.target_epoch:
-            return JamPlan.silent(ctx.length)
+            return 0, None
         rep = ctx.tags.get("repetition")
         n_reps = ctx.tags.get("n_repetitions")
         if (
@@ -123,10 +135,25 @@ class EpochTargetJammer(Adversary):
             and n_reps is not None
             and rep >= self.phase_fraction * n_reps
         ):
-            return JamPlan.silent(ctx.length)
+            return 0, None
         group = (
             int(ctx.tags["listener_group"])
             if self.target_listener and "listener_group" in ctx.tags
             else None
         )
-        return _suffix_plan(ctx, self.q, group)
+        return int(round(self.q * ctx.length)), group
+
+    def plan_phase(self, ctx: AdversaryContext) -> JamPlan:
+        want, group = self._want_and_group(ctx)
+        if want == 0:
+            return JamPlan.silent(ctx.length)
+        return JamPlan.suffix(ctx.length, want, group=group)
+
+    @classmethod
+    def plan_phase_batch(cls, advs, ctxs):
+        decisions = [a._want_and_group(c) for a, c in zip(advs, ctxs)]
+        return JamPlan.suffix_batch(
+            [c.length for c in ctxs],
+            [w for w, _ in decisions],
+            [g for _, g in decisions],
+        )

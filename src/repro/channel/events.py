@@ -66,6 +66,15 @@ class TxKind(IntEnum):
 #: Number of distinct :class:`SlotStatus` values (size of count matrices).
 N_STATUS: int = len(SlotStatus)
 
+# Shared spoof-free placeholders for the O(1) plan constructors; marked
+# read-only because they are aliased across every silent/suffix/prefix
+# plan in a run.
+_EMPTY_SLOTS = np.empty(0, np.int64)
+_EMPTY_SLOTS.setflags(write=False)
+_EMPTY_KINDS = np.empty(0, np.int8)
+_EMPTY_KINDS.setflags(write=False)
+_EMPTY_SLOTSET = SlotSet.empty()
+
 
 def _as_index_array(values: np.ndarray | list[int], name: str) -> np.ndarray:
     arr = np.asarray(values, dtype=np.int64)
@@ -216,6 +225,30 @@ class JamPlan:
         self.spoof_slots = spoof_slots
         self.spoof_kinds = spoof_kinds
 
+    @classmethod
+    def _from_normalized(
+        cls,
+        length: int,
+        global_slots: SlotSet,
+        targeted: dict[int, SlotSet],
+    ) -> "JamPlan":
+        """Assemble a plan from already-normalised parts, skipping
+        ``__post_init__``.
+
+        Caller contract: ``length`` positive, every slot set within
+        ``[0, length)``, targeted sets disjoint from the global set and
+        non-empty.  Used by the canonical O(1) constructors and batched
+        plan emission, where re-normalising a single interval per phase
+        is the dominant cost of the whole adversary.
+        """
+        plan = object.__new__(cls)
+        plan.length = length
+        plan.global_slots = global_slots
+        plan.targeted = targeted
+        plan.spoof_slots = _EMPTY_SLOTS
+        plan.spoof_kinds = _EMPTY_KINDS
+        return plan
+
     @property
     def cost(self) -> int:
         """Energy the adversary spends executing this plan."""
@@ -228,7 +261,9 @@ class JamPlan:
     @staticmethod
     def silent(length: int) -> "JamPlan":
         """No jamming, no spoofing."""
-        return JamPlan(length=length)
+        if length <= 0:
+            raise AdversaryError(f"JamPlan length must be positive, got {length}")
+        return JamPlan._from_normalized(length, _EMPTY_SLOTSET, {})
 
     @staticmethod
     def suffix(length: int, n_jammed: int, group: int | None = None) -> "JamPlan":
@@ -237,21 +272,67 @@ class JamPlan:
         With ``group=None`` the jam is channel-wide, otherwise targeted.
         O(1) in ``length`` — a single interval.
         """
+        if length <= 0:
+            raise AdversaryError(f"JamPlan length must be positive, got {length}")
         n_jammed = int(max(0, min(length, n_jammed)))
         slots = SlotSet.range(length - n_jammed, length)
         if group is None:
-            return JamPlan(length=length, global_slots=slots)
-        return JamPlan(length=length, targeted={int(group): slots})
+            return JamPlan._from_normalized(length, slots, {})
+        targeted = {int(group): slots} if len(slots) else {}
+        return JamPlan._from_normalized(length, _EMPTY_SLOTSET, targeted)
+
+    @staticmethod
+    def suffix_batch(
+        lengths, n_jammed, groups: "list[int | None]"
+    ) -> "list[JamPlan]":
+        """B suffix plans at once — the trial-axis form of :meth:`suffix`.
+
+        ``lengths`` and ``n_jammed`` are ``(B,)`` int arrays, ``groups``
+        one target group (or ``None`` for channel-wide) per trial.
+        Plan ``t`` equals ``JamPlan.suffix(lengths[t], n_jammed[t],
+        groups[t])``; the clamping arithmetic is vectorised and each
+        plan is assembled through the normalisation-free constructors,
+        which is what batched plan emission for the zoo's interval
+        adversaries rides on.
+        """
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if len(lengths) and lengths.min() <= 0:
+            raise AdversaryError("JamPlan length must be positive")
+        n_jammed = np.clip(np.asarray(n_jammed, dtype=np.int64), 0, lengths)
+        starts = lengths - n_jammed
+        plans = []
+        for t in range(len(lengths)):
+            if n_jammed[t] == 0:
+                plans.append(
+                    JamPlan._from_normalized(int(lengths[t]), _EMPTY_SLOTSET, {})
+                )
+                continue
+            slots = SlotSet._unsafe(starts[t : t + 1], lengths[t : t + 1])
+            g = groups[t]
+            if g is None:
+                plans.append(
+                    JamPlan._from_normalized(int(lengths[t]), slots, {})
+                )
+            else:
+                plans.append(
+                    JamPlan._from_normalized(
+                        int(lengths[t]), _EMPTY_SLOTSET, {int(g): slots}
+                    )
+                )
+        return plans
 
     @staticmethod
     def prefix(length: int, n_jammed: int, group: int | None = None) -> "JamPlan":
         """Jam the first ``n_jammed`` slots (the reactive "act until the
         battery dies" shape).  O(1) in ``length`` — a single interval."""
+        if length <= 0:
+            raise AdversaryError(f"JamPlan length must be positive, got {length}")
         n_jammed = int(max(0, min(length, n_jammed)))
         slots = SlotSet.range(0, n_jammed)
         if group is None:
-            return JamPlan(length=length, global_slots=slots)
-        return JamPlan(length=length, targeted={int(group): slots})
+            return JamPlan._from_normalized(length, slots, {})
+        targeted = {int(group): slots} if len(slots) else {}
+        return JamPlan._from_normalized(length, _EMPTY_SLOTSET, targeted)
 
     def to_json(self) -> dict:
         """Plain-container snapshot of the plan.

@@ -78,6 +78,23 @@ class SlotSet:
 
     # -- constructors -------------------------------------------------
 
+    @classmethod
+    def _unsafe(cls, starts: np.ndarray, ends: np.ndarray) -> "SlotSet":
+        """Wrap already-normalised interval arrays without re-validating.
+
+        Caller contract: ``starts``/``ends`` are int64, equal length,
+        sorted ascending, pairwise disjoint, with ``ends > starts``
+        element-wise.  (Adjacent-but-unmerged intervals are tolerated:
+        every query — ``contains``, ``size``, ``mask``, ``to_slots`` —
+        only needs sorted disjointness.)  This is the hot-path
+        constructor for the batched kernel, where normalisation cost
+        per phase would otherwise dominate O(1) interval algebra.
+        """
+        ss = object.__new__(cls)
+        object.__setattr__(ss, "starts", starts)
+        object.__setattr__(ss, "ends", ends)
+        return ss
+
     @staticmethod
     def empty() -> "SlotSet":
         return SlotSet(np.empty(0, np.int64), np.empty(0, np.int64))
@@ -108,6 +125,32 @@ class SlotSet:
         if isinstance(obj, SlotSet):
             return obj
         return SlotSet.from_slots(obj)
+
+    # -- trial axis ----------------------------------------------------
+
+    def shift(self, offset: int) -> "SlotSet":
+        """The set translated by ``offset`` — O(#intervals)."""
+        if not len(self.starts):
+            return self
+        return SlotSet._unsafe(self.starts + offset, self.ends + offset)
+
+    @staticmethod
+    def stack(sets: "list[SlotSet]", offsets: np.ndarray) -> "SlotSet":
+        """Disjoint union of per-trial sets laid out on a shared axis.
+
+        ``sets[t]`` is placed at ``offsets[t]``; the caller guarantees
+        the shifted copies cannot overlap (offsets non-decreasing with
+        ``sets[t] ⊆ [0, offsets[t+1] - offsets[t])``), which is exactly
+        the layout the batched resolver uses — trial ``t`` owns the
+        virtual slot range ``[offsets[t], offsets[t] + length_t)``.
+        One membership query against the stacked set then answers B
+        per-trial queries at once.
+        """
+        parts_s = [s.starts + off for s, off in zip(sets, offsets) if len(s.starts)]
+        if not parts_s:
+            return SlotSet.empty()
+        parts_e = [s.ends + off for s, off in zip(sets, offsets) if len(s.starts)]
+        return SlotSet._unsafe(np.concatenate(parts_s), np.concatenate(parts_e))
 
     # -- serialization ------------------------------------------------
 
@@ -208,12 +251,23 @@ class SlotSet:
         return SlotSet(bounds[:-1][keep], bounds[1:][keep])
 
     def union(self, other: "SlotSet") -> "SlotSet":
+        # Identity fast paths: both operands are immutable, so the
+        # canonical adversaries (whose plans are one global *or* one
+        # targeted interval, the other side empty) pay nothing here.
+        if not len(other.starts):
+            return self
+        if not len(self.starts):
+            return other
         return self._boolean_op(other, np.logical_or)
 
     def intersection(self, other: "SlotSet") -> "SlotSet":
+        if not len(self.starts) or not len(other.starts):
+            return SlotSet.empty()
         return self._boolean_op(other, np.logical_and)
 
     def difference(self, other: "SlotSet") -> "SlotSet":
+        if not len(self.starts) or not len(other.starts):
+            return self
         return self._boolean_op(other, lambda a, b: a & ~b)
 
     def complement(self, length: int) -> "SlotSet":

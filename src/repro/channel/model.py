@@ -33,6 +33,7 @@ Semantics implemented (Section 1.2 of the paper):
 from __future__ import annotations
 
 import os
+import warnings
 
 import numpy as np
 
@@ -42,6 +43,7 @@ from repro.channel.events import (
     ListenEvents,
     PhaseOutcome,
     SendEvents,
+    SlotSet,
     SlotStatus,
 )
 from repro.channel.model_dense import (
@@ -49,19 +51,28 @@ from repro.channel.model_dense import (
     slot_content,
     validate_phase_inputs,
 )
+from repro.errors import ConfigurationError
 
 __all__ = [
     "resolve_phase",
+    "resolve_phase_batch",
     "resolve_phase_dense",
     "slot_content",
     "slot_content_at",
     "get_resolver",
+    "resolve_resolver_name",
+    "RESOLVER_ENV",
     "DENSE_RESOLVER_ENV",
 ]
 
-#: Setting this environment variable to ``1``/``true``/``yes``/``on``
-#: makes the engine default to the dense oracle resolver — the lever the
-#: CI byte-identity gate uses to replay a whole experiment densely.
+#: Environment override for the default resolver: set to ``sparse`` or
+#: ``dense``.  The CI byte-identity gate uses ``REPRO_RESOLVER=dense``
+#: to replay a whole experiment — executor workers included, since they
+#: inherit the environment — through the O(L) oracle.
+RESOLVER_ENV = "REPRO_RESOLVER"
+
+#: Deprecated boolean spelling of ``REPRO_RESOLVER=dense``; honoured
+#: with a :class:`DeprecationWarning` for one release.
 DENSE_RESOLVER_ENV = "REPRO_DENSE_RESOLVER"
 
 
@@ -238,20 +249,264 @@ def resolve_phase(
     )
 
 
-def get_resolver(dense: bool | None = None):
+def resolve_phase_batch(
+    lengths,
+    n_nodes: int,
+    sends_list: "list[SendEvents]",
+    listens_list: "list[ListenEvents]",
+    plans: "list[JamPlan]",
+    groups_list: "list[np.ndarray | None]",
+) -> "list[PhaseOutcome]":
+    """Resolve B trials' phases as one stacked computation.
+
+    Bit-identical per trial to B :func:`resolve_phase` calls — the
+    per-trial resolver stays on as this function's differential oracle,
+    the same playbook that de-risked the sparse kernel swap.
+
+    The trick is a *virtual slot axis*: trial ``t`` owns the range
+    ``[off_t, off_t + lengths[t])`` (``off`` the exclusive prefix sum of
+    lengths), and virtual node ``t * n_nodes + u`` owns node ``u``'s
+    events.  Because the per-trial ranges are disjoint, one global
+    ``np.unique`` computes every trial's collision content, one
+    searchsorted applies half-duplex, and one stacked
+    :class:`~repro.channel.intervals.SlotSet` query per group answers
+    every trial's jam membership — the per-phase Python overhead that
+    dominated ``replicate`` is paid once per *batch* instead of once per
+    trial.
+
+    Parameters
+    ----------
+    lengths:
+        ``(B,)`` per-trial phase lengths (trials may sit in different
+        epochs).
+    n_nodes:
+        Common node count (a batch stacks trials of one protocol).
+    sends_list / listens_list / plans / groups_list:
+        Per-trial inputs, as for :func:`resolve_phase`.
+    """
+    B = len(plans)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    groups_arr = [
+        validate_phase_inputs(
+            int(lengths[t]), n_nodes, sends_list[t], listens_list[t],
+            plans[t], groups_list[t],
+        )
+        for t in range(B)
+    ]
+    off = np.zeros(B, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=off[1:])
+
+    # Stacked transmissions: per trial, node sends then spoofs — the
+    # serial concat order, so the stable global unique picks the same
+    # first occurrence per slot as each trial's own unique would.
+    tx_parts, kind_parts, tx_trial_parts = [], [], []
+    for t in range(B):
+        s, p = sends_list[t], plans[t]
+        if len(s.slots):
+            tx_parts.append(s.slots + off[t])
+            kind_parts.append(s.kinds)
+            tx_trial_parts.append(np.full(len(s.slots), t, np.int64))
+        if len(p.spoof_slots):
+            tx_parts.append(p.spoof_slots + off[t])
+            kind_parts.append(p.spoof_kinds)
+            tx_trial_parts.append(np.full(len(p.spoof_slots), t, np.int64))
+    if tx_parts:
+        tx_slots = np.concatenate(tx_parts)
+        tx_kinds = np.concatenate(kind_parts)
+        uniq_tx, tx_status = _unique_tx_content(tx_slots, tx_kinds)
+    else:
+        uniq_tx = np.empty(0, np.int64)
+        tx_status = np.empty(0, np.int8)
+    tx_trial = np.searchsorted(off, uniq_tx, side="right") - 1
+
+    # Stacked listens with virtual (trial, node) ids and half-duplex
+    # filtering on injective (vnode, vslot) keys.
+    # (trial, node, slot) keys must be injective *across* trials even
+    # when phase lengths differ, so each trial owns the key range
+    # [koff_t, koff_t + n_nodes * length_t).
+    koff = np.zeros(B, dtype=np.int64)
+    np.cumsum(n_nodes * lengths[:-1], out=koff[1:])
+    ln_parts, ls_parts, lg_parts = [], [], []
+    send_key_parts = []
+    for t in range(B):
+        s, l = sends_list[t], listens_list[t]
+        if len(l.nodes):
+            ln_parts.append(l.nodes + t * n_nodes)
+            ls_parts.append(l.slots + off[t])
+            lg_parts.append(groups_arr[t][l.nodes])
+        if len(s.nodes):
+            send_key_parts.append(koff[t] + s.nodes * lengths[t] + s.slots)
+    if ln_parts:
+        listen_vnodes = np.concatenate(ln_parts)
+        listen_vslots = np.concatenate(ls_parts)
+        listen_groups = np.concatenate(lg_parts)
+    else:
+        listen_vnodes = np.empty(0, np.int64)
+        listen_vslots = np.empty(0, np.int64)
+        listen_groups = np.empty(0, np.int64)
+    if send_key_parts and len(listen_vnodes):
+        send_keys = np.sort(np.concatenate(send_key_parts))
+        listen_trial = np.searchsorted(off, listen_vslots, side="right") - 1
+        listen_keys = (
+            koff[listen_trial]
+            + (listen_vnodes - listen_trial * n_nodes) * lengths[listen_trial]
+            + (listen_vslots - off[listen_trial])
+        )
+        pos = np.searchsorted(send_keys, listen_keys)
+        safe = np.minimum(pos, len(send_keys) - 1)
+        keep = send_keys[safe] != listen_keys
+        listen_vnodes = listen_vnodes[keep]
+        listen_vslots = listen_vslots[keep]
+        listen_groups = listen_groups[keep]
+
+    # Un-jammed content status under each surviving listen event.
+    if len(uniq_tx) and len(listen_vslots):
+        pos = np.searchsorted(uniq_tx, listen_vslots)
+        safe = np.minimum(pos, len(uniq_tx) - 1)
+        hit = uniq_tx[safe] == listen_vslots
+        base_status = np.zeros(len(listen_vslots), dtype=np.int64)
+        base_status[hit] = tx_status[safe[hit]]
+    else:
+        base_status = np.zeros(len(listen_vslots), dtype=np.int64)
+
+    # Per-group views over the union of every trial's group ids; trials
+    # that lack a group must not have it applied to their decodability
+    # view, hence the per-trial membership masks.
+    trial_gids = [np.unique(g) for g in groups_arr]
+    all_group_ids = np.unique(np.concatenate(trial_gids))
+    present = np.zeros((B, len(all_group_ids)), dtype=bool)
+    for t in range(B):
+        present[t, np.searchsorted(all_group_ids, trial_gids[t])] = True
+
+    heard = np.zeros((B * n_nodes, N_STATUS), dtype=np.int64)
+    is_data_tx = tx_status == SlotStatus.DATA
+    data_decodable = np.zeros(int(is_data_tx.sum()), dtype=bool)
+    data_tx_slots = uniq_tx[is_data_tx]
+    data_tx_trial = tx_trial[is_data_tx]
+    jam0_stack = SlotSet.stack([p.jam_set(0) for p in plans], off)
+    for gi, g in enumerate(all_group_ids):
+        g = int(g)
+        if g == 0:
+            jam_stack = jam0_stack
+        else:
+            jam_stack = SlotSet.stack([p.jam_set(g) for p in plans], off)
+
+        has_g = present[data_tx_trial, gi]
+        if has_g.any():
+            data_decodable[has_g] |= ~jam_stack.contains(data_tx_slots[has_g])
+
+        in_group = listen_groups == g
+        if in_group.any():
+            vnodes_g = listen_vnodes[in_group]
+            statuses = np.where(
+                jam_stack.contains(listen_vslots[in_group]),
+                np.int64(SlotStatus.NOISE),
+                base_status[in_group],
+            )
+            flat = np.bincount(
+                vnodes_g * N_STATUS + statuses,
+                minlength=B * n_nodes * N_STATUS,
+            )
+            heard += flat.reshape(B * n_nodes, N_STATUS)
+    heard = heard.reshape(B, n_nodes, N_STATUS)
+
+    send_vnode_parts = [
+        sends_list[t].nodes + t * n_nodes
+        for t in range(B)
+        if len(sends_list[t].nodes)
+    ]
+    send_cost = np.bincount(
+        np.concatenate(send_vnode_parts) if send_vnode_parts
+        else np.empty(0, np.int64),
+        minlength=B * n_nodes,
+    ).reshape(B, n_nodes)
+    listen_cost = np.bincount(
+        listen_vnodes, minlength=B * n_nodes
+    ).reshape(B, n_nodes)
+
+    # Group-0 ground truth per trial (see resolve_phase): applied to
+    # *every* trial regardless of which groups its nodes occupy.
+    jam0_sizes = np.array([p.jam_set(0).size for p in plans], dtype=np.int64)
+    tx_jammed_0 = jam0_stack.contains(uniq_tx)
+    unjammed_tx_per_trial = np.bincount(tx_trial[~tx_jammed_0], minlength=B)
+    noise_unjammed = np.bincount(
+        tx_trial[(tx_status == SlotStatus.NOISE) & ~tx_jammed_0], minlength=B
+    )
+    n_clear = lengths - jam0_sizes - unjammed_tx_per_trial
+    n_noise = jam0_sizes + noise_unjammed
+    data_per_trial = np.bincount(
+        data_tx_trial[data_decodable], minlength=B
+    )
+
+    return [
+        PhaseOutcome(
+            heard=heard[t],
+            send_cost=send_cost[t],
+            listen_cost=listen_cost[t],
+            adversary_cost=plans[t].cost,
+            n_clear=int(n_clear[t]),
+            n_noise=int(n_noise[t]),
+            data_slots=int(data_per_trial[t]),
+        )
+        for t in range(B)
+    ]
+
+
+def resolve_resolver_name(
+    resolver: str | None = None, *, dense: bool | None = None
+) -> str:
+    """Normalise every resolver spelling to ``"sparse"`` or ``"dense"``.
+
+    Precedence: the deprecated ``dense=`` boolean (warned) when given,
+    then an explicit ``resolver=`` string, then the
+    :data:`RESOLVER_ENV` environment variable, then the deprecated
+    :data:`DENSE_RESOLVER_ENV` boolean variable (warned), then
+    ``"sparse"``.
+    """
+    if dense is not None:
+        warnings.warn(
+            "the dense= resolver toggle is deprecated; use "
+            "resolver='dense' / resolver='sparse' instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return "dense" if dense else "sparse"
+    if resolver is not None:
+        if resolver not in ("sparse", "dense"):
+            raise ConfigurationError(
+                f"resolver must be 'sparse' or 'dense', got {resolver!r}"
+            )
+        return resolver
+    env = os.environ.get(RESOLVER_ENV, "").strip().lower()
+    if env:
+        if env not in ("sparse", "dense"):
+            raise ConfigurationError(
+                f"{RESOLVER_ENV} must be 'sparse' or 'dense', got {env!r}"
+            )
+        return env
+    legacy = os.environ.get(DENSE_RESOLVER_ENV, "").strip().lower()
+    if legacy:
+        warnings.warn(
+            f"{DENSE_RESOLVER_ENV} is deprecated; set {RESOLVER_ENV}="
+            "dense or sparse instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if legacy in {"1", "true", "yes", "on"}:
+            return "dense"
+    return "sparse"
+
+
+def get_resolver(resolver: str | None = None, *, dense: bool | None = None):
     """Select the phase resolver.
 
-    ``dense=True`` returns the O(L) oracle, ``dense=False`` the sparse
-    O(events) resolver, and ``None`` (the default) consults the
-    :data:`DENSE_RESOLVER_ENV` environment variable so a whole process
-    tree — including executor worker processes, which inherit the
-    environment — can be pinned to the oracle without code changes.
+    ``resolver="sparse"`` (the default) returns the O(events) kernel,
+    ``resolver="dense"`` the O(L) oracle.  With neither argument the
+    :data:`RESOLVER_ENV` environment variable decides, so a whole
+    process tree — executor workers inherit the environment — can be
+    pinned to the oracle without code changes.  The ``dense=`` boolean
+    and the :data:`DENSE_RESOLVER_ENV` variable are deprecated
+    spellings, honoured with a :class:`DeprecationWarning`.
     """
-    if dense is None:
-        dense = os.environ.get(DENSE_RESOLVER_ENV, "").strip().lower() in {
-            "1",
-            "true",
-            "yes",
-            "on",
-        }
-    return resolve_phase_dense if dense else resolve_phase
+    name = resolve_resolver_name(resolver, dense=dense)
+    return resolve_phase_dense if name == "dense" else resolve_phase

@@ -6,6 +6,7 @@
     repro-bcast run E1               # quick mode
     repro-bcast run E1 --full        # full sweep (what EXPERIMENTS.md records)
     repro-bcast run E1 --full -j 4   # same results, four worker processes
+    repro-bcast run E1 --full -B 16  # same results, 16 trials per task
     repro-bcast run all --seed 7 --jobs 0 --timeout 600
     repro-bcast run E1 --cache       # memoize cells; re-runs are warm
     repro-bcast cache stats          # census of the result cache
@@ -50,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for replication fan-out "
              "(1 = serial, 0 = one per core; results are bit-identical "
              "for any N)",
+    )
+    run_p.add_argument(
+        "--batch", "-B", type=int, default=1, metavar="B",
+        help="trials per executor task: pack B replications into one "
+             "vectorised run_batch call (1 = one run per task; results "
+             "are bit-identical for any B)",
     )
     run_p.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
@@ -236,6 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes (results are bit-identical for any N)",
         )
         p.add_argument(
+            "--batch", "-B", type=int, default=1, metavar="B",
+            help="trials per executor task (results are bit-identical "
+                 "for any B)",
+        )
+        p.add_argument(
             "--telemetry", nargs="?", const="", default=None, metavar="DIR",
             help="record a structured event log under DIR (default: "
                  "$REPRO_TELEMETRY_DIR or ./.repro-telemetry)",
@@ -339,7 +351,7 @@ def _arena(args) -> int:
     from repro.experiments import RunConfig
     from repro.experiments.registry import ExperimentReport
 
-    config = RunConfig(jobs=args.jobs)
+    config = RunConfig(jobs=args.jobs, batch=args.batch)
 
     if args.arena_command == "search":
         space = default_space(quick=not args.full)
@@ -579,6 +591,7 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 quick=not args.full,
                 jobs=args.jobs,
+                batch=args.batch,
                 timeout=args.timeout,
                 cache=args.cache,
                 cache_dir=args.cache_dir,

@@ -18,10 +18,21 @@ The engine exploits it to simulate an entire phase in one shot:
 
 from repro.engine.executor import ExecutorStats, resolve_jobs, run_tasks
 from repro.engine.phase import PhaseObservation, PhaseSpec
-from repro.engine.sampling import bernoulli_positions, sample_action_events
-from repro.engine.simulator import RunResult, Simulator, run
+from repro.engine.sampling import (
+    bernoulli_positions,
+    sample_action_events,
+    sample_action_events_batch,
+)
+from repro.engine.simulator import (
+    BatchResult,
+    RunResult,
+    Simulator,
+    run,
+    run_batch,
+)
 
 __all__ = [
+    "BatchResult",
     "ExecutorStats",
     "PhaseObservation",
     "PhaseSpec",
@@ -30,6 +41,8 @@ __all__ = [
     "bernoulli_positions",
     "resolve_jobs",
     "run",
+    "run_batch",
     "run_tasks",
     "sample_action_events",
+    "sample_action_events_batch",
 ]

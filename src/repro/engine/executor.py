@@ -71,6 +71,9 @@ class ExecutorStats:
     cache_misses: int = 0
     cache_bytes_read: int = 0
     cache_bytes_written: int = 0
+    batch_tasks: int = 0
+    batch_trials: int = 0
+    batch_capacity: int = 0
 
     @property
     def utilization(self) -> float:
@@ -87,6 +90,22 @@ class ExecutorStats:
     def cache_hit_rate(self) -> float:
         """Fraction of cacheable lookups served warm (0 when none)."""
         return self.cache_hits / self.cache_requests if self.cache_requests else 0.0
+
+    @property
+    def trials_per_task(self) -> float:
+        """Mean trials packed into each batched task (0 when none ran)."""
+        return self.batch_trials / self.batch_tasks if self.batch_tasks else 0.0
+
+    @property
+    def batch_fill_rate(self) -> float:
+        """Fraction of offered batch slots actually filled with trials.
+
+        Below 1.0 when cache hits thinned a chunk or the trial count did
+        not divide evenly into the configured batch size.
+        """
+        return (
+            self.batch_trials / self.batch_capacity if self.batch_capacity else 0.0
+        )
 
     def summary(self) -> str:
         """One-line human summary for report notes / the CLI."""
@@ -108,6 +127,12 @@ class ExecutorStats:
                 f"({self.cache_hit_rate:.0%}; "
                 f"{self.cache_bytes_read}B read, "
                 f"{self.cache_bytes_written}B written)"
+            )
+        if self.batch_tasks:
+            parts.append(
+                f"batched {self.batch_trials} trials in {self.batch_tasks} "
+                f"tasks ({self.trials_per_task:.1f}/task, "
+                f"fill {self.batch_fill_rate:.0%})"
             )
         return ", ".join(parts)
 

@@ -18,6 +18,12 @@ from repro.errors import ProtocolError
 
 __all__ = ["PhaseSpec", "PhaseObservation"]
 
+# TxKind values are contiguous, so the spec validator's membership test
+# reduces to a range check (no per-phase np.unique on the hot path).
+_KIND_LO = min(int(k) for k in TxKind)
+_KIND_HI = max(int(k) for k in TxKind)
+assert {int(k) for k in TxKind} == set(range(_KIND_LO, _KIND_HI + 1))
+
 
 @dataclass
 class PhaseSpec:
@@ -62,10 +68,11 @@ class PhaseSpec:
         if self.listen_probs.shape != (n,) or self.send_kinds.shape != (n,):
             raise ProtocolError("PhaseSpec array length mismatch")
         for name, arr in (("send", self.send_probs), ("listen", self.listen_probs)):
-            if ((arr < 0.0) | (arr > 1.0)).any():
+            if len(arr) and (arr.min() < 0.0 or arr.max() > 1.0):
                 raise ProtocolError(f"{name} probabilities must lie in [0, 1]")
-        valid_kinds = {int(k) for k in TxKind}
-        if len(self.send_kinds) and not set(np.unique(self.send_kinds)) <= valid_kinds:
+        if len(self.send_kinds) and (
+            self.send_kinds.min() < _KIND_LO or self.send_kinds.max() > _KIND_HI
+        ):
             raise ProtocolError(f"send_kinds must be TxKind values, got "
                                 f"{sorted(set(np.unique(self.send_kinds)))}")
         if self.groups is not None:

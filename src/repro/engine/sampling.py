@@ -22,7 +22,12 @@ import numpy as np
 from repro.channel.events import ListenEvents, SendEvents
 from repro.errors import SimulationError
 
-__all__ = ["bernoulli_positions", "sample_action_events", "DENSE_P_THRESHOLD"]
+__all__ = [
+    "bernoulli_positions",
+    "sample_action_events",
+    "sample_action_events_batch",
+    "DENSE_P_THRESHOLD",
+]
 
 #: Above this probability a dense length-``L`` draw beats skip sampling.
 DENSE_P_THRESHOLD: float = 0.2
@@ -238,3 +243,213 @@ def sample_action_events(
         else ListenEvents.empty()
     )
     return sends, listens
+
+
+#: Per-trial position budget above which the lockstep sampler hands the
+#: trial to the serial helper: beyond this the trial is array-bound and
+#: batching per-call constants no longer pays (see
+#: :func:`_distinct_positions_multi`).
+_LOCKSTEP_MAX_WANT = 512
+
+
+def _distinct_positions_multi(
+    rngs: list[np.random.Generator],
+    lengths: np.ndarray,
+    counts_list: list[np.ndarray],
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per-trial uniform subsets, batched across B trials.
+
+    Trial ``t`` draws ``counts_list[t][u]`` distinct slots of
+    ``[0, lengths[t])`` for each node ``u`` — with *exactly* the rng call
+    sequence of B independent :func:`_distinct_positions_batch` calls.
+    Entropy stays per-trial (each trial's generator sees the same draws
+    it would serially, which is what pins per-trial RNG streams under
+    batching), while all deterministic processing — dedup, counting,
+    trimming — runs once on a global key axis: trial ``t`` owns keys
+    ``[K_t, K_t + n_t * L_t)``, so one ``np.unique`` resolves every
+    trial's rejection round at once, and per-trial segments of the
+    sorted global array equal the trials' serial results.
+
+    Trials containing a heavy node (count > length/2, the complement-
+    sampling regime) fall back to the serial helper — mixing the
+    complement recursion into the lockstep rounds would reorder their
+    draws.  So do trials wanting many positions overall: the lockstep
+    win is amortising per-call Python constants across trials, and once
+    a single trial's arrays are thousands of elements the serial path
+    is already array-bound, so the global-axis bookkeeping would only
+    add overhead.  Either way the dispatch is invisible in the output —
+    the serial helper *is* the reference stream.
+    """
+    B = len(rngs)
+    out: list = [None] * B
+    counts_by_trial = [np.asarray(c, dtype=np.int64) for c in counts_list]
+    lock: list[int] = []
+    for t in range(B):
+        counts = counts_by_trial[t]
+        if (
+            (counts > lengths[t] // 2).any()
+            or counts.sum() > _LOCKSTEP_MAX_WANT
+        ):
+            out[t] = _distinct_positions_batch(rngs[t], int(lengths[t]), counts)
+        elif not counts.any():
+            out[t] = (np.empty(0, np.int64), np.empty(0, np.int64))
+        else:
+            lock.append(t)
+    if not lock:
+        return out
+
+    nt = len(lock)
+    L = np.array([lengths[t] for t in lock], dtype=np.int64)
+    lidx = [np.flatnonzero(counts_by_trial[t] > 0) for t in lock]
+    n_light = np.array([len(a) for a in lidx], dtype=np.int64)
+    # Global key layout: trial i's (node, slot) pairs map injectively to
+    # [K[i], K[i] + n_i * L_i); bases[j] is light node j's key origin.
+    dom = np.array([len(counts_by_trial[t]) for t in lock], dtype=np.int64) * L
+    K = np.zeros(nt, dtype=np.int64)
+    np.cumsum(dom[:-1], out=K[1:])
+    bases = np.concatenate([K[i] + lidx[i] * L[i] for i in range(nt)])
+    trial_of = np.repeat(np.arange(nt), n_light)
+    want = np.concatenate([counts_by_trial[lock[i]][lidx[i]] for i in range(nt)])
+
+    keys = np.empty(0, dtype=np.int64)
+    need = want.copy()
+    have = np.zeros(len(bases), dtype=np.int64)
+    while True:
+        need_per_trial = np.bincount(
+            trial_of, weights=need, minlength=nt
+        ).astype(np.int64)
+        act_node = need_per_trial[trial_of] > 0
+        if not act_node.any():
+            break
+        # Serial semantics: an active trial overdraws for *all* its
+        # light nodes each round (satisfied nodes included), so the
+        # per-trial draw sizes — and hence the rng streams — match.
+        od = (need + need // 16 + 4)[act_node]
+        nd_per_trial = np.bincount(
+            trial_of[act_node], weights=od, minlength=nt
+        ).astype(np.int64)
+        slot_parts = [
+            rngs[lock[i]].integers(0, L[i], int(nd_per_trial[i]))
+            for i in np.flatnonzero(nd_per_trial)
+        ]
+        new_keys = np.repeat(bases[act_node], od) + np.concatenate(slot_parts)
+        keys = np.unique(np.concatenate([keys, new_keys]))
+        lid_of_key = np.searchsorted(bases, keys, side="right") - 1
+        have = np.bincount(lid_of_key, minlength=len(bases))
+        need = np.maximum(0, want - have)
+
+    lid_of_key = np.searchsorted(bases, keys, side="right") - 1
+    trial_of_key = trial_of[lid_of_key]
+
+    # Trim surpluses per trial, only in trials that would trim serially
+    # (untrimmed trials keep sorted-key order; trimmed ones keep the
+    # serial lexsort order, both of which downstream content resolution
+    # depends on for bit-identity).
+    trial_trim = np.zeros(nt, dtype=bool)
+    over = have > want
+    if over.any():
+        trial_trim[trial_of[over]] = True
+    mask_k = trial_trim[trial_of_key]
+    kept = np.empty(0, dtype=np.int64)
+    kept_trial = np.empty(0, dtype=np.int64)
+    if mask_k.any():
+        keys_sub = keys[mask_k]
+        lid_sub = lid_of_key[mask_k]
+        seg_sizes = np.bincount(trial_of_key[mask_k], minlength=nt)
+        rand = np.concatenate(
+            [rngs[lock[i]].random(int(seg_sizes[i]))
+             for i in np.flatnonzero(trial_trim)]
+        )
+        order = np.lexsort((rand, lid_sub))
+        node_mask = trial_trim[trial_of]
+        have_m = have[node_mask]
+        want_m = want[node_mask]
+        starts = np.zeros(len(have_m), dtype=np.int64)
+        np.cumsum(have_m[:-1], out=starts[1:])
+        seg_of = np.repeat(np.arange(len(have_m)), have_m)
+        rank = np.arange(len(keys_sub)) - starts[seg_of]
+        keep_sorted = rank < want_m[seg_of]
+        kept = keys_sub[order[keep_sorted]]
+        kept_trial = trial_of[np.searchsorted(bases, kept, side="right") - 1]
+
+    untrimmed = keys[~mask_k]
+    untrimmed_trial = trial_of_key[~mask_k]
+    for i in range(nt):
+        # Both sources are trial-major, so each trial's result is a
+        # contiguous segment.
+        src, src_trial = (
+            (kept, kept_trial) if trial_trim[i] else (untrimmed, untrimmed_trial)
+        )
+        lo, hi = np.searchsorted(src_trial, [i, i + 1])
+        rel = src[lo:hi] - K[i]
+        nodes = rel // L[i]
+        out[lock[i]] = (nodes, rel - nodes * L[i])
+    return out
+
+
+def sample_action_events_batch(
+    rngs: list[np.random.Generator],
+    lengths,
+    send_probs_list: list[np.ndarray],
+    send_kinds_list: list[np.ndarray],
+    listen_probs_list: list[np.ndarray],
+) -> list[tuple[SendEvents, ListenEvents]]:
+    """Sample B trials' phases at once; bit-identical per trial to B
+    :func:`sample_action_events` calls.
+
+    Each trial keeps its own generator and sees the serial call order —
+    send Binomial, send positions, listen Binomial, listen positions —
+    so per-trial streams are unchanged by batching; the deterministic
+    subset-selection work is shared across trials via
+    :func:`_distinct_positions_multi`.
+
+    Parameters mirror :func:`sample_action_events`, one list entry per
+    trial; ``lengths`` is a ``(B,)`` int array of phase lengths (trials
+    in a lockstep batch may sit in different epochs).
+
+    Returns one ``(SendEvents, ListenEvents)`` pair per trial.
+    """
+    B = len(rngs)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    send_probs_list = [np.asarray(p, dtype=np.float64) for p in send_probs_list]
+    listen_probs_list = [np.asarray(p, dtype=np.float64) for p in listen_probs_list]
+    send_kinds_list = [np.asarray(k, dtype=np.int8) for k in send_kinds_list]
+    for t in range(B):
+        n = len(send_probs_list[t])
+        if (
+            listen_probs_list[t].shape != (n,)
+            or send_kinds_list[t].shape != (n,)
+        ):
+            raise SimulationError(
+                "send_probs, send_kinds, listen_probs length mismatch"
+            )
+        if ((send_probs_list[t] < 0) | (send_probs_list[t] > 1)).any() or (
+            (listen_probs_list[t] < 0) | (listen_probs_list[t] > 1)
+        ).any():
+            raise SimulationError("action probabilities must lie in [0, 1]")
+
+    send_counts = [
+        rngs[t].binomial(int(lengths[t]), send_probs_list[t]) for t in range(B)
+    ]
+    send_pos = _distinct_positions_multi(rngs, lengths, send_counts)
+    listen_counts = [
+        rngs[t].binomial(int(lengths[t]), listen_probs_list[t]) for t in range(B)
+    ]
+    listen_pos = _distinct_positions_multi(rngs, lengths, listen_counts)
+
+    results = []
+    for t in range(B):
+        send_nodes, send_slots = send_pos[t]
+        sends = (
+            SendEvents(send_nodes, send_slots, send_kinds_list[t][send_nodes])
+            if len(send_nodes)
+            else SendEvents.empty()
+        )
+        listen_nodes, listen_slots = listen_pos[t]
+        listens = (
+            ListenEvents(listen_nodes, listen_slots)
+            if len(listen_nodes)
+            else ListenEvents.empty()
+        )
+        results.append((sends, listens))
+    return results

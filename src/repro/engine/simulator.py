@@ -8,6 +8,7 @@ is phase-granular; all slot-level work happens vectorised inside
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 
@@ -15,15 +16,20 @@ import numpy as np
 
 from repro.adversaries.base import Adversary, AdversaryContext
 from repro.channel.accounting import EnergyLedger
-from repro.channel.model import get_resolver
+from repro.channel.model import (
+    resolve_phase,
+    resolve_phase_batch,
+    resolve_phase_dense,
+    resolve_resolver_name,
+)
 from repro.engine.phase import PhaseObservation
-from repro.engine.sampling import sample_action_events
-from repro.errors import BudgetExceededError, ProtocolError
+from repro.engine.sampling import sample_action_events, sample_action_events_batch
+from repro.errors import BudgetExceededError, ConfigurationError, ProtocolError
 from repro.protocols.base import Protocol
 from repro.rng import RngFactory
 from repro.telemetry.sink import get_sink
 
-__all__ = ["Simulator", "RunResult", "run"]
+__all__ = ["Simulator", "RunResult", "BatchResult", "run", "run_batch"]
 
 
 @dataclass(frozen=True)
@@ -82,6 +88,60 @@ class RunResult:
         return self.adversary_cost
 
 
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of :meth:`Simulator.run_batch` — B trials, one object.
+
+    ``results`` holds one full :class:`RunResult` per trial (the
+    per-trial *views*: element ``t`` is bit-identical to what
+    ``run(seeds[t])`` returns), and the stacked properties expose the
+    cross-trial arrays analysis code wants without a Python loop.
+    """
+
+    results: tuple[RunResult, ...]
+    seeds: tuple
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    @property
+    def node_costs(self) -> np.ndarray:
+        """``(B, n_nodes)`` stacked per-node costs."""
+        return np.stack([r.node_costs for r in self.results])
+
+    @property
+    def max_node_costs(self) -> np.ndarray:
+        """``(B,)`` per-trial ``max_u C(u)``."""
+        return np.array([r.max_node_cost for r in self.results], dtype=np.int64)
+
+    @property
+    def adversary_costs(self) -> np.ndarray:
+        """``(B,)`` per-trial adversary spend ``T``."""
+        return np.array([r.adversary_cost for r in self.results], dtype=np.int64)
+
+    @property
+    def slots(self) -> np.ndarray:
+        return np.array([r.slots for r in self.results], dtype=np.int64)
+
+    @property
+    def phases(self) -> np.ndarray:
+        return np.array([r.phases for r in self.results], dtype=np.int64)
+
+    @property
+    def successes(self) -> np.ndarray:
+        return np.array([r.success for r in self.results], dtype=bool)
+
+    @property
+    def truncated(self) -> np.ndarray:
+        return np.array([r.truncated for r in self.results], dtype=bool)
+
+
 class Simulator:
     """Reusable runner binding a protocol, an adversary, and limits.
 
@@ -98,13 +158,15 @@ class Simulator:
     trace:
         Optional :class:`repro.trace.TraceRecorder` capturing raw
         slot-level material of every phase (small runs only).
+    resolver:
+        ``"sparse"`` (default) for the O(events) kernel, ``"dense"``
+        for the O(L) oracle (:mod:`repro.channel.model_dense`);
+        ``None`` defers to the ``REPRO_RESOLVER`` environment variable.
+        Both produce bit-identical outcomes; the oracle exists for
+        differential testing and byte-identity CI gates.
     dense:
-        Resolver selection: ``False`` (default) uses the sparse
-        O(events) kernel, ``True`` the dense O(L) oracle
-        (:mod:`repro.channel.model_dense`), ``None`` defers to the
-        ``REPRO_DENSE_RESOLVER`` environment variable.  Both produce
-        bit-identical outcomes; the oracle exists for differential
-        testing and byte-identity CI gates.
+        Deprecated boolean spelling of ``resolver=`` (one-release
+        :class:`DeprecationWarning`).
     """
 
     def __init__(
@@ -117,6 +179,7 @@ class Simulator:
         strict: bool = False,
         keep_history: bool = False,
         trace=None,
+        resolver: str | None = None,
         dense: bool | None = None,
     ) -> None:
         self.protocol = protocol
@@ -126,7 +189,10 @@ class Simulator:
         self.strict = strict
         self.keep_history = keep_history
         self.trace = trace
-        self.resolve_phase = get_resolver(dense)
+        self.resolver = resolve_resolver_name(resolver, dense=dense)
+        self.resolve_phase = (
+            resolve_phase_dense if self.resolver == "dense" else resolve_phase
+        )
 
     def run(self, seed: int | np.random.Generator | None = None) -> RunResult:
         """Play one execution and return its :class:`RunResult`."""
@@ -255,6 +321,229 @@ class Simulator:
             node_listen_costs=ledger.listen_costs,
         )
 
+    def run_batch(
+        self,
+        seeds,
+        *,
+        make_protocol=None,
+        make_adversary=None,
+    ) -> BatchResult:
+        """Play B independent trials as one stacked computation.
+
+        Bit-identical per trial to ``[self.run(s) for s in seeds]``:
+        every trial keeps its own protocol/adversary instances, rng
+        streams, and :class:`~repro.channel.accounting.EnergyLedger`,
+        and sees exactly the rng call sequence of a serial run — only
+        the deterministic per-phase kernels (event sampling, collision
+        resolution, plan emission) are stacked across trials, which is
+        where the per-trial Python overhead lived.  Trials advance in
+        lockstep; a trial whose protocol halts (or trips the safety
+        caps) simply drops out of subsequent steps.
+
+        Parameters
+        ----------
+        seeds:
+            One rng seed per trial.
+        make_protocol / make_adversary:
+            Optional zero-argument factories building each trial's
+            instances.  By default each trial gets a ``copy.deepcopy``
+            of the simulator's prototype instances — equivalent for
+            every protocol/adversary in the repo, whose ``reset`` /
+            ``begin_run`` hooks (re-)initialise all run state.
+
+        Returns
+        -------
+        BatchResult
+            Per-trial :class:`RunResult` views plus stacked arrays.
+        """
+        if self.trace is not None:
+            raise ConfigurationError(
+                "trace recording is per-run; use run() for traced executions"
+            )
+        seeds = list(seeds)
+        B = len(seeds)
+        if B == 0:
+            return BatchResult(results=(), seeds=())
+
+        protocols = [
+            make_protocol() if make_protocol is not None
+            else copy.deepcopy(self.protocol)
+            for _ in range(B)
+        ]
+        adversaries = [
+            make_adversary() if make_adversary is not None
+            else copy.deepcopy(self.adversary)
+            for _ in range(B)
+        ]
+        n_nodes = protocols[0].n_nodes
+        for p in protocols[1:]:
+            if p.n_nodes != n_nodes:
+                raise ConfigurationError(
+                    "run_batch requires a uniform node count across trials"
+                )
+        adv_type = type(adversaries[0])
+        if any(type(a) is not adv_type for a in adversaries):
+            adv_type = Adversary  # heterogeneous batch: per-trial loop
+
+        factories = [RngFactory(seed) for seed in seeds]
+        protocol_rngs = [f.get("protocol") for f in factories]
+        adversary_rngs = [f.get("adversary") for f in factories]
+
+        ledgers = [
+            EnergyLedger(n_nodes, keep_history=self.keep_history)
+            for _ in range(B)
+        ]
+        slots = [0] * B
+        phases = [0] * B
+        truncated = [False] * B
+        n_groups_seen = [1] * B
+        specs: list = [None] * B
+        sink = get_sink()
+        resolve_time = 0.0
+        n_events = 0
+
+        for t in range(B):
+            protocols[t].reset(protocol_rngs[t])
+            spec = protocols[t].next_phase()
+            specs[t] = spec
+            if spec is not None:
+                n_groups_seen[t] = (
+                    int(spec.groups.max()) + 1 if spec.groups is not None else 1
+                )
+            adversaries[t].begin_run(n_nodes, n_groups_seen[t], adversary_rngs[t])
+
+        active = [t for t in range(B) if specs[t] is not None]
+        while active:
+            step = []
+            for t in active:
+                spec = specs[t]
+                if spec.n_nodes != n_nodes:
+                    raise ProtocolError(
+                        f"phase for {spec.n_nodes} nodes from a protocol "
+                        f"with {n_nodes}"
+                    )
+                if (
+                    slots[t] + spec.length > self.max_slots
+                    or phases[t] >= self.max_phases
+                ):
+                    if self.strict:
+                        raise BudgetExceededError(
+                            f"run exceeded caps (slots={slots[t]}, "
+                            f"phases={phases[t]})"
+                        )
+                    truncated[t] = True
+                    continue
+                step.append(t)
+            if not step:
+                break
+
+            lengths = np.array([specs[t].length for t in step], dtype=np.int64)
+            events = sample_action_events_batch(
+                [protocol_rngs[t] for t in step],
+                lengths,
+                [specs[t].send_probs for t in step],
+                [specs[t].send_kinds for t in step],
+                [specs[t].listen_probs for t in step],
+            )
+            ctxs = [
+                AdversaryContext(
+                    phase_index=phases[t],
+                    length=specs[t].length,
+                    n_nodes=n_nodes,
+                    n_groups=n_groups_seen[t],
+                    tags=dict(specs[t].tags),
+                    sends=events[i][0],
+                    listens=events[i][1],
+                    send_probs=specs[t].send_probs,
+                    listen_probs=specs[t].listen_probs,
+                    spent=ledgers[t].adversary_cost,
+                )
+                for i, t in enumerate(step)
+            ]
+            plans = adv_type.plan_phase_batch(
+                [adversaries[t] for t in step], ctxs
+            )
+            if sink is not None:
+                t0 = time.perf_counter()
+            if self.resolver == "dense":
+                outcomes = [
+                    resolve_phase_dense(
+                        int(lengths[i]), n_nodes, events[i][0], events[i][1],
+                        plans[i], groups=specs[t].groups,
+                    )
+                    for i, t in enumerate(step)
+                ]
+            else:
+                outcomes = resolve_phase_batch(
+                    lengths,
+                    n_nodes,
+                    [ev[0] for ev in events],
+                    [ev[1] for ev in events],
+                    plans,
+                    [specs[t].groups for t in step],
+                )
+            if sink is not None:
+                resolve_time += time.perf_counter() - t0
+                n_events += sum(len(ev[0]) + len(ev[1]) for ev in events)
+
+            for i, t in enumerate(step):
+                spec, outcome = specs[t], outcomes[i]
+                ledgers[t].charge_phase(
+                    spec.length,
+                    outcome.send_cost + outcome.listen_cost,
+                    outcome.adversary_cost,
+                    tags=spec.tags,
+                    send_costs=outcome.send_cost,
+                    listen_costs=outcome.listen_cost,
+                )
+                slots[t] += spec.length
+                phases[t] += 1
+                protocols[t].observe(
+                    PhaseObservation(
+                        length=spec.length,
+                        heard=outcome.heard,
+                        send_cost=outcome.send_cost,
+                        listen_cost=outcome.listen_cost,
+                        tags=dict(spec.tags),
+                    )
+                )
+                adversaries[t].observe_outcome(ctxs[i], outcome)
+                specs[t] = protocols[t].next_phase()
+            active = [t for t in step if specs[t] is not None]
+
+        results = []
+        for t in range(B):
+            if specs[t] is None and not protocols[t].done:
+                raise ProtocolError(
+                    "protocol returned no phase but reports not done"
+                )
+            ledgers[t].check_conservation()
+            results.append(
+                RunResult(
+                    node_costs=ledgers[t].node_costs,
+                    adversary_cost=ledgers[t].adversary_cost,
+                    slots=slots[t],
+                    phases=phases[t],
+                    truncated=truncated[t],
+                    stats=protocols[t].summary(),
+                    phase_history=ledgers[t].history,
+                    node_send_costs=ledgers[t].send_costs,
+                    node_listen_costs=ledgers[t].listen_costs,
+                )
+            )
+        if sink is not None:
+            total_phases = sum(phases)
+            total_slots = sum(slots)
+            sink.span_event(
+                "sim.run_batch", resolve_time,
+                trials=B, phases=total_phases, slots=total_slots,
+                events=n_events,
+                events_per_slot=(
+                    round(n_events / total_slots, 6) if total_slots else 0.0
+                ),
+            )
+        return BatchResult(results=tuple(results), seeds=tuple(seeds))
+
 
 def run(
     protocol: Protocol,
@@ -273,3 +562,24 @@ def run(
     True
     """
     return Simulator(protocol, adversary, **kwargs).run(seed)
+
+
+def run_batch(
+    protocol: Protocol,
+    adversary: Adversary,
+    seeds,
+    **kwargs,
+) -> BatchResult:
+    """One-shot convenience wrapper around :meth:`Simulator.run_batch`.
+
+    Examples
+    --------
+    >>> from repro.protocols import OneToOneBroadcast, OneToOneParams
+    >>> from repro.adversaries import SilentAdversary
+    >>> batch = run_batch(
+    ...     OneToOneBroadcast(OneToOneParams.sim()), SilentAdversary(), range(4)
+    ... )
+    >>> len(batch) == 4 and bool(batch.successes.all())
+    True
+    """
+    return Simulator(protocol, adversary, **kwargs).run_batch(seeds)

@@ -24,13 +24,8 @@ from repro.experiments.runner import Table, replicate
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 
 
-def run(
-    config: RunConfig | int | None = None,
-    *,
-    seed: int | None = None,
-    quick: bool | None = None,
-) -> ExperimentReport:
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+def run(config: RunConfig | None = None) -> ExperimentReport:
+    cfg = config if config is not None else RunConfig()
     seed, quick = cfg.seed, cfg.quick
     n = 16 if quick else 32
     n_reps = 3 if quick else 8

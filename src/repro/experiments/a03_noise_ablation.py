@@ -37,13 +37,8 @@ from repro.experiments.runner import Table, replicate
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 
 
-def run(
-    config: RunConfig | int | None = None,
-    *,
-    seed: int | None = None,
-    quick: bool | None = None,
-) -> ExperimentReport:
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+def run(config: RunConfig | None = None) -> ExperimentReport:
+    cfg = config if config is not None else RunConfig()
     seed, quick = cfg.seed, cfg.quick
     base = OneToNParams.sim()
     ns = (64, 128) if quick else (32, 64, 128, 256)

@@ -42,13 +42,8 @@ PERTURBATIONS = [
 ]
 
 
-def run(
-    config: RunConfig | int | None = None,
-    *,
-    seed: int | None = None,
-    quick: bool | None = None,
-) -> ExperimentReport:
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+def run(config: RunConfig | None = None) -> ExperimentReport:
+    cfg = config if config is not None else RunConfig()
     seed, quick = cfg.seed, cfg.quick
     n = 16 if quick else 32
     n_reps = 2 if quick else 5

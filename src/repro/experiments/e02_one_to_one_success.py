@@ -34,13 +34,8 @@ REGIMES = {
 }
 
 
-def run(
-    config: RunConfig | int | None = None,
-    *,
-    seed: int | None = None,
-    quick: bool | None = None,
-) -> ExperimentReport:
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+def run(config: RunConfig | None = None) -> ExperimentReport:
+    cfg = config if config is not None else RunConfig()
     seed, quick = cfg.seed, cfg.quick
     epsilons = (0.3, 0.1) if quick else (0.3, 0.1, 0.03, 0.01)
     n_reps = 40 if quick else 300

@@ -20,13 +20,8 @@ from repro.experiments.runner import Table, sweep_epoch_targets
 from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
 
 
-def run(
-    config: RunConfig | int | None = None,
-    *,
-    seed: int | None = None,
-    quick: bool | None = None,
-) -> ExperimentReport:
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+def run(config: RunConfig | None = None) -> ExperimentReport:
+    cfg = config if config is not None else RunConfig()
     seed, quick = cfg.seed, cfg.quick
     params = OneToOneParams.sim(epsilon=0.1)
     targets = (

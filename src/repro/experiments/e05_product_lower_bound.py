@@ -29,13 +29,8 @@ from repro.lowerbounds.product_game import (
 )
 
 
-def run(
-    config: RunConfig | int | None = None,
-    *,
-    seed: int | None = None,
-    quick: bool | None = None,
-) -> ExperimentReport:
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+def run(config: RunConfig | None = None) -> ExperimentReport:
+    cfg = config if config is not None else RunConfig()
     seed, quick = cfg.seed, cfg.quick
     del seed  # the game is deterministic
     budgets = (10, 100, 1000, 10_000) if quick else (10, 100, 1000, 10_000, 100_000)

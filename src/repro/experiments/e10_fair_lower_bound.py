@@ -26,13 +26,8 @@ from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
 PRODUCT_CONSTANT = 0.25  # absorbs the reduction's constant factors
 
 
-def run(
-    config: RunConfig | int | None = None,
-    *,
-    seed: int | None = None,
-    quick: bool | None = None,
-) -> ExperimentReport:
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+def run(config: RunConfig | None = None) -> ExperimentReport:
+    cfg = config if config is not None else RunConfig()
     seed, quick = cfg.seed, cfg.quick
     params = OneToNParams.sim()
     settings = (

@@ -42,13 +42,8 @@ def _mean(results, fn):
     return float(np.mean([fn(r) for r in results]))
 
 
-def run(
-    config: RunConfig | int | None = None,
-    *,
-    seed: int | None = None,
-    quick: bool | None = None,
-) -> ExperimentReport:
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+def run(config: RunConfig | None = None) -> ExperimentReport:
+    cfg = config if config is not None else RunConfig()
     seed, quick = cfg.seed, cfg.quick
     fig2_params = OneToNParams.sim()
     rel_params = RelatedParams()

@@ -49,13 +49,8 @@ def _measure(params, adversary_factory, C, n_reps, seed):
     return float(np.mean(Ts)), float(np.mean(costs)), float(np.mean(succ))
 
 
-def run(
-    config: RunConfig | int | None = None,
-    *,
-    seed: int | None = None,
-    quick: bool | None = None,
-) -> ExperimentReport:
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+def run(config: RunConfig | None = None) -> ExperimentReport:
+    cfg = config if config is not None else RunConfig()
     seed, quick = cfg.seed, cfg.quick
     base = OneToOneParams.sim()
     channel_counts = (1, 2, 4, 8) if quick else (1, 2, 4, 8, 16)

@@ -32,13 +32,8 @@ from repro.protocols.one_to_one import OneToOneBroadcast, OneToOneParams
 EPSILON = 0.01  # deliberately small: makes fig1's T=0 term expensive
 
 
-def run(
-    config: RunConfig | int | None = None,
-    *,
-    seed: int | None = None,
-    quick: bool | None = None,
-) -> ExperimentReport:
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+def run(config: RunConfig | None = None) -> ExperimentReport:
+    cfg = config if config is not None else RunConfig()
     seed, quick = cfg.seed, cfg.quick
     fig1_params = OneToOneParams.sim(epsilon=EPSILON)
     ksy_params = KSYParams.sim()

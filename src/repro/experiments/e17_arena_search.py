@@ -35,13 +35,8 @@ from repro.protocols.one_to_one import OneToOneParams
 C_ENV = 24.0
 
 
-def run(
-    config: RunConfig | int | None = None,
-    *,
-    seed: int | None = None,
-    quick: bool | None = None,
-) -> ExperimentReport:
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+def run(config: RunConfig | None = None) -> ExperimentReport:
+    cfg = config if config is not None else RunConfig()
     seed, quick = cfg.seed, cfg.quick
     eps = OneToOneParams.sim().epsilon
     generations, population, n_reps = (3, 8, 3) if quick else (6, 12, 6)

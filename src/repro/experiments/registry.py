@@ -56,6 +56,13 @@ class RunConfig:
     jobs:
         Worker processes for replication fan-out (``1`` = serial,
         ``0``/negative = one per core).
+    batch:
+        Trials per executor task (``1`` = one run per task, the
+        historical shape).  Values above 1 pack that many replications
+        into one :meth:`~repro.engine.simulator.Simulator.run_batch`
+        call, amortising per-phase Python overhead across the batch.
+        Like ``jobs``, this is an execution knob: any value produces
+        byte-identical reports.
     timeout:
         Per-replication wall-clock limit in seconds (``None`` = no
         limit).
@@ -99,6 +106,7 @@ class RunConfig:
     seed: int = 0
     quick: bool = True
     jobs: int = 1
+    batch: int = 1
     timeout: float | None = None
     history: bool = False
     retries: int = 1
@@ -224,7 +232,7 @@ class Experiment:
     eid: str
     title: str
     anchor: str
-    module: str  # dotted module exposing run(seed=..., quick=...)
+    module: str  # dotted module exposing run(config: RunConfig)
 
 
 _REGISTRY: dict[str, Experiment] = {
@@ -305,11 +313,13 @@ def run_experiment(
 
         run_experiment("E1", RunConfig(seed=7, quick=False, jobs=4))
 
-    The legacy ``seed=``/``quick=`` keywords are still accepted here
-    (without a deprecation warning — this is the convenience entry
-    point) and map onto a default config.
+    This registry boundary is the one remaining entry point that still
+    accepts the legacy ``seed=``/``quick=`` keywords (and the bare
+    integer seed), mapping them onto a default config with a
+    one-release :class:`DeprecationWarning`; the experiment modules'
+    ``run`` functions take a :class:`RunConfig` only.
     """
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick, warn=False)
+    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
     exp = get_experiment(eid)
     cfg.experiment = exp.eid  # stamp cache fingerprints with the id
     if cfg.telemetry is not None and get_sink() is None:

@@ -181,6 +181,105 @@ def _dispatch(tasks, keys, config, store) -> list:
     )
 
 
+def _resolve_batch(config) -> int:
+    """Trials per executor task (``1`` = the historical one-run tasks)."""
+    if config is None:
+        return 1
+    batch = getattr(config, "batch", 1)
+    if batch < 1:
+        raise ConfigurationError(f"batch must be >= 1, got {batch}")
+    return batch
+
+
+def _dispatch_batched(spans, make_group_task, keys, config, store, batch) -> list:
+    """Batched counterpart of :func:`_dispatch`.
+
+    ``spans`` are ``(start, stop)`` trial-index ranges that may share
+    one ``run_batch`` task — one span per adversary setting, since a
+    batch is built from a single pair of factories.  Cache hits are
+    served individually; the remaining misses of each span are chunked
+    into groups of at most ``batch`` trials and each group runs as one
+    executor task.  Every cacheable trial still writes its *own* entry
+    back from inside the worker, so batching changes neither the cache
+    granularity nor resumability — and because each trial's rng streams
+    are independent of batch composition, a chunk thinned by cache hits
+    produces the same bits as a full one.
+    """
+    kwargs = _executor_kwargs(config)
+    stats = kwargs.get("stats")
+    n = spans[-1][1] if spans else 0
+    results: list = [None] * n
+
+    hits: dict = {}
+    bytes_read = 0
+    if store is not None and config.resume:
+        keyed = [k for k in keys if k is not None]
+        if keyed:
+            hits, bytes_read = store.get_many(keyed)
+
+    groups: list[list[int]] = []
+    for start, stop in spans:
+        miss = [
+            i for i in range(start, stop)
+            if keys[i] is None or keys[i] not in hits
+        ]
+        groups.extend(miss[j : j + batch] for j in range(0, len(miss), batch))
+    for i in range(n):
+        if keys[i] is not None and keys[i] in hits:
+            results[i] = hits[keys[i]]
+
+    meta = {"experiment": config.experiment}
+
+    def wrap(group):
+        task = make_group_task(group)
+        if store is None or all(keys[i] is None for i in group):
+            return lambda: (task(), 0)
+
+        def wrapped():
+            values = task()
+            n_bytes = sum(
+                store.put(keys[i], v, meta=meta)
+                for i, v in zip(group, values)
+                if keys[i] is not None
+            )
+            return values, n_bytes
+
+        return wrapped
+
+    outs = run_tasks([wrap(g) for g in groups], **kwargs)
+
+    bytes_written = 0
+    for group, (values, n_bytes) in zip(groups, outs):
+        bytes_written += n_bytes
+        for i, v in zip(group, values):
+            results[i] = v
+
+    n_trials_run = sum(len(g) for g in groups)
+    if stats is not None:
+        stats.batch_tasks += len(groups)
+        stats.batch_trials += n_trials_run
+        stats.batch_capacity += len(groups) * batch
+    if store is not None and any(k is not None for k in keys):
+        n_hits = sum(
+            1 for k in keys if k is not None and k in hits
+        )
+        n_misses = sum(1 for g in groups for i in g if keys[i] is not None)
+        if stats is not None:
+            stats.cache_hits += n_hits
+            stats.cache_misses += n_misses
+            stats.cache_bytes_read += bytes_read
+            stats.cache_bytes_written += bytes_written
+        from repro.telemetry.sink import get_sink
+
+        sink = get_sink()
+        if sink is not None:
+            sink.counter("cache.hits", n_hits)
+            sink.counter("cache.misses", n_misses)
+            sink.counter("cache.bytes_read", bytes_read)
+            sink.counter("cache.bytes_written", bytes_written)
+    return results
+
+
 def replicate(
     make_protocol: Callable[[], Protocol],
     make_adversary: Callable[[], Adversary],
@@ -199,13 +298,39 @@ def replicate(
 
     ``config`` is an optional
     :class:`~repro.experiments.registry.RunConfig` supplying the
-    executor options (jobs, timeout, retries, history); ``None`` runs
-    serially in-process.
+    executor options (jobs, batch, timeout, retries, history); ``None``
+    runs serially in-process.  With ``config.batch > 1`` replications
+    are packed into :meth:`~repro.engine.simulator.Simulator.run_batch`
+    tasks of that size — bit-identical results, per-trial cache entries.
     """
     if n_reps < 1:
         raise ConfigurationError(f"n_reps must be >= 1, got {n_reps}")
     if config is not None and config.history:
         sim_kwargs.setdefault("keep_history", True)
+    batch = _resolve_batch(config)
+
+    store = config.resolve_cache_store() if config is not None else None
+    base = _fingerprint_base(config, store, "replicate", make_protocol, sim_kwargs)
+    keys = _group_keys(base, make_adversary, [(seed, r) for r in range(n_reps)])
+
+    if batch > 1:
+
+        def make_batch_task(group: list[int]) -> Callable[[], list[RunResult]]:
+            def task() -> list[RunResult]:
+                sim = Simulator(make_protocol(), make_adversary(), **sim_kwargs)
+                return list(
+                    sim.run_batch(
+                        [derive(seed, r) for r in group],
+                        make_protocol=make_protocol,
+                        make_adversary=make_adversary,
+                    )
+                )
+
+            return task
+
+        return _dispatch_batched(
+            [(0, n_reps)], make_batch_task, keys, config, store, batch
+        )
 
     def make_task(r: int) -> Callable[[], RunResult]:
         def task() -> RunResult:
@@ -214,9 +339,6 @@ def replicate(
 
         return task
 
-    store = config.resolve_cache_store() if config is not None else None
-    base = _fingerprint_base(config, store, "replicate", make_protocol, sim_kwargs)
-    keys = _group_keys(base, make_adversary, [(seed, r) for r in range(n_reps)])
     return _dispatch(
         [make_task(r) for r in range(n_reps)], keys, config, store
     )
@@ -279,17 +401,8 @@ def sweep_epoch_targets(
     targets = list(targets)
     if config is not None and config.history:
         sim_kwargs.setdefault("keep_history", True)
+    batch = _resolve_batch(config)
 
-    def make_task(target: int, r: int) -> Callable[[], RunResult]:
-        def task() -> RunResult:
-            sim = Simulator(
-                make_protocol(), make_adversary(target), **sim_kwargs
-            )
-            return sim.run(derive(seed + 1000 * target, r))
-
-        return task
-
-    tasks = [make_task(t, r) for t in targets for r in range(n_reps)]
     store = config.resolve_cache_store() if config is not None else None
     base = _fingerprint_base(
         config, store, "sweep_epoch_targets", make_protocol, sim_kwargs
@@ -303,6 +416,50 @@ def sweep_epoch_targets(
             [(seed + 1000 * t, r) for r in range(n_reps)],
         )
     ]
+
+    if batch > 1:
+        # Batches never straddle targets: one run_batch call uses one
+        # adversary factory, and each target is a different adversary.
+        spans = [(ti * n_reps, (ti + 1) * n_reps) for ti in range(len(targets))]
+
+        def make_batch_task(group: list[int]) -> Callable[[], list[RunResult]]:
+            target = targets[group[0] // n_reps]
+
+            def task() -> list[RunResult]:
+                sim = Simulator(
+                    make_protocol(), make_adversary(target), **sim_kwargs
+                )
+                return list(
+                    sim.run_batch(
+                        [
+                            derive(seed + 1000 * target, i % n_reps)
+                            for i in group
+                        ],
+                        make_protocol=make_protocol,
+                        make_adversary=lambda: make_adversary(target),
+                    )
+                )
+
+            return task
+
+        flat = _dispatch_batched(
+            spans, make_batch_task, keys, config, store, batch
+        )
+        return [
+            _aggregate_point(target, flat[i * n_reps : (i + 1) * n_reps], n_reps)
+            for i, target in enumerate(targets)
+        ]
+
+    def make_task(target: int, r: int) -> Callable[[], RunResult]:
+        def task() -> RunResult:
+            sim = Simulator(
+                make_protocol(), make_adversary(target), **sim_kwargs
+            )
+            return sim.run(derive(seed + 1000 * target, r))
+
+        return task
+
+    tasks = [make_task(t, r) for t in targets for r in range(n_reps)]
     flat = _dispatch(tasks, keys, config, store)
     return [
         _aggregate_point(target, flat[i * n_reps : (i + 1) * n_reps], n_reps)

@@ -20,16 +20,17 @@ not an approximation.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.channel.accounting import EnergyLedger
 from repro.channel.events import JamPlan, ListenEvents, SendEvents
-from repro.channel.model import get_resolver
+from repro.channel.model import get_resolver, resolve_resolver_name
 from repro.engine.phase import PhaseObservation
 from repro.engine.sampling import sample_action_events
-from repro.engine.simulator import RunResult
+from repro.engine.simulator import BatchResult, RunResult
 from repro.errors import BudgetExceededError, ConfigurationError, ProtocolError
 from repro.multichannel.adversaries import MCAdversary, MCContext
 from repro.protocols.base import Protocol
@@ -58,11 +59,14 @@ class MCSimulator:
         An :class:`~repro.multichannel.adversaries.MCAdversary`.
     n_channels:
         Number of frequency channels ``C >= 1``.
-    dense:
+    resolver:
         Resolver selection, as in
-        :class:`~repro.engine.simulator.Simulator`: ``False`` sparse
-        (default), ``True`` the dense oracle, ``None`` defers to
-        ``REPRO_DENSE_RESOLVER``.
+        :class:`~repro.engine.simulator.Simulator`: ``"sparse"``
+        (default), ``"dense"`` for the O(L) oracle, ``None`` defers to
+        the ``REPRO_RESOLVER`` environment variable.
+    dense:
+        Deprecated boolean spelling of ``resolver=`` (one-release
+        :class:`DeprecationWarning`).
     """
 
     def __init__(
@@ -75,6 +79,7 @@ class MCSimulator:
         max_phases: int = 200_000,
         strict: bool = False,
         keep_history: bool = False,
+        resolver: str | None = None,
         dense: bool | None = None,
     ) -> None:
         if n_channels < 1:
@@ -86,7 +91,8 @@ class MCSimulator:
         self.max_phases = max_phases
         self.strict = strict
         self.keep_history = keep_history
-        self.resolve_phase = get_resolver(dense)
+        self.resolver = resolve_resolver_name(resolver, dense=dense)
+        self.resolve_phase = get_resolver(self.resolver)
 
     def run(self, seed: int | np.random.Generator | None = None) -> RunResult:
         factory = RngFactory(seed)
@@ -194,6 +200,40 @@ class MCSimulator:
             node_send_costs=ledger.send_costs,
             node_listen_costs=ledger.listen_costs,
         )
+
+    def run_batch(
+        self,
+        seeds,
+        *,
+        make_protocol=None,
+        make_adversary=None,
+    ) -> BatchResult:
+        """Play B independent multichannel trials.
+
+        Same surface as :meth:`repro.engine.simulator.Simulator.run_batch`
+        so callers can treat single- and multi-channel engines uniformly.
+        The multichannel loop has no stacked kernel yet — trials execute
+        sequentially, each on fresh instances — but the contract is the
+        same: trial ``t`` is bit-identical to ``run(seeds[t])`` on the
+        corresponding instances.
+        """
+        seeds = list(seeds)
+        results = []
+        for seed in seeds:
+            sim = MCSimulator(
+                make_protocol() if make_protocol is not None
+                else copy.deepcopy(self.protocol),
+                make_adversary() if make_adversary is not None
+                else copy.deepcopy(self.adversary),
+                self.n_channels,
+                max_slots=self.max_slots,
+                max_phases=self.max_phases,
+                strict=self.strict,
+                keep_history=self.keep_history,
+                resolver=self.resolver,
+            )
+            results.append(sim.run(seed))
+        return BatchResult(results=tuple(results), seeds=tuple(seeds))
 
 
 def mc_run(

@@ -31,6 +31,7 @@ from repro.channel.model import (
     slot_content_at,
 )
 from repro.channel.model_dense import resolve_phase_dense
+from repro.errors import ConfigurationError
 
 pytestmark = pytest.mark.engine
 
@@ -203,18 +204,54 @@ class TestHalfDuplexPinned:
         assert out.listen_cost.sum() == expected_kept
 
 
-def test_get_resolver_flag(monkeypatch):
-    assert get_resolver(dense=True) is resolve_phase_dense
-    assert get_resolver(dense=False) is resolve_phase
-    monkeypatch.delenv("REPRO_DENSE_RESOLVER", raising=False)
-    assert get_resolver() is resolve_phase
-    monkeypatch.setenv("REPRO_DENSE_RESOLVER", "1")
-    assert get_resolver() is resolve_phase_dense
-    monkeypatch.setenv("REPRO_DENSE_RESOLVER", "off")
-    assert get_resolver() is resolve_phase
+class TestGetResolver:
+    def test_explicit_name(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESOLVER", raising=False)
+        monkeypatch.delenv("REPRO_DENSE_RESOLVER", raising=False)
+        assert get_resolver("dense") is resolve_phase_dense
+        assert get_resolver("sparse") is resolve_phase
+        assert get_resolver() is resolve_phase
+
+    def test_bad_name_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESOLVER", "turbo")
+        with pytest.raises(ConfigurationError):
+            get_resolver()
+        monkeypatch.delenv("REPRO_RESOLVER")
+        with pytest.raises(ConfigurationError):
+            get_resolver("turbo")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DENSE_RESOLVER", raising=False)
+        monkeypatch.setenv("REPRO_RESOLVER", "dense")
+        assert get_resolver() is resolve_phase_dense
+        monkeypatch.setenv("REPRO_RESOLVER", "sparse")
+        assert get_resolver() is resolve_phase
+        # An explicit argument beats the environment.
+        monkeypatch.setenv("REPRO_RESOLVER", "dense")
+        assert get_resolver("sparse") is resolve_phase
+
+    def test_legacy_dense_kwarg_warns(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESOLVER", raising=False)
+        with pytest.warns(DeprecationWarning):
+            assert get_resolver(dense=True) is resolve_phase_dense
+        with pytest.warns(DeprecationWarning):
+            assert get_resolver(dense=False) is resolve_phase
+
+    def test_legacy_env_warns_and_loses_to_new_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESOLVER", raising=False)
+        monkeypatch.setenv("REPRO_DENSE_RESOLVER", "1")
+        with pytest.warns(DeprecationWarning):
+            assert get_resolver() is resolve_phase_dense
+        monkeypatch.setenv("REPRO_DENSE_RESOLVER", "off")
+        with pytest.warns(DeprecationWarning):
+            assert get_resolver() is resolve_phase
+        # REPRO_RESOLVER wins over the legacy variable (and silences it).
+        monkeypatch.setenv("REPRO_DENSE_RESOLVER", "1")
+        monkeypatch.setenv("REPRO_RESOLVER", "sparse")
+        assert get_resolver() is resolve_phase
 
 
-def test_simulator_dense_flag_bit_identical():
+def test_simulator_resolver_bit_identical():
     """A full run under either resolver yields identical results."""
     from repro.adversaries import EpochTargetJammer
     from repro.engine.simulator import run
@@ -225,10 +262,14 @@ def test_simulator_dense_flag_bit_identical():
     adv = lambda: EpochTargetJammer(  # noqa: E731
         params.first_epoch + 2, q=1.0, target_listener=True
     )
-    sparse = run(mk(), adv(), seed=123, dense=False)
-    dense = run(mk(), adv(), seed=123, dense=True)
+    sparse = run(mk(), adv(), seed=123, resolver="sparse")
+    dense = run(mk(), adv(), seed=123, resolver="dense")
     np.testing.assert_array_equal(sparse.node_costs, dense.node_costs)
     assert sparse.adversary_cost == dense.adversary_cost
     assert sparse.slots == dense.slots
     assert sparse.phases == dense.phases
     assert sparse.stats == dense.stats
+    # The deprecated boolean spelling still maps onto the same runs.
+    with pytest.warns(DeprecationWarning):
+        legacy = run(mk(), adv(), seed=123, dense=True)
+    np.testing.assert_array_equal(legacy.node_costs, dense.node_costs)

@@ -9,14 +9,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import run_experiment
+from repro.experiments import RunConfig, run_experiment
 
 FAST_EXPERIMENTS = ["E1", "E4", "E5", "E11", "A4"]
 
 
 @pytest.mark.parametrize("eid", FAST_EXPERIMENTS)
 def test_experiment_runs_and_passes(eid):
-    report = run_experiment(eid, seed=0, quick=True)
+    report = run_experiment(eid, RunConfig(seed=0, quick=True))
     assert report.eid == eid
     assert report.tables, f"{eid} produced no tables"
     failed = [k for k, ok in report.checks.items() if not ok]
@@ -24,7 +24,7 @@ def test_experiment_runs_and_passes(eid):
 
 
 def test_reports_render_without_error():
-    report = run_experiment("E5", seed=0, quick=True)
+    report = run_experiment("E5", RunConfig(seed=0, quick=True))
     text = report.render()
     assert report.anchor in text
     for table in report.tables:
@@ -32,8 +32,8 @@ def test_reports_render_without_error():
 
 
 def test_seeds_change_measurements():
-    r0 = run_experiment("E1", seed=0, quick=True)
-    r1 = run_experiment("E1", seed=999, quick=True)
+    r0 = run_experiment("E1", RunConfig(seed=0, quick=True))
+    r1 = run_experiment("E1", RunConfig(seed=999, quick=True))
     # Same sweep shape, different draws.
     c0 = r0.tables[0].column("max_cost")
     c1 = r1.tables[0].column("max_cost")
@@ -41,6 +41,6 @@ def test_seeds_change_measurements():
 
 
 def test_same_seed_reproduces():
-    a = run_experiment("E4", seed=3, quick=True)
-    b = run_experiment("E4", seed=3, quick=True)
+    a = run_experiment("E4", RunConfig(seed=3, quick=True))
+    b = run_experiment("E4", RunConfig(seed=3, quick=True))
     assert list(a.tables[0].column("slots")) == list(b.tables[0].column("slots"))

@@ -102,13 +102,23 @@ class TestRunConfig:
         a.stats.tasks = 99
         assert a == b
 
-    def test_module_entry_point_shim(self):
-        # Old-style direct module calls still work, but warn.
+    def test_module_entry_point_takes_config_only(self):
+        # The PR-1 seed=/quick= shim is gone from the experiment
+        # modules: run() takes a RunConfig (or nothing), full stop.
         from repro.experiments import e05_product_lower_bound as e05
 
-        with pytest.warns(DeprecationWarning):
-            legacy = e05.run(seed=0, quick=True)
+        with pytest.raises(TypeError):
+            e05.run(seed=0, quick=True)
         modern = e05.run(RunConfig(seed=0, quick=True))
+        default = e05.run()
+        assert modern.checks == default.checks
+
+    def test_registry_boundary_warns_on_legacy_kwargs(self):
+        # run_experiment remains the one entry point accepting the
+        # legacy spellings, now with a one-release warning.
+        with pytest.warns(DeprecationWarning):
+            legacy = run_experiment("E5", seed=0, quick=True)
+        modern = run_experiment("E5", RunConfig(seed=0, quick=True))
         assert legacy.checks == modern.checks
         assert [t.to_dict() for t in legacy.tables] == [
             t.to_dict() for t in modern.tables
@@ -145,7 +155,7 @@ class TestRegistry:
 
     def test_run_e5_quick(self):
         # E5 is closed-form and fast: a true end-to-end registry test.
-        report = run_experiment("E5", quick=True)
+        report = run_experiment("E5", RunConfig(quick=True))
         assert isinstance(report, ExperimentReport)
         assert report.eid == "E5"
         assert report.tables

@@ -10,7 +10,7 @@ from repro.adversaries.budget import BudgetCap
 from repro.cli import main as cli_main
 from repro.engine.simulator import run
 from repro.errors import AnalysisError
-from repro.experiments import run_experiment
+from repro.experiments import RunConfig, run_experiment
 from repro.experiments.registry import ExperimentReport
 from repro.experiments.runner import Table
 from repro.protocols.one_to_n import OneToNBroadcast
@@ -110,7 +110,7 @@ class TestRunResultRoundTrip:
 
 class TestReportRoundTrip:
     def test_round_trip(self, tmp_path):
-        report = run_experiment("E5", quick=True)
+        report = run_experiment("E5", RunConfig(quick=True))
         path = save_report(report, tmp_path / "e5.json")
         back = load_report(path)
         assert back.eid == report.eid
