@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Benchmark the sweep service and record the results.
+
+Starts a real :class:`~repro.service.server.ServiceServer` on an
+ephemeral port, then measures request throughput against it in the two
+regimes that matter:
+
+* **cold** — an empty cache: every submission is a distinct seed, so
+  each request pays one full (quick) experiment execution;
+* **warm** — resubmitting the *same* jobs: the dedupe index and the
+  in-memory read-through layer answer without touching the executor.
+
+Each regime is measured at two client-concurrency levels (1 and N
+threads, each thread a separate :class:`ServiceClient` connection), and
+the distilled numbers land in a committed ``BENCH_service.json`` at the
+repo root — the warm-vs-cold ratio is the recorded evidence for the
+service's reason to exist.
+
+Usage:
+
+    PYTHONPATH=src python scripts/bench_service.py
+    PYTHONPATH=src python scripts/bench_service.py --experiment E1 \\
+        --requests 12 --clients 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_service.json"
+
+
+def start_server(manager):
+    """Run a server on a daemon thread; returns (url, stop_callable)."""
+    from repro.service import ServiceServer
+
+    holder: dict = {}
+    ready = threading.Event()
+
+    def run():
+        async def main():
+            server = ServiceServer(manager)
+            await server.start()
+            holder["server"] = server
+            holder["loop"] = asyncio.get_running_loop()
+            ready.set()
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    if not ready.wait(15):
+        raise RuntimeError("service did not come up")
+
+    def stop():
+        loop = holder["loop"]
+        for task in asyncio.all_tasks(loop):
+            loop.call_soon_threadsafe(task.cancel)
+        thread.join(timeout=15)
+
+    return holder["server"].url, stop
+
+
+def drive(url: str, experiment: str, seeds: list[int], n_clients: int) -> dict:
+    """Submit one job per seed across ``n_clients`` threads; time it."""
+    from repro.service import ServiceClient
+
+    chunks = [seeds[i::n_clients] for i in range(n_clients)]
+    errors: list[Exception] = []
+    sizes: list[int] = []
+
+    def worker(chunk: list[int]) -> None:
+        try:
+            with ServiceClient(url) as client:
+                for seed in chunk:
+                    job = client.submit(
+                        experiment, seed=seed, wait=True, timeout=600
+                    )
+                    if job["state"] != "completed":
+                        raise RuntimeError(f"job failed: {job.get('error')}")
+                    sizes.append(len(client.result(job["job_id"])))
+        except Exception as exc:  # noqa: BLE001 — reported by caller
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(c,)) for c in chunks]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    return {
+        "clients": n_clients,
+        "requests": len(seeds),
+        "total_s": round(elapsed, 6),
+        "requests_per_s": round(len(seeds) / elapsed, 3),
+        "mean_request_ms": round(1000 * elapsed / len(seeds), 3),
+        "result_bytes": sizes[0] if sizes else 0,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--experiment", default="E1")
+    parser.add_argument(
+        "--requests", type=int, default=8,
+        help="distinct jobs per regime (default 8)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="threads in the concurrent-client level (default 4)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="service worker pool size (default 0 = one per core)",
+    )
+    args = parser.parse_args()
+
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.service import JobManager
+
+    seeds = list(range(1000, 1000 + args.requests))
+    record: dict = {
+        "experiment": args.experiment,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "levels": {},
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        manager = JobManager(jobs=args.jobs, cache_dir=Path(tmp) / "cache")
+        url, stop = start_server(manager)
+        print(f"service on {url} (pool={args.jobs or 'per-core'})")
+        try:
+            for n_clients in (1, args.clients):
+                level: dict = {}
+                # Cold needs unexplored seeds per level; shift the range
+                # so level 2's cold pass is not warmed by level 1's.
+                offset = 0 if n_clients == 1 else args.requests
+                cold_seeds = [s + offset for s in seeds]
+                level["cold"] = drive(
+                    url, args.experiment, cold_seeds, n_clients
+                )
+                print(
+                    f"  {n_clients} client(s) cold: "
+                    f"{level['cold']['requests_per_s']:.2f} req/s"
+                )
+                level["warm"] = drive(
+                    url, args.experiment, cold_seeds, n_clients
+                )
+                print(
+                    f"  {n_clients} client(s) warm: "
+                    f"{level['warm']['requests_per_s']:.2f} req/s"
+                )
+                level["warm_speedup"] = round(
+                    level["warm"]["requests_per_s"]
+                    / level["cold"]["requests_per_s"], 2,
+                )
+                record["levels"][f"clients_{n_clients}"] = level
+            counters = manager.counters()
+            record["server_counters"] = {
+                "submitted": counters["submitted"],
+                "deduped": counters["deduped"],
+                "executed": counters["executed"],
+                "cache": counters["cache"],
+            }
+            if "pool" in counters:
+                record["server_counters"]["pool"] = counters["pool"]
+        finally:
+            stop()
+            manager.close()
+
+    OUT.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+    for name, level in record["levels"].items():
+        print(
+            f"  {name}: cold {level['cold']['requests_per_s']:.2f} req/s, "
+            f"warm {level['warm']['requests_per_s']:.2f} req/s "
+            f"({level['warm_speedup']}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,14 @@
 # 10. Runs E1 with and without --telemetry and requires the two saved
 #    reports to be byte-identical (telemetry is write-only
 #    observability), plus `telemetry summarize` to render the run.
+# 11. Runs the `service`-marked pytest suite (job dedupe, HTTP
+#    server/client end-to-end).
+# 12. Service smoke gate: starts `repro-bcast serve` in the
+#    background, submits the E1 sweep from step 6 through the real
+#    client, and requires (a) the returned report to be byte-identical
+#    to the CLI-saved one, (b) a warm resubmission against a fresh
+#    server over the same cache directory to be served 100% from the
+#    cache with zero executed task sets.
 #
 # Usage: scripts/check_parallel_determinism.sh [extra pytest args]
 
@@ -138,3 +146,66 @@ if ! grep -q "executor.task" "$tmp/tele-summary.out"; then
     exit 1
 fi
 echo "OK: E1 report byte-identical with --telemetry; summarize renders spans"
+
+echo "== service suite (pytest -m service) =="
+python -m pytest -q -m service "$@"
+
+echo "== service smoke: serve + submit vs CLI report, then warm resubmit =="
+start_server() {
+    # $1: log file.  Starts a server on an ephemeral port against the
+    # shared service cache dir; sets $url and $server_pid (no command
+    # substitution — a subshell would strand the pid).
+    python -m repro.cli serve --port 0 --jobs 1 \
+        --cache-dir "$tmp/service-cache" --telemetry "$tmp/service-tel" \
+        > "$1" 2>&1 &
+    server_pid=$!
+    url=""
+    for _ in $(seq 1 100); do
+        url=$(grep -om1 'http://[0-9.:]*' "$1" 2>/dev/null || true)
+        [ -n "$url" ] && break
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "FAIL: service did not start" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$url" ]; then
+        echo "FAIL: service never printed its URL" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+}
+
+start_server "$tmp/serve-cold.log"
+python -m repro.cli submit "$url" E1 --seed 11 \
+    --save "$tmp/service-E1.json" > /dev/null 2> "$tmp/submit-cold.err"
+kill "$server_pid" 2>/dev/null; wait "$server_pid" 2>/dev/null || true
+if ! cmp "$tmp/sparse/E1.json" "$tmp/service-E1.json"; then
+    echo "FAIL: service-returned report differs from the CLI-saved one" >&2
+    exit 1
+fi
+echo "OK: service report byte-identical to CLI run --save"
+
+# A fresh server over the same cache directory: the job must execute
+# zero cells (every lookup warm) and still return identical bytes.
+start_server "$tmp/serve-warm.log"
+python -m repro.cli submit "$url" E1 --seed 11 \
+    --save "$tmp/service-E1-warm.json" > /dev/null 2> "$tmp/submit-warm.err"
+python -m repro.cli status "$url" > "$tmp/service-status.out"
+kill "$server_pid" 2>/dev/null; wait "$server_pid" 2>/dev/null || true
+if ! cmp "$tmp/sparse/E1.json" "$tmp/service-E1-warm.json"; then
+    echo "FAIL: warm service report differs from the CLI-saved one" >&2
+    exit 1
+fi
+if ! grep -q "cache 20/20 warm" "$tmp/submit-warm.err"; then
+    echo "FAIL: warm resubmission was not served 100% from the cache" >&2
+    cat "$tmp/submit-warm.err" >&2
+    exit 1
+fi
+if ! grep -q " 0 misses" "$tmp/service-status.out"; then
+    echo "FAIL: warm server reported cache misses" >&2
+    cat "$tmp/service-status.out" >&2
+    exit 1
+fi
+echo "OK: warm service resubmit byte-identical, 100% cache hits, 0 misses"

@@ -35,6 +35,7 @@ from repro.cache.fingerprint import (
     fingerprint,
     task_key,
 )
+from repro.cache.memory import DEFAULT_MEMORY_ENTRIES, ReadThroughStore
 from repro.cache.store import (
     DEFAULT_GC_BYTES,
     CacheStats,
@@ -48,6 +49,8 @@ __all__ = [
     "CacheStats",
     "CacheStore",
     "DEFAULT_GC_BYTES",
+    "DEFAULT_MEMORY_ENTRIES",
+    "ReadThroughStore",
     "cached_run_tasks",
     "default_cache_dir",
     "describe",

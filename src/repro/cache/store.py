@@ -11,14 +11,25 @@ run writes thousands of entries, and a directory of thousands of tiny
 files is slower to scan and garbage-collect than 64 segment files.
 
 Concurrency: entries are written by forked executor workers running the
-miss tasks, so every append takes an exclusive lock on its segment
-(:func:`repro.locking.exclusive_lock`: ``fcntl`` where available, an
-atomic ``O_EXCL`` lockfile elsewhere) and writes the record as a single
-``write`` call.  Readers tolerate a torn final line (a worker killed
-mid-append) by skipping records that fail to parse; the next complete
-append resumes the file.  When several records carry the same key the
-*newest* wins, which is what makes ``resume=False`` refresh semantics
-work without rewrites.
+miss tasks — and, under the sweep service, read by many concurrent
+client threads sharing one store — so the protocol is
+single-writer-per-append, lock-free snapshot reads:
+
+* every append takes an exclusive lock on its segment
+  (:func:`repro.locking.exclusive_lock`: ``fcntl`` where available, an
+  atomic ``O_EXCL`` lockfile elsewhere), writes the record as a single
+  ``write`` call, and re-checks its inode after locking so a
+  concurrent :meth:`CacheStore.compact` cannot strand the append in a
+  replaced file;
+* readers take no lock at all: a record is *committed* only once its
+  trailing newline is on disk, so a snapshot simply drops everything
+  after the last newline (a torn in-flight append) and parses the
+  rest.  Compaction swaps whole files in with ``os.replace``, so a
+  snapshot is always a complete old or complete new segment, never a
+  hybrid.
+
+When several records carry the same key the *newest* wins, which is
+what makes ``resume=False`` refresh semantics work without rewrites.
 """
 
 from __future__ import annotations
@@ -92,6 +103,15 @@ class CacheStore:
 
     @staticmethod
     def _parse_lines(raw: bytes) -> list[dict]:
+        # Readers take no lock, so a snapshot may end mid-append.  A
+        # record is only *committed* once its trailing newline is on
+        # disk: drop everything after the last newline before parsing,
+        # instead of relying on the torn tail failing to parse — the
+        # explicit commit marker holds even for payloads a line-framed
+        # parser would accept (and documents the contract the
+        # reader-snapshot tests pin).
+        end = raw.rfind(b"\n")
+        raw = b"" if end < 0 else raw[: end + 1]
         records = []
         for line in raw.splitlines():
             if not line.strip():
@@ -99,7 +119,7 @@ class CacheStore:
             try:
                 records.append(json.loads(line))
             except json.JSONDecodeError:
-                continue  # torn append (killed worker); skip
+                continue  # garbled line (crashed writer); skip
         return records
 
     # -- write path ------------------------------------------------------
@@ -117,11 +137,7 @@ class CacheStore:
         path = self._segment(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         t0 = time.perf_counter()
-        with open(path, "ab") as fh:
-            with exclusive_lock(fh, path):
-                lock_wait = time.perf_counter() - t0
-                fh.write(data)
-                fh.flush()
+        lock_wait = self._locked_append(path, data)
         sink = get_sink()
         if sink is not None:
             sink.span_event(
@@ -129,6 +145,35 @@ class CacheStore:
                 bytes=len(data), lock_wait=round(lock_wait, 6),
             )
         return len(data)
+
+    @staticmethod
+    def _locked_append(path: Path, data: bytes) -> float:
+        """Append ``data`` under the segment lock; returns lock-wait.
+
+        :meth:`compact` swaps segments in with ``os.replace`` (so
+        lock-free readers always see a whole file), which opens a
+        writer race: lock the *old* inode while compaction replaces the
+        path, then append into the unlinked file — a silently lost
+        entry.  After acquiring the lock we therefore verify the locked
+        inode is still the one the path names, and reopen if not.
+        """
+        t0 = time.perf_counter()
+        while True:
+            with open(path, "ab") as fh:
+                with exclusive_lock(fh, path):
+                    st_open = os.fstat(fh.fileno())
+                    try:
+                        st_path = os.stat(path)
+                    except FileNotFoundError:
+                        continue  # replaced or gc'd under us; reopen
+                    if (st_open.st_ino, st_open.st_dev) != (
+                        st_path.st_ino, st_path.st_dev,
+                    ):
+                        continue  # segment swapped by compact; reopen
+                    lock_wait = time.perf_counter() - t0
+                    fh.write(data)
+                    fh.flush()
+                    return lock_wait
 
     # -- read path -------------------------------------------------------
 
@@ -202,7 +247,17 @@ class CacheStore:
 
     def compact(self) -> int:
         """Rewrite every segment keeping only the newest record per
-        key; returns the bytes reclaimed."""
+        key; returns the bytes reclaimed.
+
+        Each rewrite lands as a whole-file ``os.replace`` (under the
+        segment lock, so appenders serialize against it and re-check
+        their inode — see :meth:`_locked_append`).  An earlier version
+        truncated the segment *in place*, which let a lock-free reader
+        snapshot a new-prefix/old-suffix hybrid whose seam could glue
+        two half records into one committed-looking line; atomic
+        replacement means readers only ever see a complete old or
+        complete new segment.
+        """
         reclaimed = 0
         for path in self._segment_paths():
             with open(path, "r+b") as fh:
@@ -220,9 +275,9 @@ class CacheStore:
                         )
                     data = out.getvalue()
                     if len(data) < len(raw):
-                        fh.seek(0)
-                        fh.write(data)
-                        fh.truncate()
+                        tmp = path.with_name(path.name + ".compact")
+                        tmp.write_bytes(data)
+                        os.replace(tmp, path)
                         reclaimed += len(raw) - len(data)
         return reclaimed
 

@@ -91,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
              "byte-identical with or without it — inspect with "
              "'repro-bcast telemetry summarize'",
     )
+    run_p.add_argument(
+        "--pool", action="store_true",
+        help="keep one pool of long-lived worker processes across every "
+             "experiment in the invocation instead of forking per task "
+             "batch (needs --jobs > 1; results are bit-identical either "
+             "way)",
+    )
 
     cache_p = sub.add_parser(
         "cache",
@@ -270,6 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
         "-n", "--lines", type=int, default=20, metavar="N",
         help="records to print (default 20)",
     )
+    tele_tail_p.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep printing new records as the run appends them "
+             "(exits on the run.end event or Ctrl-C; survives log "
+             "rotation)",
+    )
     for p in (tele_sum_p, tele_tail_p):
         p.add_argument(
             "run", nargs="?", default=None,
@@ -280,6 +293,89 @@ def build_parser() -> argparse.ArgumentParser:
             help="telemetry root (default: $REPRO_TELEMETRY_DIR or "
                  "./.repro-telemetry)",
         )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the sweep-job service: an HTTP server that dedupes "
+             "identical requests, shares one worker pool and result "
+             "cache across all clients, and streams per-job progress "
+             "(repro.service)",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="listen port (default 0 = pick an ephemeral port and "
+             "print it)",
+    )
+    serve_p.add_argument(
+        "--jobs", "-j", type=int, default=0, metavar="N",
+        help="worker processes in the persistent pool (default 0 = one "
+             "per core, 1 = serial)",
+    )
+    serve_p.add_argument(
+        "--batch", "-B", type=int, default=1, metavar="B",
+        help="trials per executor task (results are bit-identical for "
+             "any B)",
+    )
+    serve_p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result cache shared by every job (default: "
+             "$REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    serve_p.add_argument(
+        "--telemetry", metavar="DIR", default="",
+        help="root for per-job telemetry runs, which also feed the "
+             "/events progress stream (default: $REPRO_TELEMETRY_DIR "
+             "or ./.repro-telemetry)",
+    )
+    serve_p.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable per-job telemetry (the /events stream then only "
+             "carries job state changes)",
+    )
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit one experiment to a running sweep service and "
+             "fetch the result",
+    )
+    submit_p.add_argument("url", help="service URL, e.g. http://127.0.0.1:8642")
+    submit_p.add_argument("experiment", help="experiment id (E1..E17, A1, ...)")
+    submit_p.add_argument("--seed", type=int, default=0)
+    submit_p.add_argument(
+        "--full", action="store_true",
+        help="full sweep instead of the quick CI-sized one",
+    )
+    submit_p.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="write the report bytes to PATH (byte-identical to a local "
+             "'run --save' of the same config)",
+    )
+    submit_p.add_argument(
+        "--follow", action="store_true",
+        help="stream the job's progress events while it runs",
+    )
+    submit_p.add_argument(
+        "--no-wait", action="store_true",
+        help="submit and print the job id without waiting for the result",
+    )
+    submit_p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up waiting after this long (default: no limit)",
+    )
+
+    status_p = sub.add_parser(
+        "status",
+        help="show a sweep service's health and jobs (or one job)",
+    )
+    status_p.add_argument("url", help="service URL")
+    status_p.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job to show (default: server counters + every job)",
+    )
 
     trace_p = sub.add_parser(
         "trace",
@@ -480,10 +576,13 @@ def _maybe_telemetry(args, command: str, **manifest):
 
 
 def _telemetry_cmd(args) -> int:
-    """The `telemetry` subcommand: summarize / tail."""
+    """The `telemetry` subcommand: summarize / tail [--follow]."""
+    import json
+
     from repro.errors import TelemetryError
     from repro.telemetry import (
         default_telemetry_dir,
+        follow_events,
         resolve_run,
         summarize,
         tail,
@@ -500,8 +599,141 @@ def _telemetry_cmd(args) -> int:
         return 1
     if args.telemetry_command == "summarize":
         print(summarize(run_dir))
-    else:
+        return 0
+    if not args.follow:
         print(tail(run_dir, args.lines))
+        return 0
+    try:
+        for event in follow_events(run_dir):
+            print(
+                json.dumps(event, sort_keys=True, separators=(",", ":")),
+                flush=True,
+            )
+            if event.get("ev") == "event" and event.get("name") == "run.end":
+                return 0
+    except KeyboardInterrupt:
+        return 0
+    return 0
+
+
+def _serve(args) -> int:
+    """The `serve` subcommand: run the sweep-job service until Ctrl-C."""
+    from repro.service import JobManager, serve
+    from repro.telemetry import default_telemetry_dir
+
+    telemetry_root = (
+        None if args.no_telemetry
+        else (args.telemetry or default_telemetry_dir())
+    )
+    manager = JobManager(
+        jobs=args.jobs,
+        batch=args.batch,
+        cache_dir=args.cache_dir,
+        telemetry_root=telemetry_root,
+    )
+
+    def ready(server):
+        # The bound URL goes to stdout first (and flushed) so scripts
+        # that launch `serve --port 0` in the background can read it.
+        print(f"serving on {server.url}", flush=True)
+        print(
+            f"cache: {manager.store.root}  telemetry: "
+            f"{telemetry_root if telemetry_root is not None else '(off)'}  "
+            f"pool: {manager.pool.jobs if manager.pool else 'serial'}",
+            flush=True,
+        )
+
+    try:
+        serve(manager, args.host, args.port, ready=ready)
+    finally:
+        manager.close()
+    return 0
+
+
+def _submit(args) -> int:
+    """The `submit` subcommand: one job against a running service."""
+    import json
+    from pathlib import Path
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.url) as client:
+        job = client.submit(
+            args.experiment, seed=args.seed, quick=not args.full,
+            wait=False,
+        )
+        job_id = job["job_id"]
+        print(f"job {job_id}: {job['state']} ({job['submissions']} submission(s))")
+        if args.no_wait:
+            return 0
+        if args.follow:
+            for event in client.events(job_id):
+                print(
+                    json.dumps(event, sort_keys=True, separators=(",", ":")),
+                    flush=True,
+                )
+        body = client.result(job_id, wait=True, timeout=args.timeout)
+        job = client.status(job_id)
+    if args.save:
+        out = Path(args.save)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_bytes(body)
+        print(f"saved {out} ({len(body)} bytes)")
+    else:
+        sys.stdout.write(body.decode("utf-8"))
+        sys.stdout.write("\n")
+    stats = job.get("stats") or {}
+    if stats:
+        print(
+            f"(elapsed {job['elapsed']:.2f}s; tasks={stats.get('tasks')} "
+            f"backend={stats.get('backend') or 'cache'} "
+            f"cache {stats.get('cache_hits')}/{stats.get('cache_hits', 0) + stats.get('cache_misses', 0)} warm)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _status(args) -> int:
+    """The `status` subcommand: server counters and job table."""
+    import json
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.url) as client:
+        if args.job_id:
+            print(json.dumps(client.status(args.job_id), indent=2, sort_keys=True))
+            return 0
+        health = client.health()
+        counters = health["counters"]
+        cache = counters.get("cache", {})
+        print(
+            f"service {args.url}: ok (v{health['version']}), "
+            f"{counters['submitted']} submitted / {counters['deduped']} deduped "
+            f"/ {counters['executed']} executed / {counters['failed']} failed"
+        )
+        print(
+            f"cache: {cache.get('memory_hits', 0)} memory hits, "
+            f"{cache.get('disk_hits', 0)} disk hits, "
+            f"{cache.get('misses', 0)} misses, "
+            f"{cache.get('entries', 0)} entries in memory"
+        )
+        if "pool" in counters:
+            pool = counters["pool"]
+            print(
+                f"pool: {pool['alive_workers']}/{pool['jobs']} workers alive, "
+                f"{pool['spawned_total']} spawned over the server's lifetime"
+            )
+        for job in client.jobs():
+            spec = job["spec"]
+            elapsed = (
+                f"{job['elapsed']:8.2f}s" if job["elapsed"] is not None
+                else "       —"
+            )
+            print(
+                f"{job['job_id']}  {job['state']:<9} {elapsed}  "
+                f"{spec['experiment']:<4} seed={spec['seed']} "
+                f"quick={spec['quick']}  x{job['submissions']}"
+            )
     return 0
 
 
@@ -562,6 +794,18 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"telemetry: {sink.run_dir}")
         return code
 
+    if args.command in ("serve", "submit", "status"):
+        from repro.errors import ServiceError
+
+        handler = {"serve": _serve, "submit": _submit, "status": _status}
+        try:
+            return handler[args.command](args)
+        except ServiceError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            return 130
+
     if args.command == "compare":
         from repro.store import compare_reports, load_report
 
@@ -577,45 +821,60 @@ def main(argv: list[str] | None = None) -> int:
         if args.experiment.lower() == "all"
         else [args.experiment]
     )
+    pool = None
+    if args.pool:
+        # One pool of long-lived workers shared across every experiment
+        # in this invocation (most useful with `run all`): the fork
+        # cost is paid once instead of once per task batch.
+        from repro.engine.executor import WorkerPool
+
+        pool = WorkerPool(args.jobs)
     failures = 0
-    with _maybe_telemetry(
-        args, "run",
-        experiments=ids, seed=args.seed, quick=not args.full,
-        jobs=args.jobs,
-        config_fingerprint=RunConfig(
-            seed=args.seed, quick=not args.full
-        ).fingerprint(),
-    ) as sink:
-        for eid in ids:
-            config = RunConfig(
-                seed=args.seed,
-                quick=not args.full,
-                jobs=args.jobs,
-                batch=args.batch,
-                timeout=args.timeout,
-                cache=args.cache,
-                cache_dir=args.cache_dir,
-                resume=args.resume,
-            )
-            t0 = time.perf_counter()
-            report = run_experiment(eid, config)
-            elapsed = time.perf_counter() - t0
-            print(report.render())
-            if config.stats.tasks or config.stats.cache_requests:
-                print(f"({elapsed:.1f}s; {config.stats.summary()})")
-            else:
-                print(f"({elapsed:.1f}s)")
-            print()
-            if args.save:
-                from pathlib import Path
+    try:
+        with _maybe_telemetry(
+            args, "run",
+            experiments=ids, seed=args.seed, quick=not args.full,
+            jobs=args.jobs,
+            config_fingerprint=RunConfig(
+                seed=args.seed, quick=not args.full
+            ).fingerprint(),
+        ) as sink:
+            for eid in ids:
+                config = RunConfig(
+                    seed=args.seed,
+                    quick=not args.full,
+                    jobs=args.jobs,
+                    batch=args.batch,
+                    timeout=args.timeout,
+                    cache=args.cache,
+                    cache_dir=args.cache_dir,
+                    resume=args.resume,
+                    pool=pool,
+                )
+                t0 = time.perf_counter()
+                report = run_experiment(eid, config)
+                elapsed = time.perf_counter() - t0
+                print(report.render())
+                if config.stats.tasks or config.stats.cache_requests:
+                    print(f"({elapsed:.1f}s; {config.stats.summary()})")
+                else:
+                    print(f"({elapsed:.1f}s)")
+                print()
+                if args.save:
+                    from pathlib import Path
 
-                from repro.store import save_report
+                    from repro.store import save_report
 
-                out = save_report(report, Path(args.save) / f"{report.eid}.json")
-                print(f"saved {out}")
-            failures += sum(not ok for ok in report.checks.values())
-        if sink is not None:
-            print(f"telemetry: {sink.run_dir}")
+                    out = save_report(
+                        report, Path(args.save) / f"{report.eid}.json"
+                    )
+                    print(f"saved {out}")
+                failures += sum(not ok for ok in report.checks.values())
+            if sink is not None:
+                print(f"telemetry: {sink.run_dir}")
+    finally:
+        if pool is not None:
+            pool.close()
     if failures:
         print(f"{failures} check(s) FAILED", file=sys.stderr)
         return 1

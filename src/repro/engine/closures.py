@@ -1,0 +1,120 @@
+"""Fork-safe serialization of task closures for the persistent pool.
+
+The classic process backend ships nothing user-provided to its workers:
+it forks *after* the task list exists, so the closures are inherited
+memory.  A persistent pool (:class:`~repro.engine.executor.WorkerPool`)
+inverts that — workers are forked once, before any task exists — so
+task callables must cross the pipe by value.  Plain :mod:`pickle`
+refuses the closures and lambdas the experiment runners build
+(``pickle`` serializes functions by reference, and a closure has no
+importable name), which is why this module exists.
+
+:func:`dumps_task` extends the pickle protocol with one reducer: a
+function that cannot be found under its qualified name is serialized as
+``(marshalled code object, module name, defaults, closure cells)`` and
+rebuilt on the other side with the importing module's globals.  Cell
+contents recurse through the same pickler, so nested lambdas (the usual
+``make_protocol``/``make_adversary`` factory chain) work to any depth.
+
+Scope and safety:
+
+* ``marshal`` byte code is only valid within one interpreter version —
+  which is exactly the pool's situation: workers are forked children of
+  the serializing process.  The payloads never touch disk or network.
+* Globals are bound *by module*, not copied: the rebuilt function sees
+  the worker's (fork-inherited) module state, matching the classic
+  backend's inheritance semantics.
+* Anything that still fails to pickle (an open file handle in a cell, a
+  C extension object without ``__reduce__``) raises
+  :class:`TaskNotPortable`; the executor falls back to the
+  fork-per-call backend for that batch, so correctness never depends on
+  this module succeeding.
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import marshal
+import pickle
+import types
+
+__all__ = ["TaskNotPortable", "dumps_task", "loads_task"]
+
+
+class TaskNotPortable(Exception):
+    """A task callable cannot be serialized for the worker pool.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: this is an
+    internal signal consumed by the executor's fallback path, never an
+    error surfaced to callers.
+    """
+
+
+def _lookup_by_name(fn: types.FunctionType):
+    """The object ``pickle`` would find for ``fn`` by reference, or None."""
+    try:
+        obj = importlib.import_module(fn.__module__)
+        for part in fn.__qualname__.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError, ValueError):
+        return None
+    return obj
+
+
+def _rebuild_function(code_bytes, module, defaults, kwdefaults, closure):
+    """Reconstruct a by-value function in the receiving process."""
+    code = marshal.loads(code_bytes)
+    try:
+        globalns = importlib.import_module(module).__dict__
+    except ImportError:  # module gone in the worker: best-effort binding
+        globalns = {"__builtins__": __builtins__}
+    cells = tuple(types.CellType(v) for v in closure)
+    fn = types.FunctionType(code, globalns, code.co_name, defaults, cells)
+    fn.__kwdefaults__ = kwdefaults
+    return fn
+
+
+class _TaskPickler(pickle.Pickler):
+    """Pickler that serializes unnameable functions by value."""
+
+    def reducer_override(self, obj):  # noqa: D102 - pickle protocol hook
+        if isinstance(obj, types.FunctionType):
+            if _lookup_by_name(obj) is obj:
+                return NotImplemented  # importable: by reference as usual
+            try:
+                code_bytes = marshal.dumps(obj.__code__)
+            except ValueError as exc:  # exotic code object
+                raise TaskNotPortable(f"cannot marshal {obj!r}: {exc}") from exc
+            closure = tuple(
+                cell.cell_contents for cell in (obj.__closure__ or ())
+            )
+            return (
+                _rebuild_function,
+                (code_bytes, obj.__module__, obj.__defaults__,
+                 obj.__kwdefaults__, closure),
+            )
+        return NotImplemented
+
+
+def dumps_task(task) -> bytes:
+    """Serialize one zero-argument task callable, closures included.
+
+    Raises :class:`TaskNotPortable` when anything reachable from the
+    task resists serialization — the caller's cue to fall back to the
+    fork-per-call backend.
+    """
+    buf = io.BytesIO()
+    try:
+        _TaskPickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(task)
+    except TaskNotPortable:
+        raise
+    except Exception as exc:
+        raise TaskNotPortable(f"cannot serialize task {task!r}: {exc}") from exc
+    return buf.getvalue()
+
+
+def loads_task(payload: bytes):
+    """Inverse of :func:`dumps_task` (plain ``pickle.loads``: the
+    by-value functions carry their own reconstructor)."""
+    return pickle.loads(payload)

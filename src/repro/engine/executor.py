@@ -16,10 +16,17 @@ This module is the execution backbone behind
   assignment, a per-task timeout, and bounded retry when a worker
   crashes.  A hung or segfaulting adversary run therefore cannot wedge
   a sweep.
+* the **pool** backend (:class:`WorkerPool`) keeps forked workers alive
+  across ``run_tasks`` calls: spawn once, then ship each batch's task
+  callables by value (:mod:`repro.engine.closures`) over the pipes.  A
+  long-lived caller — the sweep service, a ``run all`` CLI invocation,
+  an arena search issuing thousands of small batches — pays the fork
+  cost once instead of per batch.  Tasks that resist serialization fall
+  back to the fork-per-call process backend transparently.
 
 Determinism contract: ``run_tasks`` returns results in task order, and
 each task must be a pure function of its own pre-derived seed.  Under
-that contract serial and parallel runs are bit-identical.
+that contract serial, process, and pooled runs are bit-identical.
 
 Examples
 --------
@@ -32,6 +39,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 from collections import deque
 from collections.abc import Callable, Sequence
@@ -41,7 +49,13 @@ from typing import Any
 from repro.errors import ExecutorError
 from repro.telemetry.sink import get_sink
 
-__all__ = ["ExecutorStats", "available_cpus", "resolve_jobs", "run_tasks"]
+__all__ = [
+    "ExecutorStats",
+    "WorkerPool",
+    "available_cpus",
+    "resolve_jobs",
+    "run_tasks",
+]
 
 # How often the parent wakes to check worker deadlines (seconds).
 _POLL_INTERVAL = 0.05
@@ -172,6 +186,7 @@ def run_tasks(
     retries: int = 1,
     chunk_size: int | None = None,
     stats: ExecutorStats | None = None,
+    pool: "WorkerPool | None" = None,
 ) -> list[Any]:
     """Run independent zero-argument tasks, returning results in order.
 
@@ -201,6 +216,11 @@ def run_tasks(
         auto, targeting ~4 chunks per worker).
     stats:
         Optional :class:`ExecutorStats` to accumulate into.
+    pool:
+        Optional :class:`WorkerPool` of long-lived workers.  Used when
+        ``jobs > 1`` and every task serializes
+        (:mod:`repro.engine.closures`); otherwise execution falls back
+        to the fork-per-call process backend with identical results.
     """
     if retries < 0:
         raise ExecutorError(f"retries must be >= 0, got {retries}")
@@ -210,10 +230,20 @@ def run_tasks(
     if n == 0:
         return []
     jobs = min(resolve_jobs(jobs), n)
-    use_process = jobs > 1 and hasattr(os, "fork")
+    can_fork = hasattr(os, "fork")
+    use_pool = (
+        pool is not None and not pool.closed and jobs > 1 and can_fork
+    )
+    payloads = pool.encode_tasks(tasks) if use_pool else None
+    if payloads is None:
+        use_pool = False
+    use_process = not use_pool and jobs > 1 and can_fork
 
     start = time.perf_counter()
-    if use_process:
+    if use_pool:
+        results = pool.run_encoded(payloads, timeout, retries, chunk_size, stats)
+        backend, workers = "pool", min(pool.jobs, n)
+    elif use_process:
         results = _run_process(tasks, jobs, timeout, retries, chunk_size, stats)
         backend, workers = "process", jobs
     else:
@@ -229,9 +259,10 @@ def run_tasks(
             "executor.batch", wall, backend=backend, workers=workers, tasks=n
         )
     stats.workers = max(stats.workers, workers)
-    # A mixed run (some batches too small to fork) reports "process":
-    # the record is about capability used, not every batch's path.
-    if stats.backend != "process":
+    # A mixed run (some batches too small to fork) reports the parallel
+    # capability used: the record is about capability, not every
+    # batch's path.
+    if stats.backend not in ("process", "pool"):
         stats.backend = backend
     return results
 
@@ -316,15 +347,41 @@ def _run_serial(tasks, timeout, retries, stats):
 
 
 # --------------------------------------------------------------------------
-# process backend (fork pool)
+# shared worker-side plumbing
+
+
+def _run_one(task) -> tuple:
+    """Execute one task in a worker; returns the result message tail."""
+    t0 = time.perf_counter()
+    try:
+        result = task()
+        return ("ok", result, time.perf_counter() - t0)
+    except (KeyboardInterrupt, SystemExit):
+        # A Ctrl-C (or an explicit exit) must kill this worker — the
+        # parent sees the EOF as a crash and its own interrupt tears
+        # the pool down.  Reporting it as a task error would swallow
+        # the interrupt and keep the fork pool running through the
+        # user's abort.
+        raise
+    except Exception as exc:  # forwarded to parent
+        return ("err", f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - t0)
+
+
+def _send_result(conn, idx: int, outcome: tuple) -> None:
+    status, payload, duration = outcome
+    try:
+        conn.send((status, idx, payload, duration))
+    except Exception as exc:  # unpicklable result: report, don't die
+        conn.send(("err", idx, f"result not picklable: {exc}", duration))
 
 
 def _worker_main(conn, tasks):
-    """Worker loop: receive index chunks, send back per-task results.
+    """Fork-per-call worker loop: receive index chunks, send results.
 
-    Runs in a forked child, so ``tasks`` (with all its closures) is
-    inherited memory — nothing user-provided crosses the pipe except
-    pickled *results*.
+    Runs in a child forked *after* the task list was built, so
+    ``tasks`` (with all its closures) is inherited memory — nothing
+    user-provided crosses the pipe except pickled *results*.
     """
     while True:
         try:
@@ -334,29 +391,46 @@ def _worker_main(conn, tasks):
         if chunk is None:
             return
         for idx in chunk:
+            _send_result(conn, idx, _run_one(tasks[idx]))
+
+
+def _pool_worker_main(conn):
+    """Persistent-pool worker loop: receive serialized task chunks.
+
+    Forked once at pool creation, *before* any task exists, so each
+    chunk carries its callables by value
+    (:func:`repro.engine.closures.loads_task`).  Every chunk message
+    also names the parent's active telemetry run (or ``None``) so a
+    worker outliving many telemetry sessions always writes into the
+    right event log — with the parent's monotonic base, keeping
+    timestamps comparable.
+    """
+    from repro.engine.closures import loads_task
+    from repro.telemetry.sink import _worker_adopt
+
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            return
+        if msg is None:
+            return
+        sink_info, chunk = msg
+        _worker_adopt(sink_info)
+        for idx, payload in chunk:
             t0 = time.perf_counter()
             try:
-                result = tasks[idx]()
-                payload = ("ok", idx, result, time.perf_counter() - t0)
+                task = loads_task(payload)
             except (KeyboardInterrupt, SystemExit):
-                # A Ctrl-C (or an explicit exit) must kill this worker —
-                # the parent sees the EOF as a crash and its own
-                # interrupt tears the pool down.  Reporting it as a task
-                # error would swallow the interrupt and keep the fork
-                # pool running through the user's abort.
                 raise
-            except Exception as exc:  # forwarded to parent
-                payload = (
-                    "err", idx, f"{type(exc).__name__}: {exc}",
-                    time.perf_counter() - t0,
+            except Exception as exc:
+                _send_result(
+                    conn, idx,
+                    ("err", f"task deserialization failed: {exc}",
+                     time.perf_counter() - t0),
                 )
-            try:
-                conn.send(payload)
-            except Exception as exc:  # unpicklable result: report, don't die
-                conn.send(
-                    ("err", idx, f"result not picklable: {exc}",
-                     time.perf_counter() - t0)
-                )
+                continue
+            _send_result(conn, idx, _run_one(task))
 
 
 class _Worker:
@@ -369,56 +443,77 @@ class _Worker:
         self.deadline: float | None = None
 
 
-def _run_process(tasks, jobs, timeout, retries, chunk_size, stats):
+def _spawn_worker(target, args, *, pool: bool) -> _Worker:
     import multiprocessing as mp
-    from multiprocessing.connection import wait as conn_wait
 
     ctx = mp.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe()
+    proc = ctx.Process(target=target, args=(child_conn, *args), daemon=True)
+    proc.start()
+    child_conn.close()
     sink = get_sink()
-    n = len(tasks)
+    if sink is not None:
+        sink.event("executor.worker.spawn", worker_pid=proc.pid, pool=pool)
+    return _Worker(proc, parent_conn)
+
+
+def _kill_worker(worker: _Worker, *, timeout: float = 0.0) -> None:
+    """Stop one worker (politely up to ``timeout``, then SIGKILL)."""
+    if timeout > 0:
+        try:
+            worker.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        worker.proc.join(timeout=timeout)
+    if worker.proc.is_alive():
+        worker.proc.kill()
+        worker.proc.join()
+    worker.conn.close()
+    sink = get_sink()
+    if sink is not None:
+        sink.event(
+            "executor.worker.exit",
+            worker_pid=worker.proc.pid, exitcode=worker.proc.exitcode,
+        )
+
+
+def _drive_workers(
+    n: int,
+    workers: list[_Worker],
+    spawn: Callable[[], _Worker],
+    encode_chunk: Callable[[list[int]], Any],
+    timeout: float | None,
+    retries: int,
+    chunk_size: int | None,
+    stats: ExecutorStats,
+) -> list[Any]:
+    """Generic chunked scheduler shared by the process and pool backends.
+
+    Feeds index chunks (encoded by ``encode_chunk``) to ``workers``,
+    collects per-task results in order, enforces per-task deadlines,
+    and replaces crashed or overrunning workers via ``spawn``.
+    ``workers`` is mutated in place so a persistent pool keeps the
+    replacements.  Raises :class:`~repro.errors.ExecutorError` once a
+    task exhausts its retry budget; teardown is the caller's job.
+    """
+    from multiprocessing.connection import wait as conn_wait
+
+    sink = get_sink()
     if chunk_size is None:
-        chunk_size = max(1, min(32, n // (jobs * 4)))
+        chunk_size = max(1, min(32, n // (max(len(workers), 1) * 4)))
 
     pending: deque[int] = deque(range(n))
     attempts = [0] * n
     results: list[Any] = [None] * n
     done = 0
 
-    def spawn() -> _Worker:
-        parent_conn, child_conn = ctx.Pipe()
-        proc = ctx.Process(target=_worker_main, args=(child_conn, tasks),
-                           daemon=True)
-        proc.start()
-        child_conn.close()
-        if sink is not None:
-            sink.event("executor.worker.spawn", worker_pid=proc.pid)
-        return _Worker(proc, parent_conn)
-
     def assign(worker: _Worker) -> None:
         if not pending or worker.assigned:
             return
         chunk = [pending.popleft() for _ in range(min(chunk_size, len(pending)))]
-        worker.conn.send(chunk)
+        worker.conn.send(encode_chunk(chunk))
         worker.assigned.extend(chunk)
         worker.deadline = (time.perf_counter() + timeout) if timeout else None
-
-    def shutdown(workers) -> None:
-        for w in workers:
-            try:
-                w.conn.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        for w in workers:
-            w.proc.join(timeout=1.0)
-            if w.proc.is_alive():
-                w.proc.kill()
-                w.proc.join()
-            w.conn.close()
-            if sink is not None:
-                sink.event(
-                    "executor.worker.exit",
-                    worker_pid=w.proc.pid, exitcode=w.proc.exitcode,
-                )
 
     def consume(worker: _Worker, msg) -> None:
         nonlocal done
@@ -472,42 +567,201 @@ def _run_process(tasks, jobs, timeout, retries, chunk_size, stats):
             pending.appendleft(j)
         pending.appendleft(idx)
 
-    workers = [spawn() for _ in range(jobs)]
-    try:
+    for w in workers:
+        assign(w)
+    while done < n:
+        active = [w for w in workers if w.assigned]
+        ready = conn_wait([w.conn for w in active], timeout=_POLL_INTERVAL)
+        by_conn = {w.conn: w for w in workers}
+        for conn in ready:
+            w = by_conn[conn]
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                workers.remove(w)
+                fail_in_flight(w, "crash")
+                workers.append(spawn())
+                continue
+            consume(w, msg)
+        now = time.perf_counter()
+        for w in list(workers):
+            if w.assigned and w.deadline is not None and now > w.deadline:
+                # Drain results that beat the deadline before blaming
+                # the in-flight task.
+                while w.assigned and w.conn.poll(0):
+                    try:
+                        consume(w, w.conn.recv())
+                    except (EOFError, OSError):
+                        break
+                if not (w.assigned and w.deadline is not None
+                        and now > w.deadline):
+                    continue
+                workers.remove(w)
+                fail_in_flight(w, "timeout")
+                workers.append(spawn())
         for w in workers:
             assign(w)
-        while done < n:
-            active = [w for w in workers if w.assigned]
-            ready = conn_wait([w.conn for w in active], timeout=_POLL_INTERVAL)
-            by_conn = {w.conn: w for w in workers}
-            for conn in ready:
-                w = by_conn[conn]
-                try:
-                    msg = conn.recv()
-                except (EOFError, OSError):
-                    workers.remove(w)
-                    fail_in_flight(w, "crash")
-                    workers.append(spawn())
-                    continue
-                consume(w, msg)
-            now = time.perf_counter()
-            for w in list(workers):
-                if w.assigned and w.deadline is not None and now > w.deadline:
-                    # Drain results that beat the deadline before blaming
-                    # the in-flight task.
-                    while w.assigned and w.conn.poll(0):
-                        try:
-                            consume(w, w.conn.recv())
-                        except (EOFError, OSError):
-                            break
-                    if not (w.assigned and w.deadline is not None
-                            and now > w.deadline):
-                        continue
-                    workers.remove(w)
-                    fail_in_flight(w, "timeout")
-                    workers.append(spawn())
-            for w in workers:
-                assign(w)
-    finally:
-        shutdown(workers)
     return results
+
+
+# --------------------------------------------------------------------------
+# process backend (fork per call)
+
+
+def _run_process(tasks, jobs, timeout, retries, chunk_size, stats):
+    def spawn() -> _Worker:
+        return _spawn_worker(_worker_main, (tasks,), pool=False)
+
+    workers = [spawn() for _ in range(jobs)]
+    try:
+        return _drive_workers(
+            len(tasks), workers, spawn, list,
+            timeout, retries, chunk_size, stats,
+        )
+    finally:
+        for w in workers:
+            _kill_worker(w, timeout=1.0)
+
+
+# --------------------------------------------------------------------------
+# pool backend (spawn once, reuse across run_tasks calls)
+
+
+class WorkerPool:
+    """Long-lived fork workers reusable across :func:`run_tasks` calls.
+
+    The classic process backend pays one fork per worker per *batch*;
+    for workloads issuing many small batches (arena search, ``run
+    all``, the sweep service) that cost dominates.  A ``WorkerPool``
+    forks its workers once — lazily, at the first pooled batch — and
+    thereafter ships each batch's task callables by value over the
+    existing pipes (:mod:`repro.engine.closures`).
+
+    Contract mirrors the process backend exactly: results in task
+    order, per-task deadline enforcement (an overrunning or crashed
+    worker is killed, *replaced in the pool*, and the task retried),
+    and bit-identical results — a worker executes the same closure the
+    parent would, against its own fork-inherited module state.
+
+    Pass a pool to :func:`run_tasks` (or via
+    ``RunConfig(pool=...)``); batches whose tasks cannot be serialized
+    fall back to fork-per-call automatically.  One pool may be shared
+    by sequential callers; concurrent ``run`` calls are serialized by
+    an internal lock.  Use as a context manager or call :meth:`close`
+    to reap the workers.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._workers: list[_Worker] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self._spawned_total = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def alive_workers(self) -> int:
+        """Currently live worker processes (0 before first use)."""
+        return sum(1 for w in self._workers if w.proc.is_alive())
+
+    @property
+    def spawned_total(self) -> int:
+        """Workers ever forked (replacements included) — the number a
+        fork-per-call backend would multiply per batch."""
+        return self._spawned_total
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live workers (stable across batches — the
+        pool-reuse property tests pin)."""
+        return [w.proc.pid for w in self._workers if w.proc.is_alive()]
+
+    def _spawn(self) -> _Worker:
+        self._spawned_total += 1
+        return _spawn_worker(_pool_worker_main, (), pool=True)
+
+    def _ensure_workers(self) -> None:
+        # Replace any worker that died between batches (OOM kill, admin
+        # signal) so a pool never shrinks silently.
+        kept = []
+        for w in self._workers:
+            if w.proc.is_alive():
+                kept.append(w)
+            else:
+                _kill_worker(w)  # reap + close the pipe
+        self._workers[:] = kept
+        while len(self._workers) < self.jobs:
+            self._workers.append(self._spawn())
+
+    def reset(self) -> None:
+        """Kill every worker; the next batch respawns a fresh set.
+
+        Called internally after an error mid-batch, when in-flight
+        state on the pipes can no longer be trusted.
+        """
+        for w in self._workers:
+            _kill_worker(w)
+        self._workers.clear()
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); later batches fall back."""
+        if self._closed:
+            return
+        for w in self._workers:
+            _kill_worker(w, timeout=1.0)
+        self._workers.clear()
+        self._closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------
+
+    def encode_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[bytes] | None:
+        """Serialized payloads for ``tasks``, or ``None`` when any task
+        resists serialization (the fall-back-to-fork signal)."""
+        from repro.engine.closures import TaskNotPortable, dumps_task
+
+        try:
+            return [dumps_task(task) for task in tasks]
+        except TaskNotPortable:
+            return None
+
+    def run_encoded(
+        self,
+        payloads: list[bytes],
+        timeout: float | None,
+        retries: int,
+        chunk_size: int | None,
+        stats: ExecutorStats,
+    ) -> list[Any]:
+        """Run pre-encoded tasks on the pool (``run_tasks`` internals)."""
+        from repro.telemetry.sink import _worker_share_info
+
+        if self._closed:
+            raise ExecutorError("worker pool is closed")
+        sink_info = _worker_share_info()
+
+        def encode_chunk(chunk: list[int]):
+            return (sink_info, [(i, payloads[i]) for i in chunk])
+
+        with self._lock:
+            self._ensure_workers()
+            try:
+                return _drive_workers(
+                    len(payloads), self._workers, self._spawn, encode_chunk,
+                    timeout, retries, chunk_size, stats,
+                )
+            except BaseException:
+                # In-flight chunks may still be draining into the
+                # pipes; a fresh set of workers is cheaper than
+                # resynchronizing the old ones.
+                self.reset()
+                raise

@@ -83,6 +83,15 @@ class TelemetryError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The sweep service could not accept, run, or report a job.
+
+    Raised by the job manager (bad job spec, unknown job id, submitting
+    to a closed manager) and surfaced by the client library when the
+    server returns an error response.
+    """
+
+
 class FingerprintError(CacheError):
     """A task's inputs cannot be canonically fingerprinted.
 

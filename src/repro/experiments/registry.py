@@ -92,6 +92,18 @@ class RunConfig:
         active, :func:`run_experiment` opens a run-scoped sink around
         the call.  Telemetry never changes results — it is excluded
         from equality like the cache fields.
+    pool:
+        Optional :class:`~repro.engine.executor.WorkerPool` of
+        long-lived workers shared across task batches (and across
+        whole experiment runs — the sweep service and ``run --pool``
+        keep one for their lifetime).  Purely an execution knob:
+        results are bit-identical with or without it.
+    cache_store:
+        Optional pre-built cache store (``CacheStore`` or the
+        read-through :class:`~repro.cache.memory.ReadThroughStore`).
+        When set (and :attr:`cache` is true) it is used as-is instead
+        of opening :attr:`cache_dir` — how the service shares one
+        in-memory read-through layer across every job.
     experiment:
         Experiment id stamped into cache fingerprints;
         :func:`run_experiment` fills it in automatically.
@@ -114,6 +126,8 @@ class RunConfig:
     cache_dir: "str | Path | None" = field(default=None, compare=False)
     resume: bool = field(default=True, compare=False)
     telemetry: "str | Path | None" = field(default=None, compare=False)
+    pool: "object | None" = field(default=None, repr=False, compare=False)
+    cache_store: "object | None" = field(default=None, repr=False, compare=False)
     experiment: str | None = field(default=None, repr=False, compare=False)
     stats: ExecutorStats = field(
         default_factory=ExecutorStats, repr=False, compare=False
@@ -140,6 +154,8 @@ class RunConfig:
         use, or ``None`` when caching is disabled."""
         if not self.cache:
             return None
+        if self.cache_store is not None:
+            return self.cache_store
         from repro.cache import CacheStore, default_cache_dir
 
         return CacheStore(

@@ -117,6 +117,7 @@ def _executor_kwargs(config) -> dict:
         "timeout": config.timeout,
         "retries": config.retries,
         "stats": config.stats,
+        "pool": getattr(config, "pool", None),
     }
 
 

@@ -1,0 +1,51 @@
+"""Async sweep-job service: one warm process, many clients, zero recompute.
+
+The CLI made single runs reproducible; the cache made repeated runs
+cheap; the pool made parallel runs warm.  This package puts a network
+front end on that stack so the *process boundary* stops being the unit
+of work: a long-lived server owns one persistent
+:class:`~repro.engine.executor.WorkerPool`, one shared
+:class:`~repro.cache.memory.ReadThroughStore`, and a dedupe index keyed
+by :meth:`~repro.experiments.registry.RunConfig.fingerprint`, and any
+number of clients submit RunConfig-shaped requests against it.
+
+* :mod:`repro.service.jobs` — the job model and single-runner queue:
+  identical concurrent submissions collapse onto one
+  :class:`~repro.service.jobs.JobRecord` (in-flight *and* completed),
+  so N clients asking for the same sweep cost one execution;
+* :mod:`repro.service.server` — a hand-rolled asyncio HTTP/1.1 server
+  (stdlib only): submit/status/result endpoints plus a chunked NDJSON
+  stream of per-job progress tailed live from the job's telemetry run;
+* :mod:`repro.service.client` — a blocking ``http.client`` wrapper
+  mirroring the routes as method calls.
+
+Two contracts anchor the whole design, both enforced by the service CI
+gate in ``scripts/check_parallel_determinism.sh``:
+
+1. **byte-identity** — a result fetched over HTTP is the exact file
+   ``repro-bcast run --save`` writes for the same config (the server
+   returns :func:`repro.store.report_to_bytes` output verbatim);
+2. **no recompute** — resubmitting finished work touches neither the
+   executor nor the simulator: same-process resubmits join the
+   completed job record, and a fresh server over the same cache
+   directory reports 100% cache hits and zero executed tasks.
+
+From the CLI: ``repro-bcast serve``, ``repro-bcast submit``,
+``repro-bcast status``.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobManager, JobRecord, JobSpec, JobState
+from repro.service.server import ServiceServer, serve
+
+__all__ = [
+    "JobManager",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "ServiceClient",
+    "ServiceServer",
+    "serve",
+]

@@ -1,0 +1,171 @@
+"""Blocking client for the sweep service (stdlib ``http.client`` only).
+
+The client mirrors the server's five routes as plain method calls and
+keeps the byte-identity contract visible in its types:
+:meth:`ServiceClient.result` returns **bytes**, not a parsed dict,
+because the payload's value *is* its exact serialization — write it to
+disk and you have the ``run --save`` file.  Parse it yourself (or via
+:func:`repro.store.load_report`) when you want the structure.
+
+One client instance holds one keep-alive connection and is **not**
+thread-safe; give each thread its own instance (they are cheap — a
+socket and a URL).  The bench harness does exactly that to measure
+concurrent-client throughput.
+
+Usage::
+
+    with ServiceClient("http://127.0.0.1:8642") as svc:
+        job = svc.submit("E1", seed=11, wait=True)
+        Path("E1.json").write_bytes(svc.result(job["job_id"]))
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from collections.abc import Iterator
+from urllib.parse import urlencode, urlsplit
+
+from repro.errors import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Synchronous HTTP client bound to one service URL."""
+
+    def __init__(self, url: str, timeout: float = 600.0) -> None:
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ServiceError(f"unsupported service URL scheme: {url!r}")
+        if split.hostname is None:
+            raise ServiceError(f"service URL has no host: {url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request plumbing ------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, query: dict | None = None,
+        payload: dict | None = None,
+    ) -> http.client.HTTPResponse:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        if query:
+            path = f"{path}?{urlencode(query)}"
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+        except (ConnectionError, http.client.HTTPException, OSError) as exc:
+            self.close()  # keep-alive connection is poisoned; drop it
+            raise ServiceError(
+                f"service at {self.url} unreachable: {exc}"
+            ) from exc
+        if response.status >= 400:
+            raw = response.read()
+            try:
+                message = json.loads(raw)["error"]
+            except Exception:  # noqa: BLE001 — non-JSON error body
+                message = raw.decode("utf-8", "replace").strip()
+            raise ServiceError(
+                f"{method} {path} -> {response.status}: {message}"
+            )
+        return response
+
+    def _json(self, *args, **kwargs) -> dict:
+        response = self._request(*args, **kwargs)
+        return json.loads(response.read().decode("utf-8"))
+
+    # -- API surface -----------------------------------------------------
+
+    def health(self) -> dict:
+        """Server liveness, version, experiment list, and counters."""
+        return self._json("GET", "/v1/health")
+
+    def submit(
+        self,
+        experiment: str,
+        seed: int = 0,
+        quick: bool = True,
+        *,
+        wait: bool = False,
+        timeout: float | None = None,
+    ) -> dict:
+        """Submit (or join) a job; returns its status dict.
+
+        ``wait=True`` blocks until the job finishes either way — check
+        ``state`` before fetching the result.
+        """
+        query: dict = {}
+        if wait:
+            query["wait"] = "1"
+        if timeout is not None:
+            query["timeout"] = timeout
+        return self._json(
+            "POST", "/v1/jobs", query,
+            {"experiment": experiment, "seed": seed, "quick": quick},
+        )
+
+    def jobs(self) -> list[dict]:
+        """Every job the server knows about, oldest first."""
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        """One job's status dict."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def result(
+        self, job_id: str, *, wait: bool = True, timeout: float | None = None
+    ) -> bytes:
+        """The finished job's report — the exact ``--save`` file bytes."""
+        query: dict = {}
+        if wait:
+            query["wait"] = "1"
+        if timeout is not None:
+            query["timeout"] = timeout
+        return self._request("GET", f"/v1/jobs/{job_id}/result", query).read()
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream the job's progress records until it finishes.
+
+        Yields ``{"ev": "job", ...}`` state records interleaved with
+        the job's telemetry events (``http.client`` undoes the chunked
+        framing; each line is one record).  The stream — and the
+        connection, which the server closes after it — ends when the
+        job is done and its event log has been drained.
+        """
+        response = self._request("GET", f"/v1/jobs/{job_id}/events")
+        try:
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            self.close()  # server ends the connection after a stream

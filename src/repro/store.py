@@ -41,6 +41,7 @@ from repro.experiments.runner import Table
 __all__ = [
     "save_report",
     "load_report",
+    "report_to_bytes",
     "report_to_dict",
     "run_result_to_dict",
     "run_result_from_dict",
@@ -163,11 +164,22 @@ def report_to_dict(report: ExperimentReport) -> dict:
     }
 
 
+def report_to_bytes(report: ExperimentReport) -> bytes:
+    """The exact bytes :func:`save_report` persists for ``report``.
+
+    The sweep service returns job results through this same function,
+    which is what makes "a service-fetched report is byte-identical to
+    a ``--save`` file" a structural property rather than a hoped-for
+    coincidence of two serializers.
+    """
+    return json.dumps(report_to_dict(report), indent=2).encode("utf-8")
+
+
 def save_report(report: ExperimentReport, path: str | Path) -> Path:
     """Write a report to JSON; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(report_to_dict(report), indent=2))
+    path.write_bytes(report_to_bytes(report))
     return path
 
 

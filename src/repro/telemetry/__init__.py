@@ -27,11 +27,13 @@ the API, either pass ``RunConfig(telemetry=DIR)`` or wrap calls in
 
 from __future__ import annotations
 
+from repro.telemetry.follow import follow_events, read_new_events
 from repro.telemetry.sink import (
     TELEMETRY_DIR_ENV,
     TELEMETRY_SCHEMA,
     TelemetrySink,
     activate,
+    bound_session,
     deactivate,
     default_telemetry_dir,
     get_sink,
@@ -52,13 +54,16 @@ __all__ = [
     "TELEMETRY_SCHEMA",
     "TelemetrySink",
     "activate",
+    "bound_session",
     "deactivate",
     "default_telemetry_dir",
     "find_runs",
+    "follow_events",
     "get_sink",
     "latest_run",
     "read_events",
     "read_manifest",
+    "read_new_events",
     "resolve_run",
     "session",
     "summarize",

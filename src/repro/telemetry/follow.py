@@ -1,0 +1,130 @@
+"""Incremental (``tail --follow``) reader for telemetry event logs.
+
+:func:`repro.telemetry.summary.read_events` re-reads and re-parses the
+whole ``events.jsonl`` on every call, which is right for a one-shot
+summary and wrong for anything that *watches* a run: the sweep service
+streams per-job progress to HTTP clients by polling the job's event
+log, and ``repro-bcast telemetry tail --follow`` does the same for a
+terminal.  Both sit on :func:`read_new_events`, a stateless-file /
+caller-held-cursor incremental read:
+
+* only **committed** records are returned — a record exists once its
+  trailing newline is on disk (the same commit-marker discipline as
+  :meth:`repro.cache.store.CacheStore._parse_lines`), so a torn
+  in-flight append is simply not yet visible rather than half-visible;
+* the cursor is a plain byte offset, so the caller (an HTTP handler, a
+  CLI loop) owns all state and any number of followers can watch one
+  run independently;
+* rotation/compaction safety: if the file shrinks below the cursor (log
+  replaced, run directory recycled), the cursor resets to zero and the
+  new file is read from the top — a follower never wedges or reads a
+  seam across two generations of the file.
+
+:func:`follow_events` wraps the cursor in a bounded-poll generator for
+callers that want a loop rather than a cursor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Callable, Iterator
+from pathlib import Path
+
+__all__ = ["follow_events", "read_new_events"]
+
+#: Default poll interval for :func:`follow_events` (seconds).  Event
+#: appends are locked single writes, so polling is cheap: a no-change
+#: poll is one ``stat`` call.
+DEFAULT_POLL = 0.2
+
+
+def read_new_events(
+    path: str | Path, offset: int = 0
+) -> tuple[list[dict], int]:
+    """Read committed records appended at ``path`` since ``offset``.
+
+    Returns ``(events, new_offset)``; pass ``new_offset`` back on the
+    next call.  A missing file yields ``([], 0)`` — the run may simply
+    not have started writing yet.  A file *shorter* than ``offset``
+    means the log was replaced (rotation, a recycled run directory):
+    the cursor resets and the replacement is read from the start, so a
+    follower observes the new generation in full rather than a suffix
+    of it.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except FileNotFoundError:
+        return [], 0
+    if size < offset:
+        offset = 0  # log replaced under us; restart on the new file
+    if size == offset:
+        return [], offset
+    with open(path, "rb") as fh:
+        fh.seek(offset)
+        raw = fh.read()
+    # Commit marker: only newline-terminated records exist.  A torn
+    # tail stays unread and unconsumed — the cursor advances only past
+    # the last newline, so the record is delivered whole next call.
+    end = raw.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    committed, new_offset = raw[: end + 1], offset + end + 1
+    events = []
+    for line in committed.splitlines():
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # garbled line (crashed writer); skip
+    return events, new_offset
+
+
+def follow_events(
+    run_dir: str | Path,
+    *,
+    poll: float = DEFAULT_POLL,
+    stop: Callable[[], bool] | None = None,
+    from_start: bool = True,
+) -> Iterator[dict]:
+    """Yield committed events from a run directory as they appear.
+
+    Polls ``<run_dir>/events.jsonl`` every ``poll`` seconds.  With
+    ``from_start=False`` only events appended after *this call* are
+    yielded (live-tail semantics) — the history boundary is snapshotted
+    eagerly, not at the consumer's first ``next()``, so events written
+    between the call and the first pull are still delivered.  ``stop``
+    is consulted between polls *and* checked after a final drain, so a
+    caller stopping the generator when its run ends still receives
+    every event the run wrote — the generator exits only once
+    ``stop()`` is true and the log has been read dry.  Without ``stop``
+    the generator follows forever (callers like the CLI break on
+    ``run.end`` or Ctrl-C).
+    """
+    path = Path(run_dir) / "events.jsonl"
+    offset = 0
+    if not from_start:
+        # Drain once and discard: lands the cursor on the last
+        # *committed* record boundary (a raw st_size cursor could start
+        # mid-record and silently drop the record it tears).
+        _, offset = read_new_events(path, 0)
+    return _follow(path, offset, poll, stop)
+
+
+def _follow(
+    path: Path,
+    offset: int,
+    poll: float,
+    stop: Callable[[], bool] | None,
+) -> Iterator[dict]:
+    while True:
+        done = stop() if stop is not None else False
+        events, offset = read_new_events(path, offset)
+        yield from events
+        if done and not events:
+            return
+        if not events:
+            time.sleep(poll)

@@ -43,6 +43,7 @@ __all__ = [
     "TELEMETRY_SCHEMA",
     "TelemetrySink",
     "activate",
+    "bound_session",
     "deactivate",
     "default_telemetry_dir",
     "get_sink",
@@ -206,6 +207,40 @@ def get_sink() -> TelemetrySink | None:
     return _SINK
 
 
+def _worker_share_info() -> tuple[str, float] | None:
+    """Internal: what a pool worker needs to adopt the active sink.
+
+    Fork-per-call workers inherit the sink (object *and* monotonic
+    base) at fork time; a persistent pool worker was forked before the
+    current session existed, so the parent ships ``(run_dir, t0)``
+    alongside every task chunk instead.  ``time.monotonic`` is
+    CLOCK_MONOTONIC — comparable across processes on one host — so the
+    worker's ``t`` offsets line up with the parent's.
+    """
+    if _SINK is None:
+        return None
+    return (str(_SINK.run_dir), _SINK._t0)
+
+
+def _worker_adopt(info: tuple[str, float] | None) -> None:
+    """Internal: bind this (pool worker) process to the parent's sink.
+
+    ``None`` deactivates without emitting ``run.end`` — the run is the
+    parent's, the worker merely contributes events to it.
+    """
+    global _SINK
+    if info is None:
+        _SINK = None
+        return
+    run_dir, t0 = info
+    if _SINK is not None and str(_SINK.run_dir) == run_dir:
+        _SINK._t0 = t0
+        return
+    sink = TelemetrySink(run_dir)
+    sink._t0 = t0
+    _SINK = sink
+
+
 def _new_run_dir(root: Path) -> Path:
     stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
     base = f"{stamp}-{os.getpid()}"
@@ -252,6 +287,29 @@ def deactivate() -> None:
 def session(directory: str | Path | None = None, manifest: dict | None = None):
     """Context-managed :func:`activate` / :func:`deactivate` pair."""
     sink = activate(directory, manifest)
+    try:
+        yield sink
+    finally:
+        if _SINK is sink:
+            deactivate()
+
+
+@contextmanager
+def bound_session(run_dir: str | Path, manifest: dict | None = None):
+    """A session at an *explicit* run directory (no timestamp naming).
+
+    :func:`session` allocates ``<root>/<timestamp>-<pid>``; callers
+    that need an addressable run — the sweep service binds one run per
+    job id so clients can tail it — pass the exact directory here
+    instead.  Same manifest and ``run.start``/``run.end`` discipline.
+    """
+    global _SINK
+    if _SINK is not None:
+        deactivate()
+    sink = TelemetrySink(run_dir)
+    sink.write_manifest(**(manifest or {}))
+    sink.event("run.start")
+    _SINK = sink
     try:
         yield sink
     finally:

@@ -43,7 +43,15 @@ def find_runs(root: str | Path) -> list[Path]:
 
 
 def latest_run(root: str | Path) -> Path:
-    """The most recent run under ``root``; raises when there is none."""
+    """The most recent run under ``root``; raises when there is none.
+
+    A ``root`` that is itself a run directory (a ``bound_session`` dir,
+    e.g. a service job's ``<telemetry_root>/<job_id>``) resolves to
+    itself, so ``telemetry summarize|tail --dir`` work on both layouts.
+    """
+    root = Path(root)
+    if (root / "manifest.json").is_file() or (root / "events.jsonl").is_file():
+        return root
     runs = find_runs(root)
     if not runs:
         raise TelemetryError(

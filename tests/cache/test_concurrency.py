@@ -1,0 +1,249 @@
+"""Concurrency tests for the cache store and the read-through layer.
+
+The store's protocol is single-writer-per-append with lock-free
+snapshot reads; these tests attack the three seams of that protocol —
+torn tails, compaction swaps, and the appender/compactor inode race —
+plus the thread-safety of the in-memory :class:`ReadThroughStore` the
+sweep service layers on top.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheStore, ReadThroughStore
+from repro.engine.simulator import RunResult
+
+pytestmark = pytest.mark.cache
+
+
+def make_result(i: int) -> RunResult:
+    rng = np.random.default_rng(i)
+    return RunResult(
+        node_costs=rng.integers(0, 100, size=3).astype(np.int64),
+        adversary_cost=int(rng.integers(0, 1000)),
+        slots=int(rng.integers(1, 5000)),
+        phases=int(rng.integers(1, 50)),
+        truncated=False,
+        stats={"success": bool(i % 2), "tag": i},
+    )
+
+
+def results_equal(a: RunResult, b: RunResult) -> bool:
+    return (
+        a.stats == b.stats
+        and a.adversary_cost == b.adversary_cost
+        and a.phases == b.phases
+        and a.slots == b.slots
+        and np.array_equal(a.node_costs, b.node_costs)
+    )
+
+
+class TestTornTail:
+    def test_uncommitted_tail_is_invisible(self, tmp_path):
+        # A snapshot taken mid-append must simply not see the in-flight
+        # record: a record exists only once its newline is on disk.
+        store = CacheStore(tmp_path)
+        store.put("aa", make_result(1))
+        seg = store._segment("aa")
+        committed = seg.read_bytes()
+        # simulate a writer parked mid-record: full line + torn half
+        torn = committed + committed[: len(committed) // 2].rstrip(b"\n")
+        seg.write_bytes(torn)
+        hits, _ = store.get_many(["aa"])
+        assert "aa" in hits  # the committed record survives
+        assert store.stats().entries == 1  # the torn one does not exist
+
+    def test_torn_tail_that_parses_is_still_dropped(self, tmp_path):
+        # The commit marker is the *newline*, not parse success — a
+        # tail that happens to be valid JSON must still be invisible.
+        store = CacheStore(tmp_path)
+        store.put("aa", make_result(1))
+        seg = store._segment("aa")
+        with open(seg, "ab") as fh:
+            fh.write(b'{"key": "aa", "meta": {}, "result": {}}')  # no \n
+        hits, _ = store.get_many(["aa"])
+        assert results_equal(hits["aa"], make_result(1))  # old record wins
+
+
+class TestReaderSnapshotUnderWriters:
+    def test_readers_see_consistent_snapshots(self, tmp_path):
+        # One writer hammers puts (many keys -> many segments) while
+        # reader threads snapshot concurrently; every result a reader
+        # sees must be exactly the value written for that key.
+        store = CacheStore(tmp_path)
+        n_keys = 60
+        keys = [f"k{i:03d}" for i in range(n_keys)]
+        expected = {k: make_result(i) for i, k in enumerate(keys)}
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer():
+            for _ in range(3):  # overwrite rounds: appends, not rewrites
+                for i, k in enumerate(keys):
+                    store.put(k, expected[k])
+            stop.set()
+
+        def reader():
+            while not stop.is_set():
+                hits, _ = store.get_many(keys)
+                for k, value in hits.items():
+                    if not results_equal(value, expected[k]):
+                        failures.append(k)
+                        return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        wt = threading.Thread(target=writer)
+        for t in threads + [wt]:
+            t.start()
+        for t in threads + [wt]:
+            t.join(timeout=60)
+        assert not failures
+        hits, _ = store.get_many(keys)
+        assert len(hits) == n_keys
+
+    def test_compact_during_reads_and_writes(self, tmp_path):
+        # Compaction swaps segment files while appenders and readers
+        # run; nothing may be lost and no reader may see a hybrid.
+        store = CacheStore(tmp_path)
+        keys = [f"c{i:03d}" for i in range(40)]
+        expected = {k: make_result(i) for i, k in enumerate(keys)}
+        for k in keys:  # two generations so compact() has work to do
+            store.put(k, expected[k])
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer():
+            for _ in range(3):
+                for k in keys:
+                    store.put(k, expected[k])
+            stop.set()
+
+        def compactor():
+            while not stop.is_set():
+                store.compact()
+
+        def reader():
+            while not stop.is_set():
+                hits, _ = store.get_many(keys)
+                for k, value in hits.items():
+                    if not results_equal(value, expected[k]):
+                        failures.append(k)
+                        return
+
+        threads = [
+            threading.Thread(target=f)
+            for f in (writer, compactor, reader, reader)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not failures
+        # the appender/compactor inode re-check means no put was lost
+        hits, _ = store.get_many(keys)
+        assert len(hits) == len(keys)
+        for k in keys:
+            assert results_equal(hits[k], expected[k])
+
+    def test_compact_is_atomic_replacement(self, tmp_path):
+        # After compact, each key's newest value is intact and the
+        # segment holds exactly one record per key.
+        store = CacheStore(tmp_path)
+        old, new = make_result(1), make_result(2)
+        store.put("aa", old)
+        store.put("aa", new)
+        assert store.stats().entries == 2
+        reclaimed = store.compact()
+        assert reclaimed > 0
+        assert store.stats().entries == 1
+        assert results_equal(store.get("aa"), new)
+        # no temp files left behind
+        leftovers = list(tmp_path.rglob("*.compact"))
+        assert leftovers == []
+
+
+class TestReadThroughStore:
+    def test_memory_hit_skips_disk(self, tmp_path):
+        store = ReadThroughStore(CacheStore(tmp_path))
+        store.put("aa", make_result(1))
+        hits, bytes_read = store.get_many(["aa"])
+        assert results_equal(hits["aa"], make_result(1))
+        assert bytes_read == 0  # served from memory, zero disk traffic
+        assert store.counters()["memory_hits"] == 1
+
+    def test_disk_fill_then_memory(self, tmp_path):
+        # A store that did not see the put (another process wrote it)
+        # fills from disk once, then serves memory.
+        backing = CacheStore(tmp_path)
+        backing.put("aa", make_result(1))
+        store = ReadThroughStore(backing)
+        hits, bytes_read = store.get_many(["aa"])
+        assert bytes_read > 0
+        assert store.counters()["disk_hits"] == 1
+        _, bytes_read = store.get_many(["aa"])
+        assert bytes_read == 0
+        assert store.counters()["memory_hits"] == 1
+
+    def test_lru_bound(self, tmp_path):
+        store = ReadThroughStore(CacheStore(tmp_path), max_entries=2)
+        for i, key in enumerate(["aa", "bb", "cc"]):
+            store.put(key, make_result(i))
+        counters = store.counters()
+        assert counters["entries"] == 2  # aa evicted
+        _, bytes_read = store.get_many(["aa"])
+        assert bytes_read > 0  # back to disk for the evicted key
+        assert results_equal(store.get("cc"), make_result(2))
+
+    def test_thread_safety_under_mixed_load(self, tmp_path):
+        store = ReadThroughStore(CacheStore(tmp_path), max_entries=32)
+        keys = [f"t{i:02d}" for i in range(48)]  # > bound: forces eviction
+        expected = {k: make_result(i) for i, k in enumerate(keys)}
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer():
+            for _ in range(3):
+                for k in keys:
+                    store.put(k, expected[k])
+            stop.set()
+
+        def reader():
+            while not stop.is_set():
+                hits, _ = store.get_many(keys)
+                for k, value in hits.items():
+                    if not results_equal(value, expected[k]):
+                        failures.append(k)
+                        return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        wt = threading.Thread(target=writer)
+        for t in threads + [wt]:
+            t.start()
+        for t in threads + [wt]:
+            t.join(timeout=60)
+        assert not failures
+        hits, _ = store.get_many(keys)
+        assert len(hits) == len(keys)
+
+    def test_pickle_round_trip_drops_memory_not_identity(self, tmp_path):
+        # Pool workers receive the store by value inside task closures;
+        # the copy must come up cold but correct.
+        import pickle
+
+        store = ReadThroughStore(CacheStore(tmp_path), max_entries=7)
+        store.put("aa", make_result(1))
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.max_entries == 7
+        assert clone.counters()["entries"] == 0  # memory is process-local
+        assert results_equal(clone.get("aa"), make_result(1))  # disk shared
+
+    def test_clear_invalidates_memory(self, tmp_path):
+        store = ReadThroughStore(CacheStore(tmp_path))
+        store.put("aa", make_result(1))
+        store.clear()
+        assert store.get("aa") is None
+        assert store.counters()["entries"] == 0

@@ -1,0 +1,211 @@
+"""Tests for the persistent worker pool (spawn-once, task-queue mode).
+
+The pool's contract is the process backend's contract plus reuse:
+results in task order, bit-identical to serial, crashes recovered by
+replacement — and worker processes stable across batches, which is the
+whole point of the mode.  Everything here is skipped where ``os.fork``
+is unavailable.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.closures import TaskNotPortable, dumps_task, loads_task
+from repro.engine.executor import ExecutorStats, WorkerPool, run_tasks
+from repro.errors import ExecutorError
+
+pytestmark = pytest.mark.parallel
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="worker pool needs os.fork"
+)
+
+
+def square_tasks(n):
+    return [lambda i=i: i * i for i in range(n)]
+
+
+def array_tasks(n):
+    # Arrays catch value-level drift a scalar equality would miss.
+    def make(i):
+        return lambda: np.random.default_rng(i).normal(size=8)
+    return [make(i) for i in range(n)]
+
+
+class TestClosureSerialization:
+    def test_round_trip_plain_lambda(self):
+        task = lambda: 42  # noqa: E731
+        assert loads_task(dumps_task(task))() == 42
+
+    def test_round_trip_closure_cells(self):
+        base = np.arange(4)
+        task = lambda: base * 3
+        np.testing.assert_array_equal(loads_task(dumps_task(task))(), base * 3)
+
+    def test_unportable_task_raises(self):
+        lock = threading.Lock()
+        task = lambda: lock.locked()  # noqa: E731
+        with pytest.raises(TaskNotPortable):
+            dumps_task(task)
+
+
+@needs_fork
+class TestPoolBackend:
+    def test_results_in_order_and_backend_tag(self):
+        with WorkerPool(2) as pool:
+            stats = ExecutorStats()
+            out = run_tasks(square_tasks(10), jobs=2, pool=pool, stats=stats)
+        assert out == [i * i for i in range(10)]
+        assert stats.backend == "pool"
+        assert stats.workers == 2
+
+    def test_pooled_matches_serial_bit_for_bit(self):
+        serial = run_tasks(array_tasks(12))
+        with WorkerPool(3) as pool:
+            pooled = run_tasks(array_tasks(12), jobs=3, pool=pool)
+        for a, b in zip(serial, pooled):
+            assert a.tobytes() == b.tobytes()
+
+    def test_workers_reused_across_batches(self):
+        with WorkerPool(2) as pool:
+            run_tasks(square_tasks(8), jobs=2, pool=pool)
+            first = sorted(pool.worker_pids())
+            for _ in range(3):
+                run_tasks(square_tasks(8), jobs=2, pool=pool)
+            assert sorted(pool.worker_pids()) == first
+            assert pool.spawned_total == 2
+
+    def test_crashed_worker_is_replaced_and_task_retried(self):
+        # One poisoned task kills its worker once; the retry must land
+        # on a replacement and the pool must end the batch at strength.
+        flag = "/tmp/does-not-exist-marker"  # absent: crash the first time
+
+        def poison():
+            if not os.path.exists(flag):
+                os._exit(17)
+            return "ok"
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(ExecutorError, match="crash"):
+                run_tasks(
+                    [poison] + square_tasks(4), jobs=2, pool=pool, retries=1
+                )
+            # the pool recovers for the next batch
+            assert run_tasks(square_tasks(6), jobs=2, pool=pool) == [
+                i * i for i in range(6)
+            ]
+            assert pool.alive_workers == 2
+            assert pool.spawned_total > 2  # replacements were forked
+
+    def test_unportable_tasks_fall_back_to_process_backend(self):
+        lock = threading.Lock()
+
+        def unportable(i):
+            return lambda: (lock.locked(), i)[1]
+
+        with WorkerPool(2) as pool:
+            stats = ExecutorStats()
+            out = run_tasks(
+                [unportable(i) for i in range(6)],
+                jobs=2, pool=pool, stats=stats,
+            )
+        assert out == list(range(6))
+        assert stats.backend == "process"  # fell back, still parallel
+        assert pool.spawned_total == 0  # the pool never had to spawn
+
+    def test_closed_pool_falls_back(self):
+        pool = WorkerPool(2)
+        pool.close()
+        stats = ExecutorStats()
+        out = run_tasks(square_tasks(6), jobs=2, pool=pool, stats=stats)
+        assert out == [i * i for i in range(6)]
+        assert stats.backend == "process"
+
+    def test_dead_worker_between_batches_is_replaced(self):
+        with WorkerPool(2) as pool:
+            run_tasks(square_tasks(4), jobs=2, pool=pool)
+            victim = pool.worker_pids()[0]
+            os.kill(victim, 9)
+            # next batch must notice the corpse and refill
+            assert run_tasks(square_tasks(8), jobs=2, pool=pool) == [
+                i * i for i in range(8)
+            ]
+            assert pool.alive_workers == 2
+            assert victim not in pool.worker_pids()
+
+
+def emitting_tasks(n):
+    # Tasks that write telemetry *from inside the worker process* — the
+    # parent-side executor.task spans can't distinguish adoption from
+    # inheritance, worker-emitted counters can.
+    def make(i):
+        def task():
+            from repro.telemetry.sink import get_sink
+
+            sink = get_sink()
+            if sink is not None:
+                sink.counter("test.pool.adopt", 1)
+            return i
+        return task
+    return [make(i) for i in range(n)]
+
+
+@needs_fork
+class TestPooledTelemetry:
+    def test_pool_workers_adopt_parent_sink(self, tmp_path):
+        # Pool workers are forked before the session exists, so their
+        # counters only appear if sink adoption (shipping (run_dir, t0)
+        # with each chunk) works.
+        from repro.telemetry import read_events, session
+
+        with WorkerPool(2) as pool:
+            run_tasks(square_tasks(2), jobs=2, pool=pool)  # pre-spawn
+            with session(tmp_path) as sink:
+                run_tasks(emitting_tasks(8), jobs=2, pool=pool)
+                run_dir = sink.run_dir
+        events = read_events(run_dir)
+        counters = [
+            e for e in events
+            if e.get("ev") == "counter" and e.get("name") == "test.pool.adopt"
+        ]
+        assert len(counters) == 8
+        worker_pids = {e["pid"] for e in counters}
+        assert os.getpid() not in worker_pids  # emitted in the workers
+        assert all(e["t"] >= 0 for e in counters)  # shared t0 lines up
+        task_spans = [
+            e for e in events
+            if e.get("ev") == "span" and e.get("name") == "executor.task"
+        ]
+        assert len(task_spans) == 8  # parent-side accounting intact
+
+    def test_no_session_no_spurious_events(self, tmp_path):
+        # A pool that once had a sink must not keep writing after the
+        # session ends (the None share-info must deactivate workers).
+        from repro.telemetry import read_events, session
+
+        with WorkerPool(2) as pool:
+            with session(tmp_path) as sink:
+                run_tasks(emitting_tasks(4), jobs=2, pool=pool)
+                run_dir = sink.run_dir
+            n_before = len(read_events(run_dir))
+            run_tasks(emitting_tasks(4), jobs=2, pool=pool)
+            assert len(read_events(run_dir)) == n_before
+
+
+@needs_fork
+class TestRunConfigIntegration:
+    def test_experiment_bytes_identical_with_pool(self):
+        from repro.experiments.registry import RunConfig, run_experiment
+        from repro.store import report_to_bytes
+
+        plain = report_to_bytes(run_experiment("E1", RunConfig(seed=3)))
+        with WorkerPool(2) as pool:
+            pooled = report_to_bytes(
+                run_experiment("E1", RunConfig(seed=3, jobs=2, pool=pool))
+            )
+        assert plain == pooled

@@ -1,0 +1,202 @@
+"""End-to-end tests for the HTTP server and client library.
+
+A real server on a real ephemeral socket, driven by the real client —
+no mocked transports — because the contract under test is precisely
+the wire behavior: byte-identity of results over HTTP, dedupe across
+concurrent client connections, streaming progress, and honest error
+statuses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.registry import RunConfig, run_experiment
+from repro.service import JobManager, ServiceClient, ServiceServer
+from repro.store import report_to_bytes
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server+manager on an ephemeral port; yields its URL."""
+    manager = JobManager(
+        cache_dir=tmp_path / "cache", telemetry_root=tmp_path / "tel"
+    )
+    holder: dict = {}
+    ready = threading.Event()
+
+    def run():
+        async def main():
+            server = ServiceServer(manager)
+            await server.start()
+            holder["server"] = server
+            holder["loop"] = asyncio.get_running_loop()
+            ready.set()
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server did not come up"
+    try:
+        yield holder["server"].url, manager
+    finally:
+        loop = holder["loop"]
+        for task in asyncio.all_tasks(loop):
+            loop.call_soon_threadsafe(task.cancel)
+        thread.join(timeout=10)
+        manager.close()
+
+
+class TestEndToEnd:
+    def test_health(self, service):
+        url, _ = service
+        with ServiceClient(url) as client:
+            health = client.health()
+        assert health["ok"] is True
+        assert "E1" in health["experiments"]
+        assert health["counters"]["submitted"] == 0
+
+    def test_submit_wait_result_byte_identity(self, service):
+        url, _ = service
+        with ServiceClient(url) as client:
+            job = client.submit("E1", seed=11, wait=True, timeout=120)
+            assert job["state"] == "completed"
+            body = client.result(job["job_id"])
+        reference = report_to_bytes(
+            run_experiment("E1", RunConfig(seed=11, quick=True))
+        )
+        assert body == reference  # the HTTP body IS the --save file
+
+    def test_concurrent_clients_dedupe_to_one_execution(self, service):
+        url, manager = service
+        results: list[bytes] = []
+        errors: list[Exception] = []
+
+        def one_client():
+            try:
+                with ServiceClient(url) as client:
+                    job = client.submit("E1", seed=11, wait=True, timeout=120)
+                    results.append(client.result(job["job_id"]))
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=one_client) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert len(results) == 6
+        assert len(set(results)) == 1  # everyone got identical bytes
+        assert manager.executed == 1  # but the work ran once
+        assert manager.deduped == 5
+        record = manager.get(next(iter(manager.list_jobs())).job_id)
+        assert record.stats["cache_misses"] == record.stats["tasks"]
+
+    def test_status_and_jobs_listing(self, service):
+        url, _ = service
+        with ServiceClient(url) as client:
+            job = client.submit("E1", seed=11, wait=True, timeout=120)
+            status = client.status(job["job_id"])
+            jobs = client.jobs()
+        assert status["state"] == "completed"
+        assert status["spec"] == {"experiment": "E1", "seed": 11, "quick": True}
+        assert [j["job_id"] for j in jobs] == [job["job_id"]]
+
+    def test_events_stream_ends_after_job(self, service):
+        url, _ = service
+        with ServiceClient(url) as client:
+            job = client.submit("E1", seed=11, wait=True, timeout=120)
+            events = list(client.events(job["job_id"]))
+        job_records = [e for e in events if e.get("ev") == "job"]
+        assert job_records[-1]["state"] == "completed"
+        names = {e.get("name") for e in events}
+        assert "run.start" in names  # telemetry relayed on the stream
+        assert "run.end" in names
+
+    def test_events_stream_during_execution(self, service):
+        url, _ = service
+        with ServiceClient(url) as client:
+            job = client.submit("E1", seed=23)  # no wait: still queued
+            states = []
+            for event in client.events(job["job_id"]):
+                if event.get("ev") == "job":
+                    states.append(event["state"])
+        assert states[-1] == "completed"
+        assert states == sorted(
+            states, key=["queued", "running", "completed"].index
+        )
+
+    def test_result_without_wait_conflicts_while_running(self, service):
+        url, _ = service
+        with ServiceClient(url) as client:
+            job = client.submit("E1", seed=31)
+            try:
+                client.result(job["job_id"], wait=False)
+            except ServiceError as exc:
+                assert "409" in str(exc)
+            # and with wait it arrives
+            assert client.result(job["job_id"], wait=True, timeout=120)
+
+
+class TestErrorStatuses:
+    def test_unknown_job_is_404(self, service):
+        url, _ = service
+        with ServiceClient(url) as client:
+            with pytest.raises(ServiceError, match="404"):
+                client.status("feedfacedeadbeef")
+
+    def test_bad_spec_is_400(self, service):
+        url, _ = service
+        with ServiceClient(url) as client:
+            with pytest.raises(ServiceError, match="400"):
+                client.submit("E99")
+
+    def test_unknown_path_is_404(self, service):
+        url, _ = service
+        with ServiceClient(url) as client:
+            with pytest.raises(ServiceError, match="404"):
+                client._json("GET", "/v2/nope")
+
+    def test_wrong_method_is_405(self, service):
+        url, _ = service
+        with ServiceClient(url) as client:
+            with pytest.raises(ServiceError, match="405"):
+                client._json("POST", "/v1/health", payload={})
+
+    def test_unknown_spec_fields_rejected(self, service):
+        url, _ = service
+        with ServiceClient(url) as client:
+            with pytest.raises(ServiceError, match="unknown job spec"):
+                client._json(
+                    "POST", "/v1/jobs",
+                    payload={"experiment": "E1", "jobs": 8},
+                )
+
+    def test_malformed_json_body_is_400(self, service):
+        url, _ = service
+        import http.client
+
+        split = ServiceClient(url)
+        conn = http.client.HTTPConnection(split.host, split.port, timeout=30)
+        conn.request(
+            "POST", "/v1/jobs", body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        conn.close()
+        assert response.status == 400
+        assert "not JSON" in body["error"]

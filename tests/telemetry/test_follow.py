@@ -1,0 +1,160 @@
+"""Tests for the incremental event reader behind ``tail --follow``.
+
+The reader's contract: committed records exactly once, torn tails
+invisible until their newline lands, and a replaced log (rotation,
+recycled run dir) picked up from the top instead of wedging.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import TelemetrySink, follow_events, read_new_events
+
+pytestmark = pytest.mark.telemetry
+
+
+def append_line(path, record):
+    with open(path, "ab") as fh:
+        fh.write(json.dumps(record).encode() + b"\n")
+
+
+class TestReadNewEvents:
+    def test_missing_file(self, tmp_path):
+        assert read_new_events(tmp_path / "events.jsonl", 0) == ([], 0)
+
+    def test_incremental_cursor(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        append_line(path, {"n": 1})
+        events, offset = read_new_events(path, 0)
+        assert [e["n"] for e in events] == [1]
+        assert read_new_events(path, offset) == ([], offset)  # drained
+        append_line(path, {"n": 2})
+        append_line(path, {"n": 3})
+        events, offset = read_new_events(path, offset)
+        assert [e["n"] for e in events] == [2, 3]  # only the new ones
+
+    def test_torn_tail_held_back_then_delivered_whole(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        append_line(path, {"n": 1})
+        half = json.dumps({"n": 2}).encode()[:4]
+        with open(path, "ab") as fh:
+            fh.write(half)  # in-flight append, no newline yet
+        events, offset = read_new_events(path, 0)
+        assert [e["n"] for e in events] == [1]  # torn record invisible
+        with open(path, "ab") as fh:  # the append completes
+            fh.write(json.dumps({"n": 2}).encode()[4:] + b"\n")
+        events, offset = read_new_events(path, offset)
+        assert [e["n"] for e in events] == [2]  # delivered exactly once
+
+    def test_replaced_log_restarts_from_top(self, tmp_path):
+        # Rotation/compaction: the file shrinks below the cursor; the
+        # follower must reset and read the new generation in full.
+        path = tmp_path / "events.jsonl"
+        for n in range(5):
+            append_line(path, {"n": n})
+        _, offset = read_new_events(path, 0)
+        path.unlink()
+        append_line(path, {"n": 99})  # new, shorter generation
+        events, offset = read_new_events(path, offset)
+        assert [e["n"] for e in events] == [99]
+        assert offset == path.stat().st_size
+
+    def test_garbled_line_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        append_line(path, {"n": 1})
+        with open(path, "ab") as fh:
+            fh.write(b"not json at all\n")
+        append_line(path, {"n": 2})
+        events, _ = read_new_events(path, 0)
+        assert [e["n"] for e in events] == [1, 2]
+
+
+class TestFollowEvents:
+    def test_follows_live_appends_until_stop(self, tmp_path):
+        # A writer thread appends while a follower drains; stop() flips
+        # after the last write and the follower must still deliver
+        # everything (the post-stop final drain).
+        sink = TelemetrySink(tmp_path / "run")
+        done = threading.Event()
+
+        def write():
+            for i in range(25):
+                sink.event("tick", i=i)
+            done.set()
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        seen = [
+            e for e in follow_events(
+                tmp_path / "run", poll=0.01, stop=done.is_set
+            )
+            if e.get("name") == "tick"
+        ]
+        writer.join()
+        assert [e["attrs"]["i"] for e in seen] == list(range(25))
+
+    def test_from_start_false_skips_history(self, tmp_path):
+        sink = TelemetrySink(tmp_path / "run")
+        sink.event("old")
+        done = threading.Event()
+
+        def write():
+            sink.event("new")
+            done.set()
+
+        gen = follow_events(
+            tmp_path / "run", poll=0.01, stop=done.is_set, from_start=False
+        )
+        writer = threading.Thread(target=write)
+        writer.start()
+        names = [e["name"] for e in gen]
+        writer.join()
+        assert "old" not in names
+        assert "new" in names
+
+    def test_history_boundary_snapshotted_at_call_time(self, tmp_path):
+        # Regression: the from_start=False boundary must be taken when
+        # follow_events() is *called*, not at the consumer's first
+        # next() — otherwise events written in between are silently
+        # classed as history and dropped.
+        sink = TelemetrySink(tmp_path / "run")
+        sink.event("old")
+        done = threading.Event()
+        gen = follow_events(
+            tmp_path / "run", poll=0.01, stop=done.is_set, from_start=False
+        )
+        sink.event("new")  # lands before the consumer ever pulls
+        done.set()
+        names = [e["name"] for e in gen]
+        assert names == ["new"]
+
+    def test_survives_log_replacement(self, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        path = run / "events.jsonl"
+        for n in range(4):
+            append_line(path, {"ev": "event", "name": f"gen1-{n}"})
+        done = threading.Event()
+        collected = []
+
+        def consume():
+            for e in follow_events(run, poll=0.01, stop=done.is_set):
+                collected.append(e["name"])
+
+        t = threading.Thread(target=consume)
+        t.start()
+        while len(collected) < 4:  # first generation drained
+            pass
+        path.unlink()  # rotate: shorter replacement file
+        append_line(path, {"ev": "event", "name": "gen2-0"})
+        while "gen2-0" not in collected:
+            pass
+        done.set()
+        t.join(timeout=10)
+        assert not t.is_alive()
+        assert collected[:4] == [f"gen1-{n}" for n in range(4)]
+        assert "gen2-0" in collected

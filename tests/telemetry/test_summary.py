@@ -44,6 +44,14 @@ class TestRunDiscovery:
         with pytest.raises(TelemetryError, match="no telemetry runs"):
             latest_run(tmp_path)
 
+    def test_latest_run_accepts_a_run_dir_itself(self, tmp_path):
+        # bound_session layouts (e.g. a service job's
+        # <telemetry_root>/<job_id>) have no run subdirectory: the
+        # given dir IS the run, and --dir must resolve it as such.
+        run = make_run(tmp_path, "20250101T000000-1").run_dir
+        assert latest_run(run) == run
+        assert resolve_run(None, run) == run
+
     def test_resolve_run_variants(self, tmp_path):
         run = make_run(tmp_path, "20250101T000000-1").run_dir
         assert resolve_run(None, tmp_path) == run  # latest
