@@ -12,11 +12,16 @@ Usage:
 
     PYTHONPATH=src python scripts/bench_engine.py [extra pytest args]
     PYTHONPATH=src python scripts/bench_engine.py --batch
+    PYTHONPATH=src python scripts/bench_engine.py --profile [--quick]
 
 Extra args are forwarded to pytest, e.g. ``-k large_L`` to time only the
 kernel comparison.  ``--batch`` instead times ``Simulator.run_batch``
 against serial ``run`` loops on replicate-shaped workloads and merges a
-``batch_vs_serial`` section into ``BENCH_engine.json``.
+``batch_vs_serial`` section into ``BENCH_engine.json``.  ``--profile``
+breaks a batched E1-style replicate down by engine stage (protocol /
+sampling / adversary / resolve / accounting, with the residual loop
+overhead) and merges a ``batch_profile`` section; ``--quick`` shrinks it
+to a smoke run for CI.
 """
 
 from __future__ import annotations
@@ -33,19 +38,9 @@ ROOT = Path(__file__).resolve().parent.parent
 OUT = ROOT / "BENCH_engine.json"
 
 
-def bench_batch() -> int:
-    """Time run_batch against serial run loops; merge into the record.
-
-    The speedup here is bounded by the per-trial protocol Python floor
-    (``next_phase``/``observe`` cannot be stacked), so the honest
-    numbers are well under the stacked-kernel ceiling: replicate-shaped
-    1-to-1 sweeps gain, event-heavy 1-to-n workloads sit near parity
-    (their inner arrays are large enough that numpy already amortises
-    the overhead serially).
-    """
+def _batch_workloads():
     sys.path.insert(0, str(ROOT / "src"))
-    from repro.adversaries import EpochTargetJammer
-    from repro.engine.simulator import Simulator
+    from repro.adversaries import EpochTargetJammer, SilentAdversary
     from repro.protocols import (
         OneToNBroadcast,
         OneToNParams,
@@ -55,14 +50,14 @@ def bench_batch() -> int:
 
     p11 = OneToOneParams.sim()
     pn = OneToNParams.sim()
-    workloads = {
+    return {
         "e1_style_one_to_one": (
             lambda: OneToOneBroadcast(p11),
             lambda: EpochTargetJammer(
                 p11.first_epoch + 3, q=1.0, target_listener=True
             ),
             64,  # trials
-            32,  # batch size
+            64,  # batch size
         ),
         "e6_style_one_to_n": (
             lambda: OneToNBroadcast(16, OneToNParams.sim()),
@@ -70,35 +65,60 @@ def bench_batch() -> int:
             16,
             16,
         ),
+        # Batched twin of test_full_run_broadcast_n16 in the pytest set.
+        "n16_broadcast_silent": (
+            lambda: OneToNBroadcast(16),
+            lambda: SilentAdversary(),
+            8,
+            8,
+        ),
     }
+
+
+def bench_batch(repeats: int = 3) -> int:
+    """Time run_batch against serial run loops; merge into the record.
+
+    Since the lockstep batched-protocol layer (``next_phase_batch`` /
+    ``observe_batch``) the per-trial Python floor is gone: protocol
+    state advances as stacked arrays, so replicate-shaped 1-to-1 sweeps
+    gain ~5x and event-heavy 1-to-n workloads ~2.5-3x.  Each timing is
+    the best of ``repeats`` runs to damp scheduler noise, and every
+    batched result is asserted equal to its serial twin (the bench
+    doubles as a byte-identity check).
+    """
+    workloads = _batch_workloads()
+    from repro.engine.simulator import Simulator
 
     section = {}
     for name, (mk_p, mk_a, n_trials, batch_size) in workloads.items():
         seeds = list(range(n_trials))
         Simulator(mk_p(), mk_a()).run(0)  # warm caches / imports
 
-        t0 = time.perf_counter()
-        serial = [Simulator(mk_p(), mk_a()).run(s) for s in seeds]
-        serial_s = time.perf_counter() - t0
+        serial_s = batch_s = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            serial = [Simulator(mk_p(), mk_a()).run(s) for s in seeds]
+            serial_s = min(serial_s, time.perf_counter() - t0)
 
-        t0 = time.perf_counter()
-        batched = []
-        for i in range(0, n_trials, batch_size):
-            batched.extend(
-                Simulator(mk_p(), mk_a()).run_batch(
-                    seeds[i : i + batch_size],
-                    make_protocol=mk_p,
-                    make_adversary=mk_a,
+            t0 = time.perf_counter()
+            batched = []
+            for i in range(0, n_trials, batch_size):
+                batched.extend(
+                    Simulator(mk_p(), mk_a()).run_batch(
+                        seeds[i : i + batch_size],
+                        make_protocol=mk_p,
+                        make_adversary=mk_a,
+                    )
                 )
-            )
-        batch_s = time.perf_counter() - t0
+            batch_s = min(batch_s, time.perf_counter() - t0)
 
-        for a, b in zip(serial, batched):  # bench doubles as a check
-            assert a.adversary_cost == b.adversary_cost
-            assert list(a.node_costs) == list(b.node_costs)
+            for a, b in zip(serial, batched):  # bench doubles as a check
+                assert a.adversary_cost == b.adversary_cost
+                assert list(a.node_costs) == list(b.node_costs)
         section[name] = {
             "n_trials": n_trials,
             "batch_size": batch_size,
+            "repeats": repeats,
             "serial_s": serial_s,
             "batch_s": batch_s,
             "speedup": serial_s / batch_s,
@@ -121,8 +141,68 @@ def bench_batch() -> int:
     return 0
 
 
+def bench_profile(quick: bool = False, write: bool | None = None) -> int:
+    """Stage-breakdown of the batched E1-style replicate.
+
+    Runs the workload once serially and once batched with the engine's
+    ``profile=`` wall clocks on, and reports each stage's share of the
+    wall time (protocol / sampling / adversary / resolve / accounting)
+    plus the residual driver loop overhead (``wall - sum(stages)``).
+    ``quick`` shrinks the trial count for a CI smoke run and skips
+    writing ``BENCH_engine.json``.
+    """
+    workloads = _batch_workloads()
+    from repro.engine.simulator import Simulator
+
+    mk_p, mk_a, n_trials, batch_size = workloads["e1_style_one_to_one"]
+    if quick:
+        n_trials = batch_size = 8
+    if write is None:
+        write = not quick
+    seeds = list(range(n_trials))
+    Simulator(mk_p(), mk_a()).run(0)  # warm caches / imports
+
+    section = {"n_trials": n_trials, "batch_size": batch_size}
+    for mode in ("serial", "batch"):
+        prof: dict[str, float] = {}
+        t0 = time.perf_counter()
+        if mode == "serial":
+            for s in seeds:
+                Simulator(mk_p(), mk_a(), profile=prof).run(s)
+        else:
+            for i in range(0, n_trials, batch_size):
+                Simulator(mk_p(), mk_a(), profile=prof).run_batch(
+                    seeds[i : i + batch_size],
+                    make_protocol=mk_p,
+                    make_adversary=mk_a,
+                )
+        wall = time.perf_counter() - t0
+        prof["loop_overhead"] = wall - sum(prof.values())
+        section[mode] = {
+            "wall_s": wall,
+            "stages_s": {k: round(v, 6) for k, v in sorted(prof.items())},
+            "stage_fractions": {
+                k: round(v / wall, 4) for k, v in sorted(prof.items())
+            },
+        }
+        parts = ", ".join(
+            f"{k} {v / wall:.0%}" for k, v in sorted(prof.items())
+        )
+        print(f"  {mode}: wall {wall:.3f}s ({parts})")
+
+    if write:
+        record = json.loads(OUT.read_text()) if OUT.exists() else {}
+        record["batch_profile"] = {"e1_style_one_to_one": section}
+        OUT.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {OUT}")
+    return 0
+
+
 def main() -> int:
-    if "--batch" in sys.argv[1:]:
+    argv = sys.argv[1:]
+    if "--profile" in argv:
+        return bench_profile(quick="--quick" in argv)
+    if "--batch" in argv:
         return bench_batch()
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = Path(tmp) / "bench.json"

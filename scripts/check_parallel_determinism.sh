@@ -20,6 +20,10 @@
 # 6b. Runs E1 serially and with --batch 8 and requires the two saved
 #    reports to be byte-identical — the end-to-end gate for the
 #    trial-batched kernel.
+# 6c. Same gate on E8 (n up to 64 broadcast, includes the n=16 point):
+#    the batched *protocol* layer (next_phase_batch/observe_batch lock-
+#    step driver) must leave multi-node broadcast reports byte-identical
+#    too, and the bench's --profile smoke run must succeed.
 # 7. Runs the `arena`-marked pytest suite (genome search, corpus
 #    replay, tournaments).
 # 8. Runs a fixed-seed arena search through the real CLI serially and
@@ -99,6 +103,20 @@ if ! cmp "$tmp/sparse/E1.json" "$tmp/batched/E1.json"; then
     exit 1
 fi
 echo "OK: E1 report byte-identical serial vs --batch 8"
+
+echo "== CLI byte-identity: serial vs batched protocols (run E8 -B 8) =="
+python -m repro.cli run E8 --seed 11 --save "$tmp/e8-serial" > /dev/null
+python -m repro.cli run E8 --seed 11 --batch 8 --save "$tmp/e8-batched" \
+    > /dev/null
+if ! cmp "$tmp/e8-serial/E8.json" "$tmp/e8-batched/E8.json"; then
+    echo "FAIL: batched E8 report differs from serial report" >&2
+    exit 1
+fi
+echo "OK: E8 report byte-identical serial vs --batch 8"
+
+echo "== bench profile smoke run (bench_engine.py --profile --quick) =="
+python scripts/bench_engine.py --profile --quick
+echo "OK: profile mode runs"
 
 echo "== arena suite (pytest -m arena) =="
 python -m pytest -q -m arena "$@"

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 
-__all__ = ["CostModel", "EnergyLedger", "PhaseCost"]
+__all__ = ["BatchEnergyLedger", "CostModel", "EnergyLedger", "PhaseCost"]
 
 
 @dataclass(frozen=True)
@@ -192,3 +192,135 @@ class EnergyLedger:
                 f"history node total {node_total} vs {self.total_node_cost}, "
                 f"history adversary total {adv_total} vs {self._adversary_cost}"
             )
+
+
+class BatchEnergyLedger:
+    """Stacked :class:`EnergyLedger` for B lockstep trials.
+
+    One ``(B, n_nodes)`` accumulation replaces B per-trial
+    ``charge_phase`` calls on the batched engine's hot path; the
+    per-trial accessors reproduce exactly what trial ``t``'s own
+    :class:`EnergyLedger` would report (same dtypes, same
+    :class:`PhaseCost` records), so :class:`RunResult` assembly stays
+    byte-identical to the serial path.
+
+    Parameters
+    ----------
+    batch_size / n_nodes:
+        Batch and system dimensions.
+    keep_history:
+        When true, per-trial :class:`PhaseCost` records are kept (each
+        trial numbers only its *own* phases, as serially).
+    """
+
+    def __init__(
+        self, batch_size: int, n_nodes: int, keep_history: bool = True
+    ) -> None:
+        if batch_size <= 0:
+            raise SimulationError(
+                f"batch_size must be positive, got {batch_size}"
+            )
+        if n_nodes <= 0:
+            raise SimulationError(f"n_nodes must be positive, got {n_nodes}")
+        self._node_costs = np.zeros((batch_size, n_nodes), dtype=np.int64)
+        self._send_costs = np.zeros((batch_size, n_nodes), dtype=np.int64)
+        self._listen_costs = np.zeros((batch_size, n_nodes), dtype=np.int64)
+        self._adversary_costs = np.zeros(batch_size, dtype=np.int64)
+        self._keep_history = keep_history
+        self._histories: list[list[PhaseCost]] = [
+            [] for _ in range(batch_size)
+        ]
+        self._phase_indices = np.zeros(batch_size, dtype=np.int64)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self._adversary_costs)
+
+    @property
+    def n_nodes(self) -> int:
+        return self._node_costs.shape[1]
+
+    @property
+    def adversary_costs(self) -> np.ndarray:
+        """``(B,)`` per-trial adversary spend (a copy)."""
+        return self._adversary_costs.copy()
+
+    def adversary_cost(self, t: int) -> int:
+        """Trial ``t``'s adversary spend so far (a Python int)."""
+        return int(self._adversary_costs[t])
+
+    def charge_phase_batch(
+        self,
+        active: np.ndarray,
+        lengths: np.ndarray,
+        send_costs: np.ndarray,
+        listen_costs: np.ndarray,
+        adversary_costs: np.ndarray,
+        tags: list,
+    ) -> None:
+        """Record one lockstep phase for every ``active`` trial.
+
+        ``lengths`` is ``(B,)``, ``send_costs``/``listen_costs`` are
+        ``(B, n_nodes)`` and ``adversary_costs`` is ``(B,)``; rows where
+        ``active`` is False are padding and are neither validated nor
+        charged.  ``tags`` is the batch spec's length-B tag list.
+        """
+        act = np.asarray(active, dtype=bool)
+        if not act.any():
+            return
+        node_costs = send_costs + listen_costs
+        masked = np.where(act[:, None], node_costs, 0)
+        if (masked < 0).any() or (adversary_costs[act] < 0).any():
+            raise SimulationError("costs must be non-negative")
+        if (masked > lengths[:, None]).any():
+            bad = int(np.where(act[:, None], node_costs, 0).max())
+            raise SimulationError(
+                "a node cannot spend more than 1 unit per slot: "
+                f"max cost {bad} exceeds its phase length"
+            )
+        self._node_costs += masked
+        self._send_costs += np.where(act[:, None], send_costs, 0)
+        self._listen_costs += np.where(act[:, None], listen_costs, 0)
+        self._adversary_costs += np.where(act, adversary_costs, 0)
+        if self._keep_history:
+            node_totals = masked.sum(axis=1)
+            for t in np.flatnonzero(act):
+                self._histories[t].append(
+                    PhaseCost(
+                        phase_index=int(self._phase_indices[t]),
+                        length=int(lengths[t]),
+                        node_total=int(node_totals[t]),
+                        adversary=int(adversary_costs[t]),
+                        tags=dict(tags[t] or {}),
+                    )
+                )
+        self._phase_indices[act] += 1
+
+    def node_costs_for(self, t: int) -> np.ndarray:
+        return self._node_costs[t].copy()
+
+    def send_costs_for(self, t: int) -> np.ndarray:
+        return self._send_costs[t].copy()
+
+    def listen_costs_for(self, t: int) -> np.ndarray:
+        return self._listen_costs[t].copy()
+
+    def history_for(self, t: int) -> list[PhaseCost]:
+        return list(self._histories[t])
+
+    def check_conservation(self) -> None:
+        """Per-trial conservation: each history sums to its totals."""
+        if not self._keep_history:
+            return
+        for t in range(self.batch_size):
+            node_total = sum(p.node_total for p in self._histories[t])
+            adv_total = sum(p.adversary for p in self._histories[t])
+            if node_total != int(self._node_costs[t].sum()) or adv_total != int(
+                self._adversary_costs[t]
+            ):
+                raise SimulationError(
+                    f"ledger conservation violated in trial {t}: "
+                    f"history node total {node_total} vs "
+                    f"{int(self._node_costs[t].sum())}, history adversary "
+                    f"total {adv_total} vs {int(self._adversary_costs[t])}"
+                )

@@ -124,6 +124,20 @@ class SendEvents:
             np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.int8)
         )
 
+    @staticmethod
+    def _from_arrays(
+        nodes: np.ndarray, slots: np.ndarray, kinds: np.ndarray
+    ) -> "SendEvents":
+        """Validation-free constructor for arrays the samplers already
+        emit in canonical form (1-D, int64/int8, equal length); the
+        per-event construction overhead is a measurable constant on
+        small-phase batches."""
+        ev = object.__new__(SendEvents)
+        object.__setattr__(ev, "nodes", nodes)
+        object.__setattr__(ev, "slots", slots)
+        object.__setattr__(ev, "kinds", kinds)
+        return ev
+
 
 @dataclass(frozen=True)
 class ListenEvents:
@@ -149,6 +163,14 @@ class ListenEvents:
     def empty() -> "ListenEvents":
         """A phase with no listeners."""
         return ListenEvents(np.empty(0, np.int64), np.empty(0, np.int64))
+
+    @staticmethod
+    def _from_arrays(nodes: np.ndarray, slots: np.ndarray) -> "ListenEvents":
+        """Validation-free counterpart of :meth:`SendEvents._from_arrays`."""
+        ev = object.__new__(ListenEvents)
+        object.__setattr__(ev, "nodes", nodes)
+        object.__setattr__(ev, "slots", slots)
+        return ev
 
 
 def _normalize_slots(slots, length: int, what: str) -> SlotSet:
@@ -252,11 +274,15 @@ class JamPlan:
     @property
     def cost(self) -> int:
         """Energy the adversary spends executing this plan."""
-        return (
-            len(self.global_slots)
-            + sum(len(v) for v in self.targeted.values())
-            + len(self.spoof_slots)
-        )
+        got = self.__dict__.get("_cost")
+        if got is None:
+            got = (
+                len(self.global_slots)
+                + sum(len(v) for v in self.targeted.values())
+                + len(self.spoof_slots)
+            )
+            self.__dict__["_cost"] = got
+        return got
 
     @staticmethod
     def silent(length: int) -> "JamPlan":
@@ -302,23 +328,27 @@ class JamPlan:
         starts = lengths - n_jammed
         plans = []
         for t in range(len(lengths)):
-            if n_jammed[t] == 0:
-                plans.append(
-                    JamPlan._from_normalized(int(lengths[t]), _EMPTY_SLOTSET, {})
+            nj = int(n_jammed[t])
+            if nj == 0:
+                plan = JamPlan._from_normalized(
+                    int(lengths[t]), _EMPTY_SLOTSET, {}
                 )
+                plan.__dict__["_cost"] = 0
+                plans.append(plan)
                 continue
             slots = SlotSet._unsafe(starts[t : t + 1], lengths[t : t + 1])
+            # The interval size is the clamped jam count — seed the
+            # lazy caches so per-plan cost queries never touch numpy.
+            object.__setattr__(slots, "_size", nj)
             g = groups[t]
             if g is None:
-                plans.append(
-                    JamPlan._from_normalized(int(lengths[t]), slots, {})
-                )
+                plan = JamPlan._from_normalized(int(lengths[t]), slots, {})
             else:
-                plans.append(
-                    JamPlan._from_normalized(
-                        int(lengths[t]), _EMPTY_SLOTSET, {int(g): slots}
-                    )
+                plan = JamPlan._from_normalized(
+                    int(lengths[t]), _EMPTY_SLOTSET, {int(g): slots}
                 )
+            plan.__dict__["_cost"] = nj
+            plans.append(plan)
         return plans
 
     @staticmethod

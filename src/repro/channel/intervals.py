@@ -104,7 +104,9 @@ class SlotSet:
         """The contiguous interval ``[start, stop)`` — O(1)."""
         if stop <= start:
             return SlotSet.empty()
-        return SlotSet(np.array([start], np.int64), np.array([stop], np.int64))
+        out = SlotSet(np.array([start], np.int64), np.array([stop], np.int64))
+        object.__setattr__(out, "_size", int(stop - start))
+        return out
 
     @staticmethod
     def from_slots(slots) -> "SlotSet":
@@ -146,11 +148,19 @@ class SlotSet:
         One membership query against the stacked set then answers B
         per-trial queries at once.
         """
-        parts_s = [s.starts + off for s, off in zip(sets, offsets) if len(s.starts)]
+        parts_s, parts_e, offs = [], [], []
+        for s, off in zip(sets, offsets):
+            if len(s.starts):
+                parts_s.append(s.starts)
+                parts_e.append(s.ends)
+                offs.append(off)
         if not parts_s:
             return SlotSet.empty()
-        parts_e = [s.ends + off for s, off in zip(sets, offsets) if len(s.starts)]
-        return SlotSet._unsafe(np.concatenate(parts_s), np.concatenate(parts_e))
+        sizes = np.fromiter(map(len, parts_s), np.int64, len(parts_s))
+        shift = np.repeat(np.asarray(offs, dtype=np.int64), sizes)
+        return SlotSet._unsafe(
+            np.concatenate(parts_s) + shift, np.concatenate(parts_e) + shift
+        )
 
     # -- serialization ------------------------------------------------
 
@@ -177,7 +187,11 @@ class SlotSet:
     @property
     def size(self) -> int:
         """Number of slots in the set (not the number of intervals)."""
-        return int((self.ends - self.starts).sum())
+        got = self.__dict__.get("_size")
+        if got is None:
+            got = int((self.ends - self.starts).sum())
+            object.__setattr__(self, "_size", got)
+        return got
 
     @property
     def n_intervals(self) -> int:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import warnings
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -54,8 +55,10 @@ from repro.channel.model_dense import (
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "BatchPhaseOutcome",
     "resolve_phase",
     "resolve_phase_batch",
+    "resolve_phase_batch_core",
     "resolve_phase_dense",
     "slot_content",
     "slot_content_at",
@@ -101,6 +104,25 @@ def _unique_tx_content(
     statuses = tx_kinds[first].astype(np.int8)
     statuses[counts >= 2] = SlotStatus.NOISE
     return uniq, statuses
+
+
+# Membership tests against a few thousand keys drawn from a bounded
+# virtual key space are faster as dense scatter/gather than as binary
+# search over the full event arrays, but only while the key space fits
+# comfortably in memory; past this limit the batch resolver falls back
+# to searchsorted.  Scratch buffers are reused across phases (callers
+# reset exactly the entries they wrote) so the per-phase cost is the
+# touched entries, not a key-space-sized memset.
+_DENSE_KEY_LIMIT = 1 << 23
+_dense_scratch: "dict[str, np.ndarray]" = {}
+
+
+def _dense_buf(name: str, size: int, dtype) -> np.ndarray:
+    buf = _dense_scratch.get(name)
+    if buf is None or buf.shape[0] < size:
+        buf = np.zeros(size, dtype=dtype)
+        _dense_scratch[name] = buf
+    return buf
 
 
 def slot_content_at(
@@ -249,6 +271,58 @@ def resolve_phase(
     )
 
 
+@dataclass(frozen=True)
+class BatchPhaseOutcome:
+    """Stacked :class:`~repro.channel.events.PhaseOutcome` for B trials.
+
+    The batched engine consumes the stacked arrays directly (they feed
+    :class:`~repro.engine.phase.BatchPhaseObservation` and the batch
+    ledger without a per-trial scatter loop); :meth:`outcome_for`
+    materialises trial ``t``'s serial-identical view on demand.
+    """
+
+    heard: np.ndarray            # (B, n_nodes, N_STATUS) int64
+    send_cost: np.ndarray        # (B, n_nodes) int64
+    listen_cost: np.ndarray      # (B, n_nodes) int64
+    adversary_costs: np.ndarray  # (B,) int64
+    n_clear: np.ndarray          # (B,) int64
+    n_noise: np.ndarray          # (B,) int64
+    data_slots: np.ndarray       # (B,) int64
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.adversary_costs)
+
+    def outcome_for(self, t: int) -> PhaseOutcome:
+        """Trial ``t``'s :class:`PhaseOutcome`, exactly as serial."""
+        return PhaseOutcome(
+            heard=self.heard[t],
+            send_cost=self.send_cost[t],
+            listen_cost=self.listen_cost[t],
+            adversary_cost=int(self.adversary_costs[t]),
+            n_clear=int(self.n_clear[t]),
+            n_noise=int(self.n_noise[t]),
+            data_slots=int(self.data_slots[t]),
+        )
+
+    @staticmethod
+    def from_outcomes(outcomes: "list[PhaseOutcome]") -> "BatchPhaseOutcome":
+        """Stack per-trial outcomes (the dense-resolver batch path)."""
+        return BatchPhaseOutcome(
+            heard=np.stack([o.heard for o in outcomes]),
+            send_cost=np.stack([o.send_cost for o in outcomes]),
+            listen_cost=np.stack([o.listen_cost for o in outcomes]),
+            adversary_costs=np.array(
+                [o.adversary_cost for o in outcomes], dtype=np.int64
+            ),
+            n_clear=np.array([o.n_clear for o in outcomes], dtype=np.int64),
+            n_noise=np.array([o.n_noise for o in outcomes], dtype=np.int64),
+            data_slots=np.array(
+                [o.data_slots for o in outcomes], dtype=np.int64
+            ),
+        )
+
+
 def resolve_phase_batch(
     lengths,
     n_nodes: int,
@@ -259,6 +333,27 @@ def resolve_phase_batch(
 ) -> "list[PhaseOutcome]":
     """Resolve B trials' phases as one stacked computation.
 
+    A thin per-trial-view wrapper over :func:`resolve_phase_batch_core`;
+    see there for the algorithm.  Bit-identical per trial to B
+    :func:`resolve_phase` calls.
+    """
+    core = resolve_phase_batch_core(
+        lengths, n_nodes, sends_list, listens_list, plans, groups_list
+    )
+    return [core.outcome_for(t) for t in range(core.batch_size)]
+
+
+def resolve_phase_batch_core(
+    lengths,
+    n_nodes: int,
+    sends_list: "list[SendEvents]",
+    listens_list: "list[ListenEvents]",
+    plans: "list[JamPlan]",
+    groups_list: "list[np.ndarray | None]",
+    validate: bool = True,
+) -> BatchPhaseOutcome:
+    """Resolve B trials' phases as one stacked computation.
+
     Bit-identical per trial to B :func:`resolve_phase` calls — the
     per-trial resolver stays on as this function's differential oracle,
     the same playbook that de-risked the sparse kernel swap.
@@ -267,8 +362,9 @@ def resolve_phase_batch(
     ``[off_t, off_t + lengths[t])`` (``off`` the exclusive prefix sum of
     lengths), and virtual node ``t * n_nodes + u`` owns node ``u``'s
     events.  Because the per-trial ranges are disjoint, one global
-    ``np.unique`` computes every trial's collision content, one
-    searchsorted applies half-duplex, and one stacked
+    ``np.unique`` computes every trial's collision content, one dense
+    scatter/gather membership pass (binary search past
+    :data:`_DENSE_KEY_LIMIT`) applies half-duplex, and one stacked
     :class:`~repro.channel.intervals.SlotSet` query per group answers
     every trial's jam membership — the per-phase Python overhead that
     dominated ``replicate`` is paid once per *batch* instead of once per
@@ -283,35 +379,64 @@ def resolve_phase_batch(
         Common node count (a batch stacks trials of one protocol).
     sends_list / listens_list / plans / groups_list:
         Per-trial inputs, as for :func:`resolve_phase`.
+    validate:
+        Skippable for inputs the engine already validated (the batch
+        spec validator covers probabilities and the samplers emit
+        in-range events by construction); validation never changes the
+        result, only whether malformed inputs raise here.
     """
     B = len(plans)
     lengths = np.asarray(lengths, dtype=np.int64)
-    groups_arr = [
-        validate_phase_inputs(
-            int(lengths[t]), n_nodes, sends_list[t], listens_list[t],
-            plans[t], groups_list[t],
-        )
-        for t in range(B)
-    ]
+    if validate:
+        groups_arr = [
+            validate_phase_inputs(
+                int(lengths[t]), n_nodes, sends_list[t], listens_list[t],
+                plans[t], groups_list[t],
+            )
+            for t in range(B)
+        ]
+    else:
+        g0 = groups_list[0] if groups_list else None
+        if all(g is g0 for g in groups_list):
+            shared = (
+                np.zeros(n_nodes, dtype=np.int64)
+                if g0 is None
+                else np.asarray(g0, dtype=np.int64)
+            )
+            groups_arr = [shared] * B
+        else:
+            shared_zeros = np.zeros(n_nodes, dtype=np.int64)
+            groups_arr = [
+                shared_zeros if g is None else np.asarray(g, dtype=np.int64)
+                for g in groups_list
+            ]
     off = np.zeros(B, dtype=np.int64)
     np.cumsum(lengths[:-1], out=off[1:])
 
+    first_groups = groups_arr[0]
+    groups_shared = all(g is first_groups for g in groups_arr)
+
     # Stacked transmissions: per trial, node sends then spoofs — the
     # serial concat order, so the stable global unique picks the same
-    # first occurrence per slot as each trial's own unique would.
-    tx_parts, kind_parts, tx_trial_parts = [], [], []
+    # first occurrence per slot as each trial's own unique would.  Raw
+    # per-trial arrays are concatenated first and translated onto the
+    # virtual axes in one vectorized pass — per-trial arithmetic in
+    # this loop is the constant that dominates small-event batches.
+    tx_parts, kind_parts, tx_owner = [], [], []
     for t in range(B):
         s, p = sends_list[t], plans[t]
         if len(s.slots):
-            tx_parts.append(s.slots + off[t])
+            tx_parts.append(s.slots)
             kind_parts.append(s.kinds)
-            tx_trial_parts.append(np.full(len(s.slots), t, np.int64))
+            tx_owner.append(t)
         if len(p.spoof_slots):
-            tx_parts.append(p.spoof_slots + off[t])
+            tx_parts.append(p.spoof_slots)
             kind_parts.append(p.spoof_kinds)
-            tx_trial_parts.append(np.full(len(p.spoof_slots), t, np.int64))
+            tx_owner.append(t)
     if tx_parts:
-        tx_slots = np.concatenate(tx_parts)
+        sizes = np.fromiter(map(len, tx_parts), np.int64, len(tx_parts))
+        owner = np.repeat(np.asarray(tx_owner, dtype=np.int64), sizes)
+        tx_slots = np.concatenate(tx_parts) + off[owner]
         tx_kinds = np.concatenate(kind_parts)
         uniq_tx, tx_status = _unique_tx_content(tx_slots, tx_kinds)
     else:
@@ -326,99 +451,149 @@ def resolve_phase_batch(
     # [koff_t, koff_t + n_nodes * length_t).
     koff = np.zeros(B, dtype=np.int64)
     np.cumsum(n_nodes * lengths[:-1], out=koff[1:])
-    ln_parts, ls_parts, lg_parts = [], [], []
-    send_key_parts = []
+    ln_parts, ls_parts, l_owner = [], [], []
+    sn_parts, ss_parts, s_owner = [], [], []
     for t in range(B):
         s, l = sends_list[t], listens_list[t]
         if len(l.nodes):
-            ln_parts.append(l.nodes + t * n_nodes)
-            ls_parts.append(l.slots + off[t])
-            lg_parts.append(groups_arr[t][l.nodes])
+            ln_parts.append(l.nodes)
+            ls_parts.append(l.slots)
+            l_owner.append(t)
         if len(s.nodes):
-            send_key_parts.append(koff[t] + s.nodes * lengths[t] + s.slots)
+            sn_parts.append(s.nodes)
+            ss_parts.append(s.slots)
+            s_owner.append(t)
+    if sn_parts:
+        s_sizes = np.fromiter(map(len, sn_parts), np.int64, len(sn_parts))
+        s_own = np.repeat(np.asarray(s_owner, dtype=np.int64), s_sizes)
+        send_nodes_cat = np.concatenate(sn_parts)
+        send_vnodes = send_nodes_cat + s_own * n_nodes
+    else:
+        send_vnodes = np.empty(0, np.int64)
     if ln_parts:
-        listen_vnodes = np.concatenate(ln_parts)
-        listen_vslots = np.concatenate(ls_parts)
-        listen_groups = np.concatenate(lg_parts)
+        l_sizes = np.fromiter(map(len, ln_parts), np.int64, len(ln_parts))
+        l_own = np.repeat(np.asarray(l_owner, dtype=np.int64), l_sizes)
+        l_nodes = np.concatenate(ln_parts)
+        l_slots = np.concatenate(ls_parts)
+        listen_vnodes = l_nodes + l_own * n_nodes
+        listen_vslots = l_slots + off[l_own]
+        if groups_shared:
+            listen_groups = first_groups[l_nodes]
+        else:
+            listen_groups = np.concatenate(
+                [groups_arr[t][ln] for t, ln in zip(l_owner, ln_parts)]
+            )
     else:
         listen_vnodes = np.empty(0, np.int64)
         listen_vslots = np.empty(0, np.int64)
         listen_groups = np.empty(0, np.int64)
-    if send_key_parts and len(listen_vnodes):
-        send_keys = np.sort(np.concatenate(send_key_parts))
-        listen_trial = np.searchsorted(off, listen_vslots, side="right") - 1
-        listen_keys = (
-            koff[listen_trial]
-            + (listen_vnodes - listen_trial * n_nodes) * lengths[listen_trial]
-            + (listen_vslots - off[listen_trial])
+    if sn_parts and len(listen_vnodes):
+        send_keys = (
+            koff[s_own] + send_nodes_cat * lengths[s_own]
+            + np.concatenate(ss_parts)
         )
-        pos = np.searchsorted(send_keys, listen_keys)
-        safe = np.minimum(pos, len(send_keys) - 1)
-        keep = send_keys[safe] != listen_keys
+        listen_keys = koff[l_own] + l_nodes * lengths[l_own] + l_slots
+        key_space = int(koff[-1] + n_nodes * lengths[-1])
+        if key_space <= _DENSE_KEY_LIMIT:
+            busy = _dense_buf("halfdup", key_space, np.bool_)
+            busy[send_keys] = True
+            keep = ~busy[listen_keys]
+            busy[send_keys] = False
+        else:
+            send_keys.sort()
+            pos = np.searchsorted(send_keys, listen_keys)
+            np.minimum(pos, len(send_keys) - 1, out=pos)
+            keep = send_keys[pos] != listen_keys
         listen_vnodes = listen_vnodes[keep]
         listen_vslots = listen_vslots[keep]
         listen_groups = listen_groups[keep]
 
     # Un-jammed content status under each surviving listen event.
     if len(uniq_tx) and len(listen_vslots):
-        pos = np.searchsorted(uniq_tx, listen_vslots)
-        safe = np.minimum(pos, len(uniq_tx) - 1)
-        hit = uniq_tx[safe] == listen_vslots
-        base_status = np.zeros(len(listen_vslots), dtype=np.int64)
-        base_status[hit] = tx_status[safe[hit]]
+        slot_space = int(off[-1] + lengths[-1])
+        if slot_space <= _DENSE_KEY_LIMIT:
+            content = _dense_buf("content", slot_space, np.int8)
+            content[uniq_tx] = tx_status
+            base_status = content[listen_vslots]
+            content[uniq_tx] = 0
+        else:
+            pos = np.searchsorted(uniq_tx, listen_vslots)
+            np.minimum(pos, len(uniq_tx) - 1, out=pos)
+            base_status = np.where(
+                uniq_tx[pos] == listen_vslots, tx_status[pos], np.int8(0)
+            )
     else:
-        base_status = np.zeros(len(listen_vslots), dtype=np.int64)
+        base_status = np.zeros(len(listen_vslots), dtype=np.int8)
 
     # Per-group views over the union of every trial's group ids; trials
     # that lack a group must not have it applied to their decodability
-    # view, hence the per-trial membership masks.
-    trial_gids = [np.unique(g) for g in groups_arr]
-    all_group_ids = np.unique(np.concatenate(trial_gids))
-    present = np.zeros((B, len(all_group_ids)), dtype=bool)
-    for t in range(B):
-        present[t, np.searchsorted(all_group_ids, trial_gids[t])] = True
+    # view, hence the per-trial membership masks.  A batch spec shares
+    # one groups array across trials, making the membership uniform —
+    # skip the per-trial unique pass in that case.
+    if groups_shared:
+        all_group_ids = np.unique(first_groups)
+        present = np.ones((B, len(all_group_ids)), dtype=bool)
+    else:
+        trial_gids = [np.unique(g) for g in groups_arr]
+        all_group_ids = np.unique(np.concatenate(trial_gids))
+        present = np.zeros((B, len(all_group_ids)), dtype=bool)
+        for t in range(B):
+            present[t, np.searchsorted(all_group_ids, trial_gids[t])] = True
 
-    heard = np.zeros((B * n_nodes, N_STATUS), dtype=np.int64)
     is_data_tx = tx_status == SlotStatus.DATA
     data_decodable = np.zeros(int(is_data_tx.sum()), dtype=bool)
     data_tx_slots = uniq_tx[is_data_tx]
     data_tx_trial = tx_trial[is_data_tx]
-    jam0_stack = SlotSet.stack([p.jam_set(0) for p in plans], off)
+    # Plans only carry targeted sets for the handful of groups the
+    # adversary aims at; every other group's jam set *is* the shared
+    # global set.  Group ``g``'s full jam set is global ∪ targeted[g]
+    # with the two parts disjoint by JamPlan normalisation, so every
+    # membership query below decomposes into one shared global-stack
+    # pass plus a targeted-only pass for the (few) targeted groups —
+    # the per-trial ``jam_set`` unions are never materialised.
+    global_stack = SlotSet.stack([p.global_slots for p in plans], off)
+    targeted_ids = sorted({g for p in plans for g in p.targeted})
+    empty_set = SlotSet.empty()
+    targeted_cache: "dict[int, SlotSet]" = {}
+
+    def _targeted_stack(g: int) -> SlotSet:
+        got = targeted_cache.get(g)
+        if got is None:
+            got = SlotSet.stack(
+                [p.targeted.get(g, empty_set) for p in plans], off
+            )
+            targeted_cache[g] = got
+        return got
+
+    statuses = np.where(
+        global_stack.contains(listen_vslots),
+        np.int64(SlotStatus.NOISE),
+        base_status,
+    )
+    for g in targeted_ids:
+        sel = np.flatnonzero(listen_groups == g)
+        if len(sel):
+            jammed = _targeted_stack(g).contains(listen_vslots[sel])
+            statuses[sel[jammed]] = SlotStatus.NOISE
+    heard = np.bincount(
+        listen_vnodes * N_STATUS + statuses,
+        minlength=B * n_nodes * N_STATUS,
+    ).reshape(B, n_nodes, N_STATUS)
+
+    data_global_jam = global_stack.contains(data_tx_slots)
     for gi, g in enumerate(all_group_ids):
         g = int(g)
-        if g == 0:
-            jam_stack = jam0_stack
-        else:
-            jam_stack = SlotSet.stack([p.jam_set(g) for p in plans], off)
-
         has_g = present[data_tx_trial, gi]
         if has_g.any():
-            data_decodable[has_g] |= ~jam_stack.contains(data_tx_slots[has_g])
+            blocked = data_global_jam[has_g]
+            if g in targeted_ids:
+                blocked = blocked | _targeted_stack(g).contains(
+                    data_tx_slots[has_g]
+                )
+            data_decodable[has_g] |= ~blocked
 
-        in_group = listen_groups == g
-        if in_group.any():
-            vnodes_g = listen_vnodes[in_group]
-            statuses = np.where(
-                jam_stack.contains(listen_vslots[in_group]),
-                np.int64(SlotStatus.NOISE),
-                base_status[in_group],
-            )
-            flat = np.bincount(
-                vnodes_g * N_STATUS + statuses,
-                minlength=B * n_nodes * N_STATUS,
-            )
-            heard += flat.reshape(B * n_nodes, N_STATUS)
-    heard = heard.reshape(B, n_nodes, N_STATUS)
-
-    send_vnode_parts = [
-        sends_list[t].nodes + t * n_nodes
-        for t in range(B)
-        if len(sends_list[t].nodes)
-    ]
     send_cost = np.bincount(
-        np.concatenate(send_vnode_parts) if send_vnode_parts
-        else np.empty(0, np.int64),
-        minlength=B * n_nodes,
+        send_vnodes, minlength=B * n_nodes
     ).reshape(B, n_nodes)
     listen_cost = np.bincount(
         listen_vnodes, minlength=B * n_nodes
@@ -426,8 +601,13 @@ def resolve_phase_batch(
 
     # Group-0 ground truth per trial (see resolve_phase): applied to
     # *every* trial regardless of which groups its nodes occupy.
-    jam0_sizes = np.array([p.jam_set(0).size for p in plans], dtype=np.int64)
-    tx_jammed_0 = jam0_stack.contains(uniq_tx)
+    jam0_sizes = np.empty(B, dtype=np.int64)
+    for t, p in enumerate(plans):
+        t0 = p.targeted.get(0)
+        jam0_sizes[t] = p.global_slots.size + (0 if t0 is None else t0.size)
+    tx_jammed_0 = global_stack.contains(uniq_tx)
+    if 0 in targeted_ids:
+        tx_jammed_0 |= _targeted_stack(0).contains(uniq_tx)
     unjammed_tx_per_trial = np.bincount(tx_trial[~tx_jammed_0], minlength=B)
     noise_unjammed = np.bincount(
         tx_trial[(tx_status == SlotStatus.NOISE) & ~tx_jammed_0], minlength=B
@@ -438,18 +618,15 @@ def resolve_phase_batch(
         data_tx_trial[data_decodable], minlength=B
     )
 
-    return [
-        PhaseOutcome(
-            heard=heard[t],
-            send_cost=send_cost[t],
-            listen_cost=listen_cost[t],
-            adversary_cost=plans[t].cost,
-            n_clear=int(n_clear[t]),
-            n_noise=int(n_noise[t]),
-            data_slots=int(data_per_trial[t]),
-        )
-        for t in range(B)
-    ]
+    return BatchPhaseOutcome(
+        heard=heard,
+        send_cost=send_cost,
+        listen_cost=listen_cost,
+        adversary_costs=np.array([p.cost for p in plans], dtype=np.int64),
+        n_clear=n_clear.astype(np.int64),
+        n_noise=n_noise.astype(np.int64),
+        data_slots=data_per_trial.astype(np.int64),
+    )
 
 
 def resolve_resolver_name(

@@ -96,6 +96,46 @@ def bernoulli_positions(
     return positions[positions < length]
 
 
+def _sorted_distinct(keys: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of ``keys`` (``np.unique`` without the
+    hash-table detour — the rejection loops re-dedup near-sorted key
+    sets every round, where an in-place sort plus adjacency mask wins).
+    """
+    if not len(keys):
+        return keys
+    keys.sort()
+    keep = np.empty(len(keys), dtype=bool)
+    keep[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+    return keys[keep]
+
+
+def _invert_complement(
+    heavy_idx: np.ndarray,
+    length: int,
+    comp_nodes: np.ndarray,
+    comp_slots: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Invert sampled complements: each heavy node's slots are
+    ``[0, length)`` minus its complement slots, emitted node-major with
+    slots ascending (the order a row-major mask scan produces).
+
+    ``p == 1`` actions (every-slot listeners dominate the broadcast
+    protocols) have empty complements, so that case skips the dense
+    mask entirely and writes the full rows directly.
+    """
+    if not len(comp_nodes):
+        nodes = np.repeat(heavy_idx, length)
+        slots = np.tile(np.arange(length, dtype=np.int64), len(heavy_idx))
+        return nodes, slots
+    mask = np.ones((len(heavy_idx), length), dtype=bool)
+    remap = np.full(int(heavy_idx.max()) + 1, -1, dtype=np.int64)
+    remap[heavy_idx] = np.arange(len(heavy_idx))
+    mask[remap[comp_nodes], comp_slots] = False
+    rows, cols = np.nonzero(mask)
+    return heavy_idx[rows], cols.astype(np.int64)
+
+
 def _distinct_positions_batch(
     rng: np.random.Generator, length: int, counts: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -119,7 +159,7 @@ def _distinct_positions_batch(
     slot_parts: list[np.ndarray] = []
 
     # Light nodes: rejection sampling on (node, slot) keys.  Each round
-    # overdraws slightly so one unique() pass usually collects enough
+    # overdraws slightly so one dedup pass usually collects enough
     # distinct slots per node; surpluses are trimmed afterwards by a
     # per-node uniformly random subset (value-symmetric, hence exact).
     light_idx = np.flatnonzero(~heavy & (counts > 0))
@@ -134,7 +174,7 @@ def _distinct_positions_batch(
             overdraw = need + need // 16 + 4
             draw_nodes = np.repeat(light_idx, overdraw)
             draw_slots = rng.integers(0, length, int(overdraw.sum()))
-            keys = np.unique(
+            keys = _sorted_distinct(
                 np.concatenate([keys, draw_nodes * length + draw_slots])
             )
             have = np.bincount(keys // length, minlength=n)[light_idx]
@@ -164,13 +204,11 @@ def _distinct_positions_batch(
         comp_nodes, comp_slots = _distinct_positions_batch(
             rng, length, comp_counts
         )
-        mask = np.ones((len(heavy_idx), length), dtype=bool)
-        remap = np.full(n, -1, dtype=np.int64)
-        remap[heavy_idx] = np.arange(len(heavy_idx))
-        mask[remap[comp_nodes], comp_slots] = False
-        rows, cols = np.nonzero(mask)
-        node_parts.append(heavy_idx[rows])
-        slot_parts.append(cols)
+        nodes, slots = _invert_complement(
+            heavy_idx, length, comp_nodes, comp_slots
+        )
+        node_parts.append(nodes)
+        slot_parts.append(slots)
 
     if not node_parts:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
@@ -245,71 +283,56 @@ def sample_action_events(
     return sends, listens
 
 
-#: Per-trial position budget above which the lockstep sampler hands the
-#: trial to the serial helper: beyond this the trial is array-bound and
-#: batching per-call constants no longer pays (see
-#: :func:`_distinct_positions_multi`).
+#: Positions budget marking the array-bound regime.  A batch that
+#: degenerates to a single drawing trial gains nothing from the global
+#: key axis and is handed to the serial helper; past this scale even
+#: the bookkeeping constants stop mattering (the dispatch tests build
+#: such a trial to pin the regimes against each other).
 _LOCKSTEP_MAX_WANT = 512
 
 
-def _distinct_positions_multi(
+def _lockstep_light_subsets(
     rngs: list[np.random.Generator],
     lengths: np.ndarray,
-    counts_list: list[np.ndarray],
+    counts2d: np.ndarray,
+    lock: np.ndarray,
 ) -> list[tuple[np.ndarray, np.ndarray]]:
-    """Per-trial uniform subsets, batched across B trials.
+    """Global-axis uniform subsets for the light regime, many trials at
+    once.
 
-    Trial ``t`` draws ``counts_list[t][u]`` distinct slots of
-    ``[0, lengths[t])`` for each node ``u`` — with *exactly* the rng call
-    sequence of B independent :func:`_distinct_positions_batch` calls.
-    Entropy stays per-trial (each trial's generator sees the same draws
-    it would serially, which is what pins per-trial RNG streams under
-    batching), while all deterministic processing — dedup, counting,
-    trimming — runs once on a global key axis: trial ``t`` owns keys
-    ``[K_t, K_t + n_t * L_t)``, so one ``np.unique`` resolves every
+    ``counts2d[lock[i]]`` are trial ``lock[i]``'s per-node wants, every
+    entry in the light regime (``<= lengths[lock[i]] // 2``) and at
+    least one positive.  Per trial the rng call sequence — one
+    ``integers`` draw per rejection round while the trial still needs
+    positions, one ``random`` draw if it trims — and the emitted
+    (node, slot) order match :func:`_distinct_positions_batch`'s light
+    path exactly, which is what pins per-trial streams under batching.
+    All deterministic processing — dedup, counting, trimming — runs
+    once on a global key axis: trial ``i`` owns keys
+    ``[K_i, K_i + n * L_i)``, so one sort-dedup resolves every
     trial's rejection round at once, and per-trial segments of the
     sorted global array equal the trials' serial results.
-
-    Trials containing a heavy node (count > length/2, the complement-
-    sampling regime) fall back to the serial helper — mixing the
-    complement recursion into the lockstep rounds would reorder their
-    draws.  So do trials wanting many positions overall: the lockstep
-    win is amortising per-call Python constants across trials, and once
-    a single trial's arrays are thousands of elements the serial path
-    is already array-bound, so the global-axis bookkeeping would only
-    add overhead.  Either way the dispatch is invisible in the output —
-    the serial helper *is* the reference stream.
     """
-    B = len(rngs)
-    out: list = [None] * B
-    counts_by_trial = [np.asarray(c, dtype=np.int64) for c in counts_list]
-    lock: list[int] = []
-    for t in range(B):
-        counts = counts_by_trial[t]
-        if (
-            (counts > lengths[t] // 2).any()
-            or counts.sum() > _LOCKSTEP_MAX_WANT
-        ):
-            out[t] = _distinct_positions_batch(rngs[t], int(lengths[t]), counts)
-        elif not counts.any():
-            out[t] = (np.empty(0, np.int64), np.empty(0, np.int64))
-        else:
-            lock.append(t)
-    if not lock:
-        return out
-
     nt = len(lock)
-    L = np.array([lengths[t] for t in lock], dtype=np.int64)
-    lidx = [np.flatnonzero(counts_by_trial[t] > 0) for t in lock]
-    n_light = np.array([len(a) for a in lidx], dtype=np.int64)
+    L = lengths[lock]
+    C = counts2d[lock]
+    n = C.shape[1]
+    uniform_l = int(L[0]) if (L == L[0]).all() else 0
+    # Row-major nonzero is trial-major with nodes ascending — the
+    # construction order the serial per-trial scans produce.
+    tr, nd = np.nonzero(C)
     # Global key layout: trial i's (node, slot) pairs map injectively to
-    # [K[i], K[i] + n_i * L_i); bases[j] is light node j's key origin.
-    dom = np.array([len(counts_by_trial[t]) for t in lock], dtype=np.int64) * L
+    # [K[i], K[i] + n * L_i); bases[j] is light node j's key origin.
+    dom = n * L
     K = np.zeros(nt, dtype=np.int64)
     np.cumsum(dom[:-1], out=K[1:])
-    bases = np.concatenate([K[i] + lidx[i] * L[i] for i in range(nt)])
-    trial_of = np.repeat(np.arange(nt), n_light)
-    want = np.concatenate([counts_by_trial[lock[i]][lidx[i]] for i in range(nt)])
+    bases = K[tr] + nd * L[tr]
+    trial_of = tr
+    want = C[tr, nd]
+    # Every key lands in some light node's range, so per-node counts are
+    # differences of boundary positions — searching the few node edges
+    # into the big sorted key array is O(n log K), not O(K log n).
+    edges = np.append(bases, K[-1] + dom[-1])
 
     keys = np.empty(0, dtype=np.int64)
     need = want.copy()
@@ -333,13 +356,9 @@ def _distinct_positions_multi(
             for i in np.flatnonzero(nd_per_trial)
         ]
         new_keys = np.repeat(bases[act_node], od) + np.concatenate(slot_parts)
-        keys = np.unique(np.concatenate([keys, new_keys]))
-        lid_of_key = np.searchsorted(bases, keys, side="right") - 1
-        have = np.bincount(lid_of_key, minlength=len(bases))
+        keys = _sorted_distinct(np.concatenate([keys, new_keys]))
+        have = np.diff(np.searchsorted(keys, edges))
         need = np.maximum(0, want - have)
-
-    lid_of_key = np.searchsorted(bases, keys, side="right") - 1
-    trial_of_key = trial_of[lid_of_key]
 
     # Trim surpluses per trial, only in trials that would trim serially
     # (untrimmed trials keep sorted-key order; trimmed ones keep the
@@ -349,42 +368,202 @@ def _distinct_positions_multi(
     over = have > want
     if over.any():
         trial_trim[trial_of[over]] = True
-    mask_k = trial_trim[trial_of_key]
+    any_trim = bool(trial_trim.any())
+    t_edges = np.append(K, K[-1] + dom[-1])
     kept = np.empty(0, dtype=np.int64)
-    kept_trial = np.empty(0, dtype=np.int64)
-    if mask_k.any():
-        keys_sub = keys[mask_k]
-        lid_sub = lid_of_key[mask_k]
-        seg_sizes = np.bincount(trial_of_key[mask_k], minlength=nt)
-        rand = np.concatenate(
-            [rngs[lock[i]].random(int(seg_sizes[i]))
-             for i in np.flatnonzero(trial_trim)]
+    kept_bounds = np.zeros(nt + 1, dtype=np.int64)
+    if any_trim:
+        # Keys are sorted on a trial-major axis, so each trial is a
+        # contiguous slice between its two edges — splitting into the
+        # trimmed/untrimmed halves is slicing, never a per-key search.
+        tb = np.searchsorted(keys, t_edges)
+        sizes = np.diff(tb)
+        trim_ids = np.flatnonzero(trial_trim)
+        keys_sub = np.concatenate(
+            [keys[tb[i]:tb[i + 1]] for i in trim_ids]
         )
-        order = np.lexsort((rand, lid_sub))
+        owner_sub = np.repeat(trim_ids, sizes[trim_ids])
+        rel_sub = keys_sub - K[owner_sub]
+        grp_sub = owner_sub * n + rel_sub // (
+            uniform_l if uniform_l else L[owner_sub]
+        )
+        rand = np.concatenate(
+            [rngs[lock[i]].random(int(sizes[i])) for i in trim_ids]
+        )
+        if nt * n <= 1023:
+            # Composite sort key: (trial, node) group in the high bits,
+            # the serial random tie-break's full 53-bit mantissa in the
+            # low bits (``Generator.random`` emits multiples of 2**-53,
+            # so the scaling is exact).  One stable argsort reproduces
+            # ``lexsort((rand, group))`` bit-for-bit at about half the
+            # cost; wider group ranges would overflow and take the
+            # lexsort path instead.
+            r_bits = (rand * 9007199254740992.0).astype(np.int64)
+            order = np.argsort((grp_sub << 53) + r_bits, kind="stable")
+        else:
+            order = np.lexsort((rand, grp_sub))
         node_mask = trial_trim[trial_of]
         have_m = have[node_mask]
         want_m = want[node_mask]
-        starts = np.zeros(len(have_m), dtype=np.int64)
-        np.cumsum(have_m[:-1], out=starts[1:])
-        seg_of = np.repeat(np.arange(len(have_m)), have_m)
-        rank = np.arange(len(keys_sub)) - starts[seg_of]
-        keep_sorted = rank < want_m[seg_of]
+        bounds_m = np.zeros(len(have_m) + 1, dtype=np.int64)
+        np.cumsum(have_m, out=bounds_m[1:])
+        # Keep the first ``want`` rand-ranked keys of each node segment:
+        # positions below the segment's start-plus-want threshold.
+        thresh = np.repeat(bounds_m[:-1] + want_m, have_m)
+        keep_sorted = np.arange(len(keys_sub)) < thresh
         kept = keys_sub[order[keep_sorted]]
-        kept_trial = trial_of[np.searchsorted(bases, kept, side="right") - 1]
+        # ``kept`` is node-major (hence trial-major) and the rejection
+        # loop only exits once every node holds at least ``want`` keys,
+        # so each trimmed node keeps exactly ``want`` — per-trial kept
+        # counts follow without touching the keys.
+        per_trial = np.bincount(
+            trial_of[node_mask], weights=want_m, minlength=nt
+        ).astype(np.int64)
+        np.cumsum(per_trial, out=kept_bounds[1:])
+        untrimmed = np.concatenate(
+            [keys[tb[i]:tb[i + 1]]
+             for i in np.flatnonzero(~trial_trim)]
+        ) if not trial_trim.all() else np.empty(0, dtype=np.int64)
+    else:
+        untrimmed = keys
+    # Both sources are trial-major, so each trial's result is a
+    # contiguous segment; sorted ``untrimmed`` segments come from one
+    # boundary search of the trial edges.  Decoding keys back to
+    # (node, slot) runs once over each whole source array, and the
+    # per-trial results are zero-copy views of the decoded arrays.
+    un_bounds = np.searchsorted(untrimmed, t_edges)
 
-    untrimmed = keys[~mask_k]
-    untrimmed_trial = trial_of_key[~mask_k]
+    def _decode(src: np.ndarray, bounds: np.ndarray):
+        owner = np.repeat(np.arange(nt), np.diff(bounds))
+        rel = src - K[owner]
+        if uniform_l:
+            nodes = rel // uniform_l
+            return nodes, rel - nodes * uniform_l
+        l_of = L[owner]
+        nodes = rel // l_of
+        return nodes, rel - nodes * l_of
+
+    un_nodes, un_slots = _decode(untrimmed, un_bounds)
+    if any_trim:
+        kp_nodes, kp_slots = _decode(kept, kept_bounds)
+    out: list[tuple[np.ndarray, np.ndarray]] = []
     for i in range(nt):
-        # Both sources are trial-major, so each trial's result is a
-        # contiguous segment.
-        src, src_trial = (
-            (kept, kept_trial) if trial_trim[i] else (untrimmed, untrimmed_trial)
-        )
-        lo, hi = np.searchsorted(src_trial, [i, i + 1])
-        rel = src[lo:hi] - K[i]
-        nodes = rel // L[i]
-        out[lock[i]] = (nodes, rel - nodes * L[i])
+        if trial_trim[i]:
+            lo, hi = kept_bounds[i], kept_bounds[i + 1]
+            out.append((kp_nodes[lo:hi], kp_slots[lo:hi]))
+        else:
+            lo, hi = un_bounds[i], un_bounds[i + 1]
+            out.append((un_nodes[lo:hi], un_slots[lo:hi]))
     return out
+
+
+def _distinct_positions_multi(
+    rngs: list[np.random.Generator],
+    lengths: np.ndarray,
+    counts2d: np.ndarray,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per-trial uniform subsets, batched across B trials.
+
+    Trial ``t`` draws ``counts2d[t, u]`` distinct slots of
+    ``[0, lengths[t])`` for each node ``u`` — with *exactly* the rng call
+    sequence of B independent :func:`_distinct_positions_batch` calls.
+    Entropy stays per-trial (each trial's generator sees the same draws
+    it would serially), while the deterministic bookkeeping is shared
+    across trials by :func:`_lockstep_light_subsets` on whole ``(B, n)``
+    arrays — the regime split, lock selection, and want layout are all
+    2-D array ops, so per-phase Python cost does not scale with B.
+
+    Heavy nodes (count > length/2, the complement-sampling regime) ride
+    the same machinery: serially each trial samples its light nodes
+    first and then the complements of its heavy nodes, and since every
+    trial owns its own generator, running one lockstep pass over all
+    trials' light nodes followed by a second over all complements
+    preserves each generator's call order exactly.  Complements are
+    light by construction, so the second pass never recurses.  A batch
+    that degenerates to one drawing trial goes straight to the serial
+    helper — which *is* the reference stream, so the dispatch is
+    invisible in the output.
+    """
+    B = len(rngs)
+    counts2d = np.asarray(counts2d, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    empty = (np.empty(0, np.int64), np.empty(0, np.int64))
+    out: list = [empty] * B
+    todo = np.flatnonzero(counts2d.any(axis=1))
+    if not len(todo):
+        return out
+    if len(todo) == 1:
+        t = int(todo[0])
+        out[t] = _distinct_positions_batch(
+            rngs[t], int(lengths[t]), counts2d[t]
+        )
+        return out
+
+    heavy2d = counts2d > (lengths // 2)[:, None]
+    light2d = np.where(heavy2d, 0, counts2d)
+    comp2d = np.where(heavy2d, lengths[:, None] - counts2d, 0)
+    heavy_any = heavy2d.any(axis=1)
+    light_lock = np.flatnonzero(light2d.any(axis=1))
+    comp_lock = np.flatnonzero(comp2d.any(axis=1))
+    light_res = (
+        _lockstep_light_subsets(rngs, lengths, light2d, light_lock)
+        if len(light_lock) else []
+    )
+    comp_res = (
+        _lockstep_light_subsets(rngs, lengths, comp2d, comp_lock)
+        if len(comp_lock) else []
+    )
+    light_pos = np.full(B, -1, dtype=np.int64)
+    light_pos[light_lock] = np.arange(len(light_lock))
+    comp_pos = np.full(B, -1, dtype=np.int64)
+    comp_pos[comp_lock] = np.arange(len(comp_lock))
+
+    for t in todo:
+        light = light_res[light_pos[t]] if light_pos[t] >= 0 else None
+        if not heavy_any[t]:
+            out[t] = light
+            continue
+        comp = comp_res[comp_pos[t]] if comp_pos[t] >= 0 else empty
+        nodes, slots = _invert_complement(
+            np.flatnonzero(heavy2d[t]), int(lengths[t]), *comp
+        )
+        if light is None:
+            out[t] = (nodes, slots)
+        else:
+            out[t] = (
+                np.concatenate([light[0], nodes]),
+                np.concatenate([light[1], slots]),
+            )
+    return out
+
+
+def _binomial_rows(
+    rngs: list[np.random.Generator],
+    lengths: np.ndarray,
+    probs: np.ndarray,
+) -> np.ndarray:
+    """Draw ``counts[t, i] ~ Binomial(lengths[t], probs[t, i])`` row by row.
+
+    For small node counts the element-wise scalar draws beat NumPy's
+    array-``p`` broadcast path by ~7x (the array path re-runs its
+    parameter set-up per element); both consume the per-trial stream
+    identically — ``Generator.binomial`` draws element-by-element in C
+    order for array ``p`` — so the choice never changes the sampled
+    counts.
+    """
+    B, n = probs.shape
+    counts = np.empty((B, n), dtype=np.int64)
+    if n <= 8:
+        for t in range(B):
+            g = rngs[t]
+            length = int(lengths[t])
+            row = probs[t]
+            for i in range(n):
+                counts[t, i] = g.binomial(length, float(row[i]))
+    else:
+        for t in range(B):
+            counts[t] = rngs[t].binomial(int(lengths[t]), probs[t])
+    return counts
 
 
 def sample_action_events_batch(
@@ -393,6 +572,7 @@ def sample_action_events_batch(
     send_probs_list: list[np.ndarray],
     send_kinds_list: list[np.ndarray],
     listen_probs_list: list[np.ndarray],
+    validate: bool = True,
 ) -> list[tuple[SendEvents, ListenEvents]]:
     """Sample B trials' phases at once; bit-identical per trial to B
     :func:`sample_action_events` calls.
@@ -403,51 +583,61 @@ def sample_action_events_batch(
     subset-selection work is shared across trials via
     :func:`_distinct_positions_multi`.
 
-    Parameters mirror :func:`sample_action_events`, one list entry per
-    trial; ``lengths`` is a ``(B,)`` int array of phase lengths (trials
-    in a lockstep batch may sit in different epochs).
+    Parameters mirror :func:`sample_action_events`, one row per trial:
+    each of ``send_probs_list`` / ``send_kinds_list`` /
+    ``listen_probs_list`` is a ``(B, n)`` array or a length-B sequence
+    of ``(n,)`` rows (trials in a batch share ``n_nodes``);
+    ``lengths`` is a ``(B,)`` int array of phase lengths (trials in a
+    lockstep batch may sit in different epochs).  ``validate=False``
+    skips the shape/range checks for callers whose inputs are already
+    validated (the engine's batch specs); it never changes the sampled
+    events.
 
     Returns one ``(SendEvents, ListenEvents)`` pair per trial.
     """
     B = len(rngs)
     lengths = np.asarray(lengths, dtype=np.int64)
-    send_probs_list = [np.asarray(p, dtype=np.float64) for p in send_probs_list]
-    listen_probs_list = [np.asarray(p, dtype=np.float64) for p in listen_probs_list]
-    send_kinds_list = [np.asarray(k, dtype=np.int8) for k in send_kinds_list]
-    for t in range(B):
-        n = len(send_probs_list[t])
+    try:
+        send_probs = np.asarray(send_probs_list, dtype=np.float64)
+        listen_probs = np.asarray(listen_probs_list, dtype=np.float64)
+        send_kinds = np.asarray(send_kinds_list, dtype=np.int8)
+    except ValueError as exc:
+        raise SimulationError(
+            "trials in a batch must share n_nodes"
+        ) from exc
+    if validate:
         if (
-            listen_probs_list[t].shape != (n,)
-            or send_kinds_list[t].shape != (n,)
+            send_probs.ndim != 2
+            or listen_probs.shape != send_probs.shape
+            or send_kinds.shape != send_probs.shape
         ):
             raise SimulationError(
                 "send_probs, send_kinds, listen_probs length mismatch"
             )
-        if ((send_probs_list[t] < 0) | (send_probs_list[t] > 1)).any() or (
-            (listen_probs_list[t] < 0) | (listen_probs_list[t] > 1)
+        if ((send_probs < 0) | (send_probs > 1)).any() or (
+            (listen_probs < 0) | (listen_probs > 1)
         ).any():
             raise SimulationError("action probabilities must lie in [0, 1]")
 
-    send_counts = [
-        rngs[t].binomial(int(lengths[t]), send_probs_list[t]) for t in range(B)
-    ]
+    n = send_probs.shape[1]
+    send_counts = _binomial_rows(rngs, lengths, send_probs)
     send_pos = _distinct_positions_multi(rngs, lengths, send_counts)
-    listen_counts = [
-        rngs[t].binomial(int(lengths[t]), listen_probs_list[t]) for t in range(B)
-    ]
+    listen_counts = _binomial_rows(rngs, lengths, listen_probs)
     listen_pos = _distinct_positions_multi(rngs, lengths, listen_counts)
 
     results = []
     for t in range(B):
         send_nodes, send_slots = send_pos[t]
         sends = (
-            SendEvents(send_nodes, send_slots, send_kinds_list[t][send_nodes])
+            SendEvents._from_arrays(
+                send_nodes, send_slots, send_kinds[t][send_nodes]
+            )
             if len(send_nodes)
             else SendEvents.empty()
         )
         listen_nodes, listen_slots = listen_pos[t]
         listens = (
-            ListenEvents(listen_nodes, listen_slots)
+            ListenEvents._from_arrays(listen_nodes, listen_slots)
             if len(listen_nodes)
             else ListenEvents.empty()
         )

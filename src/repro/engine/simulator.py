@@ -9,27 +9,70 @@ is phase-granular; all slot-level work happens vectorised inside
 from __future__ import annotations
 
 import copy
+import os
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.adversaries.base import Adversary, AdversaryContext
-from repro.channel.accounting import EnergyLedger
+from repro.channel.accounting import BatchEnergyLedger, EnergyLedger
+from repro.channel.events import N_STATUS
 from repro.channel.model import (
+    BatchPhaseOutcome,
     resolve_phase,
     resolve_phase_batch,
+    resolve_phase_batch_core,
     resolve_phase_dense,
     resolve_resolver_name,
 )
-from repro.engine.phase import PhaseObservation
+from repro.engine.phase import BatchPhaseObservation, PhaseObservation
 from repro.engine.sampling import sample_action_events, sample_action_events_batch
 from repro.errors import BudgetExceededError, ConfigurationError, ProtocolError
 from repro.protocols.base import Protocol
 from repro.rng import RngFactory
 from repro.telemetry.sink import get_sink
 
-__all__ = ["Simulator", "RunResult", "BatchResult", "run", "run_batch"]
+__all__ = [
+    "Simulator",
+    "RunResult",
+    "BatchResult",
+    "run",
+    "run_batch",
+    "resolve_protocol_driver_name",
+    "PROTOCOL_DRIVER_ENV",
+]
+
+#: Environment override for how ``run_batch`` steps protocols: set to
+#: ``batch`` (stacked lockstep API, the default) or ``serial`` (one
+#: ``next_phase``/``observe`` call per trial — the differential oracle).
+#: The CI byte-identity gate replays experiments under ``serial`` the
+#: same way ``REPRO_RESOLVER=dense`` replays them through the O(L)
+#: resolver.
+PROTOCOL_DRIVER_ENV = "REPRO_PROTOCOL_DRIVER"
+
+
+def resolve_protocol_driver_name(driver: str | None = None) -> str:
+    """Normalise the protocol-driver spelling to ``"batch"`` or ``"serial"``.
+
+    Precedence: an explicit ``driver=`` string, then the
+    :data:`PROTOCOL_DRIVER_ENV` environment variable, then ``"batch"``.
+    """
+    if driver is not None:
+        if driver not in ("batch", "serial"):
+            raise ConfigurationError(
+                f"protocol_driver must be 'batch' or 'serial', got {driver!r}"
+            )
+        return driver
+    env = os.environ.get(PROTOCOL_DRIVER_ENV, "").strip().lower()
+    if env:
+        if env not in ("batch", "serial"):
+            raise ConfigurationError(
+                f"{PROTOCOL_DRIVER_ENV} must be 'batch' or 'serial', "
+                f"got {env!r}"
+            )
+        return env
+    return "batch"
 
 
 @dataclass(frozen=True)
@@ -167,6 +210,20 @@ class Simulator:
     dense:
         Deprecated boolean spelling of ``resolver=`` (one-release
         :class:`DeprecationWarning`).
+    protocol_driver:
+        How :meth:`run_batch` steps protocols: ``"batch"`` (default)
+        drives the stacked lockstep API
+        (:meth:`~repro.protocols.base.Protocol.next_phase_batch` /
+        :meth:`~repro.protocols.base.Protocol.observe_batch`),
+        ``"serial"`` loops the per-trial API — the batch layer's
+        differential oracle.  ``None`` defers to the
+        ``REPRO_PROTOCOL_DRIVER`` environment variable.  Both produce
+        per-trial results bit-identical to :meth:`run`.
+    profile:
+        Optional dict accumulating per-stage wall seconds
+        (``protocol`` / ``sampling`` / ``adversary`` / ``resolve`` /
+        ``accounting`` keys) across runs; ``None`` (default) disables
+        the stage clocks entirely.
     """
 
     def __init__(
@@ -181,6 +238,8 @@ class Simulator:
         trace=None,
         resolver: str | None = None,
         dense: bool | None = None,
+        protocol_driver: str | None = None,
+        profile: dict | None = None,
     ) -> None:
         self.protocol = protocol
         self.adversary = adversary
@@ -193,6 +252,15 @@ class Simulator:
         self.resolve_phase = (
             resolve_phase_dense if self.resolver == "dense" else resolve_phase
         )
+        self.protocol_driver = resolve_protocol_driver_name(protocol_driver)
+        self.profile = profile
+
+    def _clock(self, stage: str, since: float) -> float:
+        """Charge ``now - since`` to a profile stage; returns ``now``."""
+        now = time.perf_counter()
+        prof = self.profile
+        prof[stage] = prof.get(stage, 0.0) + (now - since)
+        return now
 
     def run(self, seed: int | np.random.Generator | None = None) -> RunResult:
         """Play one execution and return its :class:`RunResult`."""
@@ -214,10 +282,14 @@ class Simulator:
         # at 200k-phase scale.  ``sink is None`` is the entire disabled
         # overhead.
         sink = get_sink()
+        prof = self.profile
         resolve_time = 0.0
         n_events = 0
 
+        t_stage = time.perf_counter() if prof is not None else 0.0
         spec = protocol.next_phase()
+        if prof is not None:
+            t_stage = self._clock("protocol", t_stage)
         if spec is not None:
             n_groups_seen = (
                 int(spec.groups.max()) + 1 if spec.groups is not None else 1
@@ -238,6 +310,8 @@ class Simulator:
                 truncated = True
                 break
 
+            if prof is not None:
+                t_stage = time.perf_counter()
             sends, listens = sample_action_events(
                 protocol_rng,
                 spec.length,
@@ -245,6 +319,8 @@ class Simulator:
                 spec.send_kinds,
                 spec.listen_probs,
             )
+            if prof is not None:
+                t_stage = self._clock("sampling", t_stage)
             ctx = AdversaryContext(
                 phase_index=phases,
                 length=spec.length,
@@ -258,6 +334,8 @@ class Simulator:
                 spent=ledger.adversary_cost,
             )
             plan = adversary.plan_phase(ctx)
+            if prof is not None:
+                t_stage = self._clock("adversary", t_stage)
             if sink is not None:
                 t0 = time.perf_counter()
             outcome = self.resolve_phase(
@@ -271,6 +349,8 @@ class Simulator:
             if sink is not None:
                 resolve_time += time.perf_counter() - t0
                 n_events += len(sends) + len(listens)
+            if prof is not None:
+                t_stage = self._clock("resolve", t_stage)
             ledger.charge_phase(
                 spec.length,
                 outcome.send_cost + outcome.listen_cost,
@@ -287,6 +367,8 @@ class Simulator:
             slots += spec.length
             phases += 1
 
+            if prof is not None:
+                t_stage = self._clock("accounting", t_stage)
             protocol.observe(
                 PhaseObservation(
                     length=spec.length,
@@ -298,6 +380,8 @@ class Simulator:
             )
             adversary.observe_outcome(ctx, outcome)
             spec = protocol.next_phase()
+            if prof is not None:
+                t_stage = self._clock("protocol", t_stage)
 
         if spec is None and not protocol.done:
             raise ProtocolError("protocol returned no phase but reports not done")
@@ -361,10 +445,22 @@ class Simulator:
                 "trace recording is per-run; use run() for traced executions"
             )
         seeds = list(seeds)
-        B = len(seeds)
-        if B == 0:
+        if len(seeds) == 0:
             return BatchResult(results=(), seeds=())
+        if self.protocol_driver == "serial":
+            return self._run_batch_serial(seeds, make_protocol, make_adversary)
+        return self._run_batch_lockstep(seeds, make_protocol, make_adversary)
 
+    def _run_batch_serial(
+        self, seeds: list, make_protocol, make_adversary
+    ) -> BatchResult:
+        """Per-trial protocol stepping — the batch layer's oracle.
+
+        Sampling and resolution are still stacked across trials; only
+        the protocol state advance loops in Python, exactly the PR-6
+        engine this driver preserves for differential testing.
+        """
+        B = len(seeds)
         protocols = [
             make_protocol() if make_protocol is not None
             else copy.deepcopy(self.protocol)
@@ -537,6 +633,241 @@ class Simulator:
             sink.span_event(
                 "sim.run_batch", resolve_time,
                 trials=B, phases=total_phases, slots=total_slots,
+                events=n_events,
+                events_per_slot=(
+                    round(n_events / total_slots, 6) if total_slots else 0.0
+                ),
+            )
+        return BatchResult(results=tuple(results), seeds=tuple(seeds))
+
+    def _run_batch_lockstep(
+        self, seeds: list, make_protocol, make_adversary
+    ) -> BatchResult:
+        """Stacked lockstep driver: one batch protocol, no per-trial loop.
+
+        The protocol holds every trial's state as arrays with a leading
+        trial axis and advances all of them per step
+        (:meth:`~repro.protocols.base.Protocol.next_phase_batch` /
+        :meth:`~repro.protocols.base.Protocol.observe_batch`); phase
+        costs accumulate in one :class:`BatchEnergyLedger`; observations
+        scatter straight from the stacked resolver output.  Rng streams
+        stay per-trial, so every trial's results are bit-identical to
+        :meth:`run` — :meth:`_run_batch_serial` is the differential
+        oracle asserting exactly that.
+
+        Trials that halt early (or trip the caps) are masked out of the
+        runnable set, never compacted: their rows ride along frozen,
+        which keeps every surviving trial's rng consumption on the
+        serial schedule.
+        """
+        B = len(seeds)
+        protocol = (
+            make_protocol() if make_protocol is not None else self.protocol
+        )
+        adversaries = [
+            make_adversary() if make_adversary is not None
+            else copy.deepcopy(self.adversary)
+            for _ in range(B)
+        ]
+        n_nodes = protocol.n_nodes
+        adv_type = type(adversaries[0])
+        if any(type(a) is not adv_type for a in adversaries):
+            adv_type = Adversary  # heterogeneous batch: per-trial loop
+        # Outcome feedback is an opt-in hook; when nobody overrides it,
+        # skip materialising per-trial PhaseOutcome views entirely.
+        observe_hooked = any(
+            type(a).observe_outcome is not Adversary.observe_outcome
+            for a in adversaries
+        )
+
+        factories = [RngFactory(seed) for seed in seeds]
+        protocol_rngs = [f.get("protocol") for f in factories]
+        adversary_rngs = [f.get("adversary") for f in factories]
+
+        ledger = BatchEnergyLedger(B, n_nodes, keep_history=self.keep_history)
+        slots = np.zeros(B, dtype=np.int64)
+        phases = np.zeros(B, dtype=np.int64)
+        truncated = np.zeros(B, dtype=bool)
+        sink = get_sink()
+        prof = self.profile
+        resolve_time = 0.0
+        n_events = 0
+
+        t_stage = time.perf_counter() if prof is not None else 0.0
+        protocol.reset_batch(protocol_rngs)
+        spec = protocol.next_phase_batch(np.ones(B, dtype=bool))
+        if prof is not None:
+            t_stage = self._clock("protocol", t_stage)
+
+        shared_groups = (
+            int(spec.groups.max()) + 1
+            if spec is not None and spec.groups is not None
+            else 1
+        )
+        first_active = (
+            spec.active if spec is not None else np.zeros(B, dtype=bool)
+        )
+        n_groups_seen = np.where(first_active, shared_groups, 1)
+        for t in range(B):
+            adversaries[t].begin_run(
+                n_nodes, int(n_groups_seen[t]), adversary_rngs[t]
+            )
+
+        while spec is not None:
+            if spec.n_nodes != n_nodes:
+                raise ProtocolError(
+                    f"phase for {spec.n_nodes} nodes from a protocol "
+                    f"with {n_nodes}"
+                )
+            runnable = spec.active & ~truncated
+            over = runnable & (
+                (slots + spec.lengths > self.max_slots)
+                | (phases >= self.max_phases)
+            )
+            if over.any():
+                if self.strict:
+                    t = int(np.flatnonzero(over)[0])
+                    raise BudgetExceededError(
+                        f"run exceeded caps (slots={int(slots[t])}, "
+                        f"phases={int(phases[t])})"
+                    )
+                truncated |= over
+                runnable &= ~over
+            if not runnable.any():
+                break
+            idx = np.flatnonzero(runnable)
+
+            if prof is not None:
+                t_stage = time.perf_counter()
+            full = len(idx) == B
+            events = sample_action_events_batch(
+                protocol_rngs if full else [protocol_rngs[t] for t in idx],
+                spec.lengths if full else spec.lengths[idx],
+                spec.send_probs if full else spec.send_probs[idx],
+                spec.send_kinds if full else spec.send_kinds[idx],
+                spec.listen_probs if full else spec.listen_probs[idx],
+                validate=False,
+            )
+            if prof is not None:
+                t_stage = self._clock("sampling", t_stage)
+
+            adv_spent = ledger.adversary_costs
+            ctxs = [
+                AdversaryContext(
+                    phase_index=int(phases[t]),
+                    length=int(spec.lengths[t]),
+                    n_nodes=n_nodes,
+                    n_groups=int(n_groups_seen[t]),
+                    tags=dict(spec.tags[t]),
+                    sends=events[i][0],
+                    listens=events[i][1],
+                    send_probs=spec.send_probs[t],
+                    listen_probs=spec.listen_probs[t],
+                    spent=int(adv_spent[t]),
+                )
+                for i, t in enumerate(idx)
+            ]
+            plans = adv_type.plan_phase_batch(
+                [adversaries[t] for t in idx], ctxs
+            )
+            if prof is not None:
+                t_stage = self._clock("adversary", t_stage)
+            if sink is not None:
+                t0 = time.perf_counter()
+            if self.resolver == "dense":
+                core = BatchPhaseOutcome.from_outcomes([
+                    resolve_phase_dense(
+                        int(spec.lengths[t]), n_nodes,
+                        events[i][0], events[i][1], plans[i],
+                        groups=spec.groups,
+                    )
+                    for i, t in enumerate(idx)
+                ])
+            else:
+                core = resolve_phase_batch_core(
+                    spec.lengths if full else spec.lengths[idx],
+                    n_nodes,
+                    [ev[0] for ev in events],
+                    [ev[1] for ev in events],
+                    plans,
+                    [spec.groups] * len(idx),
+                    validate=False,
+                )
+            if sink is not None:
+                resolve_time += time.perf_counter() - t0
+                n_events += sum(len(ev[0]) + len(ev[1]) for ev in events)
+            if prof is not None:
+                t_stage = self._clock("resolve", t_stage)
+
+            # Scatter the step rows back onto the full batch axis: one
+            # stacked observation replaces B PhaseObservation objects.
+            if full:
+                heard_full = core.heard
+                send_full = core.send_cost
+                listen_full = core.listen_cost
+                advc_full = core.adversary_costs
+            else:
+                heard_full = np.zeros((B, n_nodes, N_STATUS), dtype=np.int64)
+                send_full = np.zeros((B, n_nodes), dtype=np.int64)
+                listen_full = np.zeros((B, n_nodes), dtype=np.int64)
+                advc_full = np.zeros(B, dtype=np.int64)
+                heard_full[idx] = core.heard
+                send_full[idx] = core.send_cost
+                listen_full[idx] = core.listen_cost
+                advc_full[idx] = core.adversary_costs
+
+            ledger.charge_phase_batch(
+                runnable, spec.lengths, send_full, listen_full, advc_full,
+                spec.tags,
+            )
+            slots[runnable] += spec.lengths[runnable]
+            phases[runnable] += 1
+            if prof is not None:
+                t_stage = self._clock("accounting", t_stage)
+
+            protocol.observe_batch(
+                BatchPhaseObservation(
+                    lengths=spec.lengths,
+                    heard=heard_full,
+                    send_cost=send_full,
+                    listen_cost=listen_full,
+                    active=runnable,
+                    tags=spec.tags,
+                )
+            )
+            if observe_hooked:
+                for i, t in enumerate(idx):
+                    adversaries[t].observe_outcome(ctxs[i], core.outcome_for(i))
+            spec = protocol.next_phase_batch(runnable)
+            if prof is not None:
+                t_stage = self._clock("protocol", t_stage)
+
+        bad = ~protocol.done_batch() & ~truncated
+        if bad.any():
+            raise ProtocolError(
+                "protocol returned no phase but reports not done"
+            )
+        ledger.check_conservation()
+        stats = protocol.summary_batch()
+        results = [
+            RunResult(
+                node_costs=ledger.node_costs_for(t),
+                adversary_cost=ledger.adversary_cost(t),
+                slots=int(slots[t]),
+                phases=int(phases[t]),
+                truncated=bool(truncated[t]),
+                stats=stats[t],
+                phase_history=ledger.history_for(t),
+                node_send_costs=ledger.send_costs_for(t),
+                node_listen_costs=ledger.listen_costs_for(t),
+            )
+            for t in range(B)
+        ]
+        if sink is not None:
+            total_slots = int(slots.sum())
+            sink.span_event(
+                "sim.run_batch", resolve_time,
+                trials=B, phases=int(phases.sum()), slots=total_slots,
                 events=n_events,
                 events_per_slot=(
                     round(n_events / total_slots, 6) if total_slots else 0.0

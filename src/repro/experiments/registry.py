@@ -5,7 +5,6 @@ from __future__ import annotations
 import hashlib
 import importlib
 import time
-import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -162,51 +161,6 @@ class RunConfig:
             self.cache_dir if self.cache_dir is not None else default_cache_dir()
         )
 
-    @classmethod
-    def coerce(
-        cls,
-        config: RunConfig | int | None = None,
-        *,
-        seed: int | None = None,
-        quick: bool | None = None,
-        warn: bool = True,
-    ) -> RunConfig:
-        """Normalize new-style and legacy call conventions to a config.
-
-        Accepts a :class:`RunConfig` (returned as-is), ``None`` plus
-        the legacy ``seed=``/``quick=`` keywords, or a bare integer in
-        the config position (the legacy positional seed).  Legacy forms
-        emit a :class:`DeprecationWarning` when ``warn`` is true.
-        """
-        if isinstance(config, cls):
-            if seed is not None or quick is not None:
-                raise ConfigurationError(
-                    "pass either a RunConfig or legacy seed=/quick= "
-                    "keywords, not both"
-                )
-            return config
-        if config is not None:
-            if isinstance(config, bool) or not isinstance(config, int):
-                raise ConfigurationError(
-                    f"expected a RunConfig or an integer seed, got {config!r}"
-                )
-            if seed is not None:
-                raise ConfigurationError(
-                    "seed given both positionally and as a keyword"
-                )
-            seed = config
-        if (seed is not None or quick is not None) and warn:
-            warnings.warn(
-                "run(seed=..., quick=...) is deprecated; pass a "
-                "RunConfig instead, e.g. run(RunConfig(seed=7, quick=False))",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-        return cls(
-            seed=0 if seed is None else seed,
-            quick=True if quick is None else quick,
-        )
-
 
 @dataclass
 class ExperimentReport:
@@ -317,10 +271,7 @@ def get_experiment(eid: str) -> Experiment:
 
 def run_experiment(
     eid: str,
-    config: RunConfig | int | None = None,
-    *,
-    seed: int | None = None,
-    quick: bool | None = None,
+    config: RunConfig | None = None,
 ) -> ExperimentReport:
     """Run one experiment by id.
 
@@ -329,13 +280,20 @@ def run_experiment(
 
         run_experiment("E1", RunConfig(seed=7, quick=False, jobs=4))
 
-    This registry boundary is the one remaining entry point that still
-    accepts the legacy ``seed=``/``quick=`` keywords (and the bare
-    integer seed), mapping them onto a default config with a
-    one-release :class:`DeprecationWarning`; the experiment modules'
-    ``run`` functions take a :class:`RunConfig` only.
+    :class:`RunConfig` is the only call convention — the legacy
+    ``seed=``/``quick=`` keywords (and the bare integer seed) finished
+    their one-release :class:`DeprecationWarning` period and were
+    removed; passing them now raises like any other unknown argument.
     """
-    cfg = RunConfig.coerce(config, seed=seed, quick=quick)
+    if config is None:
+        cfg = RunConfig()
+    elif isinstance(config, RunConfig):
+        cfg = config
+    else:
+        raise ConfigurationError(
+            f"expected a RunConfig or None, got {config!r}; the legacy "
+            "integer-seed form was removed — use RunConfig(seed=...)"
+        )
     exp = get_experiment(eid)
     cfg.experiment = exp.eid  # stamp cache fingerprints with the id
     if cfg.telemetry is not None and get_sink() is None:

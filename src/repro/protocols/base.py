@@ -9,12 +9,13 @@ implementation can see the adversary's schedule or other ground truth.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from enum import IntEnum
 
 import numpy as np
 
-from repro.engine.phase import PhaseObservation, PhaseSpec
+from repro.engine.phase import BatchPhaseObservation, BatchPhaseSpec, PhaseObservation, PhaseSpec
 
 __all__ = ["Protocol", "NodeStatus"]
 
@@ -78,3 +79,65 @@ class Protocol(ABC):
         for 1-to-1, whether Bob received ``m``; for 1-to-n, whether every
         node was informed when it halted.
         """
+
+    # ------------------------------------------------------------------
+    # Lockstep batch API.
+    #
+    # A batched protocol advances B independent trials in lockstep:
+    # per-trial state becomes arrays with a leading trial axis, and
+    # trials that finish early are *masked out* (their rows go inactive)
+    # rather than compacted, so each trial's rng stream consumption and
+    # phase sequence stay bit-identical to a serial run of that trial.
+    #
+    # The defaults below make every protocol batchable out of the box by
+    # driving B deep-copied serial clones — correct but per-trial
+    # Python-speed.  The zoo overrides them with stacked NumPy
+    # implementations; new protocols can start with the fallback and
+    # override incrementally.
+    # ------------------------------------------------------------------
+
+    def reset_batch(self, rng_streams: "list[np.random.Generator]") -> None:
+        """Re-initialise state for a fresh batch of ``len(rng_streams)`` trials.
+
+        ``rng_streams[t]`` is trial ``t``'s private random stream — the
+        same stream a serial ``reset(rng)`` of that trial would receive.
+        """
+        # Drop any previous clone list before deep-copying ourselves so
+        # stale batches aren't copied recursively.
+        self._batch_clones = None
+        clones = [copy.deepcopy(self) for _ in rng_streams]
+        for clone, rng in zip(clones, rng_streams):
+            clone.reset(rng)
+        self._batch_clones = clones
+
+    def next_phase_batch(self, mask: np.ndarray) -> BatchPhaseSpec | None:
+        """Describe the next lockstep phase for the masked trials.
+
+        ``mask`` is the engine's ``(B,)`` runnable filter (trials it is
+        still driving — e.g. truncated trials are excluded).  The
+        returned spec's ``active`` rows are a subset of ``mask``: trials
+        that are done (or abort while building the phase) go inactive.
+        Returns ``None`` when no masked trial emits a phase.
+        """
+        clones = self._batch_clones
+        specs: list[PhaseSpec | None] = [None] * len(clones)
+        for t in np.flatnonzero(mask):
+            clone = clones[t]
+            if not clone.done:
+                specs[t] = clone.next_phase()
+        return BatchPhaseSpec.stack(specs, n_nodes=self.n_nodes)
+
+    def observe_batch(self, obs: BatchPhaseObservation) -> None:
+        """Consume the lockstep phase result; inactive rows are ignored."""
+        clones = self._batch_clones
+        for t in np.flatnonzero(obs.active):
+            clones[t].observe(obs.observation_for(t))
+
+    def done_batch(self) -> np.ndarray:
+        """``(B,)`` bool: which trials have every node halted."""
+        clones = self._batch_clones
+        return np.fromiter((c.done for c in clones), dtype=bool, count=len(clones))
+
+    def summary_batch(self) -> "list[dict]":
+        """Per-trial :meth:`summary` dicts, identical to serial output."""
+        return [c.summary() for c in self._batch_clones]

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.phase import PhaseObservation, PhaseSpec
+from repro.engine.phase import (
+    BatchPhaseObservation,
+    BatchPhaseSpec,
+    PhaseObservation,
+    PhaseSpec,
+)
 from repro.errors import ProtocolError
 from repro.protocols.base import Protocol
 from repro.protocols.ksy import KSYOneToOne, KSYParams
@@ -117,3 +122,146 @@ class CombinedOneToOne(Protocol):
             "slots_fig1": self._slots["fig1"],
             "slots_ksy": self._slots["ksy"],
         }
+
+    # -- lockstep batch implementation ------------------------------------
+    #
+    # Both children hold full-B batch state; each trial independently
+    # routes its step to the slot-lagging child, so a single lockstep
+    # phase mixes fig1 rows and ksy rows.  The merged spec is built with
+    # np.where over the two children's row blocks.
+
+    def reset_batch(self, rng_streams: list[np.random.Generator]) -> None:
+        b = len(rng_streams)
+        self.fig1 = OneToOneBroadcast(self._fig1_params)
+        self.ksy = KSYOneToOne(self._ksy_params)
+        self.fig1.reset_batch(rng_streams)
+        self.ksy.reset_batch(rng_streams)
+        self.slots_fig1_b = np.zeros(b, dtype=np.int64)
+        self.slots_ksy_b = np.zeros(b, dtype=np.int64)
+        self._awaiting_b = np.zeros(b, dtype=bool)
+        self._act_f = np.zeros(b, dtype=bool)
+        self._act_k = np.zeros(b, dtype=bool)
+
+    def done_batch(self) -> np.ndarray:
+        return self.fig1.done_batch() & self.ksy.done_batch()
+
+    def _share_delivery_batch(self, rows: np.ndarray) -> None:
+        informed = rows & (self.fig1.bob_informed_b | self.ksy.bob_informed_b)
+        if informed.any():
+            self.fig1.force_bob_informed_batch(informed)
+            self.ksy.force_bob_informed_batch(informed)
+        f_done = self.fig1.done_batch()
+        k_done = self.ksy.done_batch()
+        kill_k = rows & f_done & ~k_done
+        if kill_k.any():
+            self.ksy.alice_alive_b &= ~kill_k
+            self.ksy.bob_alive_b &= ~kill_k
+        kill_f = rows & k_done & ~f_done
+        if kill_f.any():
+            self.fig1.alice_alive_b &= ~kill_f
+            self.fig1.bob_alive_b &= ~kill_f
+
+    def next_phase_batch(self, mask: np.ndarray) -> BatchPhaseSpec | None:
+        if (self._awaiting_b & mask).any():
+            raise ProtocolError("next_phase called before observe")
+        self._share_delivery_batch(mask)
+
+        f_nd = ~self.fig1.done_batch()
+        k_nd = ~self.ksy.done_batch()
+        run = mask & (f_nd | k_nd)
+        if not run.any():
+            return None
+        # Fair-in-slots interleave; ties go to fig1 (serial min()).
+        choose_f = f_nd & (~k_nd | (self.slots_fig1_b <= self.slots_ksy_b))
+        spec_f = self.fig1.next_phase_batch(run & choose_f)
+        spec_k = self.ksy.next_phase_batch(run & ~choose_f)
+
+        b = len(mask)
+        act_f = spec_f.active if spec_f is not None else np.zeros(b, dtype=bool)
+        act_k = spec_k.active if spec_k is not None else np.zeros(b, dtype=bool)
+        # Rows whose chosen child aborted at a phase boundary: the serial
+        # recursion re-shares (the abort concludes that child, killing
+        # the sibling) and then finds no candidate — they emit nothing.
+        failed = run & ~(act_f | act_k)
+        if failed.any():
+            self._share_delivery_batch(failed)
+        emitted = act_f | act_k
+        if not emitted.any():
+            return None
+
+        if spec_f is None or spec_k is None:
+            spec = spec_f if spec_f is not None else spec_k
+            lengths = np.where(spec.active, spec.lengths, 1)
+            send_probs = spec.send_probs
+            listen_probs = spec.listen_probs
+            send_kinds = spec.send_kinds
+            tags = list(spec.tags)
+        else:
+            col = act_f[:, None]
+            lengths = np.where(act_f, spec_f.lengths, np.where(act_k, spec_k.lengths, 1))
+            send_probs = np.where(col, spec_f.send_probs, spec_k.send_probs)
+            listen_probs = np.where(col, spec_f.listen_probs, spec_k.listen_probs)
+            send_kinds = np.where(col, spec_f.send_kinds, spec_k.send_kinds).astype(np.int8)
+            tags = [
+                spec_f.tags[t] if act_f[t] else spec_k.tags[t] for t in range(b)
+            ]
+        for t in np.flatnonzero(emitted):
+            tags[t]["combined_child"] = "fig1" if act_f[t] else "ksy"
+        self.slots_fig1_b[act_f] += lengths[act_f]
+        self.slots_ksy_b[act_k] += lengths[act_k]
+
+        self._act_f, self._act_k = act_f, act_k
+        self._awaiting_b = emitted.copy()
+        return BatchPhaseSpec(
+            lengths=lengths,
+            send_probs=send_probs,
+            send_kinds=send_kinds,
+            listen_probs=listen_probs,
+            active=emitted,
+            groups=np.array([0, 1], dtype=np.int64),
+            tags=tags,
+        )
+
+    def observe_batch(self, obs: BatchPhaseObservation) -> None:
+        act = obs.active
+        if (act & ~self._awaiting_b).any():
+            raise ProtocolError("observe called with no phase outstanding")
+        self._awaiting_b &= ~act
+        if self._act_f.any():
+            self.fig1.observe_batch(
+                BatchPhaseObservation(
+                    lengths=obs.lengths,
+                    heard=obs.heard,
+                    send_cost=obs.send_cost,
+                    listen_cost=obs.listen_cost,
+                    active=self._act_f,
+                    tags=obs.tags,
+                )
+            )
+        if self._act_k.any():
+            self.ksy.observe_batch(
+                BatchPhaseObservation(
+                    lengths=obs.lengths,
+                    heard=obs.heard,
+                    send_cost=obs.send_cost,
+                    listen_cost=obs.listen_cost,
+                    active=self._act_k,
+                    tags=obs.tags,
+                )
+            )
+        self._share_delivery_batch(act)
+
+    def summary_batch(self) -> list[dict]:
+        fig1 = self.fig1.summary_batch()
+        ksy = self.ksy.summary_batch()
+        informed = self.fig1.bob_informed_b | self.ksy.bob_informed_b
+        return [
+            {
+                "success": bool(informed[t]),
+                "fig1": fig1[t],
+                "ksy": ksy[t],
+                "slots_fig1": int(self.slots_fig1_b[t]),
+                "slots_ksy": int(self.slots_ksy_b[t]),
+            }
+            for t in range(len(informed))
+        ]

@@ -39,9 +39,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.channel.events import TxKind
+from repro.channel.events import SlotStatus, TxKind
 from repro.constants import PHI_MINUS_1, PHI_MINUS_1_SQ
-from repro.engine.phase import PhaseObservation, PhaseSpec
+from repro.engine.phase import (
+    BatchPhaseObservation,
+    BatchPhaseSpec,
+    PhaseObservation,
+    PhaseSpec,
+)
 from repro.errors import ConfigurationError, ProtocolError
 from repro.protocols.base import Protocol
 
@@ -225,6 +230,137 @@ class KSYOneToOne(Protocol):
         if self.bob_alive:
             self.bob_informed = True
             self.bob_alive = False
+
+    # -- lockstep batch implementation ------------------------------------
+    # Mirrors OneToOneBroadcast's layout with KSY's asymmetric rates and
+    # a per-kind jam threshold (the listener's rate differs by phase).
+
+    def reset_batch(self, rng_streams: list[np.random.Generator]) -> None:
+        b = len(rng_streams)
+        self._rngs = list(rng_streams)
+        p = self.params
+        epochs = range(p.first_epoch, p.max_epoch + 1)
+        self._tab_len = np.array([p.phase_length(e) for e in epochs], dtype=np.int64)
+        self._tab_cheap = np.array([p.cheap_probability(e) for e in epochs])
+        self._tab_exp = np.array([p.expensive_probability(e) for e in epochs])
+        self._tab_thr_send = np.array(
+            [p.jam_threshold(e, p.expensive_probability(e)) for e in epochs]
+        )
+        self._tab_thr_nack = np.array(
+            [p.jam_threshold(e, p.cheap_probability(e)) for e in epochs]
+        )
+        self.epoch_b = np.full(b, p.first_epoch, dtype=np.int64)
+        self.phase_send_b = np.ones(b, dtype=bool)
+        self.alice_alive_b = np.ones(b, dtype=bool)
+        self.bob_alive_b = np.ones(b, dtype=bool)
+        self.bob_informed_b = np.zeros(b, dtype=bool)
+        self.aborted_b = np.zeros(b, dtype=bool)
+        self._awaiting_b = np.zeros(b, dtype=bool)
+        self._groups_b = np.array([0, 1], dtype=np.int64)
+        self._kinds_b = np.broadcast_to(
+            np.array([TxKind.DATA, TxKind.NACK], dtype=np.int8), (b, 2)
+        )
+
+    def _epoch_index(self) -> np.ndarray:
+        return np.minimum(self.epoch_b, self.params.max_epoch) - self.params.first_epoch
+
+    def done_batch(self) -> np.ndarray:
+        return ~(self.alice_alive_b | self.bob_alive_b)
+
+    def next_phase_batch(self, mask: np.ndarray) -> BatchPhaseSpec | None:
+        if (self._awaiting_b & mask).any():
+            raise ProtocolError("next_phase called before observe")
+        run = mask & (self.alice_alive_b | self.bob_alive_b)
+        over = run & (self.epoch_b > self.params.max_epoch)
+        if over.any():
+            self.aborted_b |= over
+            self.alice_alive_b &= ~over
+            self.bob_alive_b &= ~over
+            run &= ~over
+        if not run.any():
+            return None
+
+        b = len(run)
+        ei = self._epoch_index()
+        p_cheap = self._tab_cheap[ei]
+        p_exp = self._tab_exp[ei]
+        lengths = np.where(run, self._tab_len[ei], 1)
+        send_probs = np.zeros((b, 2))
+        listen_probs = np.zeros((b, 2))
+        r_send = run & self.phase_send_b
+        r_nack = run & ~self.phase_send_b
+        send_probs[:, ALICE] = np.where(r_send & self.alice_alive_b, p_cheap, 0.0)
+        listen_probs[:, BOB] = np.where(r_send & self.bob_alive_b, p_exp, 0.0)
+        send_probs[:, BOB] = np.where(
+            r_nack & self.bob_alive_b & ~self.bob_informed_b, p_exp, 0.0
+        )
+        listen_probs[:, ALICE] = np.where(r_nack & self.alice_alive_b, p_cheap, 0.0)
+
+        tags: list = [None] * b
+        for t in np.flatnonzero(run):
+            send = bool(r_send[t])
+            tags[t] = {
+                "protocol": "ksy",
+                "kind": "send" if send else "nack",
+                "epoch": int(self.epoch_b[t]),
+                "p": float(p_cheap[t] if send else p_exp[t]),
+                "listener_group": BOB if send else ALICE,
+            }
+        self._awaiting_b = run.copy()
+        return BatchPhaseSpec(
+            lengths=lengths,
+            send_probs=send_probs,
+            send_kinds=self._kinds_b,
+            listen_probs=listen_probs,
+            active=run,
+            groups=self._groups_b,
+            tags=tags,
+        )
+
+    def observe_batch(self, obs: BatchPhaseObservation) -> None:
+        act = obs.active
+        if (act & ~self._awaiting_b).any():
+            raise ProtocolError("observe called with no phase outstanding")
+        self._awaiting_b &= ~act
+        ei = self._epoch_index()
+        thr = np.where(self.phase_send_b, self._tab_thr_send[ei], self._tab_thr_nack[ei])
+
+        is_send = act & self.phase_send_b
+        is_nack = act & ~self.phase_send_b
+
+        bob_live = is_send & self.bob_alive_b
+        got = bob_live & (obs.heard[:, BOB, SlotStatus.DATA] > 0)
+        quiet = bob_live & ~got & (obs.heard[:, BOB, SlotStatus.NOISE] < thr)
+        self.bob_informed_b |= got
+        self.bob_alive_b &= ~(got | quiet)
+        self.phase_send_b &= ~is_send
+
+        al = is_nack & self.alice_alive_b
+        halt = (
+            al
+            & (obs.heard[:, ALICE, SlotStatus.NACK] == 0)
+            & (obs.heard[:, ALICE, SlotStatus.NOISE] < thr)
+        )
+        self.alice_alive_b &= ~halt
+        self.phase_send_b |= is_nack
+        self.epoch_b[is_nack] += 1
+
+    def summary_batch(self) -> list[dict]:
+        return [
+            {
+                "success": bool(self.bob_informed_b[t]),
+                "final_epoch": int(self.epoch_b[t]),
+                "aborted": bool(self.aborted_b[t]),
+                "alice_halted": not bool(self.alice_alive_b[t]),
+                "bob_halted": not bool(self.bob_alive_b[t]),
+            }
+            for t in range(len(self.epoch_b))
+        ]
+
+    def force_bob_informed_batch(self, mask: np.ndarray) -> None:
+        sel = mask & self.bob_alive_b
+        self.bob_informed_b |= sel
+        self.bob_alive_b &= ~sel
 
 
 # Re-exported here for introspection in docs/tests.

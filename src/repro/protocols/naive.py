@@ -17,8 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.channel.events import TxKind
-from repro.engine.phase import PhaseObservation, PhaseSpec
+from repro.channel.events import SlotStatus, TxKind
+from repro.engine.phase import (
+    BatchPhaseObservation,
+    BatchPhaseSpec,
+    PhaseObservation,
+    PhaseSpec,
+)
 from repro.errors import ConfigurationError, ProtocolError
 from repro.protocols.base import NodeStatus, Protocol
 from repro.protocols.one_to_n import OneToNBroadcast, OneToNParams
@@ -138,6 +143,113 @@ class _ChunkedOneToOne(Protocol):
             "bob_halted": not self.bob_alive,
         }
 
+    # -- lockstep batch implementation ------------------------------------
+
+    def reset_batch(self, rng_streams: list[np.random.Generator]) -> None:
+        b = len(rng_streams)
+        self._rngs = list(rng_streams)
+        self.chunk_index_b = np.zeros(b, dtype=np.int64)
+        self.phase_send_b = np.ones(b, dtype=bool)
+        self.alice_alive_b = np.ones(b, dtype=bool)
+        self.bob_alive_b = np.ones(b, dtype=bool)
+        self.bob_informed_b = np.zeros(b, dtype=bool)
+        self.acks_remaining_b = np.full(b, self.linger, dtype=np.int64)
+        self.aborted_b = np.zeros(b, dtype=bool)
+        self._awaiting_b = np.zeros(b, dtype=bool)
+        self._groups_b = np.array([0, 1], dtype=np.int64)
+        self._kinds_b = np.broadcast_to(
+            np.array([TxKind.DATA, TxKind.ACK], dtype=np.int8), (b, 2)
+        )
+
+    def done_batch(self) -> np.ndarray:
+        return ~(self.alice_alive_b | self.bob_alive_b)
+
+    def next_phase_batch(self, mask: np.ndarray) -> BatchPhaseSpec | None:
+        if (self._awaiting_b & mask).any():
+            raise ProtocolError("next_phase called before observe")
+        run = mask & (self.alice_alive_b | self.bob_alive_b)
+        over = run & (self.chunk_index_b >= self.max_chunks)
+        if over.any():
+            self.aborted_b |= over
+            self.alice_alive_b &= ~over
+            self.bob_alive_b &= ~over
+            run &= ~over
+        if not run.any():
+            return None
+
+        b = len(run)
+        send_probs = np.zeros((b, 2))
+        listen_probs = np.zeros((b, 2))
+        r_send = run & self.phase_send_b
+        r_ack = run & ~self.phase_send_b
+        send_probs[:, ALICE] = np.where(r_send & self.alice_alive_b, self.rate, 0.0)
+        listen_probs[:, BOB] = np.where(
+            r_send & self.bob_alive_b & ~self.bob_informed_b, self.rate, 0.0
+        )
+        send_probs[:, BOB] = np.where(
+            r_ack & self.bob_alive_b & self.bob_informed_b, self.rate, 0.0
+        )
+        listen_probs[:, ALICE] = np.where(r_ack & self.alice_alive_b, self.rate, 0.0)
+
+        tags: list = [None] * b
+        for t in np.flatnonzero(run):
+            send = bool(r_send[t])
+            tags[t] = {
+                "protocol": "naive-1to1",
+                "kind": "send" if send else "ack",
+                "chunk": int(self.chunk_index_b[t]),
+                "p": self.rate,
+                "listener_group": BOB if send else ALICE,
+            }
+        self._awaiting_b = run.copy()
+        return BatchPhaseSpec(
+            lengths=np.full(b, self.chunk, dtype=np.int64),
+            send_probs=send_probs,
+            send_kinds=self._kinds_b,
+            listen_probs=listen_probs,
+            active=run,
+            groups=self._groups_b,
+            tags=tags,
+        )
+
+    def observe_batch(self, obs: BatchPhaseObservation) -> None:
+        act = obs.active
+        if (act & ~self._awaiting_b).any():
+            raise ProtocolError("observe called with no phase outstanding")
+        self._awaiting_b &= ~act
+
+        is_send = act & self.phase_send_b
+        is_ack = act & ~self.phase_send_b
+
+        got = (
+            is_send
+            & self.bob_alive_b
+            & ~self.bob_informed_b
+            & (obs.heard[:, BOB, SlotStatus.DATA] > 0)
+        )
+        self.bob_informed_b |= got
+        self.phase_send_b &= ~is_send
+
+        acked = is_ack & self.alice_alive_b & (obs.heard[:, ALICE, SlotStatus.ACK] > 0)
+        self.alice_alive_b &= ~acked
+        lingering = is_ack & self.bob_alive_b & self.bob_informed_b
+        self.acks_remaining_b[lingering] -= 1
+        self.bob_alive_b &= ~(lingering & (self.acks_remaining_b <= 0))
+        self.phase_send_b |= is_ack
+        self.chunk_index_b[is_ack] += 1
+
+    def summary_batch(self) -> list[dict]:
+        return [
+            {
+                "success": bool(self.bob_informed_b[t]),
+                "aborted": bool(self.aborted_b[t]),
+                "chunks": int(self.chunk_index_b[t]),
+                "alice_halted": not bool(self.alice_alive_b[t]),
+                "bob_halted": not bool(self.bob_alive_b[t]),
+            }
+            for t in range(len(self.chunk_index_b))
+        ]
+
 
 class AlwaysOnSender(_ChunkedOneToOne):
     """Deterministic 1-to-1: send/listen every slot.
@@ -226,3 +338,43 @@ class NaiveHaltingBroadcast(OneToNBroadcast):
             spec.tags["protocol"] = "naive-1ton"
             spec.tags["hear_threshold"] = self._threshold()
         return spec
+
+    # -- lockstep batch overrides ------------------------------------------
+
+    def _threshold_batch(self, ei: np.ndarray) -> np.ndarray:
+        """(B,) per-trial halting threshold (fixed or epoch-derived)."""
+        if self.halt_after is not None:
+            return np.full(len(ei), self.halt_after)
+        return self._tab_helper[ei]
+
+    def _batch_tags(self, run: np.ndarray, ei: np.ndarray) -> list:
+        tags = super()._batch_tags(run, ei)
+        fixed = self.halt_after
+        thr = None if fixed is not None else self._tab_helper[ei]
+        for t in np.flatnonzero(run):
+            tags[t]["protocol"] = "naive-1ton"
+            tags[t]["hear_threshold"] = fixed if fixed is not None else float(thr[t])
+        return tags
+
+    def observe_batch(self, obs: BatchPhaseObservation) -> None:
+        self._last_heard_m_b = obs.heard[:, :, SlotStatus.DATA].copy()
+        super().observe_batch(obs)
+
+    def _apply_cases_batch(self, case1, case2, case3, case4, Lf, acted) -> None:
+        del case3, case4
+        thr = self._threshold_batch(self._epoch_index())[:, None]
+        halt = (
+            ~case1
+            & acted
+            & (self.status_b == NodeStatus.INFORMED)
+            & (self._last_heard_m_b > thr)
+        )
+        epoch_grid = np.broadcast_to(self.epoch_b[:, None], self.status_b.shape)
+        self.status_b[case1] = NodeStatus.TERMINATED
+        self.terminated_epoch_b[case1] = epoch_grid[case1]
+
+        self.status_b[case2] = NodeStatus.INFORMED
+        self.ever_informed_b |= case2
+
+        self.status_b[halt] = NodeStatus.TERMINATED
+        self.terminated_epoch_b[halt] = epoch_grid[halt]

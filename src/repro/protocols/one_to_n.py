@@ -52,7 +52,13 @@ from repro.constants import (
     FIG2_TERM_GLOBAL,
     FIG2_TERM_HELPER,
 )
-from repro.engine.phase import PhaseObservation, PhaseSpec
+from repro.channel.events import SlotStatus
+from repro.engine.phase import (
+    BatchPhaseObservation,
+    BatchPhaseSpec,
+    PhaseObservation,
+    PhaseSpec,
+)
 from repro.errors import ConfigurationError, ProtocolError
 from repro.protocols.base import NodeStatus, Protocol
 
@@ -395,3 +401,217 @@ class OneToNBroadcast(Protocol):
             "max_s_ratio": self.max_s_ratio,
             "helper_uninformed_overlaps": self.helper_uninformed_overlaps,
         }
+
+    # -- lockstep batch implementation ------------------------------------
+    #
+    # Per-node state gains a leading trial axis: ``S_b`` is ``(B, n)``,
+    # epoch/repetition counters are ``(B,)``.  Scalar per-epoch factors
+    # come from lookup tables computed with the serial params methods so
+    # every float matches serial bit-for-bit; per-node float updates use
+    # the same elementwise expressions (and association order) as serial.
+
+    def reset_batch(self, rng_streams: list[np.random.Generator]) -> None:
+        b = len(rng_streams)
+        n = self.n_nodes
+        self._rngs = list(rng_streams)
+        p = self.params
+        epochs = range(p.first_epoch, p.max_epoch + 1)
+        self._tab_len = np.array([p.phase_length(e) for e in epochs], dtype=np.int64)
+        self._tab_lenf = self._tab_len.astype(np.float64)
+        self._tab_reps = np.array([p.n_repetitions(e) for e in epochs], dtype=np.int64)
+        # listen_budget(e, s) evaluates (s * d) * float(e)**exp — keep the
+        # epoch factor separate to preserve the association order.
+        self._tab_epow = np.array([float(e) ** p.listen_exp for e in epochs])
+        self._tab_helper = np.array([p.helper_threshold(e) for e in epochs])
+        self._tab_term = np.array([p.term_global_threshold(e) for e in epochs])
+
+        self.epoch_b = np.full(b, p.first_epoch, dtype=np.int64)
+        self.repetition_b = np.zeros(b, dtype=np.int64)
+        self.S_b = np.full((b, n), p.s_init, dtype=np.float64)
+        self.status_b = np.full((b, n), NodeStatus.UNINFORMED, dtype=np.int64)
+        self.status_b[:, self.sender] = NodeStatus.INFORMED
+        self.ever_informed_b = np.zeros((b, n), dtype=bool)
+        self.ever_informed_b[:, self.sender] = True
+        self.n_est_b = np.full((b, n), np.nan)
+        self.terminated_epoch_b = np.full((b, n), -1, dtype=np.int64)
+        self.max_s_ratio_b = np.ones(b, dtype=np.float64)
+        self.overlaps_b = np.zeros(b, dtype=np.int64)
+        self.aborted_b = np.zeros(b, dtype=bool)
+        self._awaiting_b = np.zeros(b, dtype=bool)
+        self._emitted_listen_probs_b: np.ndarray | None = None
+
+    def _epoch_index(self) -> np.ndarray:
+        return np.minimum(self.epoch_b, self.params.max_epoch) - self.params.first_epoch
+
+    def done_batch(self) -> np.ndarray:
+        return (self.status_b == NodeStatus.TERMINATED).all(axis=1)
+
+    def next_phase_batch(self, mask: np.ndarray) -> BatchPhaseSpec | None:
+        if (self._awaiting_b & mask).any():
+            raise ProtocolError("next_phase called before observe")
+        run = mask & ~self.done_batch()
+        over = run & (self.epoch_b > self.params.max_epoch)
+        if over.any():
+            self.aborted_b |= over
+            sel = over[:, None] & (self.status_b != NodeStatus.TERMINATED)
+            self.terminated_epoch_b[sel] = np.broadcast_to(
+                self.epoch_b[:, None], sel.shape
+            )[sel]
+            self.status_b[over] = NodeStatus.TERMINATED
+            run &= ~over
+        if not run.any():
+            return None
+
+        p = self.params
+        b = len(run)
+        ei = self._epoch_index()
+        lengths = np.where(run, self._tab_len[ei], 1)
+        Lf = self._tab_lenf[ei][:, None]
+        active = self.status_b != NodeStatus.TERMINATED
+
+        send_probs = np.where(active, np.minimum(1.0, self.S_b / Lf), 0.0)
+        has_message = (self.status_b == NodeStatus.INFORMED) | (
+            self.status_b == NodeStatus.HELPER
+        )
+        send_kinds = np.where(has_message, TxKind.DATA, TxKind.NOISE).astype(np.int8)
+        if not p.uninformed_noise:
+            send_probs = np.where(has_message, send_probs, 0.0)
+        budget = (self.S_b * p.d) * self._tab_epow[ei][:, None]
+        listen_probs = np.where(active, np.minimum(1.0, budget / Lf), 0.0)
+        dead = ~run
+        if dead.any():
+            send_probs[dead] = 0.0
+            listen_probs[dead] = 0.0
+
+        tags = self._batch_tags(run, ei)
+        self._awaiting_b = run.copy()
+        self._emitted_listen_probs_b = listen_probs
+        return BatchPhaseSpec(
+            lengths=lengths,
+            send_probs=send_probs,
+            send_kinds=send_kinds,
+            listen_probs=listen_probs,
+            active=run,
+            groups=None,
+            tags=tags,
+        )
+
+    def _batch_tags(self, run: np.ndarray, ei: np.ndarray) -> list:
+        tags: list = [None] * len(run)
+        for t in np.flatnonzero(run):
+            e = ei[t]
+            tags[t] = {
+                "protocol": "fig2",
+                "kind": "repetition",
+                "epoch": int(self.epoch_b[t]),
+                "repetition": int(self.repetition_b[t]),
+                "n_repetitions": int(self._tab_reps[e]),
+                "hear_threshold": float(self._tab_helper[e]),
+            }
+        return tags
+
+    def observe_batch(self, obs: BatchPhaseObservation) -> None:
+        act = obs.active
+        if (act & ~self._awaiting_b).any():
+            raise ProtocolError("observe called with no phase outstanding")
+        self._awaiting_b &= ~act
+
+        p = self.params
+        ei = self._epoch_index()
+        Lf = self._tab_lenf[ei][:, None]
+        active = self.status_b != NodeStatus.TERMINATED
+        acted = act[:, None] & active
+
+        expected_listens = self._emitted_listen_probs_b * Lf
+        clear = obs.heard[:, :, SlotStatus.CLEAR].astype(np.float64)
+        surplus = np.maximum(0.0, clear - p.clear_baseline_frac * expected_listens)
+        if p.aggressive_growth:
+            denom = expected_listens
+        else:
+            denom = expected_listens * self.epoch_b.astype(np.float64)[:, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            exponent = np.where(expected_listens > 0.0, surplus / denom, 0.0)
+        self.S_b = np.where(acted, self.S_b * np.exp2(exponent), self.S_b)
+
+        live_counts = active.sum(axis=1)
+        smax = np.where(active, self.S_b, -np.inf).max(axis=1)
+        smin = np.where(active, self.S_b, np.inf).min(axis=1)
+        multi = act & (live_counts > 1)
+        if multi.any():
+            ratio = np.where(multi, smax / np.where(multi, smin, 1.0), 1.0)
+            self.max_s_ratio_b = np.where(
+                multi, np.maximum(self.max_s_ratio_b, ratio), self.max_s_ratio_b
+            )
+
+        heard_m = obs.heard[:, :, SlotStatus.DATA]
+        case1 = acted & (self.S_b > self._tab_term[ei][:, None])
+        case2 = ~case1 & acted & (self.status_b == NodeStatus.UNINFORMED) & (heard_m >= 1)
+        case3 = (
+            ~case1
+            & acted
+            & (self.status_b == NodeStatus.INFORMED)
+            & (heard_m > self._tab_helper[ei][:, None])
+        )
+        with np.errstate(invalid="ignore"):
+            helper_done = self.S_b >= p.c_term_helper * np.sqrt(Lf / self.n_est_b)
+        case4 = (
+            ~case1 & ~case3 & acted & (self.status_b == NodeStatus.HELPER) & helper_done
+        )
+
+        self._apply_cases_batch(case1, case2, case3, case4, Lf, acted)
+
+        overlap = (
+            act
+            & (self.status_b == NodeStatus.HELPER).any(axis=1)
+            & (self.status_b == NodeStatus.UNINFORMED).any(axis=1)
+        )
+        self.overlaps_b += overlap
+
+        self.repetition_b[act] += 1
+        roll = act & (self.repetition_b >= self._tab_reps[ei])
+        if roll.any():
+            self.repetition_b[roll] = 0
+            self.epoch_b[roll] += 1
+            sel = roll[:, None] & (self.status_b != NodeStatus.TERMINATED)
+            self.S_b[sel] = p.s_init
+
+    def _apply_cases_batch(
+        self,
+        case1: np.ndarray,
+        case2: np.ndarray,
+        case3: np.ndarray,
+        case4: np.ndarray,
+        Lf: np.ndarray,
+        acted: np.ndarray,
+    ) -> None:
+        """Batched :meth:`_apply_cases`; masks are ``(B, n)``, gated on
+        ``acted`` (rows outside this step's phase stay frozen)."""
+        epoch_grid = np.broadcast_to(self.epoch_b[:, None], self.status_b.shape)
+        self.status_b[case1] = NodeStatus.TERMINATED
+        self.terminated_epoch_b[case1] = epoch_grid[case1]
+
+        self.status_b[case2] = NodeStatus.INFORMED
+        self.ever_informed_b |= case2
+
+        self.status_b[case3] = NodeStatus.HELPER
+        if case3.any():
+            self.n_est_b[case3] = (Lf / self.S_b**2)[case3]
+
+        self.status_b[case4] = NodeStatus.TERMINATED
+        self.terminated_epoch_b[case4] = epoch_grid[case4]
+
+    def summary_batch(self) -> list[dict]:
+        return [
+            {
+                "success": bool(self.ever_informed_b[t].all()),
+                "n_informed": int(self.ever_informed_b[t].sum()),
+                "final_epoch": int(self.epoch_b[t]),
+                "aborted": bool(self.aborted_b[t]),
+                "n_helpers": int((~np.isnan(self.n_est_b[t])).sum()),
+                "n_estimates": self.n_est_b[t].copy(),
+                "terminated_epoch": self.terminated_epoch_b[t].copy(),
+                "max_s_ratio": float(self.max_s_ratio_b[t]),
+                "helper_uninformed_overlaps": int(self.overlaps_b[t]),
+            }
+            for t in range(len(self.epoch_b))
+        ]

@@ -44,7 +44,13 @@ from repro.constants import (
     FIG1_JAM_THRESHOLD_DIV,
     fig1_first_epoch,
 )
-from repro.engine.phase import PhaseObservation, PhaseSpec
+from repro.channel.events import SlotStatus
+from repro.engine.phase import (
+    BatchPhaseObservation,
+    BatchPhaseSpec,
+    PhaseObservation,
+    PhaseSpec,
+)
 from repro.errors import ConfigurationError, ProtocolError
 from repro.protocols.base import Protocol
 
@@ -282,3 +288,144 @@ class OneToOneBroadcast(Protocol):
         if self.bob_alive:
             self.bob_informed = True
             self.bob_alive = False
+
+    # -- lockstep batch implementation ------------------------------------
+    #
+    # Per-trial scalars become (B,) arrays; finished trials are masked,
+    # never compacted.  The protocol draws nothing from its rng, so
+    # bit-identity to serial only requires identical phase sequences and
+    # tag values per trial.
+
+    _protocol_tag = "fig1"
+
+    def _epoch_tables(self) -> None:
+        """Per-epoch scalar lookups, computed by the serial params methods
+        so table values are bit-identical to serial calls."""
+        p = self.params
+        lo, hi = p.first_epoch, p.max_epoch
+        epochs = range(lo, hi + 1)
+        self._tab_len = np.array([p.phase_length(e) for e in epochs], dtype=np.int64)
+        self._tab_p = np.array([p.send_probability(e) for e in epochs])
+        self._tab_thr = np.array([p.jam_threshold(e) for e in epochs])
+
+    def _epoch_index(self) -> np.ndarray:
+        return np.minimum(self.epoch_b, self.params.max_epoch) - self.params.first_epoch
+
+    def reset_batch(self, rng_streams: list[np.random.Generator]) -> None:
+        b = len(rng_streams)
+        self._rngs = list(rng_streams)
+        self._epoch_tables()
+        self.epoch_b = np.full(b, self.params.first_epoch, dtype=np.int64)
+        self.phase_send_b = np.ones(b, dtype=bool)  # send phase next (vs nack)
+        self.alice_alive_b = np.ones(b, dtype=bool)
+        self.bob_alive_b = np.ones(b, dtype=bool)
+        self.bob_informed_b = np.zeros(b, dtype=bool)
+        self.aborted_b = np.zeros(b, dtype=bool)
+        self._awaiting_b = np.zeros(b, dtype=bool)
+        self._groups_b = np.array([0, 1], dtype=np.int64)
+        self._kinds_b = np.broadcast_to(
+            np.array([TxKind.DATA, TxKind.NACK], dtype=np.int8), (b, 2)
+        )
+
+    def done_batch(self) -> np.ndarray:
+        return ~(self.alice_alive_b | self.bob_alive_b)
+
+    def next_phase_batch(self, mask: np.ndarray) -> BatchPhaseSpec | None:
+        if (self._awaiting_b & mask).any():
+            raise ProtocolError("next_phase called before observe")
+        run = mask & (self.alice_alive_b | self.bob_alive_b)
+        over = run & (self.epoch_b > self.params.max_epoch)
+        if over.any():
+            self.aborted_b |= over
+            self.alice_alive_b &= ~over
+            self.bob_alive_b &= ~over
+            run &= ~over
+        if not run.any():
+            return None
+
+        b = len(run)
+        ei = self._epoch_index()
+        p = self._tab_p[ei]
+        lengths = np.where(run, self._tab_len[ei], 1)
+        send_probs = np.zeros((b, 2))
+        listen_probs = np.zeros((b, 2))
+        r_send = run & self.phase_send_b
+        r_nack = run & ~self.phase_send_b
+        send_probs[:, ALICE] = np.where(r_send & self.alice_alive_b, p, 0.0)
+        listen_probs[:, BOB] = np.where(r_send & self.bob_alive_b, p, 0.0)
+        send_probs[:, BOB] = np.where(
+            r_nack & self.bob_alive_b & ~self.bob_informed_b, p, 0.0
+        )
+        listen_probs[:, ALICE] = np.where(r_nack & self.alice_alive_b, p, 0.0)
+
+        tags: list = [None] * b
+        for t in np.flatnonzero(run):
+            send = bool(r_send[t])
+            tags[t] = {
+                "protocol": self._protocol_tag,
+                "kind": "send" if send else "nack",
+                "epoch": int(self.epoch_b[t]),
+                "p": float(p[t]),
+                "listener_group": BOB if send else ALICE,
+            }
+        self._awaiting_b = run.copy()
+        return BatchPhaseSpec(
+            lengths=lengths,
+            send_probs=send_probs,
+            send_kinds=self._kinds_b,
+            listen_probs=listen_probs,
+            active=run,
+            groups=self._groups_b,
+            tags=tags,
+        )
+
+    def observe_batch(self, obs: BatchPhaseObservation) -> None:
+        act = obs.active
+        if (act & ~self._awaiting_b).any():
+            raise ProtocolError("observe called with no phase outstanding")
+        self._awaiting_b &= ~act
+        thr = self._tab_thr[self._epoch_index()]
+
+        is_send = act & self.phase_send_b
+        is_nack = act & ~self.phase_send_b
+
+        bob_live = is_send & self.bob_alive_b
+        got = bob_live & (obs.heard[:, BOB, SlotStatus.DATA] > 0)
+        quiet = bob_live & ~got & (obs.heard[:, BOB, SlotStatus.NOISE] < thr)
+        self.bob_informed_b |= got
+        self.bob_alive_b &= ~(got | quiet)
+
+        if not self.params.use_nack:
+            # Ablation A4: Alice runs blind for a fixed number of epochs.
+            self.epoch_b[is_send] += 1
+            cutoff = self.params.first_epoch + self.params.blind_epochs
+            self.alice_alive_b &= ~(is_send & (self.epoch_b >= cutoff))
+            return
+        self.phase_send_b &= ~is_send  # send -> nack
+
+        al = is_nack & self.alice_alive_b
+        halt = (
+            al
+            & (obs.heard[:, ALICE, SlotStatus.NACK] == 0)
+            & (obs.heard[:, ALICE, SlotStatus.NOISE] < thr)
+        )
+        self.alice_alive_b &= ~halt
+        self.phase_send_b |= is_nack  # nack -> send, next epoch
+        self.epoch_b[is_nack] += 1
+
+    def summary_batch(self) -> list[dict]:
+        return [
+            {
+                "success": bool(self.bob_informed_b[t]),
+                "final_epoch": int(self.epoch_b[t]),
+                "aborted": bool(self.aborted_b[t]),
+                "alice_halted": not bool(self.alice_alive_b[t]),
+                "bob_halted": not bool(self.bob_alive_b[t]),
+            }
+            for t in range(len(self.epoch_b))
+        ]
+
+    def force_bob_informed_batch(self, mask: np.ndarray) -> None:
+        sel = mask & self.bob_alive_b
+        self.bob_informed_b |= sel
+        self.bob_alive_b &= ~sel

@@ -33,9 +33,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.channel.events import TxKind
+from repro.channel.events import SlotStatus, TxKind
 from repro.constants import PHI_MINUS_1, PHI_MINUS_1_SQ
-from repro.engine.phase import PhaseObservation, PhaseSpec
+from repro.engine.phase import (
+    BatchPhaseObservation,
+    BatchPhaseSpec,
+    PhaseObservation,
+    PhaseSpec,
+)
 from repro.errors import ConfigurationError, ProtocolError
 from repro.protocols.base import NodeStatus, Protocol
 
@@ -171,6 +176,123 @@ class KSYStyleBroadcast(Protocol):
             "aborted": self.aborted,
         }
 
+    # -- lockstep batch implementation ------------------------------------
+
+    def reset_batch(self, rng_streams: list[np.random.Generator]) -> None:
+        b = len(rng_streams)
+        n = self.n_nodes
+        self._rngs = list(rng_streams)
+        p = self.params
+        c = p.c
+        epochs = range(p.first_epoch, p.max_epoch + 1)
+        lens = [1 << e for e in epochs]
+        self._tab_len = np.array(lens, dtype=np.int64)
+        self._tab_lhalf = np.array([L / 2.0 for L in lens])
+        self._tab_send = np.array(
+            [min(1.0, c * float(L) ** PHI_MINUS_1_SQ / L) for L in lens]
+        )
+        self._tab_listen = np.array(
+            [
+                min(1.0, c * math.log(n + 1.0) * float(L) ** PHI_MINUS_1 / L)
+                for L in lens
+            ]
+        )
+        self.epoch_b = np.full(b, p.first_epoch, dtype=np.int64)
+        self.informed_b = np.zeros((b, n), dtype=bool)
+        self.informed_b[:, 0] = True
+        self.active_b = np.ones((b, n), dtype=bool)
+        self.aborted_b = np.zeros(b, dtype=bool)
+        self._awaiting_b = np.zeros(b, dtype=bool)
+        self._listen_probs_b: np.ndarray | None = None
+        self._kinds_b = np.full((b, n), TxKind.DATA, dtype=np.int8)
+
+    def _epoch_index(self) -> np.ndarray:
+        return np.minimum(self.epoch_b, self.params.max_epoch) - self.params.first_epoch
+
+    def done_batch(self) -> np.ndarray:
+        return ~self.active_b.any(axis=1)
+
+    def next_phase_batch(self, mask: np.ndarray) -> BatchPhaseSpec | None:
+        if (self._awaiting_b & mask).any():
+            raise ProtocolError("next_phase called before observe")
+        run = mask & self.active_b.any(axis=1)
+        over = run & (self.epoch_b > self.params.max_epoch)
+        if over.any():
+            self.aborted_b |= over
+            self.active_b[over] = False
+            run &= ~over
+        if not run.any():
+            return None
+
+        b, n = self.informed_b.shape
+        ei = self._epoch_index()
+        lengths = np.where(run, self._tab_len[ei], 1)
+        p_send = self._tab_send[ei]
+        p_listen = self._tab_listen[ei]
+        src_on = run & self.active_b[:, 0]
+        send_probs = np.zeros((b, n))
+        send_probs[:, 0] = np.where(src_on, p_send, 0.0)
+        receivers = run[:, None] & self.active_b & ~self.informed_b
+        listen_probs = np.where(receivers, p_listen[:, None], 0.0)
+        # The source senses jams at its (cheap) sending rate.
+        listen_probs[:, 0] = np.where(src_on, p_send, 0.0)
+
+        tags: list = [None] * b
+        for t in np.flatnonzero(run):
+            tags[t] = {
+                "protocol": "ksy-broadcast",
+                "kind": "window",
+                "epoch": int(self.epoch_b[t]),
+            }
+        self._awaiting_b = run.copy()
+        self._listen_probs_b = listen_probs
+        return BatchPhaseSpec(
+            lengths=lengths,
+            send_probs=send_probs,
+            send_kinds=self._kinds_b,
+            listen_probs=listen_probs,
+            active=run,
+            groups=None,
+            tags=tags,
+        )
+
+    def observe_batch(self, obs: BatchPhaseObservation) -> None:
+        act = obs.active
+        if (act & ~self._awaiting_b).any():
+            raise ProtocolError("observe called with no phase outstanding")
+        self._awaiting_b &= ~act
+        ei = self._epoch_index()
+        thresholds = (
+            self.params.threshold_frac * self._listen_probs_b
+        ) * self._tab_lhalf[ei][:, None]
+        acted = act[:, None]
+        heard_data = obs.heard[:, :, SlotStatus.DATA]
+        heard_noise = obs.heard[:, :, SlotStatus.NOISE]
+
+        newly = acted & self.active_b & ~self.informed_b & (heard_data > 0)
+        self.informed_b |= newly
+        self.active_b &= ~newly
+
+        quiet = heard_noise < np.maximum(thresholds, 1.0)
+        give_up = acted & self.active_b & ~self.informed_b & quiet & (heard_data == 0)
+        give_up[:, 0] = False
+        self.active_b &= ~give_up
+        src_halt = act & self.active_b[:, 0] & quiet[:, 0]
+        self.active_b[:, 0] &= ~src_halt
+
+        self.epoch_b[act] += 1
+
+    def summary_batch(self) -> list[dict]:
+        return [
+            {
+                "success": bool(self.informed_b[t].all()),
+                "n_informed": int(self.informed_b[t].sum()),
+                "final_epoch": int(self.epoch_b[t]),
+                "aborted": bool(self.aborted_b[t]),
+            }
+            for t in range(len(self.epoch_b))
+        ]
+
 
 class GilbertYoungStyleBroadcast(Protocol):
     """Know-``n`` partial broadcast: ideal rates, fixed Monte Carlo budget.
@@ -285,6 +407,126 @@ class GilbertYoungStyleBroadcast(Protocol):
             "final_epoch": self.epoch,
             "aborted": self.aborted,
         }
+
+    # -- lockstep batch implementation ------------------------------------
+
+    def reset_batch(self, rng_streams: list[np.random.Generator]) -> None:
+        b = len(rng_streams)
+        n = self.n_nodes
+        self._rngs = list(rng_streams)
+        p = self.params
+        lg = self._lg_n()
+        epochs = range(p.first_epoch, p.max_epoch + 1)
+        self._tab_len = np.array([1 << e for e in epochs], dtype=np.int64)
+        p_sends = []
+        p_listens = []
+        for e in epochs:
+            L = 1 << e
+            S = math.sqrt(L / n)
+            p_sends.append(min(1.0, S / L))
+            p_listens.append(min(1.0, p.gy_listen_mult * S * lg / L))
+        self._tab_send = np.array(p_sends)
+        self._tab_listen = np.array(p_listens)
+
+        self.epoch_b = np.full(
+            b, max(p.first_epoch, math.ceil(lg)), dtype=np.int64
+        )
+        self.repetition_b = np.zeros(b, dtype=np.int64)
+        self.informed_b = np.zeros((b, n), dtype=bool)
+        self.informed_b[:, 0] = True
+        self.quiet_epochs_b = np.zeros(b, dtype=np.int64)
+        self.halted_b = np.zeros(b, dtype=bool)
+        self.aborted_b = np.zeros(b, dtype=bool)
+        self._awaiting_b = np.zeros(b, dtype=bool)
+        self._listen_probs_b: np.ndarray | None = None
+        self._epoch_noise_b = np.zeros(b)
+        self._epoch_listens_b = np.zeros(b)
+        self._kinds_b = np.full((b, n), TxKind.DATA, dtype=np.int8)
+
+    def _epoch_index(self) -> np.ndarray:
+        return np.minimum(self.epoch_b, self.params.max_epoch) - self.params.first_epoch
+
+    def done_batch(self) -> np.ndarray:
+        return self.halted_b.copy()
+
+    def next_phase_batch(self, mask: np.ndarray) -> BatchPhaseSpec | None:
+        if (self._awaiting_b & mask).any():
+            raise ProtocolError("next_phase called before observe")
+        run = mask & ~self.halted_b
+        over = run & (self.epoch_b > self.params.max_epoch)
+        if over.any():
+            self.aborted_b |= over
+            self.halted_b |= over
+            run &= ~over
+        if not run.any():
+            return None
+
+        b = len(run)
+        ei = self._epoch_index()
+        lengths = np.where(run, self._tab_len[ei], 1)
+        p_send = np.where(run, self._tab_send[ei], 0.0)[:, None]
+        p_listen = np.where(run, self._tab_listen[ei], 0.0)[:, None]
+        send_probs = np.where(self.informed_b, p_send, 0.0)
+        listen_probs = np.where(self.informed_b, p_send, p_listen)
+
+        n_reps = self._n_reps()
+        tags: list = [None] * b
+        for t in np.flatnonzero(run):
+            tags[t] = {
+                "protocol": "gy-broadcast",
+                "kind": "repetition",
+                "epoch": int(self.epoch_b[t]),
+                "repetition": int(self.repetition_b[t]),
+                "n_repetitions": n_reps,
+            }
+        self._awaiting_b = run.copy()
+        self._listen_probs_b = listen_probs
+        return BatchPhaseSpec(
+            lengths=lengths,
+            send_probs=send_probs,
+            send_kinds=self._kinds_b,
+            listen_probs=listen_probs,
+            active=run,
+            groups=None,
+            tags=tags,
+        )
+
+    def observe_batch(self, obs: BatchPhaseObservation) -> None:
+        act = obs.active
+        if (act & ~self._awaiting_b).any():
+            raise ProtocolError("observe called with no phase outstanding")
+        self._awaiting_b &= ~act
+
+        heard_data = obs.heard[:, :, SlotStatus.DATA]
+        self.informed_b |= act[:, None] & (heard_data > 0)
+        Lf = self._tab_len[self._epoch_index()].astype(np.float64)
+        noise_sums = obs.heard[:, :, SlotStatus.NOISE].sum(axis=1).astype(np.float64)
+        listen_sums = self._listen_probs_b.sum(axis=1) * Lf
+        self._epoch_noise_b[act] += noise_sums[act]
+        self._epoch_listens_b[act] += listen_sums[act]
+
+        self.repetition_b[act] += 1
+        roll = act & (self.repetition_b >= self._n_reps())
+        if roll.any():
+            jam_frac = self._epoch_noise_b / np.maximum(1.0, self._epoch_listens_b)
+            self.quiet_epochs_b += roll & (jam_frac < self.params.threshold_frac)
+            self.halted_b |= roll & (self.quiet_epochs_b >= 2)
+            self.repetition_b[roll] = 0
+            self.epoch_b[roll] += 1
+            self._epoch_noise_b[roll] = 0.0
+            self._epoch_listens_b[roll] = 0.0
+
+    def summary_batch(self) -> list[dict]:
+        return [
+            {
+                "success": bool(self.informed_b[t].all()),
+                "n_informed": int(self.informed_b[t].sum()),
+                "informed_fraction": float(self.informed_b[t].mean()),
+                "final_epoch": int(self.epoch_b[t]),
+                "aborted": bool(self.aborted_b[t]),
+            }
+            for t in range(len(self.epoch_b))
+        ]
 
 
 # Keep linters honest about the re-used status enum import.

@@ -75,28 +75,6 @@ class TestRunConfig:
         assert (cfg.seed, cfg.quick, cfg.jobs, cfg.timeout) == (0, True, 1, None)
         assert not cfg.full
 
-    def test_coerce_passthrough(self):
-        cfg = RunConfig(seed=9, quick=False, jobs=3)
-        assert RunConfig.coerce(cfg) is cfg
-
-    def test_coerce_legacy_kwargs_warn(self):
-        with pytest.warns(DeprecationWarning):
-            cfg = RunConfig.coerce(None, seed=5, quick=False)
-        assert (cfg.seed, cfg.quick) == (5, False)
-
-    def test_coerce_legacy_positional_seed(self):
-        with pytest.warns(DeprecationWarning):
-            cfg = RunConfig.coerce(7)
-        assert cfg.seed == 7
-
-    def test_coerce_rejects_mixing(self):
-        with pytest.raises(ConfigurationError):
-            RunConfig.coerce(RunConfig(), seed=1)
-        with pytest.raises(ConfigurationError):
-            RunConfig.coerce(7, seed=1)
-        with pytest.raises(ConfigurationError):
-            RunConfig.coerce("E1")
-
     def test_stats_excluded_from_equality(self):
         a, b = RunConfig(seed=1), RunConfig(seed=1)
         a.stats.tasks = 99
@@ -113,15 +91,19 @@ class TestRunConfig:
         default = e05.run()
         assert modern.checks == default.checks
 
-    def test_registry_boundary_warns_on_legacy_kwargs(self):
-        # run_experiment remains the one entry point accepting the
-        # legacy spellings, now with a one-release warning.
-        with pytest.warns(DeprecationWarning):
-            legacy = run_experiment("E5", seed=0, quick=True)
+    def test_registry_boundary_takes_config_only(self):
+        # The legacy seed=/quick= spellings finished their one-release
+        # deprecation window: run_experiment now takes a RunConfig (or
+        # nothing), full stop.
+        with pytest.raises(TypeError):
+            run_experiment("E5", seed=0, quick=True)
+        with pytest.raises(ConfigurationError):
+            run_experiment("E5", 7)
         modern = run_experiment("E5", RunConfig(seed=0, quick=True))
-        assert legacy.checks == modern.checks
-        assert [t.to_dict() for t in legacy.tables] == [
-            t.to_dict() for t in modern.tables
+        default = run_experiment("E5")
+        assert modern.checks == default.checks
+        assert [t.to_dict() for t in modern.tables] == [
+            t.to_dict() for t in default.tables
         ]
 
 
