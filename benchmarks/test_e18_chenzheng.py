@@ -1,0 +1,11 @@
+"""Benchmark E18: Chen-Zheng spectrum speedup vs the fraction jammer.
+
+Runs the multichannel CZ broadcast against the (1-eps)-fraction jammer
+across C and asserts the measured cost stays inside the
+resource-competitive envelope while beating the single-channel
+baselines for C >= 4; see src/repro/experiments/e18_chenzheng.py.
+"""
+
+
+def test_e18(run_quick):
+    run_quick("E18")

@@ -30,6 +30,11 @@
 #    with -j 2 and requires the two saved leaderboard reports — which
 #    embed the best genome's fingerprint — to be byte-identical, plus
 #    the default `duel` chart to be byte-identical across repeats.
+# 8b. Multichannel gate: runs E18 serially and with -j 2 (byte-
+#    identical reports), then a fixed-seed arena search against the
+#    cz-c4 multichannel preset serially and with -j 2 (byte-identical
+#    leaderboards), and replays the discovered attack from the corpus
+#    demanding exact agreement.
 # 9. Runs the `telemetry`-marked pytest suite (sink, readers,
 #    instrumentation coverage).
 # 10. Runs E1 with and without --telemetry and requires the two saved
@@ -132,6 +137,31 @@ if ! cmp "$tmp/arena-serial/ARENA-SEARCH.json" \
     exit 1
 fi
 echo "OK: arena search leaderboard (and best genome) byte-identical with -j 2"
+
+echo "== multichannel gate: E18 serial vs -j 2, arena search over MC genomes =="
+python -m repro.cli run E18 --seed 11 --save "$tmp/e18-serial" > /dev/null
+python -m repro.cli run E18 --seed 11 -j 2 --save "$tmp/e18-parallel" > /dev/null
+if ! cmp "$tmp/e18-serial/E18.json" "$tmp/e18-parallel/E18.json"; then
+    echo "FAIL: parallel E18 report differs from serial report" >&2
+    exit 1
+fi
+python -m repro.cli arena search --seed 11 --protocol cz-c4 \
+    --generations 1 --population 4 --reps 2 \
+    --save "$tmp/mc-arena-serial" --corpus "$tmp/mc-corpus.jsonl" > /dev/null
+python -m repro.cli arena search --seed 11 --protocol cz-c4 \
+    --generations 1 --population 4 --reps 2 -j 2 \
+    --save "$tmp/mc-arena-parallel" > /dev/null
+if ! cmp "$tmp/mc-arena-serial/ARENA-SEARCH.json" \
+         "$tmp/mc-arena-parallel/ARENA-SEARCH.json"; then
+    echo "FAIL: parallel multichannel arena search differs from serial" >&2
+    exit 1
+fi
+if ! python -m repro.cli arena replay --corpus "$tmp/mc-corpus.jsonl" \
+        | grep -q "exact"; then
+    echo "FAIL: multichannel corpus replay was not exact" >&2
+    exit 1
+fi
+echo "OK: E18 byte-identical with -j 2; MC arena search deterministic and replayable"
 
 echo "== CLI byte-identity: duel default output across repeats =="
 python -m repro.cli duel --points 2 --reps 2 > "$tmp/duel-a.out"

@@ -52,6 +52,14 @@ from repro.adversaries.suppressor import BroadcastSuppressor
 from repro.cache.fingerprint import describe
 from repro.channel.events import TxKind
 from repro.errors import CacheError, FingerprintError
+from repro.multichannel.adversaries import (
+    ChannelBandJammer,
+    ChannelFollowerJammer,
+    ChannelSweepJammer,
+    FractionJammer,
+    MCBudgetCap,
+    MCEpochTargetJammer,
+)
 
 __all__ = [
     "UNCACHEABLE_FORMS",
@@ -66,15 +74,24 @@ __all__ = [
 #: :func:`rebuild_adversary` accepts.  Each class's constructor keywords
 #: coincide with its public attributes (a deliberate invariant: it is
 #: what makes ``describe`` output a complete constructor call).
-ZOO_CLASSES: dict[str, type[Adversary]] = {
+#: Single- and multi-channel strategies share one namespace: a corpus
+#: record or cache fingerprint identifies its strategy the same way
+#: regardless of which engine consumes it.
+ZOO_CLASSES: dict[str, type] = {
     cls.__name__: cls
     for cls in (
         BroadcastSuppressor,
         BudgetCap,
+        ChannelBandJammer,
+        ChannelFollowerJammer,
+        ChannelSweepJammer,
         EpochTargetJammer,
+        FractionJammer,
         GreedyAdaptiveJammer,
         HalvingAttacker,
         MarkovJammer,
+        MCBudgetCap,
+        MCEpochTargetJammer,
         PeriodicJammer,
         QBlockingJammer,
         RandomJammer,

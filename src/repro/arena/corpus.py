@@ -25,7 +25,12 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.arena.search import Evaluation, evaluate_genomes
-from repro.arena.space import Genome, StrategySpace, protocol_factory
+from repro.arena.space import (
+    Genome,
+    StrategySpace,
+    protocol_channels,
+    protocol_factory,
+)
 from repro.errors import AnalysisError, ConfigurationError
 
 __all__ = ["ATTACK_SCHEMA", "AttackCorpus", "AttackRecord", "shrink"]
@@ -122,7 +127,12 @@ class AttackRecord:
 
 
 def _reevaluate(record: AttackRecord, space: StrategySpace, config=None) -> Evaluation:
-    """Run the record's exact evaluation afresh."""
+    """Run the record's exact evaluation afresh.
+
+    The engine is recovered from the stored preset name
+    (:func:`protocol_channels`), so multichannel attacks replay on the
+    multichannel engine without the record needing an engine field.
+    """
     [ev] = evaluate_genomes(
         space,
         [record.genome],
@@ -132,6 +142,7 @@ def _reevaluate(record: AttackRecord, space: StrategySpace, config=None) -> Eval
         seed=record.seed,
         config=config,
         memo={},
+        n_channels=protocol_channels(record.protocol),
     )
     return ev
 

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.arena.space import Genome, StrategySpace
 from repro.errors import ConfigurationError
-from repro.experiments.runner import Table, replicate, stable_hash
+from repro.experiments.runner import Table, mc_replicate, replicate, stable_hash
 from repro.protocols.base import Protocol
 from repro.rng import derive
 from repro.telemetry.sink import get_sink
@@ -44,6 +44,27 @@ __all__ = [
 
 #: Simulator safety cap shared by every arena evaluation (matches E14).
 MAX_SLOTS = 20_000_000
+
+
+def _replicate_any(
+    make_protocol, make_adversary, n_reps, seed, config, n_channels
+):
+    """Route replications to the engine the defender lives on.
+
+    ``n_channels=None`` is the single-channel :func:`replicate` path;
+    any integer (including 1) runs on the multichannel engine via
+    :func:`mc_replicate` — the adversaries are then ``MCAdversary``
+    instances, which the single-channel simulator cannot drive.
+    """
+    if n_channels is None:
+        return replicate(
+            make_protocol, make_adversary, n_reps,
+            seed=seed, config=config, max_slots=MAX_SLOTS,
+        )
+    return mc_replicate(
+        make_protocol, make_adversary, n_reps,
+        seed=seed, n_channels=n_channels, config=config, max_slots=MAX_SLOTS,
+    )
 
 
 @dataclass(frozen=True)
@@ -113,18 +134,23 @@ def baseline_cost(
     n_reps: int,
     seed: int,
     config=None,
+    n_channels: int | None = None,
 ) -> float:
     """Mean max-node cost against the silent adversary (the efficiency
     term subtracted from every attack's cost)."""
     from repro.adversaries.basic import SilentAdversary
 
-    runs = replicate(
-        make_protocol,
-        SilentAdversary,
-        n_reps,
-        seed=seed,
-        config=config,
-        max_slots=MAX_SLOTS,
+    if n_channels is None:
+        make_silent = SilentAdversary
+    else:
+        from repro.multichannel.adversaries import ChannelBandJammer
+
+        # A zero-width band: the MC engine's silent adversary.
+        def make_silent():
+            return ChannelBandJammer(0)
+
+    runs = _replicate_any(
+        make_protocol, make_silent, n_reps, seed, config, n_channels
     )
     return float(np.mean([r.max_node_cost for r in runs]))
 
@@ -139,6 +165,7 @@ def evaluate_genomes(
     seed: int,
     config=None,
     memo: dict[str, Evaluation] | None = None,
+    n_channels: int | None = None,
 ) -> list[Evaluation]:
     """Measure each genome with ``n_reps`` independent replications.
 
@@ -160,13 +187,13 @@ def evaluate_genomes(
         if cached is not None:
             out.append(cached)
             continue
-        results = replicate(
+        results = _replicate_any(
             make_protocol,
             lambda g=genome: space.build(g),
             n_reps,
-            seed=seed + stable_hash("arena", fp),
-            config=config,
-            max_slots=MAX_SLOTS,
+            seed + stable_hash("arena", fp),
+            config,
+            n_channels,
         )
         mean_T = float(np.mean([r.adversary_cost for r in results]))
         mean_cost = float(np.mean([r.max_node_cost for r in results]))
@@ -194,6 +221,7 @@ def random_search(
     n_reps: int = 3,
     seed: int = 0,
     config=None,
+    n_channels: int | None = None,
 ) -> SearchResult:
     """Pure random search: sample ``iterations`` genomes, keep the best.
 
@@ -205,10 +233,11 @@ def random_search(
     rng = derive(seed, 901)
     genomes = [space.random_genome(rng) for _ in range(iterations)]
     memo: dict[str, Evaluation] = {}
-    baseline = baseline_cost(make_protocol, n_reps, seed, config)
+    baseline = baseline_cost(make_protocol, n_reps, seed, config, n_channels)
     evaluate_genomes(
         space, genomes, make_protocol,
         baseline=baseline, n_reps=n_reps, seed=seed, config=config, memo=memo,
+        n_channels=n_channels,
     )
     ranked = sorted(memo.values(), key=_rank_key)
     sink = get_sink()
@@ -235,6 +264,7 @@ def evolve(
     seed: int = 0,
     elite_frac: float = 0.35,
     config=None,
+    n_channels: int | None = None,
 ) -> SearchResult:
     """(mu + lambda) evolutionary search over the genome space.
 
@@ -248,7 +278,7 @@ def evolve(
         raise ConfigurationError(f"generations must be >= 1, got {generations}")
     if population < 2:
         raise ConfigurationError(f"population must be >= 2, got {population}")
-    baseline = baseline_cost(make_protocol, n_reps, seed, config)
+    baseline = baseline_cost(make_protocol, n_reps, seed, config, n_channels)
     memo: dict[str, Evaluation] = {}
     history: list[float] = []
 
@@ -260,7 +290,7 @@ def evolve(
         evaluated = evaluate_genomes(
             space, current, make_protocol,
             baseline=baseline, n_reps=n_reps, seed=seed, config=config,
-            memo=memo,
+            memo=memo, n_channels=n_channels,
         )
         ranked = sorted(evaluated, key=_rank_key)
         history.append(ranked[0].index)

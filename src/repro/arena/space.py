@@ -50,6 +50,8 @@ __all__ = [
     "Genome",
     "StrategySpace",
     "default_space",
+    "multichannel_space",
+    "protocol_channels",
     "protocol_factory",
     "protocol_names",
 ]
@@ -85,11 +87,37 @@ def _deterministic() -> Protocol:
     return AlwaysOnSender()
 
 
+def _cz(n_channels: int) -> Callable[[], Protocol]:
+    def make() -> Protocol:
+        from repro.multichannel.protocols import CZBroadcast, CZParams
+
+        return CZBroadcast(CZParams.sim(n_nodes=16, n_channels=n_channels))
+
+    return make
+
+
 _PROTOCOLS: dict[str, Callable[[], Protocol]] = {
     "fig1": _fig1,
     "ksy": _ksy,
     "combined": _combined,
     "deterministic": _deterministic,
+    "cz-c1": _cz(1),
+    "cz-c2": _cz(2),
+    "cz-c4": _cz(4),
+    "cz-c8": _cz(8),
+}
+
+#: Presets that run on the multichannel engine, mapped to their band
+#: width ``C``.  Absence means the single-channel
+#: :class:`~repro.engine.simulator.Simulator` — note ``cz-c1`` *is*
+#: listed: a C=1 preset still needs the MC engine (its opponents are
+#: :class:`~repro.multichannel.adversaries.MCAdversary` instances), so
+#: the dispatch key is "which engine", not "how many channels".
+_PROTOCOL_CHANNELS: dict[str, int] = {
+    "cz-c1": 1,
+    "cz-c2": 2,
+    "cz-c4": 4,
+    "cz-c8": 8,
 }
 
 
@@ -107,6 +135,18 @@ def protocol_factory(name: str) -> Callable[[], Protocol]:
         raise ConfigurationError(
             f"unknown protocol preset {name!r}; known: {known}"
         ) from None
+
+
+def protocol_channels(name: str) -> int | None:
+    """Band width of a multichannel preset, ``None`` for single-channel.
+
+    The arena keys engine dispatch off this: a non-``None`` value routes
+    evaluation through :func:`repro.experiments.runner.mc_replicate`
+    and restricts the genome space to the multichannel families.
+    """
+    if name not in _PROTOCOLS:
+        protocol_factory(name)  # raise the canonical error
+    return _PROTOCOL_CHANNELS.get(name)
 
 
 # ---------------------------------------------------------------------------
@@ -323,6 +363,63 @@ _FAMILIES: dict[str, tuple[dict, Callable]] = {
     ),
 }
 
+
+# Multichannel families: genomes whose adversaries fight on the
+# MCSimulator (per-(channel,slot)-cell energy).  Kept in a separate
+# registry because the two engines' adversary interfaces are disjoint —
+# a space mixes one kind or the other, never both — while Genome,
+# mutation, crossover, fingerprints, and the corpus treat both
+# identically.
+def _build_mc_fraction(p, budget):
+    from repro.multichannel.adversaries import FractionJammer, MCBudgetCap
+
+    return MCBudgetCap(FractionJammer(p["eps"]), budget)
+
+
+def _build_mc_band(p, budget):
+    from repro.multichannel.adversaries import ChannelBandJammer, MCBudgetCap
+
+    return MCBudgetCap(
+        ChannelBandJammer(p["n_channels_jammed"], q=p["q"]), budget
+    )
+
+
+def _build_mc_sweep(p, budget):
+    from repro.multichannel.adversaries import ChannelSweepJammer, MCBudgetCap
+
+    return MCBudgetCap(
+        ChannelSweepJammer(p["width"], step=p["step"], q=p["q"]), budget
+    )
+
+
+def _build_mc_follower(p, budget):
+    from repro.multichannel.adversaries import ChannelFollowerJammer, MCBudgetCap
+
+    return MCBudgetCap(ChannelFollowerJammer(p["q"]), budget)
+
+
+_MC_FAMILIES: dict[str, tuple[dict, Callable]] = {
+    "mc_fraction": ({"eps": FloatGene(0.05, 0.9)}, _build_mc_fraction),
+    "mc_band": (
+        {"n_channels_jammed": IntGene(1, 8), "q": FloatGene(0.05, 1.0)},
+        _build_mc_band,
+    ),
+    "mc_sweep": (
+        {
+            "width": IntGene(1, 8),
+            "step": IntGene(1, 7),
+            "q": FloatGene(0.05, 1.0),
+        },
+        _build_mc_sweep,
+    ),
+    "mc_follower": ({"q": FloatGene(0.05, 1.0)}, _build_mc_follower),
+}
+
+#: Union namespace used for validation, gene lookup, and build — a
+#: genome's family name is globally unique, so corpus records and cache
+#: fingerprints need no engine qualifier.
+_ALL_FAMILIES: dict[str, tuple[dict, Callable]] = {**_FAMILIES, **_MC_FAMILIES}
+
 _MAX_SPLICE_INTERVALS = 5
 
 
@@ -350,11 +447,11 @@ class StrategySpace:
         budget_log2: tuple[int, int] = (10, 14),
     ) -> None:
         names = list(_FAMILIES) if families is None else list(families)
-        unknown = [n for n in names if n not in _FAMILIES]
+        unknown = [n for n in names if n not in _ALL_FAMILIES]
         if unknown:
             raise ConfigurationError(
                 f"unknown adversary families: {unknown}; "
-                f"known: {', '.join(_FAMILIES)}"
+                f"known: {', '.join(_ALL_FAMILIES)}"
             )
         lo, hi = budget_log2
         if not 1 <= lo <= hi:
@@ -367,7 +464,7 @@ class StrategySpace:
     # -- genome generation -------------------------------------------
 
     def _genes(self, family: str) -> dict:
-        genes, _ = _FAMILIES[family]
+        genes, _ = _ALL_FAMILIES[family]
         return genes
 
     def _sample_intervals(self, rng: np.random.Generator) -> list:
@@ -458,11 +555,11 @@ class StrategySpace:
 
     def build(self, genome: Genome) -> Adversary:
         """Construct the executable adversary for ``genome``."""
-        if genome.family not in _FAMILIES:
+        if genome.family not in _ALL_FAMILIES:
             raise ConfigurationError(
                 f"unknown adversary family {genome.family!r}"
             )
-        _, builder = _FAMILIES[genome.family]
+        _, builder = _ALL_FAMILIES[genome.family]
         budget = 1 << int(genome.params["budget_log2"])
         return builder(genome.params, budget)
 
@@ -475,3 +572,17 @@ def default_space(quick: bool = True) -> StrategySpace:
     budgets.
     """
     return StrategySpace(budget_log2=(9, 13) if quick else (11, 16))
+
+
+def multichannel_space(quick: bool = True) -> StrategySpace:
+    """The genome space for multichannel presets (``cz-c*``).
+
+    Same budget ranges as :func:`default_space`, restricted to the
+    ``mc_*`` families — the two engines' adversary interfaces are
+    disjoint, so a search against a multichannel defender must draw
+    only :class:`~repro.multichannel.adversaries.MCAdversary` genomes.
+    """
+    return StrategySpace(
+        families=list(_MC_FAMILIES),
+        budget_log2=(9, 13) if quick else (11, 16),
+    )

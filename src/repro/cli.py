@@ -443,26 +443,39 @@ def _arena(args) -> int:
 
     from repro.arena.corpus import AttackCorpus, AttackRecord, shrink
     from repro.arena.search import evolve, random_search
-    from repro.arena.space import default_space, protocol_factory
+    from repro.arena.space import (
+        default_space,
+        multichannel_space,
+        protocol_channels,
+        protocol_factory,
+    )
     from repro.experiments import RunConfig
     from repro.experiments.registry import ExperimentReport
 
     config = RunConfig(jobs=args.jobs, batch=args.batch)
 
     if args.arena_command == "search":
-        space = default_space(quick=not args.full)
+        # A multichannel preset (cz-c*) implies the multichannel engine
+        # and the mc_* genome families; no extra flag needed.
+        n_channels = protocol_channels(args.protocol)
+        space = (
+            multichannel_space(quick=not args.full)
+            if n_channels is not None
+            else default_space(quick=not args.full)
+        )
         make = protocol_factory(args.protocol)
         if args.algo == "random":
             result = random_search(
                 space, make, iterations=args.iterations,
                 n_reps=args.reps, seed=args.seed, config=config,
+                n_channels=n_channels,
             )
             found_by = "random_search"
         else:
             result = evolve(
                 space, make, generations=args.generations,
                 population=args.population, n_reps=args.reps,
-                seed=args.seed, config=config,
+                seed=args.seed, config=config, n_channels=n_channels,
             )
             found_by = "evolve"
         report = ExperimentReport(

@@ -242,6 +242,8 @@ _REGISTRY: dict[str, Experiment] = {
                    "repro.experiments.e16_combined"),
         Experiment("E17", "searched adversaries stay inside the sqrt envelope", "Theorems 1+2 (worst case over adversaries)",
                    "repro.experiments.e17_arena_search"),
+        Experiment("E18", "Chen-Zheng spectrum speedup vs the fraction jammer", "multichannel extension (arXiv 1904.06328 / 2001.03936)",
+                   "repro.experiments.e18_chenzheng"),
         Experiment("A1", "slow vs aggressive rate growth", "Lemma 5 / Section 3.1 ablation",
                    "repro.experiments.a01_growth_ablation"),
         Experiment("A3", "uninformed noise on/off", "Section 3.1 ablation (n gauging)",

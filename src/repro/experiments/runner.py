@@ -31,7 +31,14 @@ from repro.errors import ConfigurationError
 from repro.protocols.base import Protocol
 from repro.rng import derive
 
-__all__ = ["Table", "replicate", "stable_hash", "sweep_epoch_targets", "SweepPoint"]
+__all__ = [
+    "Table",
+    "mc_replicate",
+    "replicate",
+    "stable_hash",
+    "sweep_epoch_targets",
+    "SweepPoint",
+]
 
 
 def stable_hash(*parts) -> int:
@@ -336,6 +343,79 @@ def replicate(
     def make_task(r: int) -> Callable[[], RunResult]:
         def task() -> RunResult:
             sim = Simulator(make_protocol(), make_adversary(), **sim_kwargs)
+            return sim.run(derive(seed, r))
+
+        return task
+
+    return _dispatch(
+        [make_task(r) for r in range(n_reps)], keys, config, store
+    )
+
+
+def mc_replicate(
+    make_protocol: Callable[[], Protocol],
+    make_adversary,
+    n_reps: int,
+    seed: int = 0,
+    *,
+    n_channels: int,
+    config=None,
+    **sim_kwargs,
+) -> list[RunResult]:
+    """Multichannel counterpart of :func:`replicate`.
+
+    Identical replication/seeding/caching contract, but each trial runs
+    on an :class:`~repro.multichannel.engine.MCSimulator` over
+    ``n_channels`` channels with an
+    :class:`~repro.multichannel.adversaries.MCAdversary`.  The cache
+    fingerprint folds ``n_channels`` into the task identity (kind
+    ``"mc_replicate"``), so single- and multi-channel runs of the same
+    protocol can never collide in the store.
+    """
+    from repro.multichannel.engine import MCSimulator
+
+    if n_reps < 1:
+        raise ConfigurationError(f"n_reps must be >= 1, got {n_reps}")
+    if config is not None and config.history:
+        sim_kwargs.setdefault("keep_history", True)
+    batch = _resolve_batch(config)
+
+    store = config.resolve_cache_store() if config is not None else None
+    base = _fingerprint_base(
+        config,
+        store,
+        "mc_replicate",
+        make_protocol,
+        dict(sim_kwargs, n_channels=n_channels),
+    )
+    keys = _group_keys(base, make_adversary, [(seed, r) for r in range(n_reps)])
+
+    if batch > 1:
+
+        def make_batch_task(group: list[int]) -> Callable[[], list[RunResult]]:
+            def task() -> list[RunResult]:
+                sim = MCSimulator(
+                    make_protocol(), make_adversary(), n_channels, **sim_kwargs
+                )
+                return list(
+                    sim.run_batch(
+                        [derive(seed, r) for r in group],
+                        make_protocol=make_protocol,
+                        make_adversary=make_adversary,
+                    )
+                )
+
+            return task
+
+        return _dispatch_batched(
+            [(0, n_reps)], make_batch_task, keys, config, store, batch
+        )
+
+    def make_task(r: int) -> Callable[[], RunResult]:
+        def task() -> RunResult:
+            sim = MCSimulator(
+                make_protocol(), make_adversary(), n_channels, **sim_kwargs
+            )
             return sim.run(derive(seed, r))
 
         return task

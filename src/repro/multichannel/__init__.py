@@ -20,7 +20,22 @@ protocols with uniform channel hopping and measures the energy game
 * **spectrum wins against band-limited adversaries** — a jammer
   restricted to ``k`` channels with ``k/C`` below the protocol's ~1/8
   noise threshold is diluted into complete irrelevance, which is the
-  regime the multichannel literature actually targets.
+  regime the multichannel literature actually targets;
+* **1-to-n multiplicity is what spectrum actually buys** (experiment
+  E18) — :class:`CZBroadcast` keeps ~1 expected sender *per channel*
+  once informed, so a (1-eps)-fraction jammer
+  (:class:`FractionJammer`) pays ``(1-eps) * C`` cells per slot and
+  her fixed battery dies ``C``-fold sooner; the measured cost stays
+  inside the resource-competitive envelope and beats the
+  single-channel baselines for ``C >= 4``.
+
+Structured per-channel schedules live in
+:mod:`repro.multichannel.schedules` (:class:`ChannelJamPlan`: channel
+→ slot intervals, O(1) band constructors, time-major budget trimming,
+exact round-trips to compiled virtual-slot plans), and the whole
+adversary zoo registers in :mod:`repro.adversaries.canonical` with
+describe→rebuild round-trips so multichannel attacks cache and replay
+like single-channel ones.
 
 Mechanics (see :mod:`repro.multichannel.engine`): per slot, an acting
 node picks one of the ``C`` channels uniformly at random; transmissions
@@ -33,14 +48,28 @@ and the audit trail are identical by construction — and any existing
 
 from repro.multichannel.adversaries import (
     ChannelBandJammer,
+    ChannelFollowerJammer,
+    ChannelSweepJammer,
+    FractionJammer,
+    MCBudgetCap,
     MCEpochTargetJammer,
 )
 from repro.multichannel.engine import MCSimulator, hopping_rate_params, mc_run
+from repro.multichannel.protocols import CZBroadcast, CZParams, cz_pair_protocol
+from repro.multichannel.schedules import ChannelJamPlan
 
 __all__ = [
+    "CZBroadcast",
+    "CZParams",
     "ChannelBandJammer",
+    "ChannelFollowerJammer",
+    "ChannelJamPlan",
+    "ChannelSweepJammer",
+    "FractionJammer",
+    "MCBudgetCap",
     "MCEpochTargetJammer",
     "MCSimulator",
+    "cz_pair_protocol",
     "hopping_rate_params",
     "mc_run",
 ]

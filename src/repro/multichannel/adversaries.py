@@ -3,9 +3,27 @@
 Energy accounting follows the multichannel literature: jamming one
 (channel, slot) cell costs 1, so blanket-jamming a slot across all
 ``C`` channels costs ``C`` — the whole point of spectrum as defence.
-Plans are ordinary :class:`~repro.channel.events.JamPlan` objects over
-the ``C * L`` virtual slots (channel ``c``, slot ``t`` → virtual slot
-``c * L + t``).
+Strategies express intent on the real (channel, slot) grid via
+:class:`~repro.multichannel.schedules.ChannelJamPlan` and hand the
+engine its :meth:`~repro.multichannel.schedules.ChannelJamPlan.compile`
+— an ordinary :class:`~repro.channel.events.JamPlan` over the ``C * L``
+virtual slots (channel ``c``, slot ``t`` → virtual slot ``c * L + t``).
+
+The zoo:
+
+* :class:`ChannelBandJammer` — fixed band of ``k`` channels, suffix jam;
+* :class:`MCEpochTargetJammer` — blanket-block up to a target epoch;
+* :class:`FractionJammer` — the Chen–Zheng adversary: all but an
+  ``eps`` fraction of the band jammed in every slot;
+* :class:`ChannelSweepJammer` — a band that shifts across the spectrum
+  each phase;
+* :class:`ChannelFollowerJammer` — reactive: jams exactly the cells
+  where someone listens, in a suffix window;
+* :class:`MCBudgetCap` — wraps any strategy with a total-energy budget
+  and time-major battery-death trimming.
+
+All are registered in :mod:`repro.adversaries.canonical`, so the arena
+can describe, fingerprint, and rebuild them.
 """
 
 from __future__ import annotations
@@ -17,12 +35,17 @@ import numpy as np
 
 from repro.channel.events import JamPlan, ListenEvents, SendEvents, SlotSet
 from repro.errors import ConfigurationError
+from repro.multichannel.schedules import ChannelJamPlan
 
 __all__ = [
     "MCAdversary",
     "MCContext",
     "ChannelBandJammer",
     "MCEpochTargetJammer",
+    "FractionJammer",
+    "ChannelSweepJammer",
+    "ChannelFollowerJammer",
+    "MCBudgetCap",
 ]
 
 
@@ -64,18 +87,10 @@ def _band_suffix_plan(
     unpredictable, which specific channels are jammed is irrelevant —
     only how many.
     """
-    k = max(0, min(ctx.n_channels, n_channels_jammed))
     n_jam = int(round(q * ctx.length))
-    if k == 0 or n_jam == 0:
-        return JamPlan.silent(ctx.n_channels * ctx.length)
-    # One interval per jammed channel: the phase tail within that
-    # channel's virtual-slot band — O(k) regardless of phase length.
-    channels = np.arange(k, dtype=np.int64)
-    slots = SlotSet(
-        channels * ctx.length + (ctx.length - n_jam),
-        channels * ctx.length + ctx.length,
-    )
-    return JamPlan(length=ctx.n_channels * ctx.length, global_slots=slots)
+    return ChannelJamPlan.band_suffix(
+        ctx.length, ctx.n_channels, n_channels_jammed, n_jam
+    ).compile()
 
 
 class ChannelBandJammer(MCAdversary):
@@ -92,7 +107,9 @@ class ChannelBandJammer(MCAdversary):
     q:
         Fraction of each phase jammed (suffix).
     max_total:
-        Optional energy budget.
+        Optional energy budget.  Trimming is channel-major (the band's
+        low channels outlive the high ones), matching the compiled
+        virtual-slot order — the historical E15 semantics.
     """
 
     def __init__(
@@ -107,12 +124,12 @@ class ChannelBandJammer(MCAdversary):
             raise ConfigurationError(f"q must be in [0, 1], got {q!r}")
         if max_total is not None and max_total < 0:
             raise ConfigurationError("max_total must be >= 0")
-        self.k = n_channels_jammed
+        self.n_channels_jammed = n_channels_jammed
         self.q = q
         self.max_total = max_total
 
     def plan_phase(self, ctx: MCContext) -> JamPlan:
-        plan = _band_suffix_plan(ctx, self.k, self.q)
+        plan = _band_suffix_plan(ctx, self.n_channels_jammed, self.q)
         if self.max_total is not None and plan.cost > self.max_total - ctx.spent:
             keep = max(0, self.max_total - ctx.spent)
             plan = JamPlan(
@@ -149,3 +166,190 @@ class MCEpochTargetJammer(MCAdversary):
         if epoch is None or epoch > self.target_epoch:
             return JamPlan.silent(ctx.n_channels * ctx.length)
         return _band_suffix_plan(ctx, ctx.n_channels, self.q)
+
+
+class FractionJammer(MCAdversary):
+    """The Chen–Zheng adversary: jams a ``1 - eps`` fraction of the band.
+
+    In every slot all but ``eps * C`` channels are unusable (arXiv
+    1904.06328 / 2001.03936) — the strongest oblivious model under
+    which multichannel broadcast is still possible.  Per-cell
+    accounting makes its bill explicit: ``(1 - eps) * C`` energy per
+    *real* slot, so at a fixed budget ``T`` the battery dies after
+    ``T / ((1 - eps) C)`` slots — ``C``-fold sooner than at C=1, which
+    is exactly the spectrum speedup experiment E18 measures.
+
+    The integer part of ``(1 - eps) * C`` is jammed as full channels;
+    the fractional remainder is time-shared as a prefix of the next
+    channel, preserving the per-slot average.
+
+    Parameters
+    ----------
+    eps:
+        Clean fraction of the band, in ``(0, 1)``.
+    max_total:
+        Optional energy budget; trimming is time-major (the jammer
+        stays a fraction jammer until the battery dies).
+    """
+
+    def __init__(self, eps: float, max_total: int | None = None) -> None:
+        if not 0.0 < eps < 1.0:
+            raise ConfigurationError(f"eps must be in (0, 1), got {eps!r}")
+        if max_total is not None and max_total < 0:
+            raise ConfigurationError("max_total must be >= 0")
+        self.eps = eps
+        self.max_total = max_total
+
+    def plan_phase(self, ctx: MCContext) -> JamPlan:
+        jam_rate = (1.0 - self.eps) * ctx.n_channels  # cells per real slot
+        k = int(jam_rate)
+        n_frac = int(round((jam_rate - k) * ctx.length))
+        channels: dict[int, SlotSet] = {
+            c: SlotSet.range(0, ctx.length) for c in range(k)
+        }
+        if n_frac and k < ctx.n_channels:
+            channels[k] = SlotSet.range(0, n_frac)
+        cplan = ChannelJamPlan._from_normalized(
+            ctx.length, ctx.n_channels, channels
+        )
+        if self.max_total is not None:
+            cplan = cplan.take_first_cells(self.max_total - ctx.spent)
+        return cplan.compile()
+
+
+class ChannelSweepJammer(MCAdversary):
+    """A band of ``width`` channels sweeping across the spectrum.
+
+    Each phase the band's low edge advances by ``step`` channels
+    (mod C), wrapping around the band edge — the classic scanning
+    jammer.  Against memoryless uniform hopping a sweep is exactly as
+    strong as a fixed band of the same width; it exists in the zoo so
+    the arena can *verify* that equivalence rather than assume it.
+
+    Parameters
+    ----------
+    width:
+        Number of channels jammed simultaneously.
+    step:
+        Channels the band advances per phase.
+    q:
+        Fraction of each phase jammed (suffix).
+    max_total:
+        Optional energy budget (time-major trimming).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        step: int = 1,
+        q: float = 1.0,
+        max_total: int | None = None,
+    ) -> None:
+        if width < 0:
+            raise ConfigurationError("width must be >= 0")
+        if step < 0:
+            raise ConfigurationError("step must be >= 0")
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"q must be in [0, 1], got {q!r}")
+        if max_total is not None and max_total < 0:
+            raise ConfigurationError("max_total must be >= 0")
+        self.width = width
+        self.step = step
+        self.q = q
+        self.max_total = max_total
+
+    def plan_phase(self, ctx: MCContext) -> JamPlan:
+        n_jam = int(round(self.q * ctx.length))
+        k = min(self.width, ctx.n_channels)
+        if k == 0 or n_jam == 0:
+            return JamPlan.silent(ctx.n_channels * ctx.length)
+        offset = (ctx.phase_index * self.step) % ctx.n_channels
+        slots = SlotSet.range(ctx.length - n_jam, ctx.length)
+        channels = {
+            (offset + j) % ctx.n_channels: slots for j in range(k)
+        }
+        cplan = ChannelJamPlan._from_normalized(
+            ctx.length, ctx.n_channels, channels
+        )
+        if self.max_total is not None:
+            cplan = cplan.take_first_cells(self.max_total - ctx.spent)
+        return cplan.compile()
+
+
+class ChannelFollowerJammer(MCAdversary):
+    """Reactive: jams exactly the cells where some node listens.
+
+    The strongest per-cell spend pattern the context allows — no energy
+    is wasted on cells nobody occupies.  Restricted to the last ``q``
+    fraction of each phase (``q = 1`` follows everywhere); the window
+    models reaction latency, mirroring the single-channel reactive
+    suffix jammers.
+
+    Parameters
+    ----------
+    q:
+        Fraction of each phase (suffix) in which the follower reacts.
+    max_total:
+        Optional energy budget (time-major trimming).
+    """
+
+    def __init__(self, q: float = 1.0, max_total: int | None = None) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"q must be in [0, 1], got {q!r}")
+        if max_total is not None and max_total < 0:
+            raise ConfigurationError("max_total must be >= 0")
+        self.q = q
+        self.max_total = max_total
+
+    def plan_phase(self, ctx: MCContext) -> JamPlan:
+        n_react = int(round(self.q * ctx.length))
+        cells = np.unique(ctx.listens.slots)
+        if n_react and len(cells):
+            cells = cells[cells % ctx.length >= ctx.length - n_react]
+        if not n_react or not len(cells):
+            return JamPlan.silent(ctx.n_channels * ctx.length)
+        cplan = ChannelJamPlan.from_virtual(
+            ctx.length, ctx.n_channels, cells
+        )
+        if self.max_total is not None:
+            cplan = cplan.take_first_cells(self.max_total - ctx.spent)
+        return cplan.compile()
+
+
+class MCBudgetCap(MCAdversary):
+    """Wraps ``inner`` and enforces a total energy budget.
+
+    The multichannel analogue of
+    :class:`~repro.adversaries.budget.BudgetCap`, with cell semantics:
+    trimming keeps the *time-major* earliest cells (all channels held in
+    a slot are paid for before the next slot begins), so a capped
+    fraction jammer stays a fraction jammer until the battery dies
+    rather than collapsing onto one channel.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped multichannel strategy.
+    budget:
+        Maximum total energy across the whole run.
+    """
+
+    def __init__(self, inner: MCAdversary, budget: int) -> None:
+        if budget < 0:
+            raise ConfigurationError(f"budget must be >= 0, got {budget}")
+        self.inner = inner
+        self.budget = budget
+
+    def begin_run(self, n_nodes, n_channels, rng) -> None:
+        super().begin_run(n_nodes, n_channels, rng)
+        self.inner.begin_run(n_nodes, n_channels, rng)
+
+    def plan_phase(self, ctx: MCContext) -> JamPlan:
+        plan = self.inner.plan_phase(ctx)
+        remaining = self.budget - ctx.spent
+        if plan.cost <= remaining:
+            return plan
+        if remaining <= 0:
+            return JamPlan.silent(ctx.n_channels * ctx.length)
+        cplan = ChannelJamPlan.from_compiled(ctx.length, ctx.n_channels, plan)
+        return cplan.take_first_cells(remaining).compile()

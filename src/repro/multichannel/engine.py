@@ -41,8 +41,16 @@ __all__ = ["MCSimulator", "mc_run"]
 
 def _hop(events_slots: np.ndarray, length: int, n_channels: int,
          rng: np.random.Generator) -> np.ndarray:
-    """Map real-slot events to virtual slots via uniform channel hops."""
-    if len(events_slots) == 0:
+    """Map real-slot events to virtual slots via uniform channel hops.
+
+    With one channel there is nothing to hop: real and virtual slots
+    coincide and *no* rng is consumed, so an ``MCSimulator`` at C=1
+    consumes exactly the same random streams as
+    :class:`~repro.engine.simulator.Simulator` and the two engines are
+    bit-identical on identical seeds (the C=1 differential test pins
+    this).
+    """
+    if len(events_slots) == 0 or n_channels == 1:
         return events_slots
     channels = rng.integers(0, n_channels, len(events_slots))
     return channels * length + events_slots
@@ -84,6 +92,12 @@ class MCSimulator:
     ) -> None:
         if n_channels < 1:
             raise ConfigurationError(f"n_channels must be >= 1, got {n_channels}")
+        declared = getattr(getattr(protocol, "params", None), "n_channels", None)
+        if declared is not None and declared != n_channels:
+            raise ConfigurationError(
+                f"protocol is tuned for {declared} channels but the engine "
+                f"was given n_channels={n_channels}"
+            )
         self.protocol = protocol
         self.adversary = adversary
         self.n_channels = n_channels

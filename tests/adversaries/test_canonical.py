@@ -39,6 +39,14 @@ from repro.adversaries.canonical import (
 from repro.cache.fingerprint import describe
 from repro.channel.events import TxKind
 from repro.errors import CacheError, FingerprintError
+from repro.multichannel import (
+    ChannelBandJammer,
+    ChannelFollowerJammer,
+    ChannelSweepJammer,
+    FractionJammer,
+    MCBudgetCap,
+    MCEpochTargetJammer,
+)
 
 # One representative instance per zoo class, at non-default parameters
 # so the round-trip must actually carry the configuration.
@@ -63,18 +71,32 @@ ZOO_INSTANCES = [
     ),
 ]
 
+# The multichannel zoo shares the canonical namespace but not the
+# single-channel ``Adversary`` base (no public ``.rng`` property), so it
+# gets its own representative list.
+MC_ZOO_INSTANCES = [
+    ChannelBandJammer(3, q=0.5, max_total=4096),
+    MCEpochTargetJammer(9, q=0.75),
+    FractionJammer(0.15, max_total=8192),
+    ChannelSweepJammer(2, step=3, q=0.5, max_total=1024),
+    ChannelFollowerJammer(0.9, max_total=2048),
+    MCBudgetCap(FractionJammer(0.2), budget=4096),
+]
+
 
 def test_every_zoo_class_has_a_representative():
-    exercised = {type(a).__name__ for a in ZOO_INSTANCES} | {
+    exercised = {type(a).__name__ for a in ZOO_INSTANCES + MC_ZOO_INSTANCES} | {
         type(a.inner).__name__
-        for a in ZOO_INSTANCES
-        if isinstance(a, BudgetCap)
+        for a in ZOO_INSTANCES + MC_ZOO_INSTANCES
+        if isinstance(a, (BudgetCap, MCBudgetCap))
     }
     assert set(ZOO_CLASSES) <= exercised
 
 
 @pytest.mark.parametrize(
-    "adversary", ZOO_INSTANCES, ids=lambda a: type(a).__name__
+    "adversary",
+    ZOO_INSTANCES + MC_ZOO_INSTANCES,
+    ids=lambda a: type(a).__name__,
 )
 def test_describe_rebuild_round_trip(adversary):
     desc = describe(adversary)
@@ -82,6 +104,17 @@ def test_describe_rebuild_round_trip(adversary):
     assert type(rebuilt) is type(adversary)
     assert describe(rebuilt) == desc
     assert adversary_fingerprint(rebuilt) == adversary_fingerprint(adversary)
+
+
+@pytest.mark.parametrize(
+    "adversary", MC_ZOO_INSTANCES, ids=lambda a: type(a).__name__
+)
+def test_mc_zoo_is_cacheable_even_after_begin_run(adversary):
+    assert is_cacheable(adversary)
+    before = adversary_fingerprint(adversary)
+    adversary.begin_run(4, 8, np.random.default_rng(0))
+    assert is_cacheable(adversary)
+    assert adversary_fingerprint(adversary) == before
 
 
 @pytest.mark.parametrize(

@@ -120,7 +120,10 @@ def test_space_rejects_unknown_family_and_bad_budget():
 
 
 def test_protocol_registry():
-    assert protocol_names() == ["fig1", "ksy", "combined", "deterministic"]
+    assert protocol_names() == [
+        "fig1", "ksy", "combined", "deterministic",
+        "cz-c1", "cz-c2", "cz-c4", "cz-c8",
+    ]
     for name in protocol_names():
         assert protocol_factory(name)() is not None
     with pytest.raises(ConfigurationError):
