@@ -75,36 +75,77 @@ def _batch_workloads():
     }
 
 
+def _mc_batch_workloads():
+    """Multichannel workloads; entries carry their own simulator factory
+    because ``MCSimulator`` needs ``n_channels`` at construction."""
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.multichannel import (
+        CZBroadcast,
+        CZParams,
+        FractionJammer,
+        MCSimulator,
+    )
+
+    n_channels = 8
+    params = CZParams.sim(n_nodes=16, n_channels=n_channels)
+
+    def mk_p():
+        return CZBroadcast(params)
+
+    def mk_a():
+        return FractionJammer(0.05, max_total=2000)
+
+    def mk_sim():
+        return MCSimulator(mk_p(), mk_a(), n_channels, max_slots=2_000_000)
+
+    # E18-shaped: Chen-Zheng broadcast vs an eps-fraction jammer at C=8.
+    return {"e18_style_cz_fraction": (mk_p, mk_a, mk_sim, 32, 32)}
+
+
 def bench_batch(repeats: int = 3) -> int:
     """Time run_batch against serial run loops; merge into the record.
 
     Since the lockstep batched-protocol layer (``next_phase_batch`` /
     ``observe_batch``) the per-trial Python floor is gone: protocol
     state advances as stacked arrays, so replicate-shaped 1-to-1 sweeps
-    gain ~5x and event-heavy 1-to-n workloads ~2.5-3x.  Each timing is
+    gain ~5x and event-heavy 1-to-n workloads ~2.5-3x; the multichannel
+    E18-style workload (``MCSimulator.run_batch``) gains ~3x.  Each
+    timing is
     the best of ``repeats`` runs to damp scheduler noise, and every
     batched result is asserted equal to its serial twin (the bench
     doubles as a byte-identity check).
     """
-    workloads = _batch_workloads()
     from repro.engine.simulator import Simulator
 
+    workloads = {
+        name: (
+            mk_p,
+            mk_a,
+            (lambda mk_p=mk_p, mk_a=mk_a: Simulator(mk_p(), mk_a())),
+            n_trials,
+            batch_size,
+        )
+        for name, (mk_p, mk_a, n_trials, batch_size) in
+        _batch_workloads().items()
+    }
+    workloads.update(_mc_batch_workloads())
+
     section = {}
-    for name, (mk_p, mk_a, n_trials, batch_size) in workloads.items():
+    for name, (mk_p, mk_a, mk_sim, n_trials, batch_size) in workloads.items():
         seeds = list(range(n_trials))
-        Simulator(mk_p(), mk_a()).run(0)  # warm caches / imports
+        mk_sim().run(0)  # warm caches / imports
 
         serial_s = batch_s = float("inf")
         for _ in range(repeats):
             t0 = time.perf_counter()
-            serial = [Simulator(mk_p(), mk_a()).run(s) for s in seeds]
+            serial = [mk_sim().run(s) for s in seeds]
             serial_s = min(serial_s, time.perf_counter() - t0)
 
             t0 = time.perf_counter()
             batched = []
             for i in range(0, n_trials, batch_size):
                 batched.extend(
-                    Simulator(mk_p(), mk_a()).run_batch(
+                    mk_sim().run_batch(
                         seeds[i : i + batch_size],
                         make_protocol=mk_p,
                         make_adversary=mk_a,

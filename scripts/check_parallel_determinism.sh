@@ -30,9 +30,11 @@
 #    with -j 2 and requires the two saved leaderboard reports — which
 #    embed the best genome's fingerprint — to be byte-identical, plus
 #    the default `duel` chart to be byte-identical across repeats.
-# 8b. Multichannel gate: runs E18 serially and with -j 2 (byte-
-#    identical reports), then a fixed-seed arena search against the
-#    cz-c4 multichannel preset serially and with -j 2 (byte-identical
+# 8b. Multichannel gate: runs E18 serially, with -j 2, and with
+#    --batch 8 (all three reports byte-identical — the batched one is
+#    the end-to-end gate for the lockstep MCSimulator.run_batch
+#    kernel), then a fixed-seed arena search against the cz-c4
+#    multichannel preset serially and with -j 2 (byte-identical
 #    leaderboards), and replays the discovered attack from the corpus
 #    demanding exact agreement.
 # 9. Runs the `telemetry`-marked pytest suite (sink, readers,
@@ -145,6 +147,13 @@ if ! cmp "$tmp/e18-serial/E18.json" "$tmp/e18-parallel/E18.json"; then
     echo "FAIL: parallel E18 report differs from serial report" >&2
     exit 1
 fi
+python -m repro.cli run E18 --seed 11 --batch 8 --save "$tmp/e18-batched" \
+    > /dev/null
+if ! cmp "$tmp/e18-serial/E18.json" "$tmp/e18-batched/E18.json"; then
+    echo "FAIL: batched E18 report differs from serial report" >&2
+    exit 1
+fi
+echo "OK: E18 report byte-identical serial vs --batch 8"
 python -m repro.cli arena search --seed 11 --protocol cz-c4 \
     --generations 1 --population 4 --reps 2 \
     --save "$tmp/mc-arena-serial" --corpus "$tmp/mc-corpus.jsonl" > /dev/null

@@ -371,6 +371,13 @@ def mc_replicate(
     fingerprint folds ``n_channels`` into the task identity (kind
     ``"mc_replicate"``), so single- and multi-channel runs of the same
     protocol can never collide in the store.
+
+    With ``config.batch > 1`` cache misses are chunked into
+    ``MCSimulator.run_batch`` lockstep groups (warm hits are still
+    served individually from the store), exactly like the
+    single-channel path — per-trial results and cache entries are
+    bit-identical either way, so a sweep can be killed under one batch
+    setting and resumed under another.
     """
     from repro.multichannel.engine import MCSimulator
 

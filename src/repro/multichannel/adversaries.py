@@ -77,6 +77,24 @@ class MCAdversary(ABC):
     def plan_phase(self, ctx: MCContext) -> JamPlan:
         """Produce a jam plan over the ``C * length`` virtual slots."""
 
+    @classmethod
+    def plan_phase_batch(
+        cls, advs: "list[MCAdversary]", ctxs: "list[MCContext]"
+    ) -> list[JamPlan]:
+        """Plan one lockstep phase for a batch of trials at once.
+
+        ``advs[i]`` is trial ``i``'s adversary instance and ``ctxs[i]``
+        its context; all contexts in one call share ``n_channels`` and
+        ``n_nodes`` while per-trial fields (length, phase_index, spent,
+        events) vary freely.  The default simply loops
+        :meth:`plan_phase`; subclasses override it to share canonical
+        :class:`~repro.multichannel.schedules.ChannelJamPlan` schedules
+        across trials.  Overriding is purely a performance optimisation
+        and must stay bit-identical to the loop — the batched engine's
+        differential suites enforce exactly that.
+        """
+        return [a.plan_phase(c) for a, c in zip(advs, ctxs)]
+
 
 def _band_suffix_plan(
     ctx: MCContext, n_channels_jammed: int, q: float
@@ -136,6 +154,33 @@ class ChannelBandJammer(MCAdversary):
                 length=plan.length, global_slots=plan.global_slots.take_first(keep)
             )
         return plan
+
+    @classmethod
+    def plan_phase_batch(cls, advs, ctxs):
+        a0 = advs[0]
+        if any(
+            (a.n_channels_jammed, a.q, a.max_total)
+            != (a0.n_channels_jammed, a0.q, a0.max_total)
+            for a in advs[1:]
+        ):
+            return [a.plan_phase(c) for a, c in zip(advs, ctxs)]
+        cplans = ChannelJamPlan.band_suffix_batch(
+            [c.length for c in ctxs],
+            ctxs[0].n_channels,
+            a0.n_channels_jammed,
+            [int(round(a0.q * c.length)) for c in ctxs],
+        )
+        plans = []
+        for c, cplan in zip(ctxs, cplans):
+            plan = cplan.compile()
+            if a0.max_total is not None and plan.cost > a0.max_total - c.spent:
+                keep = max(0, a0.max_total - c.spent)
+                plan = JamPlan(
+                    length=plan.length,
+                    global_slots=plan.global_slots.take_first(keep),
+                )
+            plans.append(plan)
+        return plans
 
 
 class MCEpochTargetJammer(MCAdversary):
@@ -201,20 +246,40 @@ class FractionJammer(MCAdversary):
         self.max_total = max_total
 
     def plan_phase(self, ctx: MCContext) -> JamPlan:
-        jam_rate = (1.0 - self.eps) * ctx.n_channels  # cells per real slot
-        k = int(jam_rate)
-        n_frac = int(round((jam_rate - k) * ctx.length))
-        channels: dict[int, SlotSet] = {
-            c: SlotSet.range(0, ctx.length) for c in range(k)
-        }
-        if n_frac and k < ctx.n_channels:
-            channels[k] = SlotSet.range(0, n_frac)
-        cplan = ChannelJamPlan._from_normalized(
-            ctx.length, ctx.n_channels, channels
-        )
+        cplan = ChannelJamPlan.fraction(ctx.length, ctx.n_channels, self.eps)
         if self.max_total is not None:
             cplan = cplan.take_first_cells(self.max_total - ctx.spent)
         return cplan.compile()
+
+    @classmethod
+    def plan_phase_batch(cls, advs, ctxs):
+        a0 = advs[0]
+        if any(
+            (a.eps, a.max_total) != (a0.eps, a0.max_total) for a in advs[1:]
+        ):
+            return [a.plan_phase(c) for a, c in zip(advs, ctxs)]
+        cplans = ChannelJamPlan.fraction_batch(
+            [c.length for c in ctxs], ctxs[0].n_channels, a0.eps
+        )
+        # take_first_cells returns the plan itself when the budget
+        # covers it, so trimming is only materialised on the phases
+        # where the battery actually dies — and lockstep trials mostly
+        # die in sync, so identical (plan, remaining) trims are cached
+        # too (any remaining <= 0 yields the same empty plan).
+        trims: dict[tuple[int, int], JamPlan] = {}
+        plans = []
+        for c, cplan in zip(ctxs, cplans):
+            if a0.max_total is not None and a0.max_total - c.spent < cplan.cost:
+                key = (id(cplan), max(0, a0.max_total - c.spent))
+                plan = trims.get(key)
+                if plan is None:
+                    plan = trims[key] = cplan.take_first_cells(
+                        a0.max_total - c.spent
+                    ).compile()
+                plans.append(plan)
+            else:
+                plans.append(cplan.compile())
+        return plans
 
 
 class ChannelSweepJammer(MCAdversary):
@@ -264,16 +329,46 @@ class ChannelSweepJammer(MCAdversary):
         if k == 0 or n_jam == 0:
             return JamPlan.silent(ctx.n_channels * ctx.length)
         offset = (ctx.phase_index * self.step) % ctx.n_channels
-        slots = SlotSet.range(ctx.length - n_jam, ctx.length)
-        channels = {
-            (offset + j) % ctx.n_channels: slots for j in range(k)
-        }
-        cplan = ChannelJamPlan._from_normalized(
-            ctx.length, ctx.n_channels, channels
+        cplan = ChannelJamPlan.sweep_band(
+            ctx.length, ctx.n_channels, k, offset, n_jam
         )
         if self.max_total is not None:
             cplan = cplan.take_first_cells(self.max_total - ctx.spent)
         return cplan.compile()
+
+    @classmethod
+    def plan_phase_batch(cls, advs, ctxs):
+        a0 = advs[0]
+        if any(
+            (a.width, a.step, a.q, a.max_total)
+            != (a0.width, a0.step, a0.q, a0.max_total)
+            for a in advs[1:]
+        ):
+            return [a.plan_phase(c) for a, c in zip(advs, ctxs)]
+        C = ctxs[0].n_channels
+        k = min(a0.width, C)
+        n_jams = [int(round(a0.q * c.length)) for c in ctxs]
+        offsets = [(c.phase_index * a0.step) % C for c in ctxs]
+        cplans = ChannelJamPlan.sweep_batch(
+            [c.length for c in ctxs], C, k, offsets, n_jams
+        )
+        trims: dict[tuple[int, int], JamPlan] = {}
+        plans = []
+        for c, n_jam, cplan in zip(ctxs, n_jams, cplans):
+            if k == 0 or n_jam == 0:
+                plans.append(JamPlan.silent(C * c.length))
+                continue
+            if a0.max_total is not None and a0.max_total - c.spent < cplan.cost:
+                key = (id(cplan), max(0, a0.max_total - c.spent))
+                plan = trims.get(key)
+                if plan is None:
+                    plan = trims[key] = cplan.take_first_cells(
+                        a0.max_total - c.spent
+                    ).compile()
+                plans.append(plan)
+            else:
+                plans.append(cplan.compile())
+        return plans
 
 
 class ChannelFollowerJammer(MCAdversary):
@@ -315,6 +410,35 @@ class ChannelFollowerJammer(MCAdversary):
             cplan = cplan.take_first_cells(self.max_total - ctx.spent)
         return cplan.compile()
 
+    @classmethod
+    def plan_phase_batch(cls, advs, ctxs):
+        # Reactive plans depend on each trial's own listen events, so
+        # there is nothing to share across trials; the win here is the
+        # unbudgeted fast path, which skips the per-channel split and
+        # restack of from_virtual + compile.  Run-length-encoding the
+        # sorted virtual cells directly yields the same membership and
+        # cost (interval boundaries may differ at band edges, which
+        # neither the resolver nor the ledger can observe).
+        plans = []
+        for a, c in zip(advs, ctxs):
+            if a.max_total is not None:
+                plans.append(a.plan_phase(c))
+                continue
+            n_react = int(round(a.q * c.length))
+            cells = np.unique(c.listens.slots)
+            if n_react and len(cells):
+                cells = cells[cells % c.length >= c.length - n_react]
+            if not n_react or not len(cells):
+                plans.append(JamPlan.silent(c.n_channels * c.length))
+                continue
+            slots = SlotSet.from_slots(cells)
+            plan = JamPlan._from_normalized(
+                c.n_channels * c.length, slots, {}
+            )
+            plan.__dict__["_cost"] = len(slots)
+            plans.append(plan)
+        return plans
+
 
 class MCBudgetCap(MCAdversary):
     """Wraps ``inner`` and enforces a total energy budget.
@@ -353,3 +477,28 @@ class MCBudgetCap(MCAdversary):
             return JamPlan.silent(ctx.n_channels * ctx.length)
         cplan = ChannelJamPlan.from_compiled(ctx.length, ctx.n_channels, plan)
         return cplan.take_first_cells(remaining).compile()
+
+    @classmethod
+    def plan_phase_batch(cls, advs, ctxs):
+        inner_type = type(advs[0].inner)
+        if any(type(a.inner) is not inner_type for a in advs[1:]):
+            return [a.plan_phase(c) for a, c in zip(advs, ctxs)]
+        # Delegate to the wrapped strategy's batch planner (inner plans
+        # may be shared objects; from_compiled never mutates its input),
+        # then apply the budget per trial exactly as plan_phase does.
+        inner_plans = inner_type.plan_phase_batch(
+            [a.inner for a in advs], ctxs
+        )
+        plans = []
+        for a, c, plan in zip(advs, ctxs, inner_plans):
+            remaining = a.budget - c.spent
+            if plan.cost <= remaining:
+                plans.append(plan)
+            elif remaining <= 0:
+                plans.append(JamPlan.silent(c.n_channels * c.length))
+            else:
+                cplan = ChannelJamPlan.from_compiled(
+                    c.length, c.n_channels, plan
+                )
+                plans.append(cplan.take_first_cells(remaining).compile())
+        return plans

@@ -49,8 +49,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.channel.events import SlotStatus, TxKind
-from repro.engine.phase import PhaseObservation, PhaseSpec
-from repro.errors import ConfigurationError
+from repro.engine.phase import (
+    BatchPhaseObservation,
+    BatchPhaseSpec,
+    PhaseObservation,
+    PhaseSpec,
+)
+from repro.errors import ConfigurationError, ProtocolError
 from repro.protocols.base import Protocol
 
 __all__ = ["CZParams", "CZBroadcast", "cz_pair_protocol"]
@@ -227,6 +232,106 @@ class CZBroadcast(Protocol):
             "final_epoch": self._final_epoch,
             "aborted": self._aborted,
         }
+
+    # -- lockstep batch implementation ------------------------------------
+    #
+    # Per-trial state stacked on a leading trial axis.  The protocol
+    # draws no randomness, so bit-identity to serial reduces to the
+    # per-epoch rate arithmetic — which goes through the very same
+    # scalar CZParams methods, cached per distinct epoch (lockstep
+    # trials share epochs until the first finishes, so the cache has
+    # one entry on almost every step).
+
+    def reset_batch(self, rng_streams: list[np.random.Generator]) -> None:
+        b = len(rng_streams)
+        p = self.params
+        self._informed_b = np.zeros((b, self.n_nodes), dtype=bool)
+        self._informed_b[:, 0] = True  # the source
+        self._epoch_b = np.full(b, p.first_epoch, dtype=np.int64)
+        self._final_epoch_b = np.full(b, p.first_epoch, dtype=np.int64)
+        self._done_b = np.zeros(b, dtype=bool)
+        self._aborted_b = np.zeros(b, dtype=bool)
+        self._awaiting_b = np.zeros(b, dtype=bool)
+
+    def done_batch(self) -> np.ndarray:
+        return self._done_b.copy()
+
+    def next_phase_batch(self, mask: np.ndarray) -> BatchPhaseSpec | None:
+        if (self._awaiting_b & mask).any():
+            raise ProtocolError("next_phase called before observe")
+        p = self.params
+        emit = np.asarray(mask, dtype=bool) & ~self._done_b
+        over = emit & (self._epoch_b > p.max_epoch)
+        if over.any():
+            self._aborted_b |= over
+            self._done_b |= over
+            emit = emit & ~over
+        if not emit.any():
+            return None
+
+        b = len(emit)
+        rows = np.flatnonzero(emit)
+        rates: dict[int, tuple[float, float]] = {}
+        s_rows = np.empty(len(rows), dtype=np.float64)
+        q_rows = np.empty(len(rows), dtype=np.float64)
+        tags: list = [None] * b
+        for i, t in enumerate(rows):
+            epoch = int(self._epoch_b[t])
+            sq = rates.get(epoch)
+            if sq is None:
+                sq = rates[epoch] = (
+                    p.send_probability(epoch),
+                    p.listen_probability(epoch),
+                )
+            s_rows[i], q_rows[i] = sq
+            tags[t] = {
+                "protocol": "cz",
+                "kind": "spread",
+                "epoch": epoch,
+                "p": sq[0],
+                "q": sq[1],
+            }
+        lengths = np.ones(b, dtype=np.int64)
+        lengths[emit] = np.int64(1) << self._epoch_b[emit]
+        send_probs = np.zeros((b, self.n_nodes), dtype=np.float64)
+        listen_probs = np.zeros((b, self.n_nodes), dtype=np.float64)
+        send_probs[rows] = np.where(
+            self._informed_b[rows], s_rows[:, None], 0.0
+        )
+        listen_probs[rows] = np.where(
+            self._informed_b[rows], 0.0, q_rows[:, None]
+        )
+        self._final_epoch_b[emit] = self._epoch_b[emit]
+        self._awaiting_b = emit.copy()
+        return BatchPhaseSpec(
+            lengths=lengths,
+            send_probs=send_probs,
+            send_kinds=np.full((b, self.n_nodes), TxKind.DATA, dtype=np.int8),
+            listen_probs=listen_probs,
+            active=emit,
+            tags=tags,
+        )
+
+    def observe_batch(self, obs: BatchPhaseObservation) -> None:
+        act = obs.active
+        if (act & ~self._awaiting_b).any():
+            raise ProtocolError("observe called with no phase outstanding")
+        self._awaiting_b &= ~act
+        heard_data = obs.heard[:, :, SlotStatus.DATA] > 0
+        self._informed_b[act] |= heard_data[act]
+        self._epoch_b[act] += 1
+        self._done_b[act] = self._informed_b[act].all(axis=1)
+
+    def summary_batch(self) -> list[dict]:
+        return [
+            {
+                "success": bool(self._informed_b[t].all()),
+                "n_informed": int(self._informed_b[t].sum()),
+                "final_epoch": int(self._final_epoch_b[t]),
+                "aborted": bool(self._aborted_b[t]),
+            }
+            for t in range(len(self._done_b))
+        ]
 
 
 def cz_pair_protocol(n_channels: int, params=None):

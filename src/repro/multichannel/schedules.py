@@ -145,6 +145,110 @@ class ChannelJamPlan:
         )
 
     @staticmethod
+    def fraction(length: int, n_channels: int, eps: float) -> "ChannelJamPlan":
+        """The Chen–Zheng ``(1 - eps)``-fraction schedule.
+
+        ``(1 - eps) * C`` cells per *real* slot: the integer part as
+        full channels, the fractional remainder time-shared as a prefix
+        of the next channel (preserving the per-slot average).  This is
+        the canonical form
+        :class:`~repro.multichannel.adversaries.FractionJammer` emits;
+        O(#channels) regardless of phase length.
+        """
+        jam_rate = (1.0 - eps) * n_channels  # cells per real slot
+        k = int(jam_rate)
+        n_frac = int(round((jam_rate - k) * length))
+        channels: dict[int, SlotSet] = {
+            c: SlotSet.range(0, length) for c in range(k)
+        }
+        if n_frac and k < n_channels:
+            channels[k] = SlotSet.range(0, n_frac)
+        return ChannelJamPlan._from_normalized(length, n_channels, channels)
+
+    @staticmethod
+    def sweep_band(
+        length: int,
+        n_channels: int,
+        width: int,
+        offset: int,
+        n_jammed: int,
+    ) -> "ChannelJamPlan":
+        """A suffix jam on ``width`` channels whose low edge sits at
+        ``offset``, wrapping modulo ``C`` — one phase of
+        :class:`~repro.multichannel.adversaries.ChannelSweepJammer` in
+        canonical form.  O(#channels)."""
+        k = max(0, min(n_channels, width))
+        n_jammed = int(max(0, min(length, n_jammed)))
+        if k == 0 or n_jammed == 0:
+            return ChannelJamPlan._from_normalized(length, n_channels, {})
+        slots = SlotSet.range(length - n_jammed, length)
+        channels = {(offset + j) % n_channels: slots for j in range(k)}
+        return ChannelJamPlan._from_normalized(length, n_channels, channels)
+
+    # -- batch constructors -------------------------------------------
+    #
+    # Lockstep trials mostly share phase lengths, and these schedules
+    # depend on nothing else per trial — so repeated keys get the *same*
+    # frozen plan object and construction is O(1) amortised per trial.
+    # Sharing is safe because plans are immutable and consumed
+    # read-only; compilation (memoised per instance) then also happens
+    # once per distinct schedule rather than once per trial.
+
+    @staticmethod
+    def fraction_batch(
+        lengths, n_channels: int, eps: float
+    ) -> "list[ChannelJamPlan]":
+        """One :meth:`fraction` schedule per trial, deduplicated on
+        phase length."""
+        cache: dict[int, ChannelJamPlan] = {}
+        out = []
+        for length in lengths:
+            key = int(length)
+            plan = cache.get(key)
+            if plan is None:
+                plan = cache[key] = ChannelJamPlan.fraction(
+                    key, n_channels, eps
+                )
+            out.append(plan)
+        return out
+
+    @staticmethod
+    def band_suffix_batch(
+        lengths, n_channels: int, n_channels_jammed: int, n_jams
+    ) -> "list[ChannelJamPlan]":
+        """One :meth:`band_suffix` schedule per trial, deduplicated on
+        ``(length, n_jammed)``."""
+        cache: dict[tuple[int, int], ChannelJamPlan] = {}
+        out = []
+        for length, n_jam in zip(lengths, n_jams):
+            key = (int(length), int(n_jam))
+            plan = cache.get(key)
+            if plan is None:
+                plan = cache[key] = ChannelJamPlan.band_suffix(
+                    key[0], n_channels, n_channels_jammed, key[1]
+                )
+            out.append(plan)
+        return out
+
+    @staticmethod
+    def sweep_batch(
+        lengths, n_channels: int, width: int, offsets, n_jams
+    ) -> "list[ChannelJamPlan]":
+        """One :meth:`sweep_band` schedule per trial, deduplicated on
+        ``(length, offset, n_jammed)``."""
+        cache: dict[tuple[int, int, int], ChannelJamPlan] = {}
+        out = []
+        for length, offset, n_jam in zip(lengths, offsets, n_jams):
+            key = (int(length), int(offset), int(n_jam))
+            plan = cache.get(key)
+            if plan is None:
+                plan = cache[key] = ChannelJamPlan.sweep_band(
+                    key[0], n_channels, width, key[1], key[2]
+                )
+            out.append(plan)
+        return out
+
+    @staticmethod
     def from_compiled(
         length: int, n_channels: int, plan: JamPlan
     ) -> "ChannelJamPlan":
@@ -279,7 +383,15 @@ class ChannelJamPlan:
         Channel ``c``'s schedule lands in the virtual band
         ``[c * length, (c + 1) * length)``; bands are disjoint by
         construction so the stack is normalisation-free.
+
+        The compiled plan is memoised on the instance: schedules are
+        frozen and plans are consumed read-only, so batched adversaries
+        sharing one ``ChannelJamPlan`` across trials pay the stack
+        exactly once.
         """
+        got = self.__dict__.get("_compiled")
+        if got is not None:
+            return got
         order = sorted(self.channels)
         stacked = SlotSet.stack(
             [self.channels[c] for c in order],
@@ -289,6 +401,7 @@ class ChannelJamPlan:
             self.n_channels * self.length, stacked, {}
         )
         plan.__dict__["_cost"] = self.cost
+        object.__setattr__(self, "_compiled", plan)
         return plan
 
     # -- serialization ------------------------------------------------

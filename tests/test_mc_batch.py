@@ -1,0 +1,397 @@
+"""Differential tests for the batched multichannel kernel.
+
+The contract mirrors the single-channel suite in
+``tests/engine/test_batch.py``: trial ``t`` of
+``MCSimulator.run_batch(seeds)`` must equal ``run(seeds[t])`` exactly —
+same per-trial rng streams (``protocol``, ``hopping``, ``adversary``),
+same costs, same stats, same phase history — for every protocol and
+adversary in the multichannel zoo.  On top of that sit the regression
+pins for the three MC-specific bug classes: hop-rng stream ordering at
+C>1, real-slot cap semantics, and dirty-state deepcopy fallbacks.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BudgetExceededError
+from repro.experiments.registry import RunConfig
+from repro.experiments.runner import mc_replicate
+from repro.multichannel import (
+    ChannelBandJammer,
+    ChannelFollowerJammer,
+    ChannelSweepJammer,
+    CZBroadcast,
+    CZParams,
+    FractionJammer,
+    MCBudgetCap,
+    MCEpochTargetJammer,
+    MCSimulator,
+)
+from repro.multichannel.engine import _hop, _hop_batch, _half_duplex
+from repro.channel.events import ListenEvents, SendEvents
+from repro.rng import RngFactory
+from repro.store import run_result_to_dict
+
+pytestmark = pytest.mark.engine
+
+C = 4
+
+
+def mk_cz():
+    return CZBroadcast(CZParams.sim(n_nodes=16, n_channels=C))
+
+
+def mk_pair():
+    from repro.multichannel import cz_pair_protocol
+
+    return cz_pair_protocol(C)
+
+
+ADVERSARIES = {
+    "fraction": lambda: FractionJammer(0.15, max_total=2000),
+    "fraction-unbounded": lambda: FractionJammer(0.4),
+    "sweep": lambda: ChannelSweepJammer(2, step=3, q=0.8, max_total=2000),
+    "follower": lambda: ChannelFollowerJammer(q=0.9),
+    "follower-budget": lambda: ChannelFollowerJammer(q=0.9, max_total=600),
+    "band": lambda: ChannelBandJammer(2, q=0.6, max_total=2000),
+    "epoch-target": lambda: MCEpochTargetJammer(12, q=1.0),
+    "cap-fraction": lambda: MCBudgetCap(FractionJammer(0.25), budget=500),
+    "cap-sweep": lambda: MCBudgetCap(
+        ChannelSweepJammer(3, step=1, q=1.0), budget=800
+    ),
+}
+
+
+def result_json(result) -> str:
+    return json.dumps(run_result_to_dict(result), sort_keys=True)
+
+
+def assert_identical(batch, serial):
+    assert len(batch) == len(serial)
+    for got, want in zip(batch, serial):
+        assert result_json(got) == result_json(want)
+        assert got.phase_history == want.phase_history
+
+
+class TestMCDifferential:
+    """run_batch == run across the protocol × adversary grid."""
+
+    @pytest.mark.parametrize("adv", sorted(ADVERSARIES), ids=sorted(ADVERSARIES))
+    @pytest.mark.parametrize(
+        "mk_p", [mk_cz, mk_pair], ids=["cz", "pair-hop"]
+    )
+    def test_grid(self, mk_p, adv):
+        mk_a = ADVERSARIES[adv]
+        seeds = [5, 6, 7]
+        sim = MCSimulator(
+            mk_p(), mk_a(), C, max_slots=100_000, keep_history=True
+        )
+        batch = sim.run_batch(seeds, make_protocol=mk_p, make_adversary=mk_a)
+        serial = [
+            MCSimulator(
+                mk_p(), mk_a(), C, max_slots=100_000, keep_history=True
+            ).run(s)
+            for s in seeds
+        ]
+        assert_identical(batch, serial)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seeds=st.lists(st.integers(0, 2**31), min_size=1, max_size=5),
+        q=st.floats(0.0, 1.0),
+        eps=st.floats(0.05, 0.95),
+    )
+    def test_hypothesis_differential(self, seeds, q, eps):
+        mk_a = lambda: MCBudgetCap(  # noqa: E731
+            ChannelFollowerJammer(q=q), budget=400
+        )
+        mk_b = lambda: FractionJammer(eps, max_total=1500)  # noqa: E731
+        for mk_adv in (mk_a, mk_b):
+            sim = MCSimulator(mk_cz(), mk_adv(), C, max_slots=50_000)
+            batch = sim.run_batch(
+                seeds, make_protocol=mk_cz, make_adversary=mk_adv
+            )
+            serial = [
+                MCSimulator(mk_cz(), mk_adv(), C, max_slots=50_000).run(s)
+                for s in seeds
+            ]
+            assert_identical(batch, serial)
+
+    def test_heterogeneous_adversaries_fall_back(self):
+        # Mixed adversary types per trial route through the MCAdversary
+        # base loop; results must still match serial exactly.
+        zoo = [
+            lambda: FractionJammer(0.2, max_total=1000),
+            lambda: ChannelSweepJammer(2, q=0.7),
+            lambda: ChannelFollowerJammer(q=0.5),
+        ]
+        calls = iter(range(100))
+        mk_a = lambda: zoo[next(calls) % len(zoo)]()  # noqa: E731
+        seeds = [1, 2, 3]
+        sim = MCSimulator(mk_cz(), zoo[0](), C, max_slots=50_000)
+        batch = sim.run_batch(seeds, make_protocol=mk_cz, make_adversary=mk_a)
+        serial = []
+        for i, s in enumerate(seeds):
+            serial.append(
+                MCSimulator(
+                    mk_cz(), zoo[i % len(zoo)](), C, max_slots=50_000
+                ).run(s)
+            )
+        assert_identical(batch, serial)
+
+    def test_dense_resolver_matches(self):
+        mk_a = ADVERSARIES["fraction"]
+        seeds = [3, 4]
+        sparse = MCSimulator(mk_cz(), mk_a(), C, max_slots=20_000).run_batch(
+            seeds, make_protocol=mk_cz, make_adversary=mk_a
+        )
+        dense = MCSimulator(
+            mk_cz(), mk_a(), C, max_slots=20_000, resolver="dense"
+        ).run_batch(seeds, make_protocol=mk_cz, make_adversary=mk_a)
+        assert_identical(dense, list(sparse))
+
+
+class TestHopRngContract:
+    """Satellite: the hop consumes the shared ``hopping`` stream in the
+    serial order (half-duplex filter, then sends, then listens) at C>1.
+    The C=1 bit-identity tests consume zero hop draws and cover none of
+    this."""
+
+    def _events(self, rng, length, n_nodes=6, n_each=10):
+        s_nodes = rng.integers(0, n_nodes, n_each).astype(np.int64)
+        s_slots = rng.integers(0, length, n_each).astype(np.int64)
+        l_nodes = rng.integers(0, n_nodes, n_each).astype(np.int64)
+        l_slots = rng.integers(0, length, n_each).astype(np.int64)
+        kinds = np.zeros(n_each, dtype=np.int8)
+        return (
+            SendEvents(s_nodes, s_slots, kinds),
+            ListenEvents(l_nodes, l_slots),
+        )
+
+    def test_hop_batch_matches_serial_order_and_stream_state(self):
+        length, n_channels = 32, 4
+        gen = np.random.default_rng(7)
+        events = [self._events(gen, length) for _ in range(3)]
+        rngs_a = [np.random.default_rng(100 + t) for t in range(3)]
+        rngs_b = [np.random.default_rng(100 + t) for t in range(3)]
+
+        v_sends, v_listens = _hop_batch(
+            events, [length] * 3, n_channels, rngs_a
+        )
+        for t, (sends, listens) in enumerate(events):
+            kept = _half_duplex(sends, listens, length)
+            want_s = _hop(sends.slots, length, n_channels, rngs_b[t])
+            want_l = _hop(kept.slots, length, n_channels, rngs_b[t])
+            assert np.array_equal(v_sends[t].slots, want_s)
+            assert np.array_equal(v_listens[t].slots, want_l)
+            assert np.array_equal(v_listens[t].nodes, kept.nodes)
+            # Stream end-state: exactly the serial draws, no more.
+            assert rngs_a[t].integers(2**62) == rngs_b[t].integers(2**62)
+
+    def test_half_duplex_filter_feeds_listen_hop(self):
+        # The filter removes listen events *before* the listen hop, so
+        # swapping filter and hop would draw a different count.  Build a
+        # case where every listen collides with a send.
+        length, n_channels = 16, 4
+        nodes = np.arange(4, dtype=np.int64)
+        slots = np.arange(4, dtype=np.int64)
+        sends = SendEvents(nodes, slots, np.zeros(4, dtype=np.int8))
+        listens = ListenEvents(nodes, slots)
+        rng = np.random.default_rng(0)
+        ref = np.random.default_rng(0)
+        v_sends, v_listens = _hop_batch(
+            [(sends, listens)], [length], n_channels, [rng]
+        )
+        assert len(v_listens[0]) == 0  # all filtered
+        ref.integers(0, n_channels, 4)  # only the send hop drew
+        assert rng.integers(2**62) == ref.integers(2**62)
+
+    def test_rng_stream_regression_pin(self):
+        """Hard-coded results at C>1: any silent permutation of the
+        hopping (or protocol/adversary) stream order shows up here."""
+        mk_a = lambda: FractionJammer(0.15, max_total=2000)  # noqa: E731
+        seeds = [0, 1, 2]
+        batch = MCSimulator(mk_cz(), mk_a(), C, max_slots=100_000).run_batch(
+            seeds, make_protocol=mk_cz, make_adversary=mk_a
+        )
+        assert [int(r.node_costs.sum()) for r in batch] == PIN_NODE_TOTALS
+        assert [r.adversary_cost for r in batch] == PIN_ADV_COSTS
+        assert [r.slots for r in batch] == PIN_SLOTS
+        assert [r.phases for r in batch] == PIN_PHASES
+        assert [r.stats["success"] for r in batch] == PIN_SUCCESS
+
+    def test_factory_streams_are_name_keyed(self):
+        # The three per-trial streams must come from the same named
+        # factory slots the serial loop uses.
+        f1, f2 = RngFactory(123), RngFactory(123)
+        a = [f1.get("protocol"), f1.get("hopping"), f1.get("adversary")]
+        b = [f2.get(n) for n in ("adversary", "protocol", "hopping")]
+        assert a[0].integers(2**62) == b[1].integers(2**62)
+        assert a[1].integers(2**62) == b[2].integers(2**62)
+        assert a[2].integers(2**62) == b[0].integers(2**62)
+
+
+class TestRealSlotCapSemantics:
+    """Satellite: ``max_slots`` caps *real* slots (latency), not the
+    ``C * length`` virtual extent the ledger charges."""
+
+    def _first_length(self):
+        p = CZParams.sim(n_nodes=16, n_channels=C)
+        return 1 << p.first_epoch
+
+    def test_cap_boundary_counts_real_slots(self):
+        L0 = self._first_length()
+        mk_a = lambda: ChannelBandJammer(0)  # noqa: E731
+        # Cap exactly at the first phase length: under real-slot
+        # semantics the first phase runs (0 + L0 <= L0) and the second
+        # (doubled) phase truncates; under virtual-slot semantics
+        # C * L0 > L0 would truncate immediately with zero phases.
+        for runner in ("run", "run_batch"):
+            sim = MCSimulator(
+                mk_cz(), mk_a(), C, max_slots=L0, keep_history=True
+            )
+            if runner == "run":
+                r = sim.run(3)
+            else:
+                r = list(
+                    sim.run_batch(
+                        [3], make_protocol=mk_cz, make_adversary=mk_a
+                    )
+                )[0]
+            assert r.truncated
+            assert r.phases == 1
+            assert r.slots == L0  # real slots
+            # ...while the ledger's history records the virtual extent.
+            assert r.phase_history[0].length == C * L0
+
+    def test_strict_raises_identically_in_both_paths(self):
+        L0 = self._first_length()
+        mk_a = lambda: ChannelBandJammer(0)  # noqa: E731
+        with pytest.raises(BudgetExceededError) as serial_exc:
+            MCSimulator(mk_cz(), mk_a(), C, max_slots=L0, strict=True).run(3)
+        with pytest.raises(BudgetExceededError) as batch_exc:
+            MCSimulator(
+                mk_cz(), mk_a(), C, max_slots=L0, strict=True
+            ).run_batch([3], make_protocol=mk_cz, make_adversary=mk_a)
+        assert str(serial_exc.value) == str(batch_exc.value)
+
+
+class TestRunBatchReuse:
+    """Satellite: the no-factory deepcopy fallback must seed trials from
+    pristine state, not from whatever an earlier run left behind."""
+
+    def test_back_to_back_run_batch_bit_identical(self):
+        sim = MCSimulator(
+            mk_cz(), FractionJammer(0.15, max_total=2000), C,
+            max_slots=100_000,
+        )
+        seeds = [11, 12, 13]
+        first = [result_json(r) for r in sim.run_batch(seeds)]
+        second = [result_json(r) for r in sim.run_batch(seeds)]
+        assert first == second
+
+    def test_run_then_run_batch_not_dirtied(self):
+        mk_a = lambda: FractionJammer(0.15, max_total=2000)  # noqa: E731
+        fresh = MCSimulator(mk_cz(), mk_a(), C, max_slots=100_000)
+        want = [result_json(r) for r in fresh.run_batch([7, 8])]
+
+        dirty = MCSimulator(mk_cz(), mk_a(), C, max_slots=100_000)
+        dirty.run(42)  # mutates the live protocol/adversary
+        got = [result_json(r) for r in dirty.run_batch([7, 8])]
+        assert got == want
+
+    def test_serial_driver_reuse_matches_too(self):
+        sim = MCSimulator(
+            mk_cz(), FractionJammer(0.15, max_total=2000), C,
+            max_slots=100_000, protocol_driver="serial",
+        )
+        sim.run(42)
+        a = [result_json(r) for r in sim.run_batch([1, 2])]
+        b = [result_json(r) for r in sim.run_batch([1, 2])]
+        assert a == b
+
+    def test_empty_batch(self):
+        sim = MCSimulator(mk_cz(), FractionJammer(0.15), C)
+        out = sim.run_batch([])
+        assert list(out) == []
+
+
+class TestMCReplicateBatchCache:
+    """Satellite: mc_replicate batch × cache interplay at C>1, mirroring
+    the single-channel suite."""
+
+    MK_A = staticmethod(lambda: FractionJammer(0.2, max_total=1500))
+
+    def _replicate(self, n, config=None):
+        return mc_replicate(
+            mk_cz, self.MK_A, n, seed=9, n_channels=C,
+            max_slots=50_000, config=config,
+        )
+
+    def test_batched_bit_identical(self):
+        serial = self._replicate(7)
+        batched = self._replicate(7, RunConfig(batch=3))
+        assert [result_json(r) for r in serial] == [
+            result_json(r) for r in batched
+        ]
+
+    def test_cache_interplay_mixed_hits_and_misses(self, tmp_path):
+        reference = self._replicate(6)
+
+        # Warm the store with a serial run of the first 3 replications —
+        # the state a killed sweep leaves behind.
+        warm = RunConfig(cache=True, cache_dir=tmp_path, experiment="TMC")
+        self._replicate(3, warm)
+
+        # A batched resume over all 6 must serve the 3 warm entries as
+        # hits, batch only the missing trials, and still match serially.
+        config = RunConfig(
+            cache=True, cache_dir=tmp_path, batch=4, experiment="TMC"
+        )
+        batched = self._replicate(6, config)
+        assert [result_json(r) for r in batched] == [
+            result_json(r) for r in reference
+        ]
+        assert config.stats.cache_hits == 3
+        assert config.stats.batch_trials == 3  # only the misses ran
+
+        # Second batched run: all hits, nothing batched.
+        config2 = RunConfig(
+            cache=True, cache_dir=tmp_path, batch=4, experiment="TMC"
+        )
+        again = self._replicate(6, config2)
+        assert [result_json(r) for r in again] == [
+            result_json(r) for r in reference
+        ]
+        assert config2.stats.cache_hits == 6
+        assert config2.stats.batch_tasks == 0
+
+    def test_serial_warm_batched_resume_cross_driver(self, tmp_path):
+        # Entries cached under the serial per-trial path must satisfy a
+        # batched resume byte-for-byte and vice versa.
+        cfg_serial = RunConfig(cache=True, cache_dir=tmp_path, experiment="TMX")
+        first = self._replicate(5, cfg_serial)
+        cfg_batch = RunConfig(
+            cache=True, cache_dir=tmp_path, batch=2, experiment="TMX"
+        )
+        resumed = self._replicate(5, cfg_batch)
+        assert [result_json(r) for r in first] == [
+            result_json(r) for r in resumed
+        ]
+        assert cfg_batch.stats.cache_hits == 5
+        assert cfg_batch.stats.batch_tasks == 0
+
+
+# Hard-coded pins for test_rng_stream_regression_pin (C=4, CZ sim
+# params, FractionJammer(0.15, max_total=2000), seeds [0, 1, 2]).
+PIN_NODE_TOTALS = [1689, 2730, 1643]
+PIN_ADV_COSTS = [1523, 2000, 1523]
+PIN_SLOTS = [448, 960, 448]
+PIN_PHASES = [3, 4, 3]
+PIN_SUCCESS = [True, True, True]
